@@ -1,0 +1,133 @@
+// Experiment S5 — ablations of the design choices Section 2.5 discusses.
+//
+// (a) The Put-Shared extension itself: silent eviction buys fewer
+//     protocol messages for clean read-only evictions, at the price of the
+//     stale-invalidation traffic and the deadlock machinery.  We run the
+//     same capacity-pressured workload with the extension on and off.
+//     (The paper's *other* alternative — applying invalidations immediately
+//     as NACKs, as Origin/DASH do — is only sketched in the paper and
+//     defers to [4]; under this protocol's directory states it is
+//     underspecified, so we ablate what the paper fully specifies.  See
+//     DESIGN.md.)
+//
+// (b) Network reordering intensity: we sweep the per-message latency
+//     spread to measure how often the write-back races (13/14) and the
+//     Figure 2 machinery fire, and how retry pressure responds — while
+//     correctness is untouched at every point.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+using namespace lcdc;
+
+namespace {
+
+struct Totals {
+  std::uint64_t msgs = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t putShareds = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t staleInvAcks = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t race13 = 0;
+  std::uint64_t race14 = 0;
+  net::Tick endTime = 0;
+  bool verified = true;
+};
+
+Totals run(bool putShared, net::Tick maxLatency, std::uint64_t seeds) {
+  Totals sum;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SystemConfig cfg;
+    cfg.numProcessors = 8;
+    cfg.numDirectories = 4;
+    cfg.numBlocks = 12;
+    cfg.cacheCapacity = 3;
+    cfg.seed = seed;
+    cfg.proto.putSharedEnabled = putShared;
+    cfg.maxLatency = maxLatency;
+
+    workload::WorkloadConfig w;
+    w.numProcessors = cfg.numProcessors;
+    w.numBlocks = cfg.numBlocks;
+    w.wordsPerBlock = cfg.proto.wordsPerBlock;
+    w.opsPerProcessor = 1200;
+    w.storePercent = 45;
+    w.evictPercent = 10;
+    w.seed = seed * 17;
+    const auto programs = workload::hotBlock(w, 75, 4);
+
+    trace::Trace trace;
+    sim::System system(cfg, trace);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      system.setProgram(p, programs[p]);
+    }
+    const sim::RunResult result = system.run();
+    const auto report =
+        verify::checkAll(trace, verify::VerifyConfig{cfg.numProcessors});
+    sum.verified = sum.verified && result.ok() && report.ok();
+
+    sum.msgs += system.network().stats().sent;
+    proto::DirStats d = system.aggregateDirStats();
+    for (const auto& [k, v] : d.nackByKind) sum.nacks += v;
+    sum.race13 +=
+        d.txnByKind[static_cast<std::uint8_t>(TxnKind::Wb_BusyShared)];
+    sum.race14 +=
+        d.txnByKind[static_cast<std::uint8_t>(TxnKind::Wb_BusyExclusive)] +
+        d.txnByKind[static_cast<std::uint8_t>(
+            TxnKind::Wb_BusyExclusiveSelf)];
+    const proto::CacheStats c = system.aggregateCacheStats();
+    sum.putShareds += c.putShareds;
+    sum.writebacks += c.writebacks;
+    sum.staleInvAcks += c.staleInvAcks;
+    sum.deadlocks += c.deadlocksResolved;
+    sum.endTime += result.endTime;
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("S5a — Put-Shared (Section 2.5) on vs off (20 seeds each)");
+  {
+    bench::Table t({"put-shared", "messages", "NACKs", "silent evictions",
+                    "writebacks", "stale inv acks", "deadlocks resolved",
+                    "sum end-time", "verified"});
+    for (const bool ps : {true, false}) {
+      const Totals s = run(ps, 40, 20);
+      t.row(ps ? "on" : "off", s.msgs, s.nacks, s.putShareds, s.writebacks,
+            s.staleInvAcks, s.deadlocks, s.endTime,
+            s.verified ? "yes" : "NO");
+    }
+    t.print();
+    std::cout << "\nWith the extension off, read-only lines pin cache space "
+                 "(no silent\nevictions), and neither stale-invalidation "
+                 "acks nor the deadlock machinery\nexist; with it on, both "
+                 "appear — and every run still verifies.\n";
+  }
+
+  bench::banner("S5b — race frequency vs network reordering (20 seeds each)");
+  {
+    bench::Table t({"latency spread", "txn 13", "txn 14a/b", "NACKs",
+                    "deadlocks resolved", "verified"});
+    for (const net::Tick spread : {1u, 5u, 20u, 80u, 320u}) {
+      const Totals s = run(true, spread, 20);
+      t.row("1.." + std::to_string(spread), s.race13, s.race14, s.nacks,
+            s.deadlocks, s.verified ? "yes" : "NO");
+    }
+    t.print();
+    std::cout << "\nThe write-back races and the Figure 2 path fire even on "
+                 "a near-FIFO network:\nthey are *path-crossing* races "
+                 "(writeback vs forward travel different links),\nnot "
+                 "same-path reordering.  What reordering intensity drives up "
+                 "is NACK\npressure (replies overtaken by new requests keep "
+                 "the directory busy longer).\nSequential consistency holds "
+                 "at every point of the sweep.\n";
+  }
+  return 0;
+}

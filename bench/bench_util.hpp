@@ -1,0 +1,91 @@
+// Shared helpers for the benchmark/reproduction binaries: aligned table
+// printing (every bench regenerates one of the paper's tables/figures as
+// text) and simple wall-clock timing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lcdc::bench {
+
+/// Minimal fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(toCell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    printRow(os, headers_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+      if (c + 1 < headers_.size()) sep += "+";
+    }
+    os << sep << '\n';
+    for (const auto& r : rows_) printRow(os, r, width);
+  }
+
+ private:
+  template <typename T>
+  static std::string toCell(T&& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(v));
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  static void printRow(std::ostream& os, const std::vector<std::string>& r,
+                       const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::left
+         << (c < r.size() ? r[c] : std::string()) << ' ';
+      if (c + 1 < width.size()) os << '|';
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const std::string& title) {
+  std::cout << '\n' << "== " << title << " ==\n\n";
+}
+
+}  // namespace lcdc::bench

@@ -1,0 +1,126 @@
+// Experiment S6 — the companion result (paper reference [23], Sections 1
+// and 5): the same Lamport-clock lemma structure verifies a *bus* protocol;
+// "only the proofs of the timestamping claims differ".
+//
+// This bench runs identical workloads through the directory protocol and
+// the snooping-bus protocol and pushes both traces through the *identical*
+// verify::checkAll suite — same Lemmas 1-3, same Claims, same Main Theorem,
+// zero protocol-specific checker code.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bus/bus_system.hpp"
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+using namespace lcdc;
+
+namespace {
+
+struct Row {
+  std::string protocol;
+  std::uint64_t ops = 0;
+  std::uint64_t txns = 0;
+  std::uint64_t epochs = 0;
+  std::string verdict;
+  double verifySec = 0;
+};
+
+Row runDirectory(const std::vector<workload::Program>& programs,
+                 NodeId procs, BlockId blocks, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.numProcessors = procs;
+  cfg.numDirectories = std::max<NodeId>(1, procs / 2);
+  cfg.numBlocks = blocks;
+  cfg.cacheCapacity = 4;
+  cfg.seed = seed;
+  trace::Trace trace;
+  sim::System system(cfg, trace);
+  for (NodeId p = 0; p < procs; ++p) system.setProgram(p, programs[p]);
+  const sim::RunResult r = system.run();
+  bench::Stopwatch timer;
+  const auto report = verify::checkAll(trace, verify::VerifyConfig{procs});
+  Row row;
+  row.protocol = "directory (SGI-Origin-like)";
+  row.ops = trace.operations().size();
+  row.txns = trace.serializations().size();
+  row.epochs = report.epochsBuilt;
+  row.verdict = !r.ok() ? toString(r.outcome)
+                        : (report.ok() ? "verified SC" : "VIOLATION");
+  row.verifySec = timer.seconds();
+  return row;
+}
+
+Row runBus(const std::vector<workload::Program>& programs, NodeId procs,
+           BlockId blocks, std::uint64_t seed) {
+  bus::BusConfig cfg;
+  cfg.numProcessors = procs;
+  cfg.numBlocks = blocks;
+  cfg.cacheCapacity = 4;
+  cfg.snoopDelayMax = 24;
+  cfg.seed = seed;
+  trace::Trace trace;
+  bus::BusSystem system(cfg, trace);
+  for (NodeId p = 0; p < procs; ++p) system.setProgram(p, programs[p]);
+  const bus::BusRunResult r = system.run();
+  bench::Stopwatch timer;
+  const auto report = verify::checkAll(trace, verify::VerifyConfig{procs});
+  Row row;
+  row.protocol = "snooping bus (MSI)";
+  row.ops = trace.operations().size();
+  row.txns = trace.serializations().size();
+  row.epochs = report.epochsBuilt;
+  row.verdict = !r.ok() ? toString(r.outcome)
+                        : (report.ok() ? "verified SC" : "VIOLATION");
+  row.verifySec = timer.seconds();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "S6 — one verifier, two protocols (the companion result, ref. [23])");
+
+  bench::Table t({"workload", "protocol", "ops", "txns", "epochs",
+                  "verify (s)", "result"});
+  struct Wl {
+    const char* name;
+    std::vector<workload::Program> (*make)(const workload::WorkloadConfig&);
+  };
+  const Wl wls[] = {
+      {"uniform", workload::uniformRandom},
+      {"migratory", workload::migratory},
+      {"producer-consumer", workload::producerConsumer},
+      {"false-sharing", workload::falseSharing},
+  };
+  bool allOk = true;
+  for (const Wl& wl : wls) {
+    const NodeId procs = 8;
+    const BlockId blocks = 8;
+    workload::WorkloadConfig w;
+    w.numProcessors = procs;
+    w.numBlocks = blocks;
+    w.wordsPerBlock = 4;
+    w.opsPerProcessor = 1500;
+    w.storePercent = 40;
+    w.evictPercent = 8;
+    w.seed = 1998;
+    const auto programs = wl.make(w);
+
+    const Row d = runDirectory(programs, procs, blocks, 7);
+    const Row b = runBus(programs, procs, blocks, 7);
+    allOk = allOk && d.verdict == "verified SC" && b.verdict == "verified SC";
+    t.row(wl.name, d.protocol, d.ops, d.txns, d.epochs, d.verifySec,
+          d.verdict);
+    t.row("", b.protocol, b.ops, b.txns, b.epochs, b.verifySec, b.verdict);
+  }
+  t.print();
+  std::cout << "\nThe checker suite (Lemmas 1-3, Claims 2-3, the Main "
+               "Theorem) is byte-for-byte\nthe same for both protocols; only "
+               "the protocols' timestamping rules differ —\nexactly the "
+               "paper's claim about its companion bus result.\n";
+  return allOk ? 0 : 1;
+}

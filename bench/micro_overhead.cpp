@@ -1,0 +1,155 @@
+// Experiment S4: micro-costs of the verification technique
+// (google-benchmark).  If Lamport-clock checking is to be used as an
+// always-on dynamic verifier (the executable form of the paper's
+// technique), its per-event costs must be negligible next to the protocol
+// work itself.
+#include <benchmark/benchmark.h>
+
+#include "clock/lamport.hpp"
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace lcdc;
+
+/// One canonical mid-size trace shared by the checker benchmarks.
+const trace::Trace& fixtureTrace() {
+  static const trace::Trace trace = [] {
+    trace::Trace t;
+    SystemConfig cfg;
+    cfg.numProcessors = 8;
+    cfg.numDirectories = 4;
+    cfg.numBlocks = 32;
+    cfg.cacheCapacity = 6;
+    cfg.seed = 2026;
+    workload::WorkloadConfig w;
+    w.numProcessors = cfg.numProcessors;
+    w.numBlocks = cfg.numBlocks;
+    w.wordsPerBlock = cfg.proto.wordsPerBlock;
+    w.opsPerProcessor = 4000;
+    w.storePercent = 40;
+    w.evictPercent = 8;
+    w.seed = 5;
+    const auto programs = workload::uniformRandom(w);
+    sim::System system(cfg, t);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      system.setProgram(p, programs[p]);
+    }
+    (void)system.run();
+    return t;
+  }();
+  return trace;
+}
+
+void BM_OpStamping(benchmark::State& state) {
+  clk::OpStamper stamper(0);
+  GlobalTime txnTs = 1;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if ((++i & 0xFF) == 0) ++txnTs;  // occasional epoch advance
+    benchmark::DoNotOptimize(stamper.stamp(txnTs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OpStamping);
+
+void BM_EpochConstruction(benchmark::State& state) {
+  const trace::Trace& t = fixtureTrace();
+  const verify::VerifyConfig cfg{8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::buildEpochs(t, cfg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * t.stamps().size()));
+}
+BENCHMARK(BM_EpochConstruction);
+
+void BM_ScReplay(benchmark::State& state) {
+  const trace::Trace& t = fixtureTrace();
+  const verify::VerifyConfig cfg{8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::checkSequentialConsistency(t, cfg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * t.operations().size()));
+}
+BENCHMARK(BM_ScReplay);
+
+void BM_ClaimChecks(benchmark::State& state) {
+  const trace::Trace& t = fixtureTrace();
+  const verify::VerifyConfig cfg{8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::checkClaim2(t, cfg));
+    benchmark::DoNotOptimize(verify::checkClaim3(t, cfg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * t.stamps().size()));
+}
+BENCHMARK(BM_ClaimChecks);
+
+void BM_FullVerification(benchmark::State& state) {
+  const trace::Trace& t = fixtureTrace();
+  const verify::VerifyConfig cfg{8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::checkAll(t, cfg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * t.operations().size()));
+}
+BENCHMARK(BM_FullVerification);
+
+void BM_SimulationWithTracing(benchmark::State& state) {
+  for (auto _ : state) {
+    trace::Trace t;
+    SystemConfig cfg;
+    cfg.numProcessors = 4;
+    cfg.numDirectories = 2;
+    cfg.numBlocks = 16;
+    cfg.seed = 11;
+    workload::WorkloadConfig w;
+    w.numProcessors = cfg.numProcessors;
+    w.numBlocks = cfg.numBlocks;
+    w.wordsPerBlock = cfg.proto.wordsPerBlock;
+    w.opsPerProcessor = 500;
+    w.seed = 3;
+    const auto programs = workload::uniformRandom(w);
+    sim::System system(cfg, t);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      system.setProgram(p, programs[p]);
+    }
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2000));
+}
+BENCHMARK(BM_SimulationWithTracing)->Unit(benchmark::kMillisecond);
+
+void BM_SimulationNoTracing(benchmark::State& state) {
+  for (auto _ : state) {
+    SystemConfig cfg;
+    cfg.numProcessors = 4;
+    cfg.numDirectories = 2;
+    cfg.numBlocks = 16;
+    cfg.seed = 11;
+    workload::WorkloadConfig w;
+    w.numProcessors = cfg.numProcessors;
+    w.numBlocks = cfg.numBlocks;
+    w.wordsPerBlock = cfg.proto.wordsPerBlock;
+    w.opsPerProcessor = 500;
+    w.seed = 3;
+    const auto programs = workload::uniformRandom(w);
+    sim::System system(cfg, proto::nullSink());
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      system.setProgram(p, programs[p]);
+    }
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2000));
+}
+BENCHMARK(BM_SimulationNoTracing)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment S1: the paper's scalability claim for the Lamport-clock
+// technique — "our approach can precisely verify the operation of a
+// protocol in a system consisting of any number of nodes and memory
+// blocks" (Section 4).
+//
+// We sweep processors × blocks × operations and report simulation and
+// verification wall time.  The checker's cost is near-linear in the trace
+// size and *independent of the state space* — contrast with
+// bench/mc_explosion.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+using namespace lcdc;
+
+namespace {
+
+struct Row {
+  NodeId procs;
+  BlockId blocks;
+  std::uint64_t opsPerProc;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("S1 — Lamport-clock checker scalability (nodes x blocks x ops)");
+
+  const Row rows[] = {
+      {2, 4, 2'000},   {4, 16, 2'000},   {8, 64, 2'000},
+      {16, 128, 2'000}, {32, 256, 2'000}, {64, 1024, 2'000},
+      {8, 64, 10'000},  {8, 64, 50'000},  {16, 256, 25'000},
+      {32, 512, 12'500},
+  };
+
+  bench::Table t({"procs", "blocks", "ops total", "txns", "epochs",
+                  "sim (s)", "verify (s)", "result"});
+  for (const Row& row : rows) {
+    if (quick && static_cast<std::uint64_t>(row.procs) * row.opsPerProc >
+                     64'000) {
+      continue;
+    }
+    SystemConfig cfg;
+    cfg.numProcessors = row.procs;
+    cfg.numDirectories = std::max<NodeId>(1, row.procs / 2);
+    cfg.numBlocks = row.blocks;
+    cfg.cacheCapacity = 16;
+    cfg.seed = row.procs * 1000 + row.blocks;
+
+    workload::WorkloadConfig w;
+    w.numProcessors = cfg.numProcessors;
+    w.numBlocks = cfg.numBlocks;
+    w.wordsPerBlock = cfg.proto.wordsPerBlock;
+    w.opsPerProcessor = row.opsPerProc;
+    w.storePercent = 35;
+    w.evictPercent = 5;
+    w.seed = cfg.seed;
+    const auto programs = workload::uniformRandom(w);
+
+    trace::Trace trace;
+    sim::System system(cfg, trace);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      system.setProgram(p, programs[p]);
+    }
+    bench::Stopwatch simTimer;
+    const sim::RunResult result = system.run();
+    const double simSec = simTimer.seconds();
+    if (!result.ok()) {
+      t.row(row.procs, row.blocks, row.procs * row.opsPerProc, "-", "-",
+            simSec, "-", toString(result.outcome));
+      continue;
+    }
+    bench::Stopwatch verifyTimer;
+    const auto report =
+        verify::checkAll(trace, verify::VerifyConfig{cfg.numProcessors});
+    const double verSec = verifyTimer.seconds();
+    t.row(row.procs, row.blocks, result.opsBound,
+          trace.serializations().size(), report.epochsBuilt, simSec, verSec,
+          report.ok() ? "verified SC" : "VIOLATION");
+  }
+  t.print();
+  std::cout << "\nVerification cost tracks trace size (ops + transactions), "
+               "not configuration\nsize: 64 processors and 1024 blocks check "
+               "as easily as 2x4 — the paper's\nscalability argument for "
+               "reasoning in Lamport time.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Bug hunting with Lamport clocks: inject a realistic coherence bug into
+// the protocol, run a contended workload, and let the Section 3 checkers
+// produce a precise diagnosis — the executable version of the paper's
+// pitch that its technique is "precise (unlike informal arguments) and
+// intuitive (unlike formal arguments)".
+//
+//   $ ./bug_hunt                       # default: skip-inv-ack-wait
+//   $ ./bug_hunt stale-data-from-home
+//   $ ./bug_hunt ignore-invalidation
+//   $ ./bug_hunt forward-stale-value
+//   $ ./bug_hunt no-busy-nack
+#include <cstring>
+#include <iostream>
+
+#include "common/expect.hpp"
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+using namespace lcdc;
+
+int main(int argc, char** argv) {
+  Mutant mutant = Mutant::SkipInvAckWait;
+  if (argc > 1) {
+    const Mutant all[] = {Mutant::SkipInvAckWait, Mutant::StaleDataFromHome,
+                          Mutant::IgnoreInvalidation,
+                          Mutant::ForwardStaleValue, Mutant::NoBusyNack};
+    bool found = false;
+    for (const Mutant m : all) {
+      if (std::strcmp(argv[1], toString(m)) == 0) {
+        mutant = m;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown mutant '" << argv[1] << "'\n";
+      return 2;
+    }
+  }
+
+  std::cout << "Injected bug: " << toString(mutant) << "\n\n";
+
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SystemConfig cfg;
+    cfg.numProcessors = 6;
+    cfg.numDirectories = 2;
+    cfg.numBlocks = 6;
+    cfg.cacheCapacity = 2;
+    cfg.seed = seed;
+    cfg.proto.mutant = mutant;
+
+    workload::WorkloadConfig w;
+    w.numProcessors = cfg.numProcessors;
+    w.numBlocks = cfg.numBlocks;
+    w.wordsPerBlock = cfg.proto.wordsPerBlock;
+    w.opsPerProcessor = 800;
+    w.storePercent = 50;
+    w.evictPercent = 12;
+    w.seed = seed * 31 + 7;
+    const auto programs = workload::hotBlock(w, 85, 3);
+
+    trace::Trace trace;
+    sim::System system(cfg, trace);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      system.setProgram(p, programs[p]);
+    }
+    try {
+      const sim::RunResult result = system.run(20'000'000);
+      if (!result.ok()) {
+        std::cout << "seed " << seed << ": progress failure ("
+                  << toString(result.outcome) << ")\n";
+        return 0;
+      }
+      const auto report =
+          verify::checkAll(trace, verify::VerifyConfig{cfg.numProcessors});
+      if (!report.ok()) {
+        std::cout << "seed " << seed << ": caught after " << result.opsBound
+                  << " operations.  Diagnosis:\n\n";
+        std::size_t shown = 0;
+        for (const auto& v : report.violations) {
+          std::cout << "  [" << v.check << "]\n    " << v.detail << "\n";
+          if (++shown == 5) break;
+        }
+        std::cout << "\n(" << report.violations.size()
+                  << " violations total; each names the operations, "
+                     "transactions and epochs\ninvolved — the precise, "
+                     "localized counterexample the paper promises.)\n";
+        return 0;
+      }
+      std::cout << "seed " << seed << ": not triggered yet\n";
+    } catch (const ProtocolError& e) {
+      std::cout << "seed " << seed
+                << ": protocol invariant violated (Appendix-B style "
+                   "impossibility fired):\n  "
+                << e.what() << '\n';
+      return 0;
+    }
+  }
+  std::cout << "bug never triggered in 50 seeds (unexpected)\n";
+  return 1;
+}

@@ -1,0 +1,62 @@
+// The companion-paper extension: verify a snooping-*bus* MSI protocol with
+// the identical checker suite.  Where the directory protocol's clocks tick
+// per node, a bus gives every node the same global ruler — the bus sequence
+// number — and a node's clock is simply the last bus command it has
+// processed.  Epochs, claims, lemmas and the Main Theorem carry over
+// unchanged.
+#include <iostream>
+
+#include "bus/bus_system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lcdc;
+
+  bus::BusConfig cfg;
+  cfg.numProcessors = 8;
+  cfg.numBlocks = 16;
+  cfg.cacheCapacity = 4;    // evictions: write-backs + silent drops
+  cfg.snoopDelayMax = 24;   // nodes see the bus order at different times
+  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+
+  workload::WorkloadConfig w;
+  w.numProcessors = cfg.numProcessors;
+  w.numBlocks = cfg.numBlocks;
+  w.wordsPerBlock = cfg.wordsPerBlock;
+  w.opsPerProcessor = 3000;
+  w.storePercent = 40;
+  w.evictPercent = 8;
+  w.seed = cfg.seed;
+  const auto programs = workload::uniformRandom(w);
+
+  trace::Trace trace;
+  bus::BusSystem system(cfg, trace);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    system.setProgram(p, programs[p]);
+  }
+  const bus::BusRunResult run = system.run();
+  std::cout << "bus simulation: " << toString(run.outcome) << " — "
+            << run.grants << " bus transactions ("
+            << run.upgradeConversions << " upgrades converted to BusRdX by "
+            << "the arbiter), " << run.opsBound << " LD/ST operations, "
+            << system.silentEvictions() << " silent evictions\n";
+  if (!run.ok()) return 1;
+
+  // The exact same verifier as the directory protocol:
+  const auto report =
+      verify::checkAll(trace, verify::VerifyConfig{cfg.numProcessors});
+  std::cout << "verification (same checkers as the directory protocol): "
+            << report.summary() << '\n';
+  if (!report.ok()) {
+    for (const auto& v : report.violations) {
+      std::cout << "  [" << v.check << "] " << v.detail << '\n';
+    }
+    return 1;
+  }
+  std::cout << "Note: silent eviction needed *no* deadlock machinery here — "
+               "bus invalidations\nare never acknowledged, so the Figure 2 "
+               "cycle cannot form.\n";
+  return 0;
+}

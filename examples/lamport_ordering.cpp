@@ -1,0 +1,96 @@
+// A guided walk through the paper's Section 3.2 example (Tables 2 and 3):
+// how Lamport clocks order a load *before* a store that physically
+// completed later — and why that inversion is exactly what makes the
+// execution sequentially consistent.
+//
+// We drive the network manually so the race happens the same way every
+// time, then print the execution twice: in physical order and in Lamport
+// order.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/program.hpp"
+
+using namespace lcdc;
+
+int main() {
+  using proto::MsgType;
+  using workload::load;
+  using workload::store;
+
+  std::cout <<
+      "Two nodes, two blocks (Section 3.2 of the paper).\n"
+      "  N1 holds block A read-only and block B read-write.\n"
+      "  N2 wants block A read-write and will invalidate N1.\n\n";
+
+  trace::Trace trace;
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 2;
+  sim::System sys(cfg, trace, net::Network::Mode::Manual);
+  const NodeId n1 = 0, n2 = 1;
+  const BlockId A = 0, B = 1;
+
+  sys.setProgram(n1, {{load(A, 0), store(B, 0, 0xB1), load(A, 0)}});
+  sys.setProgram(n2, {{store(A, 0, 0xA2)}});
+
+  auto deliver = [&](MsgType type, NodeId dst, const char* note) {
+    const bool ok = sys.deliverManualFirst([&](const net::Envelope& e) {
+      return e.msg.type == type && e.dst == dst;
+    });
+    std::cout << (ok ? "  -> " : "  !! ") << note << '\n';
+    return ok;
+  };
+
+  std::cout << "Physical schedule:\n";
+  sys.kick(n1);
+  deliver(MsgType::GetS, sys.home(A), "N1's Get-Shared(A) reaches the home");
+  deliver(MsgType::DataShared, n1, "N1 caches A read-only");
+  deliver(MsgType::GetX, sys.home(B), "N1's Get-Exclusive(B) reaches the home");
+  sys.kick(n2);
+  std::cout << "  -> N2 sends Get-Exclusive for A (in flight)\n";
+  deliver(MsgType::DataExclusive, n1,
+          "N1 owns B: binds 'store to B', then binds 'load from A'");
+  deliver(MsgType::GetX, sys.home(A),
+          "home serializes N2's Get-Exclusive: invalidation sweeps towards N1");
+  deliver(MsgType::Inv, n1, "N1 invalidates A and acks N2");
+  deliver(MsgType::InvAck, n2, "N2 collects the ack and binds 'store to A'");
+  while (!sys.network().empty()) sys.deliverManual(0);
+
+  std::cout << "\nThe recorded LD/ST operations, in PHYSICAL (binding) "
+               "order:\n";
+  for (const auto& op : trace.operations()) {
+    std::cout << "  p" << op.proc << ' ' << toString(op.kind) << " block "
+              << (op.block == A ? 'A' : 'B') << " = " << std::hex
+              << op.value << std::dec << "   Lamport ts "
+              << toString(op.ts) << '\n';
+  }
+
+  std::cout << "\n...and re-sorted into LAMPORT order (the hypothetical "
+               "total order of the\nsequential-consistency definition):\n";
+  std::vector<proto::OpRecord> ops(trace.operations().begin(),
+                                   trace.operations().end());
+  std::sort(ops.begin(), ops.end(),
+            [](const proto::OpRecord& a, const proto::OpRecord& b) {
+              return a.ts < b.ts;
+            });
+  for (const auto& op : ops) {
+    std::cout << "  " << toString(op.ts) << "  p" << op.proc << ' '
+              << toString(op.kind) << " block " << (op.block == A ? 'A' : 'B')
+              << " = " << std::hex << op.value << std::dec << '\n';
+  }
+
+  std::cout <<
+      "\nNote the inversion: N1's second load of A binds while N2's store is "
+      "already\nunder way, yet Lamport time places the load (with its "
+      "pre-store value) before\nthe store — a legal sequentially consistent "
+      "ordering.  The checkers agree:\n";
+  const auto report = verify::checkAll(trace, verify::VerifyConfig{2});
+  std::cout << "  " << report.summary() << '\n';
+  return report.ok() ? 0 : 1;
+}

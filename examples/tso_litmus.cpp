@@ -1,0 +1,91 @@
+// Consistency models beyond SC (the paper's Section 5 future work), live:
+// give each processor a FIFO store buffer with load forwarding and run
+// Dekker's litmus test.
+//
+//   p0:  St x = 1 ; Ld y          p1:  St y = 1 ; Ld x
+//
+// Sequential consistency forbids both loads returning 0; TSO (the store
+// buffers delay the stores past the loads) allows it.  The run shows the
+// Lamport-clock framework telling the two models apart: the same trace is
+// *rejected* by the SC checker and *accepted* by the TSO checker.
+#include <cstdlib>
+
+#include "common/expect.hpp"
+#include <iostream>
+#include <map>
+
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/program.hpp"
+
+using namespace lcdc;
+
+namespace {
+
+struct Outcome {
+  Word p0 = 0, p1 = 0;
+  bool scOk = false, tsoOk = false;
+};
+
+Outcome dekker(std::uint32_t storeBufferDepth, std::uint64_t seed) {
+  using workload::load;
+  using workload::store;
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 2;
+  cfg.storeBufferDepth = storeBufferDepth;
+  cfg.seed = seed;
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  sys.setProgram(0, {{store(0, 0, 1), load(1, 0)}});
+  sys.setProgram(1, {{store(1, 0, 1), load(0, 0)}});
+  if (!sys.run().ok()) throw SimError("litmus run failed");
+  Outcome out;
+  for (const auto& op : trace.operations()) {
+    if (op.kind != OpKind::Load) continue;
+    (op.proc == 0 ? out.p0 : out.p1) = op.value;
+  }
+  verify::VerifyConfig sc{2};
+  out.scOk = verify::checkAll(trace, sc).ok();
+  verify::VerifyConfig tso{2};
+  tso.tso = true;
+  out.tsoOk = verify::checkAll(trace, tso).ok();
+  return out;
+}
+
+void sweep(const char* label, std::uint32_t depth, std::uint64_t seeds) {
+  std::map<std::pair<Word, Word>, int> histogram;
+  int scRejects = 0, tsoRejects = 0;
+  for (std::uint64_t s = 1; s <= seeds; ++s) {
+    const Outcome o = dekker(depth, s);
+    histogram[{o.p0, o.p1}] += 1;
+    scRejects += !o.scOk;
+    tsoRejects += !o.tsoOk;
+  }
+  std::cout << label << " (" << seeds << " seeds):\n";
+  for (const auto& [k, n] : histogram) {
+    std::cout << "  p0 reads " << k.first << ", p1 reads " << k.second
+              << "  x" << n
+              << (k.first == 0 && k.second == 0 ? "   <- forbidden under SC"
+                                                : "")
+              << '\n';
+  }
+  std::cout << "  SC checker rejected " << scRejects << " runs; TSO checker "
+            << "rejected " << tsoRejects << ".\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seeds =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60;
+  std::cout << "Dekker's litmus: p0{St x=1; Ld y}  ||  p1{St y=1; Ld x}\n\n";
+  sweep("SC processors (no store buffer)", 0, seeds);
+  sweep("TSO processors (store buffer depth 4)", 4, seeds);
+  std::cout << "The 0/0 outcome appears only with store buffers, and only "
+               "the SC checker\nrejects it — the Lamport total order is a "
+               "TSO witness there, not an SC one.\n";
+  return 0;
+}

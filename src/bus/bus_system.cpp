@@ -1,0 +1,730 @@
+#include "bus/bus_system.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/expect.hpp"
+
+namespace lcdc::bus {
+
+std::string toString(BusCmd c) {
+  switch (c) {
+    case BusCmd::BusRd: return "BusRd";
+    case BusCmd::BusRdX: return "BusRdX";
+    case BusCmd::BusUpgr: return "BusUpgr";
+    case BusCmd::BusWB: return "BusWB";
+  }
+  return "BusCmd(?)";
+}
+
+std::string toString(BusRunResult::Outcome o) {
+  switch (o) {
+    case BusRunResult::Outcome::Quiescent: return "quiescent";
+    case BusRunResult::Outcome::Stuck: return "stuck";
+    case BusRunResult::Outcome::BudgetExhausted: return "budget-exhausted";
+  }
+  return "outcome(?)";
+}
+
+namespace {
+
+/// Map bus commands onto the directory taxonomy so the unchanged verify
+/// module classifies them correctly for Claim 3(b) (BusRd is the only
+/// non-exclusive command).
+TxnKind kindOf(BusCmd c) {
+  switch (c) {
+    case BusCmd::BusRd: return TxnKind::GetS_Idle;
+    case BusCmd::BusRdX: return TxnKind::GetX_Idle;
+    case BusCmd::BusUpgr: return TxnKind::Upg_Shared;
+    case BusCmd::BusWB: return TxnKind::Wb_Exclusive;
+  }
+  return TxnKind::GetS_Idle;
+}
+
+}  // namespace
+
+struct BusSystem::Impl {
+  // -- static structure -------------------------------------------------------
+
+  struct Line {
+    MsiState state = MsiState::Invalid;
+    /// Conceptual sharing state (survives silent eviction, like the
+    /// directory protocol's A-state).
+    AState astate = AState::I;
+    BlockValue data;
+    TransactionId epochTxn = kNoTransaction;
+    SerialIdx epochSerial = 0;
+    GlobalTime epochTs = 0;
+  };
+
+  struct Pending {
+    BusCmd cmd{};
+    BlockId block = 0;
+    bool granted = false;
+    bool aborted = false;       ///< stale BusWB dropped at grant
+    bool ownGrantDone = false;  ///< processed our own command in bus order
+    bool needsData = false;
+    bool dataReceived = false;
+    BlockValue data;
+    BusSeq seq = 0;
+    TransactionId txn = kNoTransaction;
+    SerialIdx serial = 0;
+    bool forEviction = false;  ///< capacity eviction preceding the real step
+  };
+
+  struct Proc {
+    workload::Program program;
+    std::size_t pc = 0;
+    std::unordered_map<BlockId, Line> lines;
+    std::optional<Pending> pending;
+    GlobalTime clock = 0;  ///< bus seq of the last processed command
+    clk::OpStamper stamper{0};
+    Rng rng{0};
+    Tick lastSnoopAt = 0;  ///< keeps snoop arrival FIFO
+    /// Arrived-but-unprocessed snoops, in bus order.  The head blocks while
+    /// it addresses the block of our own granted-but-incomplete transaction
+    /// — the bus edition of the Section 2.4 buffering rule.  The wait chain
+    /// is acyclic (grant sequence numbers strictly decrease along it), so
+    /// this cannot deadlock.
+    std::deque<BusSeq> snoopQueue;
+  };
+
+  struct Txn {
+    BusSeq seq = 0;
+    TransactionId id = kNoTransaction;
+    SerialIdx serial = 0;
+    BusCmd cmd{};
+    NodeId requester = kNoNode;
+    BlockId block = 0;
+    NodeId responder = kNoNode;  ///< kNoNode: memory (or no data needed)
+    bool memoryResponds = false;
+  };
+
+  /// Bus-order ghost state per block (what the arbiter knows at grant
+  /// time); the caches converge to it as they drain their snoop queues.
+  struct TrackEntry {
+    std::vector<NodeId> sharers;
+    NodeId owner = kNoNode;
+    /// Granted write-backs/flushes whose data has not been applied to
+    /// memory yet, in bus order.  Memory applies them strictly in this
+    /// order (data may arrive out of order and waits in arrivedWb), and a
+    /// memory response for sequence m parks until every write-back granted
+    /// before m has been applied — so each parked read observes exactly the
+    /// image of its own serialization point.
+    std::set<BusSeq> pendingWbs;
+    std::map<BusSeq, BlockValue> arrivedWb;
+    SerialIdx serialCount = 0;
+  };
+
+  enum class EventKind : std::uint8_t {
+    Grant,     ///< arbiter issues the next queued request
+    Snoop,     ///< a cache processes bus command `bseq`
+    Response,  ///< data reaches the requester of `bseq`
+    MemWrite,  ///< write-back data reaches memory
+  };
+
+  struct Event {
+    Tick time = 0;
+    std::uint64_t order = 0;
+    EventKind kind{};
+    NodeId node = kNoNode;
+    BusSeq bseq = 0;
+    BlockValue data;
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.time != b.time ? a.time > b.time : a.order > b.order;
+    }
+  };
+
+  // -- state ------------------------------------------------------------------
+
+  BusSystem* owner;
+  BusConfig cfg;
+  proto::EventSink* sink;
+  Rng rng;
+  std::vector<Proc> procs;
+  std::unordered_map<BlockId, BlockValue> memory;
+  std::unordered_map<BlockId, TrackEntry> track;
+  std::unordered_map<BusSeq, Txn> txns;
+  /// Memory responses parked behind an in-flight write-back, per block.
+  std::unordered_map<BlockId, std::vector<BusSeq>> parkedResponses;
+  std::deque<NodeId> arbiterQueue;  ///< requesters awaiting a grant (FIFO)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  Tick now = 0;
+  Tick nextGrantTime = 1;
+  std::uint64_t nextEventOrder = 1;
+  BusSeq nextSeq = 1;
+  TransactionId nextTxn = 1;
+  BusRunResult result;
+
+  Impl(BusSystem* self, const BusConfig& config, proto::EventSink& s)
+      : owner(self), cfg(config), sink(&s), rng(config.seed) {
+    procs.resize(cfg.numProcessors);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      procs[p].stamper = clk::OpStamper(p);
+      procs[p].rng = rng.fork();
+    }
+    for (BlockId b = 0; b < cfg.numBlocks; ++b) {
+      memory.emplace(b, BlockValue(cfg.wordsPerBlock, 0));
+      track.emplace(b, TrackEntry{});
+    }
+  }
+
+  NodeId memNode() const { return cfg.numProcessors; }
+
+  void push(Tick time, EventKind kind, NodeId node, BusSeq bseq,
+            BlockValue data = {}) {
+    events.push(Event{time, nextEventOrder++, kind, node, bseq,
+                      std::move(data)});
+  }
+
+  // -- processor progression ---------------------------------------------------
+
+  bool canBind(const Proc& p, const workload::Step& step) const {
+    if (p.pending.has_value()) return false;
+    const auto it = p.lines.find(step.block);
+    if (it == p.lines.end()) return false;
+    if (step.kind == workload::StepKind::Load) {
+      return it->second.state != MsiState::Invalid;
+    }
+    return it->second.state == MsiState::Modified;
+  }
+
+  void bindEligible(NodeId id) {
+    Proc& p = procs[id];
+    while (p.pc < p.program.steps.size()) {
+      const workload::Step& step = p.program.steps[p.pc];
+      if (step.kind != workload::StepKind::Load &&
+          step.kind != workload::StepKind::Store) {
+        return;  // evictions/prefetches handled by progress()
+      }
+      if (!canBind(p, step)) return;
+      Line& line = p.lines[step.block];
+      proto::OpRecord op;
+      op.proc = id;
+      op.progIdx = p.pc;
+      op.block = step.block;
+      op.word = step.word;
+      op.boundTxn = line.epochTxn;
+      op.boundSerial = line.epochSerial;
+      if (step.kind == workload::StepKind::Store) {
+        op.kind = OpKind::Store;
+        line.data[step.word] = step.storeValue;
+        op.value = step.storeValue;
+      } else {
+        op.kind = OpKind::Load;
+        op.value = line.data[step.word];
+      }
+      op.ts = p.stamper.stamp(line.epochTs);
+      sink->onOperation(op);
+      result.opsBound += 1;
+      ++p.pc;
+    }
+  }
+
+  void requestBus(NodeId id, BusCmd cmd, BlockId block, bool forEviction) {
+    Proc& p = procs[id];
+    LCDC_EXPECT(!p.pending.has_value(), "bus request while one is pending");
+    Pending pend;
+    pend.cmd = cmd;
+    pend.block = block;
+    pend.forEviction = forEviction;
+    p.pending = std::move(pend);
+    arbiterQueue.push_back(id);
+    const Tick grantAt = std::max(now + 1, nextGrantTime);
+    nextGrantTime = grantAt + 1;
+    push(grantAt, EventKind::Grant, kNoNode, 0);
+  }
+
+  std::size_t linesHeld(const Proc& p) const {
+    std::size_t n = 0;
+    for (const auto& [b, line] : p.lines) {
+      n += line.state != MsiState::Invalid;
+    }
+    return n;
+  }
+
+  void maybeCapacityEvict(NodeId id, BlockId incoming) {
+    if (cfg.cacheCapacity == 0) return;
+    Proc& p = procs[id];
+    if (linesHeld(p) < cfg.cacheCapacity) return;
+    // Prefer a silent eviction of a Shared line; else write back a
+    // Modified one (which occupies the pending slot first).
+    std::vector<BlockId> shared, modified;
+    for (const auto& [b, line] : p.lines) {
+      if (b == incoming) continue;
+      if (line.state == MsiState::Shared) shared.push_back(b);
+      if (line.state == MsiState::Modified) modified.push_back(b);
+    }
+    std::sort(shared.begin(), shared.end());
+    std::sort(modified.begin(), modified.end());
+    if (!shared.empty()) {
+      const BlockId victim =
+          shared[p.rng.uniform(0, shared.size() - 1)];
+      p.lines[victim].state = MsiState::Invalid;
+      p.lines[victim].data.clear();
+      owner->silentEvictions_ += 1;
+      return;
+    }
+    if (!modified.empty()) {
+      const BlockId victim =
+          modified[p.rng.uniform(0, modified.size() - 1)];
+      requestBus(id, BusCmd::BusWB, victim, /*forEviction=*/true);
+    }
+  }
+
+  void progress(NodeId id) {
+    Proc& p = procs[id];
+    bindEligible(id);
+    while (p.pc < p.program.steps.size() && !p.pending.has_value()) {
+      const workload::Step& step = p.program.steps[p.pc];
+      if (step.kind == workload::StepKind::PrefetchShared ||
+          step.kind == workload::StepKind::PrefetchExclusive) {
+        // The bus model has a single outstanding-request slot per
+        // processor, so prefetch hints are ignored rather than allowed to
+        // block demand traffic.
+        ++p.pc;
+        bindEligible(id);
+        continue;
+      }
+      if (step.kind == workload::StepKind::Evict) {
+        const auto it = p.lines.find(step.block);
+        if (it == p.lines.end() || it->second.state == MsiState::Invalid) {
+          ++p.pc;
+          bindEligible(id);
+          continue;
+        }
+        if (it->second.state == MsiState::Shared) {
+          // Silent eviction: no bus transaction, no acknowledgment, and —
+          // unlike the directory protocol — no deadlock machinery needed.
+          it->second.state = MsiState::Invalid;
+          it->second.data.clear();
+          owner->silentEvictions_ += 1;
+          ++p.pc;
+          bindEligible(id);
+          continue;
+        }
+        requestBus(id, BusCmd::BusWB, step.block, /*forEviction=*/false);
+        return;
+      }
+      if (canBind(p, step)) {
+        bindEligible(id);
+        continue;
+      }
+      const auto it = p.lines.find(step.block);
+      const MsiState st = it == p.lines.end() ? MsiState::Invalid
+                                              : it->second.state;
+      BusCmd cmd;
+      if (step.kind == workload::StepKind::Load) {
+        LCDC_EXPECT(st == MsiState::Invalid, "load stall with a valid line");
+        cmd = BusCmd::BusRd;
+      } else if (st == MsiState::Shared) {
+        cmd = BusCmd::BusUpgr;
+      } else {
+        LCDC_EXPECT(st == MsiState::Invalid, "store stall with ownership");
+        cmd = BusCmd::BusRdX;
+      }
+      maybeCapacityEvict(id, step.block);
+      if (p.pending.has_value()) return;  // eviction writeback first
+      requestBus(id, cmd, step.block, /*forEviction=*/false);
+      return;
+    }
+  }
+
+  // -- arbitration --------------------------------------------------------------
+
+  void grant() {
+    LCDC_EXPECT(!arbiterQueue.empty(), "grant with empty arbiter queue");
+    const NodeId id = arbiterQueue.front();
+    arbiterQueue.pop_front();
+    Proc& p = procs[id];
+    LCDC_EXPECT(p.pending && !p.pending->granted, "grant without a request");
+    Pending& pend = *p.pending;
+    TrackEntry& te = track[pend.block];
+
+    BusCmd cmd = pend.cmd;
+    if (cmd == BusCmd::BusUpgr &&
+        !std::binary_search(te.sharers.begin(), te.sharers.end(), id)) {
+      // An intervening BusRdX invalidated the upgrader's copy (in bus
+      // order): the arbiter converts the upgrade into a full read-exclusive
+      // — the bus analogue of the directory protocol's transaction 10.
+      cmd = BusCmd::BusRdX;
+      result.upgradeConversions += 1;
+    }
+    if (cmd == BusCmd::BusWB && te.owner != id) {
+      // The ownership was already taken over (in bus order) by a BusRdX
+      // whose snoop will reach this cache first; the write-back is stale
+      // and dies at the arbiter.
+      pend.granted = true;
+      pend.aborted = true;
+      pend.ownGrantDone = true;
+      result.writebackAborts += 1;
+      finishPending(id);
+      return;
+    }
+
+    Txn txn;
+    txn.seq = nextSeq++;
+    txn.id = nextTxn++;
+    txn.serial = ++te.serialCount;
+    txn.cmd = cmd;
+    txn.requester = id;
+    txn.block = pend.block;
+    result.grants += 1;
+
+    pend.granted = true;
+    pend.cmd = cmd;
+    pend.seq = txn.seq;
+    pend.txn = txn.id;
+    pend.serial = txn.serial;
+    pend.needsData = cmd == BusCmd::BusRd || cmd == BusCmd::BusRdX;
+
+    proto::TxnInfo info;
+    info.id = txn.id;
+    info.serial = txn.serial;
+    info.kind = kindOf(cmd);
+    info.block = pend.block;
+    info.requester = id;
+    sink->onSerialize(info);
+
+    // Decide the responder and update the bus-order ghost state.
+    switch (cmd) {
+      case BusCmd::BusRd:
+        if (te.owner != kNoNode) {
+          // The owner supplies the data AND flushes it to memory (memory
+          // becomes the clean copy once the entry is merely shared); until
+          // the flush lands, memory responses for this block park.
+          txn.responder = te.owner;
+          insertSorted(te.sharers, te.owner);
+          te.owner = kNoNode;
+          te.pendingWbs.insert(txn.seq);
+        } else {
+          txn.memoryResponds = true;
+        }
+        insertSorted(te.sharers, id);
+        break;
+      case BusCmd::BusRdX:
+        if (te.owner != kNoNode) {
+          txn.responder = te.owner;
+        } else {
+          txn.memoryResponds = true;
+        }
+        te.sharers.clear();
+        te.owner = id;
+        break;
+      case BusCmd::BusUpgr:
+        te.sharers.clear();
+        te.owner = id;
+        break;
+      case BusCmd::BusWB:
+        te.owner = kNoNode;
+        te.pendingWbs.insert(txn.seq);
+        break;
+    }
+
+    // Memory stamps at grant: the home-like downgrade-by-definition for
+    // data-granting commands, the transaction's upgrade for write-backs.
+    if (cmd == BusCmd::BusWB) {
+      sink->onStamp(memNode(), txn.id, txn.serial, txn.block,
+                    proto::StampRole::Upgrade, txn.seq, AState::I, AState::X);
+    } else {
+      const AState memA = cmd == BusCmd::BusRd ? AState::S : AState::I;
+      sink->onStamp(memNode(), txn.id, txn.serial, txn.block,
+                    proto::StampRole::Downgrade, txn.seq, AState::X, memA);
+    }
+
+    // Memory answers right away when it is the responder — unless an
+    // earlier write-back to the block is still in flight, in which case the
+    // response parks until the data lands.
+    if (txn.memoryResponds) {
+      // Every pending write-back was granted earlier, i.e. has a smaller
+      // sequence number, so any of them blocks this response.
+      if (!te.pendingWbs.empty()) {
+        parkedResponses[pend.block].push_back(txn.seq);
+        result.parkedResponses += 1;
+      } else {
+        push(now + 1 + rng.uniform(0, cfg.snoopDelayMax),
+             EventKind::Response, id, txn.seq, memory[pend.block]);
+      }
+    }
+
+    txns.emplace(txn.seq, txn);
+
+    // Broadcast: every cache snoops the command through its FIFO queue.
+    for (NodeId n = 0; n < cfg.numProcessors; ++n) {
+      Proc& snooper = procs[n];
+      const Tick at = std::max(snooper.lastSnoopAt + 1,
+                               now + 1 + snooper.rng.uniform(
+                                             0, cfg.snoopDelayMax));
+      snooper.lastSnoopAt = at;
+      push(at, EventKind::Snoop, n, txn.seq);
+    }
+  }
+
+  static void insertSorted(std::vector<NodeId>& v, NodeId n) {
+    const auto it = std::lower_bound(v.begin(), v.end(), n);
+    if (it == v.end() || *it != n) v.insert(it, n);
+  }
+
+  // -- snoop processing ----------------------------------------------------------
+
+  bool headBlocked(const Proc& p, BusSeq seq) const {
+    if (!p.pending || !p.pending->granted || p.pending->aborted) return false;
+    const Txn& txn = txns.at(seq);
+    return p.pending->block == txn.block && p.pending->seq < seq;
+  }
+
+  void drainQueue(NodeId id) {
+    Proc& p = procs[id];
+    while (!p.snoopQueue.empty()) {
+      const BusSeq seq = p.snoopQueue.front();
+      if (headBlocked(p, seq)) {
+        result.headOfLineBlocks += 1;
+        return;
+      }
+      p.snoopQueue.pop_front();
+      processSnoop(id, seq);
+    }
+  }
+
+  void processSnoop(NodeId id, BusSeq seq) {
+    Proc& p = procs[id];
+    const Txn& txn = txns.at(seq);
+    LCDC_EXPECT(p.clock < seq, "snoop queue out of order");
+    p.clock = seq;
+
+    if (txn.requester == id) {
+      ownGrant(id, seq);
+      return;
+    }
+
+    Line& line = p.lines[txn.block];
+    switch (txn.cmd) {
+      case BusCmd::BusRd:
+        if (txn.responder == id) {
+          LCDC_EXPECT(line.state == MsiState::Modified,
+                      "BusRd responder is not the owner");
+          sink->onStamp(id, txn.id, txn.serial, txn.block,
+                        proto::StampRole::Downgrade, seq, AState::X,
+                        AState::S);
+          line.astate = AState::S;
+          line.state = MsiState::Shared;
+          // We stay a reader: later loads bind to this shared epoch.
+          line.epochTxn = txn.id;
+          line.epochSerial = txn.serial;
+          line.epochTs = seq;
+          push(now + 1 + p.rng.uniform(0, cfg.snoopDelayMax),
+               EventKind::Response, txn.requester, seq, line.data);
+          // Flush the (possibly dirty) data to memory as well.
+          push(now + 1 + p.rng.uniform(0, cfg.snoopDelayMax),
+               EventKind::MemWrite, memNode(), seq, line.data);
+        }
+        break;
+      case BusCmd::BusRdX:
+      case BusCmd::BusUpgr:
+        if (txn.responder == id) {
+          LCDC_EXPECT(line.state == MsiState::Modified,
+                      "BusRdX responder is not the owner");
+          push(now + 1 + p.rng.uniform(0, cfg.snoopDelayMax),
+               EventKind::Response, txn.requester, seq, line.data);
+        }
+        if (line.astate == AState::S || line.astate == AState::X) {
+          sink->onStamp(id, txn.id, txn.serial, txn.block,
+                        proto::StampRole::Downgrade, seq, line.astate,
+                        AState::I);
+          line.astate = AState::I;
+          line.state = MsiState::Invalid;
+          line.data.clear();
+        }
+        break;
+      case BusCmd::BusWB:
+        break;  // nobody else is affected
+    }
+  }
+
+  void ownGrant(NodeId id, BusSeq seq) {
+    Proc& p = procs[id];
+    const Txn& txn = txns.at(seq);
+    LCDC_EXPECT(p.pending && p.pending->granted && p.pending->seq == seq,
+                "own grant without a matching pending request");
+    Pending& pend = *p.pending;
+    pend.ownGrantDone = true;
+
+    if (txn.cmd == BusCmd::BusWB) {
+      Line& line = p.lines[txn.block];
+      LCDC_EXPECT(line.state == MsiState::Modified,
+                  "granted write-back from a non-owner");
+      sink->onStamp(id, txn.id, txn.serial, txn.block,
+                    proto::StampRole::Downgrade, seq, AState::X, AState::I);
+      line.astate = AState::I;
+      line.state = MsiState::Invalid;
+      // The data travels to memory now, carrying every bound store.
+      push(now + 1 + p.rng.uniform(0, cfg.snoopDelayMax), EventKind::MemWrite,
+           memNode(), seq, std::move(line.data));
+      line.data.clear();
+      finishPending(id);
+      return;
+    }
+    tryCompleteRequest(id);
+  }
+
+  void response(NodeId id, BusSeq seq, BlockValue data) {
+    Proc& p = procs[id];
+    LCDC_EXPECT(p.pending && p.pending->granted && p.pending->seq == seq,
+                "response without a matching pending request");
+    p.pending->dataReceived = true;
+    p.pending->data = std::move(data);
+    tryCompleteRequest(id);
+    drainQueue(id);  // a completion may unblock the snoop queue head
+  }
+
+  /// A BusRd/BusRdX/BusUpgr completes once its own grant has been processed
+  /// (the clock reached the transaction's sequence number) and any data has
+  /// arrived.
+  void tryCompleteRequest(NodeId id) {
+    Proc& p = procs[id];
+    Pending& pend = *p.pending;
+    if (!pend.ownGrantDone) return;
+    if (pend.needsData && !pend.dataReceived) return;
+
+    const Txn& txn = txns.at(pend.seq);
+    Line& line = p.lines[pend.block];
+    const AState newA =
+        txn.cmd == BusCmd::BusRd ? AState::S : AState::X;
+    sink->onStamp(id, pend.txn, pend.serial, pend.block,
+                  proto::StampRole::Upgrade, pend.seq, line.astate, newA);
+    line.astate = newA;
+    line.state = txn.cmd == BusCmd::BusRd ? MsiState::Shared
+                                          : MsiState::Modified;
+    if (pend.needsData) {
+      line.data = std::move(pend.data);
+    } else if (line.data.empty()) {
+      line.data.assign(cfg.wordsPerBlock, 0);
+    }
+    line.epochTxn = pend.txn;
+    line.epochSerial = pend.serial;
+    line.epochTs = pend.seq;
+    sink->onValueReceived(id, pend.txn, pend.block, line.data);
+    finishPending(id);
+  }
+
+  void finishPending(NodeId id) {
+    procs[id].pending.reset();
+    progress(id);
+  }
+
+  /// Un-park memory responses for `block` that no remaining pending
+  /// write-back precedes.  MUST be called after *each* in-order
+  /// application: a response snapshots the memory image, and that image is
+  /// only correct for sequence m while every applied write-back is < m —
+  /// unparking after a batch of applications could hand m an image
+  /// containing a *later* write-back.
+  void unparkMemoryResponses(BlockId block, TrackEntry& te) {
+    const auto parked = parkedResponses.find(block);
+    if (parked == parkedResponses.end()) return;
+    std::vector<BusSeq> still;
+    for (const BusSeq waiting : parked->second) {
+      const bool blocked = !te.pendingWbs.empty() &&
+                           *te.pendingWbs.begin() < waiting;
+      if (blocked) {
+        still.push_back(waiting);
+        continue;
+      }
+      const Txn& w = txns.at(waiting);
+      push(now + 1 + rng.uniform(0, cfg.snoopDelayMax), EventKind::Response,
+           w.requester, waiting, memory[block]);
+    }
+    if (still.empty()) {
+      parkedResponses.erase(parked);
+    } else {
+      parked->second = std::move(still);
+    }
+  }
+
+  void memWrite(BusSeq seq, BlockValue data) {
+    const BlockId block = txns.at(seq).block;
+    TrackEntry& te = track[block];
+    te.arrivedWb.emplace(seq, std::move(data));
+    // Apply strictly in bus order (later data waits in arrivedWb),
+    // un-parking after every single application so each parked read
+    // observes exactly the image of its own serialization point.
+    while (!te.pendingWbs.empty()) {
+      const BusSeq head = *te.pendingWbs.begin();
+      const auto it = te.arrivedWb.find(head);
+      if (it == te.arrivedWb.end()) break;
+      memory[block] = std::move(it->second);
+      sink->onValueReceived(memNode(), txns.at(head).id, block,
+                            memory[block]);
+      te.arrivedWb.erase(it);
+      te.pendingWbs.erase(te.pendingWbs.begin());
+      unparkMemoryResponses(block, te);
+    }
+  }
+
+  // -- the event loop -------------------------------------------------------------
+
+  BusRunResult run(std::uint64_t maxEvents) {
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) progress(p);
+    while (!events.empty() && result.eventsProcessed < maxEvents) {
+      Event ev = events.top();
+      events.pop();
+      now = std::max(now, ev.time);
+      result.eventsProcessed += 1;
+      switch (ev.kind) {
+        case EventKind::Grant: grant(); break;
+        case EventKind::Snoop:
+          procs[ev.node].snoopQueue.push_back(ev.bseq);
+          drainQueue(ev.node);
+          break;
+        case EventKind::Response:
+          response(ev.node, ev.bseq, std::move(ev.data));
+          break;
+        case EventKind::MemWrite: memWrite(ev.bseq, std::move(ev.data)); break;
+      }
+    }
+    result.endTime = now;
+    if (!events.empty()) {
+      result.outcome = BusRunResult::Outcome::BudgetExhausted;
+    } else {
+      const bool done = std::all_of(
+          procs.begin(), procs.end(), [](const Proc& p) {
+            return p.pc >= p.program.steps.size() &&
+                   !p.pending.has_value() && p.snoopQueue.empty();
+          });
+      result.outcome = done ? BusRunResult::Outcome::Quiescent
+                            : BusRunResult::Outcome::Stuck;
+    }
+    return result;
+  }
+};
+
+BusSystem::BusSystem(const BusConfig& config, proto::EventSink& sink)
+    : impl_(std::make_unique<Impl>(this, config, sink)), config_(config) {
+  LCDC_EXPECT(config.numProcessors >= 1, "need at least one processor");
+  LCDC_EXPECT(config.numBlocks >= 1, "need at least one block");
+  LCDC_EXPECT(config.wordsPerBlock >= 1, "blocks need at least one word");
+}
+
+BusSystem::~BusSystem() = default;
+
+void BusSystem::setProgram(NodeId proc, workload::Program program) {
+  LCDC_EXPECT(proc < config_.numProcessors, "no such processor");
+  impl_->procs[proc].program = std::move(program);
+  impl_->procs[proc].pc = 0;
+}
+
+BusRunResult BusSystem::run(std::uint64_t maxEvents) {
+  return impl_->run(maxEvents);
+}
+
+MsiState BusSystem::lineState(NodeId proc, BlockId block) const {
+  const auto& lines = impl_->procs.at(proc).lines;
+  const auto it = lines.find(block);
+  return it == lines.end() ? MsiState::Invalid : it->second.state;
+}
+
+const BlockValue& BusSystem::memoryImage(BlockId block) const {
+  return impl_->memory.at(block);
+}
+
+}  // namespace lcdc::bus

@@ -1,0 +1,63 @@
+// Lamport-clock utilities shared by the simulator and the verifier.
+//
+// Transaction stamping lives inside the protocol controllers (it must ride
+// on the protocol's own messages); this module holds the two pieces that do
+// not: the per-processor *operation* stamping rule of Section 3.2 and the
+// coherence-epoch abstraction of Section 3.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace lcdc::clk {
+
+/// Assigns full (global, local, pid) timestamps to a processor's LD/ST
+/// stream, in program order:
+///
+///   global(OP) = max{ p_i's stamp of the transaction OP is bound to,
+///                     global of the previous op in program order }
+///   local(OP)  = 1 if OP is the first op with this global timestamp,
+///                otherwise previous local + 1.
+class OpStamper {
+ public:
+  explicit OpStamper(NodeId pid) : pid_(pid) {}
+
+  [[nodiscard]] Timestamp stamp(GlobalTime boundTxnTs) {
+    const GlobalTime g = boundTxnTs > lastGlobal_ ? boundTxnTs : lastGlobal_;
+    const LocalTime l = (hasOp_ && g == lastGlobal_) ? lastLocal_ + 1 : 1;
+    lastGlobal_ = g;
+    lastLocal_ = l;
+    hasOp_ = true;
+    return Timestamp{g, l, pid_};
+  }
+
+  [[nodiscard]] GlobalTime lastGlobal() const { return lastGlobal_; }
+
+ private:
+  NodeId pid_;
+  GlobalTime lastGlobal_ = 0;
+  LocalTime lastLocal_ = 0;
+  bool hasOp_ = false;
+};
+
+/// A coherence epoch (Section 3.3): an interval [start, end) of Lamport
+/// time during which `node` holds `state` access to `block`.  `end` is
+/// kOpenEpoch while the epoch has not (yet) been closed by a later
+/// transaction.
+inline constexpr GlobalTime kOpenEpoch = ~GlobalTime{0};
+
+struct Epoch {
+  NodeId node = kNoNode;
+  BlockId block = 0;
+  AState state = AState::I;
+  GlobalTime start = 0;
+  GlobalTime end = kOpenEpoch;
+  /// Transaction that opened the epoch (what ops inside must be bound to).
+  TransactionId txn = kNoTransaction;
+  SerialIdx serial = 0;
+};
+
+}  // namespace lcdc::clk

@@ -1,0 +1,89 @@
+// Configuration records for the protocol core and the simulated system.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace lcdc {
+
+/// Deliberate protocol bugs for fault-injection experiments (bench S3,
+/// mutation tests).  Each mutant is a realistic coherence bug of the subtle
+/// kind the paper argues is "missed by high-level intuitive reasoning"; the
+/// Lamport-clock checkers must catch every one of them.
+enum class Mutant : std::uint8_t {
+  None = 0,
+  /// Requester of Get-Exclusive/Upgrade proceeds as soon as the home's reply
+  /// arrives, without waiting for invalidation acknowledgments (breaks the
+  /// single-writer guarantee; classic premature-write bug).
+  SkipInvAckWait,
+  /// Home answers a Get-Shared from directory state Exclusive with its own
+  /// (stale) memory copy instead of forwarding to the owner (breaks value
+  /// propagation, Lemma 3).
+  StaleDataFromHome,
+  /// A sharer acknowledges an invalidation but "forgets" to invalidate its
+  /// cached copy and keeps reading it (breaks epoch containment, Lemma 2).
+  IgnoreInvalidation,
+  /// The owner answering a forwarded Get-Shared sends the block's value as
+  /// of the start of its exclusive epoch, dropping its own stores
+  /// (breaks Fact 2 / Lemma 3).
+  ForwardStaleValue,
+  /// The home does not NACK requests that arrive in Busy-Any states and
+  /// instead processes them as if the directory were in its pre-busy state
+  /// (corrupts the serialization order).
+  NoBusyNack,
+  /// Disable the Section 2.5 deadlock detection at a requester waiting for
+  /// invalidation acks; with Put-Shared enabled this recreates Figure 2's
+  /// deadlock.
+  NoDeadlockDetection,
+};
+
+[[nodiscard]] const char* toString(Mutant m);
+
+/// Protocol-level switches.  The same config drives the event simulator and
+/// the model checker, so both always exercise the same protocol variant.
+struct ProtoConfig {
+  /// Words per memory block (payload size; values carry store attribution).
+  WordIdx wordsPerBlock = 4;
+  /// Enable the Section 2.5 extension: silent eviction of read-only blocks
+  /// (Put-Shared), acknowledgment of stale invalidations, and the
+  /// requester-side deadlock detection.
+  bool putSharedEnabled = true;
+  /// Fault injection (Mutant::None for the faithful protocol).
+  Mutant mutant = Mutant::None;
+};
+
+/// Full system configuration (Figure 1 topology plus workload plumbing).
+struct SystemConfig {
+  ProtoConfig proto{};
+  /// Number of processing nodes.
+  NodeId numProcessors = 4;
+  /// Number of directory/home nodes; blocks are interleaved across them
+  /// (home(b) = b mod numDirectories).  The directory slice of node d is
+  /// co-located with processing node d when numDirectories == numProcessors.
+  NodeId numDirectories = 4;
+  /// Number of memory blocks.
+  BlockId numBlocks = 64;
+  /// Cache capacity per node, in blocks; exceeding it triggers evictions
+  /// (Writeback for read-write lines, Put-Shared for read-only lines when
+  /// the extension is enabled).  0 means unbounded.
+  std::uint32_t cacheCapacity = 0;
+  /// Network latency bounds (inclusive), in simulated ticks.  With
+  /// minLatency < maxLatency messages routinely overtake one another, which
+  /// is exactly the unordered-delivery environment of Section 2.1.
+  std::uint64_t minLatency = 1;
+  std::uint64_t maxLatency = 40;
+  /// Delay before a NACKed request is retried (plus a random jitter of the
+  /// same magnitude), in ticks.
+  std::uint64_t retryDelay = 8;
+  /// Master seed; all randomness in a run derives from it.
+  std::uint64_t seed = 1;
+  /// TSO extension (the paper's Section 5 future work: "consistency models
+  /// other than sequential consistency").  When > 0, each processor gets a
+  /// FIFO store buffer of this depth: stores retire (bind) lazily, loads
+  /// bypass them and forward from the buffer on a hit — the resulting
+  /// executions satisfy TSO but in general not SC.  0 = plain SC processor.
+  std::uint32_t storeBufferDepth = 0;
+};
+
+}  // namespace lcdc

@@ -1,0 +1,40 @@
+// Runtime checking for protocol invariants.
+//
+// The paper proves several situations "impossible" (Appendix B): e.g. a
+// Writeback arriving at an Idle or Shared directory.  In an executable
+// reproduction these become hard runtime checks: if one fires, either the
+// protocol implementation or the paper's reasoning is wrong, and we want a
+// loud, diagnosable failure rather than silent corruption.  Checks stay on
+// in release builds; they are far off the simulator's critical path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lcdc {
+
+/// Thrown when a protocol invariant (an Appendix-B "impossible" case or an
+/// internal consistency condition) is violated.
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a simulator precondition (configuration, API misuse) fails.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void failExpect(const char* cond, const char* file, int line,
+                             const std::string& msg);
+
+}  // namespace lcdc
+
+/// Always-on invariant check.  `msg` may use stream-free string composition.
+#define LCDC_EXPECT(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::lcdc::failExpect(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,39 @@
+// The paper's Lamport timestamp: a 3-tuple (global, local, processor-id)
+// ordered lexicographically (Section 1).
+//
+//  * global — ticks of the per-node logical clock; delineates coherence
+//    epochs (only transactions advance it).
+//  * local  — orders LD/ST operations that share a global timestamp,
+//    preserving program order within an epoch; allows an unbounded number
+//    of operations between transactions.
+//  * pid    — arbitrary tiebreaker making the order total.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lcdc {
+
+/// Value of a logical (global) clock.
+using GlobalTime = std::uint64_t;
+
+/// Value of the per-processor local (intra-epoch) counter.
+using LocalTime = std::uint64_t;
+
+/// A full Lamport timestamp for a LD/ST operation.  Transactions only carry
+/// the global component (Section 3.2: "Local timestamps are not needed for
+/// transactions").
+struct Timestamp {
+  GlobalTime global = 0;
+  LocalTime local = 0;
+  NodeId pid = kNoNode;
+
+  friend constexpr auto operator<=>(const Timestamp&, const Timestamp&) = default;
+};
+
+[[nodiscard]] std::string toString(const Timestamp& ts);
+
+}  // namespace lcdc

@@ -1,0 +1,129 @@
+// Core vocabulary types shared by every module of the reproduction.
+//
+// The paper's system (Figure 1) is a set of processing nodes and directory
+// nodes exchanging messages over an unordered interconnect.  We give every
+// participant a NodeId; blocks of memory are BlockId; the coherence
+// transactions serialized at a block's directory get a TransactionId plus a
+// per-block serialization index (the order "seen at the Home", Section 3.1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lcdc {
+
+/// Identity of a node (processing node or directory node).  Directory
+/// entries live at a block's *home* node; in the default configuration each
+/// processing node is co-located with a directory slice (the paper notes the
+/// system "subsumes the case where each directory node is co-located with a
+/// processing node").
+using NodeId = std::uint32_t;
+
+/// Identity of a memory block (cache-line granularity).
+using BlockId = std::uint32_t;
+
+/// Word index within a block.
+using WordIdx = std::uint32_t;
+
+/// Value stored in one word of a block.
+using Word = std::uint64_t;
+
+/// Globally unique id of a (non-NACKed) coherence transaction, assigned at
+/// the moment the home serializes the request.  NACKed requests are *not*
+/// transactions: a retry "is equivalent to a new network transaction"
+/// (Section 2.4).
+using TransactionId = std::uint64_t;
+
+/// Position of a transaction in its block's serialization order at the home
+/// directory (Section 3.1: "Transactions on a given block are serialized by
+/// the block's directory").  1-based; 0 means "no transaction yet".
+using SerialIdx = std::uint64_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr TransactionId kNoTransaction =
+    std::numeric_limits<TransactionId>::max();
+
+/// The four coherence requests of Table 1.
+enum class ReqType : std::uint8_t {
+  GetShared,     ///< invalid -> read-only
+  GetExclusive,  ///< invalid -> read-write
+  Upgrade,       ///< read-only -> read-write
+  Writeback,     ///< read-write -> invalid
+};
+
+/// Cache permission for a block at a processing node (Section 2.1: "Blocks
+/// may be present in a processor's cache in one of three states").
+enum class CacheState : std::uint8_t { Invalid, ReadOnly, ReadWrite };
+
+/// The conceptual Address-state of Section 3.1.  It tracks the *home's view*
+/// of a node's permission and, unlike the cache state, is not changed by
+/// local actions such as Put-Shared.
+enum class AState : std::uint8_t { I, S, X };
+
+/// Directory entry states (Section 2.2).
+enum class DirState : std::uint8_t {
+  Idle,
+  Shared,
+  Exclusive,
+  BusyShared,
+  BusyExclusive,
+  BusyIdle,
+};
+
+/// The 14 distinct transactions of Section 2.3, numbered as in the paper.
+/// NACKed requests are tracked separately (they are not transactions).
+enum class TxnKind : std::uint8_t {
+  GetS_Idle = 1,         ///< 1.  Get-Shared, directory Idle
+  GetS_Shared = 2,       ///< 2.  Get-Shared, directory Shared
+  GetS_Exclusive = 3,    ///< 3.  Get-Shared, directory Exclusive (forward)
+  GetX_Idle = 5,         ///< 5.  Get-Exclusive, directory Idle
+  GetX_Shared = 6,       ///< 6.  Get-Exclusive, directory Shared (invals)
+  GetX_Exclusive = 7,    ///< 7.  Get-Exclusive, directory Exclusive (fwd)
+  Upg_Shared = 9,        ///< 9.  Upgrade, directory Shared
+  Wb_Exclusive = 12,     ///< 12. Writeback, directory Exclusive
+  Wb_BusyShared = 13,    ///< 13. Writeback racing a forwarded Get-Shared
+  Wb_BusyExclusive = 14, ///< 14a. Writeback racing a forwarded Get-Exclusive
+  Wb_BusyExclusiveSelf = 15, ///< 14b. Writeback beating the owner's update
+};
+
+/// NACK cases (transactions 4, 8, 10, 11 in the paper's numbering).
+enum class NackKind : std::uint8_t {
+  GetS_Busy = 4,   ///< 4.  Get-Shared while directory Busy-Any
+  GetX_Busy = 8,   ///< 8.  Get-Exclusive while directory Busy-Any
+  Upg_Exclusive = 10, ///< 10. Upgrade lost the race to another writer
+  Upg_Busy = 11,   ///< 11. Upgrade while directory Busy-Any
+};
+
+/// Memory operations (Section 1: "memory operations (loads (LDs) and stores
+/// (STs))").
+enum class OpKind : std::uint8_t { Load, Store };
+
+/// A block's data payload: a fixed number of words chosen by the system
+/// configuration.  Kept as a plain vector for value semantics; the protocol
+/// core moves these rather than copying where possible.
+using BlockValue = std::vector<Word>;
+
+[[nodiscard]] std::string toString(ReqType t);
+[[nodiscard]] std::string toString(CacheState s);
+[[nodiscard]] std::string toString(AState s);
+[[nodiscard]] std::string toString(DirState s);
+[[nodiscard]] std::string toString(TxnKind k);
+[[nodiscard]] std::string toString(NackKind k);
+[[nodiscard]] std::string toString(OpKind k);
+
+/// True if the A-state change oldS -> newS is an upgrade in the paper's
+/// sense (I->S, I->X, or S->X).  Section 3.1: "Each transaction implies an
+/// upgrade of A-state at exactly one node."
+[[nodiscard]] constexpr bool isAStateUpgrade(AState oldS, AState newS) {
+  return static_cast<int>(newS) > static_cast<int>(oldS);
+}
+
+/// True if the change is a downgrade (X->S, X->I, or S->I).
+[[nodiscard]] constexpr bool isAStateDowngrade(AState oldS, AState newS) {
+  return static_cast<int>(newS) < static_cast<int>(oldS);
+}
+
+}  // namespace lcdc

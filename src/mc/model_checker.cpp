@@ -1,0 +1,357 @@
+#include "mc/model_checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "proto/cache.hpp"
+#include "proto/directory.hpp"
+
+namespace lcdc::mc {
+
+namespace {
+
+/// Processors never see callbacks in the model checker: there is no
+/// program, only nondeterministic request intents.
+class NullClient final : public proto::CacheClient {
+ public:
+  void onComplete(BlockId, ReqType) override {}
+  void onNacked(BlockId, ReqType, NackKind) override {}
+  void onLineUnblocked(BlockId) override {}
+};
+
+NullClient& nullClient() {
+  static NullClient c;
+  return c;
+}
+
+/// One in-flight message with its destination (the network "bag").
+struct Flight {
+  NodeId dst = kNoNode;
+  proto::Message msg;
+};
+
+/// A full world state.  Controllers are plain value types, so copying the
+/// world is a deep copy of the protocol state.
+struct World {
+  std::vector<proto::CacheController> caches;
+  std::vector<proto::DirectoryController> dirs;  // one in this checker
+  std::vector<Flight> flight;
+};
+
+// -- canonical serialization -------------------------------------------------
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const McConfig& cfg) : cfg_(cfg) {}
+
+  std::string key(const World& w) {
+    txnMap_.clear();
+    out_.str(std::string());
+    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+      const proto::DirEntry& e = w.dirs[0].entry(b);
+      out_ << 'D' << static_cast<int>(e.core.state) << ','
+           << e.core.busyRequester << ',' << static_cast<int>(e.core.busyReq)
+           << ",[";
+      for (const NodeId n : e.core.cached) out_ << n << ' ';
+      out_ << "];";
+    }
+    for (const auto& cache : w.caches) {
+      for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+        emitLine(cache.findLine(b));
+      }
+    }
+    // Flight bag: order-independent — sort by a per-message canonical
+    // string (original txn id as a deterministic tiebreaker).
+    std::vector<std::string> msgs;
+    msgs.reserve(w.flight.size());
+    for (const Flight& f : w.flight) msgs.push_back(preKey(f));
+    std::sort(msgs.begin(), msgs.end());
+    for (const std::string& m : msgs) out_ << 'F' << remapInString(m) << ';';
+    return out_.str();
+  }
+
+ private:
+  /// Canonical message text with txn ids marked for later remapping.
+  std::string preKey(const Flight& f) {
+    std::ostringstream os;
+    os << f.dst << ',' << static_cast<int>(f.msg.type) << ',' << f.msg.block
+       << ',' << f.msg.src << ',' << f.msg.requester << ','
+       << static_cast<int>(f.msg.nackKind) << ','
+       << static_cast<int>(f.msg.nackedReq) << ','
+       << f.msg.ignoreBufferedInv << ",[";
+    std::vector<NodeId> targets = f.msg.invTargets;
+    std::sort(targets.begin(), targets.end());
+    for (const NodeId n : targets) os << n << ' ';
+    os << "],t<" << f.msg.txn << ">,c<" << f.msg.closesTxn << '>';
+    return os.str();
+  }
+
+  /// Replace t<id>/c<id> markers with canonical small integers (assigned in
+  /// encounter order across the whole key).
+  std::string remapInString(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '<') {
+        const std::size_t end = s.find('>', i);
+        const TransactionId id =
+            std::stoull(s.substr(i + 1, end - i - 1));
+        out += std::to_string(remap(id));
+        i = end;
+      } else {
+        out += s[i];
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t remap(TransactionId id) {
+    if (id == kNoTransaction) return ~std::uint64_t{0};
+    const auto [it, inserted] = txnMap_.try_emplace(id, txnMap_.size());
+    return it->second;
+  }
+
+  void emitLine(const proto::Line* line) {
+    if (line == nullptr) {
+      out_ << "L-;";
+      return;
+    }
+    out_ << 'L' << static_cast<int>(line->cstate)
+         << static_cast<int>(line->astate) << ",i" << remap(line->ignoreFwdTxn)
+         << ",d" << remap(line->dropInvTxn) << ',';
+    if (line->mshr) {
+      const proto::Mshr& m = *line->mshr;
+      out_ << 'M' << static_cast<int>(m.req) << m.replySeen << m.invListKnown
+           << ",[";
+      std::vector<NodeId> acks = m.acksPending;
+      std::sort(acks.begin(), acks.end());
+      for (const NodeId n : acks) out_ << n << ' ';
+      out_ << "],[";
+      std::vector<NodeId> early = m.earlyAcks;
+      std::sort(early.begin(), early.end());
+      for (const NodeId n : early) out_ << n << ' ';
+      out_ << "],p";
+      if (m.pendingFwd) {
+        out_ << static_cast<int>(m.pendingFwd->type) << '/'
+             << m.pendingFwd->requester;
+      } else {
+        out_ << '-';
+      }
+      out_ << ",b[";
+      for (const proto::Message& bm : m.buffered) {
+        out_ << static_cast<int>(bm.type) << '/' << bm.requester << '/'
+             << remap(bm.txn) << ' ';
+      }
+      out_ << ']';
+    } else {
+      out_ << "M-";
+    }
+    out_ << ';';
+  }
+
+  const McConfig& cfg_;
+  std::map<TransactionId, std::uint64_t> txnMap_;
+  std::ostringstream out_;
+};
+
+// -- the explorer -------------------------------------------------------------
+
+class Explorer {
+ public:
+  explicit Explorer(const McConfig& cfg) : cfg_(cfg), canon_(cfg) {}
+
+  McResult run() {
+    World init = makeInitial();
+    std::deque<World> frontier;
+    std::unordered_set<std::string> visited;
+    visited.insert(canon_.key(init));
+    frontier.push_back(std::move(init));
+
+    while (!frontier.empty()) {
+      result_.frontierPeak =
+          std::max<std::uint64_t>(result_.frontierPeak, frontier.size());
+      World w = std::move(frontier.front());
+      frontier.pop_front();
+      result_.statesExplored += 1;
+      if (result_.statesExplored >= cfg_.maxStates) {
+        result_.hitStateLimit = true;
+        break;
+      }
+
+      checkState(w);
+      if (!result_.violations.empty() &&
+          result_.violations.size() > 8) {
+        break;  // enough evidence
+      }
+
+      std::vector<World> succ = successors(w);
+      for (World& s : succ) {
+        result_.transitions += 1;
+        std::string key = canon_.key(s);
+        if (visited.insert(std::move(key)).second) {
+          frontier.push_back(std::move(s));
+        }
+      }
+    }
+    return result_;
+  }
+
+ private:
+  World makeInitial() {
+    World w;
+    w.dirs.emplace_back(cfg_.numProcessors, cfg_.proto, proto::nullSink(),
+                        txns_);
+    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+      w.dirs[0].addBlock(b, BlockValue(cfg_.proto.wordsPerBlock, 0));
+    }
+    for (NodeId p = 0; p < cfg_.numProcessors; ++p) {
+      w.caches.emplace_back(p, cfg_.proto, proto::nullSink(), nullClient());
+    }
+    return w;
+  }
+
+  void checkState(const World& w) {
+    // Single-writer / multiple-reader: the invariant behind Lemma 1.
+    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+      NodeId writer = kNoNode;
+      std::uint32_t readers = 0;
+      for (const auto& cache : w.caches) {
+        const proto::Line* line = cache.findLine(b);
+        if (line == nullptr) continue;
+        if (line->cstate == CacheState::ReadWrite) {
+          if (writer != kNoNode) {
+            std::ostringstream os;
+            os << "SWMR violated on block " << b << ": nodes " << writer
+               << " and " << cache.self() << " both read-write";
+            result_.violations.push_back(os.str());
+          }
+          writer = cache.self();
+        } else if (line->cstate == CacheState::ReadOnly) {
+          readers += 1;
+        }
+      }
+      if (writer != kNoNode && readers > 0) {
+        std::ostringstream os;
+        os << "SWMR violated on block " << b << ": node " << writer
+           << " is read-write while " << readers << " reader(s) persist";
+        result_.violations.push_back(os.str());
+      }
+    }
+    // Definite deadlock: requests outstanding but nothing in flight and no
+    // local action can produce the awaited reply.
+    if (w.flight.empty()) {
+      for (const auto& cache : w.caches) {
+        if (!cache.quiescent()) {
+          bool waiting = false;
+          for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+            const proto::Line* line = cache.findLine(b);
+            if (line != nullptr && line->mshr.has_value()) waiting = true;
+          }
+          if (waiting) result_.deadlockFound = true;
+        }
+      }
+    }
+  }
+
+  std::vector<World> successors(const World& w) {
+    std::vector<World> out;
+    // (a) Deliver any in-flight message (the unordered network).
+    for (std::size_t i = 0; i < w.flight.size(); ++i) {
+      World s = w;
+      rebind(s);
+      const Flight f = s.flight[i];
+      s.flight.erase(s.flight.begin() + static_cast<std::ptrdiff_t>(i));
+      if (deliver(s, f)) out.push_back(std::move(s));
+    }
+    // (b) Any processor issues any legal request / local action.
+    for (NodeId p = 0; p < cfg_.numProcessors; ++p) {
+      for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+        const proto::CacheController& cache = w.caches[p];
+        if (cache.requestBlocked(b)) continue;
+        const CacheState cs = cache.state(b);
+        if (cs == CacheState::Invalid) {
+          out.push_back(issue(w, p, b, ReqType::GetShared));
+          out.push_back(issue(w, p, b, ReqType::GetExclusive));
+        } else if (cs == CacheState::ReadOnly) {
+          out.push_back(issue(w, p, b, ReqType::Upgrade));
+          if (cfg_.allowEvictions && cfg_.proto.putSharedEnabled) {
+            World s = w;
+            rebind(s);
+            s.caches[p].putShared(b);
+            out.push_back(std::move(s));
+          }
+        } else if (cfg_.allowEvictions) {
+          World s = w;
+          rebind(s);
+          proto::Outbox ob;
+          s.caches[p].writeback(b, cfg_.numProcessors, ob);
+          absorb(s, p, ob);
+          out.push_back(std::move(s));
+        }
+      }
+    }
+    return out;
+  }
+
+  World issue(const World& w, NodeId p, BlockId b, ReqType req) {
+    World s = w;
+    rebind(s);
+    proto::Outbox ob;
+    s.caches[p].issueRequest(b, req, cfg_.numProcessors, ob);
+    absorb(s, p, ob);
+    return s;
+  }
+
+  /// Deliver one message; false if it raised a protocol violation (the
+  /// state is then recorded but not expanded).
+  bool deliver(World& s, const Flight& f) {
+    proto::Outbox ob;
+    try {
+      if (f.dst >= cfg_.numProcessors) {
+        s.dirs[0].handle(f.msg, ob);
+        absorb(s, f.dst, ob);
+      } else {
+        s.caches[f.dst].handle(f.msg, ob);
+        absorb(s, f.dst, ob);
+      }
+    } catch (const ProtocolError& e) {
+      result_.violations.push_back(std::string("protocol invariant: ") +
+                                   e.what());
+      return false;
+    }
+    return true;
+  }
+
+  void absorb(World& s, NodeId src, proto::Outbox& ob) {
+    for (auto& entry : ob.msgs) {
+      entry.msg.src = src;
+      s.flight.push_back(Flight{entry.dst, std::move(entry.msg)});
+    }
+  }
+
+  /// After copying a world, re-point controller callbacks at the shared
+  /// sink/client singletons (they are stateless, so copies are fine; this
+  /// exists for clarity and future-proofing).
+  void rebind(World&) {}
+
+  McConfig cfg_;
+  Canonicalizer canon_;
+  proto::TxnCounter txns_;
+  McResult result_;
+};
+
+}  // namespace
+
+McResult explore(const McConfig& cfg) {
+  LCDC_EXPECT(cfg.numProcessors >= 1, "need at least one processor");
+  LCDC_EXPECT(cfg.numBlocks >= 1, "need at least one block");
+  Explorer explorer(cfg);
+  return explorer.run();
+}
+
+}  // namespace lcdc::mc

@@ -1,0 +1,89 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace lcdc::net {
+
+NetStats::NetStats() : sentByType(16, 0) {}
+
+Network::Network(Mode mode, Rng rng, Tick minLatency, Tick maxLatency)
+    : mode_(mode), rng_(rng), minLatency_(minLatency),
+      maxLatency_(maxLatency) {
+  LCDC_EXPECT(minLatency_ <= maxLatency_, "latency bounds inverted");
+  LCDC_EXPECT(minLatency_ >= 1, "zero latency would allow same-tick loops");
+}
+
+MsgSeq Network::send(NodeId src, NodeId dst, Tick now, proto::Message msg) {
+  msg.src = src;
+  Envelope env;
+  env.seq = nextSeq_++;
+  env.dst = dst;
+  env.sentAt = now;
+  env.msg = std::move(msg);
+  stats_.sent += 1;
+  const auto typeIdx = static_cast<std::size_t>(env.msg.type);
+  if (typeIdx < stats_.sentByType.size()) stats_.sentByType[typeIdx] += 1;
+
+  switch (mode_) {
+    case Mode::RandomLatency:
+      env.deliverAt = now + rng_.uniform(minLatency_, maxLatency_);
+      timed_.push(std::move(env));
+      break;
+    case Mode::Fifo:
+      env.deliverAt = now + minLatency_;
+      timed_.push(std::move(env));
+      break;
+    case Mode::Manual:
+      env.deliverAt = now;
+      manual_.push_back(std::move(env));
+      break;
+  }
+  return nextSeq_ - 1;
+}
+
+std::size_t Network::inFlight() const {
+  return mode_ == Mode::Manual ? manual_.size() : timed_.size();
+}
+
+Tick Network::nextDeliveryTime() const {
+  LCDC_EXPECT(mode_ != Mode::Manual, "nextDeliveryTime in Manual mode");
+  return timed_.empty() ? kNever : timed_.top().deliverAt;
+}
+
+Envelope Network::popNext() {
+  LCDC_EXPECT(mode_ != Mode::Manual, "popNext in Manual mode");
+  LCDC_EXPECT(!timed_.empty(), "popNext on empty network");
+  Envelope env = timed_.top();
+  timed_.pop();
+  stats_.delivered += 1;
+  return env;
+}
+
+const std::deque<Envelope>& Network::pending() const {
+  LCDC_EXPECT(mode_ == Mode::Manual, "pending() outside Manual mode");
+  return manual_;
+}
+
+Envelope Network::deliverIndex(std::size_t i) {
+  LCDC_EXPECT(mode_ == Mode::Manual, "deliverIndex outside Manual mode");
+  LCDC_EXPECT(i < manual_.size(), "deliverIndex out of range");
+  Envelope env = std::move(manual_[i]);
+  manual_.erase(manual_.begin() + static_cast<std::ptrdiff_t>(i));
+  stats_.delivered += 1;
+  return env;
+}
+
+Envelope Network::deliverSeq(MsgSeq seq) {
+  LCDC_EXPECT(mode_ == Mode::Manual, "deliverSeq outside Manual mode");
+  const auto it = std::find_if(manual_.begin(), manual_.end(),
+                               [seq](const Envelope& e) { return e.seq == seq; });
+  LCDC_EXPECT(it != manual_.end(), "deliverSeq: unknown sequence number");
+  Envelope env = std::move(*it);
+  manual_.erase(it);
+  stats_.delivered += 1;
+  return env;
+}
+
+}  // namespace lcdc::net

@@ -1,0 +1,117 @@
+// The interconnection network of Figure 1.
+//
+// Section 2.1 fixes exactly two properties: delivery is *reliable and
+// eventual*, and there is *no ordering guarantee whatsoever* between
+// messages.  We model this as a bag of in-flight envelopes:
+//
+//  * RandomLatency — every message independently draws a delivery latency
+//    in [minLatency, maxLatency]; overlapping messages routinely overtake
+//    one another, which is what exposes the paper's race conditions
+//    (transactions 13/14, Figure 2).
+//  * Fifo          — constant latency; a degenerate ordered network used to
+//    show the protocol also works when races never fire.
+//  * Manual        — tests and scripted scenarios pick the exact delivery
+//    order, to force a specific race deterministically.
+//
+// Messages are never dropped, duplicated or corrupted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+
+namespace lcdc::net {
+
+/// Simulated time, in abstract ticks.
+using Tick = std::uint64_t;
+
+/// Monotone per-network sequence number; breaks delivery-time ties so runs
+/// are fully deterministic.
+using MsgSeq = std::uint64_t;
+
+inline constexpr Tick kNever = ~Tick{0};
+
+/// A message in flight.
+struct Envelope {
+  MsgSeq seq = 0;
+  NodeId dst = kNoNode;
+  Tick sentAt = 0;
+  Tick deliverAt = 0;  ///< unused in Manual mode
+  proto::Message msg;
+};
+
+/// Per-message-type traffic counters.
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::vector<std::uint64_t> sentByType;  ///< indexed by MsgType
+
+  NetStats();
+};
+
+class Network {
+ public:
+  enum class Mode { RandomLatency, Fifo, Manual };
+
+  Network(Mode mode, Rng rng, Tick minLatency, Tick maxLatency);
+
+  /// Inject a message.  `src` is recorded into the message envelope.
+  MsgSeq send(NodeId src, NodeId dst, Tick now, proto::Message msg);
+
+  [[nodiscard]] bool empty() const { return inFlight() == 0; }
+  [[nodiscard]] std::size_t inFlight() const;
+
+  /// Timed modes: the delivery time of the next due envelope (kNever when
+  /// the network is empty).
+  [[nodiscard]] Tick nextDeliveryTime() const;
+
+  /// Timed modes: remove and return the next due envelope.
+  [[nodiscard]] Envelope popNext();
+
+  /// Manual mode: inspect the in-flight bag (in send order).
+  [[nodiscard]] const std::deque<Envelope>& pending() const;
+
+  /// Manual mode: remove and return the i-th pending envelope.
+  [[nodiscard]] Envelope deliverIndex(std::size_t i);
+
+  /// Manual mode: remove and return the envelope with sequence `seq`.
+  [[nodiscard]] Envelope deliverSeq(MsgSeq seq);
+
+  /// Manual mode convenience: deliver the first pending message matching a
+  /// predicate; returns nullopt when none matches.
+  template <typename Pred>
+  [[nodiscard]] std::optional<Envelope> deliverFirst(Pred&& pred) {
+    for (std::size_t i = 0; i < manual_.size(); ++i) {
+      if (pred(manual_[i])) return deliverIndex(i);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+ private:
+  struct Later {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      if (a.deliverAt != b.deliverAt) return a.deliverAt > b.deliverAt;
+      return a.seq > b.seq;
+    }
+  };
+
+  Mode mode_;
+  Rng rng_;
+  Tick minLatency_;
+  Tick maxLatency_;
+  MsgSeq nextSeq_ = 1;
+  std::priority_queue<Envelope, std::vector<Envelope>, Later> timed_;
+  std::deque<Envelope> manual_;
+  NetStats stats_;
+};
+
+}  // namespace lcdc::net

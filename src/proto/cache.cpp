@@ -1,0 +1,715 @@
+#include "proto/cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace lcdc::proto {
+
+namespace {
+
+std::string describe(const Message& m, NodeId self) {
+  std::ostringstream os;
+  os << "cache@" << self << " got " << toString(m.type) << " for block "
+     << m.block << " from node " << m.src;
+  return os.str();
+}
+
+GlobalTime maxStamp(const std::vector<TsStamp>& stamps) {
+  GlobalTime best = 0;
+  for (const auto& s : stamps) best = std::max(best, s.ts);
+  return best;
+}
+
+bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+/// Does the message carry a Lamport stamp assigned by `node`?  A request
+/// carries its issuer's "pre-close" stamp exactly when the issuer silently
+/// evicted the block and may therefore be buffering (or about to buffer)
+/// the invalidation we are waiting on — the precondition for treating a
+/// forwarded request as an implicit acknowledgment.  Without it, the
+/// requester has already acknowledged normally (the ack is in flight), and
+/// the forward must simply be buffered.
+bool hasStampFrom(const std::vector<TsStamp>& stamps, NodeId node) {
+  return std::any_of(stamps.begin(), stamps.end(),
+                     [node](const TsStamp& s) { return s.node == node; });
+}
+
+}  // namespace
+
+CacheController::CacheController(NodeId self, const ProtoConfig& config,
+                                 EventSink& sink, CacheClient& client)
+    : self_(self), config_(config), sink_(&sink), client_(&client) {}
+
+Line& CacheController::lineMut(BlockId block) { return lines_[block]; }
+
+CacheState CacheController::state(BlockId block) const {
+  const Line* line = findLine(block);
+  return line ? line->cstate : CacheState::Invalid;
+}
+
+const Line* CacheController::findLine(BlockId block) const {
+  const auto it = lines_.find(block);
+  return it == lines_.end() ? nullptr : &it->second;
+}
+
+std::size_t CacheController::linesHeld() const {
+  std::size_t n = 0;
+  for (const auto& [b, line] : lines_) {
+    if (line.cstate != CacheState::Invalid) ++n;
+  }
+  return n;
+}
+
+bool CacheController::quiescent() const {
+  return std::all_of(lines_.begin(), lines_.end(), [](const auto& kv) {
+    const Line& line = kv.second;
+    return !line.mshr.has_value() && line.ignoreFwdTxn == kNoTransaction &&
+           line.dropInvTxn == kNoTransaction;
+  });
+}
+
+std::vector<BlockId> CacheController::blocksInState(CacheState s) const {
+  std::vector<BlockId> out;
+  for (const auto& [b, line] : lines_) {
+    if (line.cstate == s && !line.mshr && line.ignoreFwdTxn == kNoTransaction &&
+        line.dropInvTxn == kNoTransaction) {
+      out.push_back(b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lamport stamping (Section 3.2)
+// ---------------------------------------------------------------------------
+GlobalTime CacheController::stampDowngrade(Line& line, BlockId block,
+                                           TransactionId txn, SerialIdx serial,
+                                           AState newA) {
+  const AState oldA = line.astate;
+  clock_ += 1;
+  line.astate = newA;
+  sink_->onStamp(self_, txn, serial, block, StampRole::Downgrade, clock_, oldA,
+                 newA);
+  return clock_;
+}
+
+GlobalTime CacheController::stampUpgrade(Line& line, BlockId block,
+                                         TransactionId txn, SerialIdx serial,
+                                         const std::vector<TsStamp>& stamps,
+                                         AState newA) {
+  const AState oldA = line.astate;
+  clock_ = 1 + std::max(clock_, maxStamp(stamps));
+  line.astate = newA;
+  sink_->onStamp(self_, txn, serial, block, StampRole::Upgrade, clock_, oldA,
+                 newA);
+  return clock_;
+}
+
+// ---------------------------------------------------------------------------
+// Processor-facing API
+// ---------------------------------------------------------------------------
+bool CacheController::canBind(BlockId block, OpKind kind) const {
+  const Line* line = findLine(block);
+  if (line == nullptr || line->mshr.has_value()) return false;
+  if (kind == OpKind::Load) return line->cstate != CacheState::Invalid;
+  return line->cstate == CacheState::ReadWrite;
+}
+
+BindResult CacheController::bind(BlockId block, OpKind kind, WordIdx word,
+                                 Word storeValue) {
+  LCDC_EXPECT(canBind(block, kind), "bind() without permission");
+  Line& line = lineMut(block);
+  LCDC_EXPECT(word < line.data.size(), "bind() word out of range");
+  BindResult r;
+  if (kind == OpKind::Store) {
+    line.data[word] = storeValue;
+    r.value = storeValue;
+  } else {
+    r.value = line.data[word];
+  }
+  r.boundTxn = line.epochTxn;
+  r.boundSerial = line.epochSerial;
+  r.txnTs = line.epochTs;
+  return r;
+}
+
+bool CacheController::requestBlocked(BlockId block) const {
+  const Line* line = findLine(block);
+  if (line == nullptr) return false;
+  return line->mshr.has_value() || line->ignoreFwdTxn != kNoTransaction ||
+         line->dropInvTxn != kNoTransaction;
+}
+
+void CacheController::issueRequest(BlockId block, ReqType req, NodeId home,
+                                   Outbox& out) {
+  LCDC_EXPECT(!requestBlocked(block), "issueRequest on a blocked line");
+  Line& line = lineMut(block);
+
+  Message m;
+  m.block = block;
+  m.requester = self_;
+  Mshr ms;
+  ms.req = req;
+
+  switch (req) {
+    case ReqType::GetShared:
+    case ReqType::GetExclusive:
+      LCDC_EXPECT(line.cstate == CacheState::Invalid,
+                  "GetS/GetX from a non-invalid line");
+      m.type = req == ReqType::GetShared ? MsgType::GetS : MsgType::GetX;
+      if (line.astate == AState::S) {
+        // Re-request after Put-Shared: pre-close the stale shared epoch so
+        // the stamp can serve as our downgrade stamp on the deadlock path
+        // (Section 2.5; DESIGN.md "Timestamp assignment points").
+        clock_ += 1;
+        ms.earlyStamp = clock_;
+        m.stamps.push_back(TsStamp{self_, clock_});
+      }
+      break;
+    case ReqType::Upgrade:
+      LCDC_EXPECT(line.cstate == CacheState::ReadOnly,
+                  "Upgrade from a non-read-only line");
+      m.type = MsgType::Upgrade;
+      break;
+    case ReqType::Writeback:
+      LCDC_EXPECT(false, "use writeback() for evictions");
+  }
+
+  stats_.requestsIssued += 1;
+  line.mshr = std::move(ms);
+  out.send(home, std::move(m));
+}
+
+void CacheController::writeback(BlockId block, NodeId home, Outbox& out) {
+  LCDC_EXPECT(!requestBlocked(block), "writeback on a blocked line");
+  Line& line = lineMut(block);
+  LCDC_EXPECT(line.cstate == CacheState::ReadWrite,
+              "writeback of a non-read-write line");
+  // The owner's downgrade stamp is assigned at issue: it travels on the
+  // Writeback so the home (the transaction's upgrader) can use it.  The
+  // A-state record itself is emitted when the ack pins down the
+  // transaction identity.
+  clock_ += 1;
+  Mshr ms;
+  ms.req = ReqType::Writeback;
+  ms.earlyStamp = clock_;
+
+  Message m;
+  m.type = MsgType::Writeback;
+  m.block = block;
+  m.requester = self_;
+  m.data = line.data;
+  m.stamps.push_back(TsStamp{self_, clock_});
+
+  // Binding stops now: the block is relinquished (DESIGN.md).
+  line.cstate = CacheState::Invalid;
+  line.data.clear();
+  line.mshr = std::move(ms);
+  stats_.writebacks += 1;
+  stats_.requestsIssued += 1;
+  out.send(home, std::move(m));
+}
+
+void CacheController::putShared(BlockId block) {
+  LCDC_EXPECT(!requestBlocked(block), "putShared on a blocked line");
+  Line& line = lineMut(block);
+  LCDC_EXPECT(line.cstate == CacheState::ReadOnly,
+              "putShared of a non-read-only line");
+  LCDC_EXPECT(config_.putSharedEnabled, "putShared with the extension off");
+  line.cstate = CacheState::Invalid;
+  line.data.clear();
+  // The A-state deliberately stays A_S: the home still believes we share
+  // the block (Section 3.1: "the A-state is not just a synonym for the
+  // processor's cache state").
+  stats_.putShareds += 1;
+  sink_->onPutShared(self_, block);
+}
+
+// ---------------------------------------------------------------------------
+// Network-facing dispatch
+// ---------------------------------------------------------------------------
+void CacheController::handle(const Message& m, Outbox& out) {
+  Line& line = lineMut(m.block);
+  switch (m.type) {
+    case MsgType::DataShared: onDataShared(m, line, out); return;
+    case MsgType::DataExclusive: onDataExclusive(m, line, out); return;
+    case MsgType::UpgradeAck: onUpgradeAck(m, line, out); return;
+    case MsgType::OwnerData: onOwnerData(m, line, out); return;
+    case MsgType::InvAck: onInvAck(m, line, out); return;
+    case MsgType::Inv: onInv(m, m.block, line, out); return;
+    case MsgType::FwdGetS:
+    case MsgType::FwdGetX: onFwd(m, m.block, line, out); return;
+    case MsgType::WbAck: onWbAck(m, line, out); return;
+    case MsgType::WbBusyAck: onWbBusyAck(m, line, out); return;
+    case MsgType::Nack: onNackMsg(m, line, out); return;
+    default:
+      LCDC_EXPECT(false, describe(m, self_) + ": not a cache message");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replies to our own requests
+// ---------------------------------------------------------------------------
+void CacheController::onDataShared(const Message& m, Line& line, Outbox& out) {
+  LCDC_EXPECT(line.mshr && line.mshr->req == ReqType::GetShared,
+              describe(m, self_) + ": no matching Get-Shared outstanding");
+  completeShared(m, m.block, line, out);
+}
+
+void CacheController::completeShared(const Message& m, BlockId block,
+                                     Line& line, Outbox& out) {
+  Mshr ms = std::move(*line.mshr);
+  line.mshr.reset();
+  for (const auto& s : m.stamps) ms.stamps.push_back(s);
+
+  const GlobalTime ts =
+      stampUpgrade(line, block, m.txn, m.serial, ms.stamps, AState::S);
+  line.cstate = CacheState::ReadOnly;
+  line.data = m.data;
+  line.epochTxn = m.txn;
+  line.epochSerial = m.serial;
+  line.epochTs = ts;
+  line.epochStartData = line.data;
+  sink_->onValueReceived(self_, m.txn, block, line.data);
+  client_->onComplete(block, ReqType::GetShared);
+  drainBuffered(block, std::move(ms.buffered), out);
+}
+
+void CacheController::onDataExclusive(const Message& m, Line& line,
+                                      Outbox& out) {
+  LCDC_EXPECT(line.mshr && line.mshr->req == ReqType::GetExclusive,
+              describe(m, self_) + ": no matching Get-Exclusive outstanding");
+  Mshr& ms = *line.mshr;
+  LCDC_EXPECT(!ms.replySeen, "duplicate Get-Exclusive reply");
+  ms.replySeen = true;
+  ms.invListKnown = true;
+  ms.data = m.data;
+  ms.txn = m.txn;
+  ms.serial = m.serial;
+  for (const auto& s : m.stamps) ms.stamps.push_back(s);
+  for (const NodeId t : m.invTargets) {
+    if (!contains(ms.earlyAcks, t)) ms.acksPending.push_back(t);
+  }
+  ms.earlyAcks.clear();
+
+  // A forwarded request buffered before we knew the invalidation-target
+  // list may be the Section 2.5 implicit acknowledgment.
+  if (config_.mutant != Mutant::NoDeadlockDetection) {
+    for (std::size_t i = 0; i < ms.buffered.size(); ++i) {
+      const Message& b = ms.buffered[i];
+      if ((b.type == MsgType::FwdGetS || b.type == MsgType::FwdGetX) &&
+          contains(ms.acksPending, b.requester) &&
+          hasStampFrom(b.stamps, b.requester)) {
+        Message fwd = ms.buffered[i];
+        ms.buffered.erase(ms.buffered.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        resolveDeadlock(fwd, m.block, line);
+        break;
+      }
+    }
+  }
+  tryCompleteExclusive(m.block, line, out);
+}
+
+void CacheController::onUpgradeAck(const Message& m, Line& line, Outbox& out) {
+  LCDC_EXPECT(line.mshr && line.mshr->req == ReqType::Upgrade,
+              describe(m, self_) + ": no matching Upgrade outstanding");
+  LCDC_EXPECT(line.cstate == CacheState::ReadOnly,
+              "UpgradeAck for a line we no longer hold read-only");
+  Mshr& ms = *line.mshr;
+  LCDC_EXPECT(!ms.replySeen, "duplicate Upgrade reply");
+  ms.replySeen = true;
+  ms.invListKnown = true;
+  ms.txn = m.txn;
+  ms.serial = m.serial;
+  for (const auto& s : m.stamps) ms.stamps.push_back(s);
+  for (const NodeId t : m.invTargets) {
+    if (!contains(ms.earlyAcks, t)) ms.acksPending.push_back(t);
+  }
+  ms.earlyAcks.clear();
+  if (config_.mutant != Mutant::NoDeadlockDetection) {
+    for (std::size_t i = 0; i < ms.buffered.size(); ++i) {
+      const Message& b = ms.buffered[i];
+      if ((b.type == MsgType::FwdGetS || b.type == MsgType::FwdGetX) &&
+          contains(ms.acksPending, b.requester) &&
+          hasStampFrom(b.stamps, b.requester)) {
+        Message fwd = ms.buffered[i];
+        ms.buffered.erase(ms.buffered.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        resolveDeadlock(fwd, m.block, line);
+        break;
+      }
+    }
+  }
+  tryCompleteExclusive(m.block, line, out);
+}
+
+void CacheController::onOwnerData(const Message& m, Line& line, Outbox& out) {
+  LCDC_EXPECT(line.mshr, describe(m, self_) + ": no request outstanding");
+  Mshr& ms = *line.mshr;
+  if (m.ignoreBufferedInv) retireSupersededInv(m, m.block, line);
+  if (ms.req == ReqType::GetShared) {
+    completeShared(m, m.block, line, out);
+    return;
+  }
+  LCDC_EXPECT(ms.req == ReqType::GetExclusive,
+              describe(m, self_) + ": OwnerData for an Upgrade/Writeback");
+  LCDC_EXPECT(!ms.replySeen, "duplicate Get-Exclusive reply");
+  ms.replySeen = true;
+  ms.invListKnown = true;  // the forwarded path has no invalidations
+  ms.data = m.data;
+  ms.txn = m.txn;
+  ms.serial = m.serial;
+  for (const auto& s : m.stamps) ms.stamps.push_back(s);
+  tryCompleteExclusive(m.block, line, out);
+}
+
+void CacheController::retireSupersededInv(const Message& m, BlockId block,
+                                          Line& line) {
+  // Section 2.5 deadlock resolution, requester side.  Our A-state performs
+  // the pending A_S -> A_I change for the transaction whose invalidation we
+  // are told to ignore, using the pre-close stamp assigned when we issued
+  // the re-request; the upgrade for our own transaction follows in the
+  // caller.
+  LCDC_EXPECT(line.mshr, "ignoreBufferedInv outside an outstanding request");
+  Mshr& ms = *line.mshr;
+  LCDC_EXPECT(ms.earlyStamp != 0,
+              "deadlock-resolution data for a request with no pre-close "
+              "stamp (requester had not silently evicted?)");
+  LCDC_EXPECT(m.closesTxn != kNoTransaction, "missing closesTxn");
+  LCDC_EXPECT(line.astate == AState::S,
+              "superseded invalidation but A-state is not A_S");
+  line.astate = AState::I;
+  sink_->onStamp(self_, m.closesTxn, m.closesSerial, block,
+                 StampRole::Downgrade, ms.earlyStamp, AState::S, AState::I);
+
+  const auto it = std::find_if(
+      ms.buffered.begin(), ms.buffered.end(), [&](const Message& b) {
+        return b.type == MsgType::Inv && b.txn == m.closesTxn;
+      });
+  if (it != ms.buffered.end()) {
+    ms.buffered.erase(it);
+    stats_.invsDropped += 1;
+  } else {
+    // The invalidation is still in flight; drop it (without acknowledging)
+    // when it arrives, and issue no new request until then.
+    line.dropInvTxn = m.closesTxn;
+  }
+}
+
+void CacheController::onInvAck(const Message& m, Line& line, Outbox& out) {
+  if (!line.mshr) {
+    // Only reachable under the SkipInvAckWait fault injection, where we
+    // completed without waiting and acks straggle in afterwards.
+    LCDC_EXPECT(config_.mutant == Mutant::SkipInvAckWait,
+                describe(m, self_) + ": InvAck with no request outstanding");
+    return;
+  }
+  Mshr& ms = *line.mshr;
+  LCDC_EXPECT(ms.req == ReqType::GetExclusive || ms.req == ReqType::Upgrade,
+              describe(m, self_) + ": InvAck for a non-exclusive request");
+  for (const auto& s : m.stamps) ms.stamps.push_back(s);
+  if (ms.invListKnown) {
+    const auto it = std::find(ms.acksPending.begin(), ms.acksPending.end(),
+                              m.src);
+    LCDC_EXPECT(it != ms.acksPending.end(),
+                describe(m, self_) + ": unexpected invalidation ack");
+    ms.acksPending.erase(it);
+  } else {
+    ms.earlyAcks.push_back(m.src);
+  }
+  tryCompleteExclusive(m.block, line, out);
+}
+
+void CacheController::resolveDeadlock(const Message& fwd, BlockId block,
+                                      Line& line) {
+  Mshr& ms = *line.mshr;
+  // The forwarded request is the implicit acknowledgment; its requester's
+  // downgrade stamp is the pre-close stamp carried on the request.
+  const auto it =
+      std::find(ms.acksPending.begin(), ms.acksPending.end(), fwd.requester);
+  LCDC_EXPECT(it != ms.acksPending.end(), "resolveDeadlock: not owed an ack");
+  ms.acksPending.erase(it);
+  bool foundStamp = false;
+  for (const auto& s : fwd.stamps) {
+    if (s.node == fwd.requester) {
+      ms.stamps.push_back(s);
+      foundStamp = true;
+    }
+  }
+  LCDC_EXPECT(foundStamp,
+              "implicit acknowledgment without the requester's pre-close "
+              "stamp");
+  LCDC_EXPECT(!ms.pendingFwd.has_value(), "two concurrent deadlock forwards");
+  ms.pendingFwd = fwd;
+  stats_.deadlocksResolved += 1;
+  sink_->onDeadlockResolved(self_, block, fwd.requester);
+}
+
+void CacheController::tryCompleteExclusive(BlockId block, Line& line,
+                                           Outbox& out) {
+  Mshr& ms = *line.mshr;
+  if (!ms.replySeen) return;
+  const bool acksDone = ms.acksPending.empty() ||
+                        config_.mutant == Mutant::SkipInvAckWait;
+  if (!ms.invListKnown || !acksDone) return;
+
+  Mshr done = std::move(*line.mshr);
+  line.mshr.reset();
+  const GlobalTime ts = stampUpgrade(line, block, done.txn, done.serial,
+                                     done.stamps, AState::X);
+  if (done.req == ReqType::GetExclusive) {
+    line.data = std::move(done.data);
+  }
+  // For Upgrade, the node "receives a value from itself" (Section 2.4).
+  line.cstate = CacheState::ReadWrite;
+  line.epochTxn = done.txn;
+  line.epochSerial = done.serial;
+  line.epochTs = ts;
+  line.epochStartData = line.data;
+  sink_->onValueReceived(self_, done.txn, block, line.data);
+  client_->onComplete(block, done.req);
+  if (done.pendingFwd.has_value()) {
+    serviceFwd(*done.pendingFwd, block, line, out, done.txn, done.serial);
+  }
+  drainBuffered(block, std::move(done.buffered), out);
+}
+
+void CacheController::onWbAck(const Message& m, Line& line, Outbox& out) {
+  LCDC_EXPECT(line.mshr && line.mshr->req == ReqType::Writeback,
+              describe(m, self_) + ": no Writeback outstanding");
+  Mshr done = std::move(*line.mshr);
+  line.mshr.reset();
+  // The ack pins down the transaction; the downgrade stamp was pre-assigned
+  // at issue.
+  line.astate = AState::I;
+  sink_->onStamp(self_, m.txn, m.serial, m.block, StampRole::Downgrade,
+                 done.earlyStamp, AState::X, AState::I);
+  client_->onComplete(m.block, ReqType::Writeback);
+  drainBuffered(m.block, std::move(done.buffered), out);
+}
+
+void CacheController::onWbBusyAck(const Message& m, Line& line, Outbox& out) {
+  LCDC_EXPECT(line.mshr && line.mshr->req == ReqType::Writeback,
+              describe(m, self_) + ": no Writeback outstanding");
+  Mshr done = std::move(*line.mshr);
+  line.mshr.reset();
+  // Transactions 13/14a: our writeback merged with the forwarded request;
+  // our A_X -> A_I downgrade belongs to the combined transaction.
+  line.astate = AState::I;
+  sink_->onStamp(self_, m.txn, m.serial, m.block, StampRole::Downgrade,
+                 done.earlyStamp, AState::X, AState::I);
+
+  // Discard the forwarded request the home told us to ignore: it is either
+  // already buffered or still in flight.
+  const auto it = std::find_if(
+      done.buffered.begin(), done.buffered.end(), [&](const Message& b) {
+        return (b.type == MsgType::FwdGetS || b.type == MsgType::FwdGetX) &&
+               b.txn == m.txn;
+      });
+  if (it != done.buffered.end()) {
+    done.buffered.erase(it);
+    stats_.fwdsDropped += 1;
+  } else {
+    line.ignoreFwdTxn = m.txn;
+  }
+  client_->onComplete(m.block, ReqType::Writeback);
+  drainBuffered(m.block, std::move(done.buffered), out);
+}
+
+void CacheController::onNackMsg(const Message& m, Line& line, Outbox& out) {
+  LCDC_EXPECT(line.mshr, describe(m, self_) + ": NACK with no request");
+  LCDC_EXPECT(line.mshr->req == m.nackedReq,
+              describe(m, self_) + ": NACK for a different request type");
+  LCDC_EXPECT(m.nackedReq != ReqType::Writeback,
+              "the directory never NACKs writebacks");
+  Mshr done = std::move(*line.mshr);
+  line.mshr.reset();
+  stats_.nacksReceived += 1;
+  // A retried request is a fresh network transaction; the original's
+  // resources (including any pre-close stamp) are freed (Section 2.4).
+  client_->onNacked(m.block, done.req, m.nackKind);
+  drainBuffered(m.block, std::move(done.buffered), out);
+}
+
+// ---------------------------------------------------------------------------
+// External demands: invalidations and forwarded requests
+// ---------------------------------------------------------------------------
+void CacheController::onInv(const Message& m, BlockId block, Line& line,
+                            Outbox& out) {
+  if (line.dropInvTxn != kNoTransaction && line.dropInvTxn == m.txn) {
+    // The superseded invalidation finally arrived (Section 2.5): drop it
+    // without acknowledging; its A-state change was already recorded.
+    line.dropInvTxn = kNoTransaction;
+    stats_.invsDropped += 1;
+    client_->onLineUnblocked(block);
+    return;
+  }
+  if (line.mshr.has_value()) {
+    // Section 2.4: buffer until the outstanding transaction completes.
+    stats_.invalidationsBuffered += 1;
+    line.mshr->buffered.push_back(m);
+    return;
+  }
+  switch (line.cstate) {
+    case CacheState::ReadOnly:
+      if (config_.mutant == Mutant::IgnoreInvalidation) {
+        // BUG (fault injection): acknowledge but keep the line readable.
+        Message ack;
+        ack.type = MsgType::InvAck;
+        ack.block = block;
+        ack.requester = m.requester;
+        ack.txn = m.txn;
+        ack.serial = m.serial;
+        out.send(m.requester, std::move(ack));
+        return;
+      }
+      applyInv(m, block, line, out);
+      return;
+    case CacheState::Invalid:
+      // A stale invalidation for a silently-evicted copy: acknowledge it
+      // (Section 2.5 addition 3).
+      LCDC_EXPECT(line.astate == AState::S,
+                  describe(m, self_) +
+                      ": invalidation for a block with A-state A_I");
+      stats_.staleInvAcks += 1;
+      applyInv(m, block, line, out);
+      return;
+    case CacheState::ReadWrite:
+      LCDC_EXPECT(false, describe(m, self_) +
+                             ": invalidation addressed to the owner");
+      return;
+  }
+}
+
+void CacheController::applyInv(const Message& m, BlockId block, Line& line,
+                               Outbox& out) {
+  const GlobalTime ts =
+      stampDowngrade(line, block, m.txn, m.serial, AState::I);
+  line.cstate = CacheState::Invalid;
+  line.data.clear();
+  stats_.invalidationsApplied += 1;
+  Message ack;
+  ack.type = MsgType::InvAck;
+  ack.block = block;
+  ack.requester = m.requester;
+  ack.txn = m.txn;
+  ack.serial = m.serial;
+  ack.stamps = {TsStamp{self_, ts}};
+  out.send(m.requester, std::move(ack));
+}
+
+void CacheController::onFwd(const Message& m, BlockId block, Line& line,
+                            Outbox& out) {
+  if (line.ignoreFwdTxn != kNoTransaction && line.ignoreFwdTxn == m.txn) {
+    // Busy-writeback epilogue: the forwarded request we were told to ignore
+    // arrived after the busy ack.
+    line.ignoreFwdTxn = kNoTransaction;
+    stats_.fwdsDropped += 1;
+    client_->onLineUnblocked(block);
+    return;
+  }
+  if (line.mshr.has_value()) {
+    Mshr& ms = *line.mshr;
+    const bool exclusiveReq =
+        ms.req == ReqType::GetExclusive || ms.req == ReqType::Upgrade;
+    if (exclusiveReq && ms.invListKnown &&
+        contains(ms.acksPending, m.requester) &&
+        hasStampFrom(m.stamps, m.requester) &&
+        config_.mutant != Mutant::NoDeadlockDetection) {
+      resolveDeadlock(m, block, line);
+      tryCompleteExclusive(block, line, out);
+      return;
+    }
+    stats_.forwardsBuffered += 1;
+    ms.buffered.push_back(m);
+    return;
+  }
+  serviceFwd(m, block, line, out);
+}
+
+void CacheController::serviceFwd(const Message& m, BlockId block, Line& line,
+                                 Outbox& out, TransactionId closesTxn,
+                                 SerialIdx closesSerial) {
+  LCDC_EXPECT(line.cstate == CacheState::ReadWrite,
+              describe(m, self_) + ": forwarded request but not the owner");
+  const bool isGetS = m.type == MsgType::FwdGetS;
+  const BlockValue& payload = config_.mutant == Mutant::ForwardStaleValue
+                                  ? line.epochStartData
+                                  : line.data;
+
+  Message reply;
+  reply.type = MsgType::OwnerData;
+  reply.block = block;
+  reply.requester = m.requester;
+  reply.txn = m.txn;
+  reply.serial = m.serial;
+  reply.data = payload;
+  reply.stamps = m.stamps;  // the home's stamp (and the requester's own)
+  if (closesTxn != kNoTransaction) {
+    reply.ignoreBufferedInv = true;
+    reply.closesTxn = closesTxn;
+    reply.closesSerial = closesSerial;
+  }
+
+  Message update;
+  update.block = block;
+  update.requester = m.requester;
+  update.txn = m.txn;
+  update.serial = m.serial;
+
+  const NodeId home = m.src;  // forwards always come from the home
+
+  if (isGetS) {
+    const GlobalTime ts = stampDowngrade(line, block, m.txn, m.serial,
+                                         AState::S);
+    reply.stamps.push_back(TsStamp{self_, ts});
+    line.cstate = CacheState::ReadOnly;
+    // We stay a reader: subsequent loads belong to the *shared* epoch this
+    // transaction opens at us (Claim 4), not to the exclusive epoch that
+    // just ended.
+    line.epochTxn = m.txn;
+    line.epochSerial = m.serial;
+    line.epochTs = ts;
+    line.epochStartData = line.data;
+    update.type = MsgType::UpdateS;
+    update.data = payload;
+    // Memory becomes the valid copy when the home applies this update; the
+    // entry clock must absorb our stamp so later readers served from
+    // memory stay above this exclusive epoch (Claim 3(b) chain).
+    update.stamps.push_back(TsStamp{self_, ts});
+  } else {
+    const GlobalTime ts = stampDowngrade(line, block, m.txn, m.serial,
+                                         AState::I);
+    reply.stamps.push_back(TsStamp{self_, ts});
+    line.cstate = CacheState::Invalid;
+    line.data.clear();
+    update.type = MsgType::UpdateX;
+  }
+  out.send(m.requester, std::move(reply));
+  out.send(home, std::move(update));
+}
+
+void CacheController::drainBuffered(BlockId block,
+                                    std::vector<Message> buffered,
+                                    Outbox& out) {
+  for (const Message& m : buffered) {
+    // The line may have changed as earlier buffered messages applied;
+    // re-dispatch through the normal paths.
+    Line& line = lineMut(block);
+    if (m.type == MsgType::Inv) {
+      onInv(m, block, line, out);
+    } else if (m.type == MsgType::FwdGetS || m.type == MsgType::FwdGetX) {
+      onFwd(m, block, line, out);
+    } else {
+      LCDC_EXPECT(false, "only invalidations and forwards are buffered");
+    }
+  }
+}
+
+}  // namespace lcdc::proto

@@ -1,0 +1,239 @@
+// The cache controller of a processing node (Sections 2.3-2.5).
+//
+// Responsibilities, straight from the spec:
+//   * at most one outstanding request per block (multiple blocks fine);
+//   * buffer invalidations and forwarded requests while a transaction for
+//     the block is outstanding; apply them right after it completes
+//     (Section 2.4);
+//   * NACKed requests free their resources; the processor re-issues a
+//     fresh request appropriate to the block's *current* state;
+//   * value management per Facts 1 and 2: a bound ST updates the local
+//     copy; a LD binds to the current copy; whenever the block is sent
+//     away (forward, writeback, update) the current copy travels with it;
+//   * the Section 2.5 extension: Put-Shared silent eviction, acking stale
+//     invalidations, and requester-side deadlock detection (a forwarded
+//     request from a node we are owed an invalidation ack by is an
+//     implicit ack).
+//
+// Lamport bookkeeping (Section 3.2): one logical clock per node, bumped by
+// 1 at each downgrade and to 1+max(own, carried stamps) at each upgrade.
+// Two stamps are assigned *early* by necessity (DESIGN.md):
+//   * the writeback downgrade stamp at WB issue (it travels on the WB
+//     message so the home — the WB's upgrader — can use it);
+//   * the "pre-close" stamp when re-requesting a block after Put-Shared
+//     (it travels on the request so that, on the deadlock path, the GetX
+//     holder can use it as the implicit ack's stamp).
+//
+// Like the directory, this is a pure transition system driven through an
+// Outbox; the simulator and the model checker share it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/timestamp.hpp"
+#include "common/types.hpp"
+#include "proto/directory.hpp"  // Outbox
+#include "proto/events.hpp"
+#include "proto/messages.hpp"
+
+namespace lcdc::proto {
+
+/// Callbacks into whoever drives the cache (the simulated processor).
+/// Called synchronously from CacheController::handle, *before* buffered
+/// invalidations/forwards are applied — this is what implements the
+/// Section 2.4 rule that an operation whose transaction completes is bound
+/// "even if an invalidation arrived in the meantime".
+class CacheClient {
+ public:
+  virtual ~CacheClient() = default;
+  /// The outstanding request on `block` completed; permission is in place.
+  virtual void onComplete(BlockId block, ReqType req) = 0;
+  /// The outstanding request was NACKed; re-issue later (the retried
+  /// request must take the block's current state into account).
+  virtual void onNacked(BlockId block, ReqType req, NackKind kind) = 0;
+  /// A line blocked on a to-be-dropped forward/invalidation became free.
+  virtual void onLineUnblocked(BlockId block) = 0;
+};
+
+/// Result of binding one LD/ST (Facts 1-2 value semantics).
+struct BindResult {
+  Word value = 0;  ///< value loaded (LD) or stored (ST)
+  TransactionId boundTxn = kNoTransaction;
+  SerialIdx boundSerial = 0;
+  /// This node's Lamport stamp of the bound transaction (the epoch start).
+  GlobalTime txnTs = 0;
+};
+
+/// The in-flight request state for one block (one MSHR per block at most).
+struct Mshr {
+  ReqType req{};
+  /// Home reply received (data or upgrade ack)?
+  bool replySeen = false;
+  /// For GetX/Upgrade: do we know the invalidation-target list yet?
+  bool invListKnown = false;
+  /// Sharers whose InvAck is still outstanding.
+  std::vector<NodeId> acksPending;
+  /// InvAcks that arrived before the home's reply told us the target list.
+  std::vector<NodeId> earlyAcks;
+  /// Payload carried by the reply (GetS/GetX data).
+  BlockValue data;
+  /// Transaction identity, learned from the reply.
+  TransactionId txn = kNoTransaction;
+  SerialIdx serial = 0;
+  /// Stamps collected for the upgrade computation.
+  std::vector<TsStamp> stamps;
+  /// Pre-assigned downgrade stamp: the writeback stamp (for Writeback
+  /// MSHRs) or the pre-close stamp (re-request after Put-Shared); 0 if none.
+  GlobalTime earlyStamp = 0;
+  /// Deadlock resolution: forwarded request to service right after this
+  /// request completes, answering with ignoreBufferedInv set.
+  std::optional<Message> pendingFwd;
+  /// Messages buffered while this request is outstanding (arrival order).
+  std::vector<Message> buffered;
+};
+
+/// One cache line.
+struct Line {
+  CacheState cstate = CacheState::Invalid;
+  AState astate = AState::I;
+  BlockValue data;
+  std::optional<Mshr> mshr;
+  /// Set by a busy writeback ack when the racing forward had not yet
+  /// arrived: drop the forwarded request carrying this transaction id; no
+  /// new request for the block until it has arrived and been dropped.
+  TransactionId ignoreFwdTxn = kNoTransaction;
+  /// Set by deadlock-resolution data when the invalidation it supersedes
+  /// had not yet arrived: drop (do not acknowledge) the invalidation
+  /// carrying this transaction id; no new request until then.
+  TransactionId dropInvTxn = kNoTransaction;
+  /// Transaction that opened the current epoch at this node.
+  TransactionId epochTxn = kNoTransaction;
+  SerialIdx epochSerial = 0;
+  /// This node's stamp of epochTxn (the epoch's start in Lamport time).
+  GlobalTime epochTs = 0;
+  /// Value the block had when the current epoch started (used only by the
+  /// ForwardStaleValue fault injection).
+  BlockValue epochStartData;
+};
+
+/// Per-cache statistics.
+struct CacheStats {
+  std::uint64_t requestsIssued = 0;
+  std::uint64_t nacksReceived = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t putShareds = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t invalidationsApplied = 0;
+  std::uint64_t invalidationsBuffered = 0;
+  std::uint64_t forwardsBuffered = 0;
+  std::uint64_t staleInvAcks = 0;
+  std::uint64_t deadlocksResolved = 0;
+  std::uint64_t fwdsDropped = 0;
+  std::uint64_t invsDropped = 0;
+};
+
+class CacheController {
+ public:
+  using HomeMap = NodeId (*)(BlockId, const void* ctx);
+
+  CacheController(NodeId self, const ProtoConfig& config, EventSink& sink,
+                  CacheClient& client);
+
+  // -- processor-facing API -------------------------------------------------
+
+  /// Can `kind` bind right now?  (Permission held, no outstanding request.)
+  [[nodiscard]] bool canBind(BlockId block, OpKind kind) const;
+
+  /// Bind one operation (the caller then assigns the op's full Lamport
+  /// timestamp from the returned transaction stamp and its program order).
+  BindResult bind(BlockId block, OpKind kind, WordIdx word, Word storeValue);
+
+  /// True when no new request may be issued for the block (outstanding
+  /// MSHR, or a pending to-be-dropped forward/invalidation).
+  [[nodiscard]] bool requestBlocked(BlockId block) const;
+
+  /// Issue a coherence request towards `home`.  GetShared/GetExclusive
+  /// require an invalid line, Upgrade a read-only line.
+  void issueRequest(BlockId block, ReqType req, NodeId home, Outbox& out);
+
+  /// Evict a read-write line: issue a Writeback (the line stops binding
+  /// immediately; the data travels with the request).
+  void writeback(BlockId block, NodeId home, Outbox& out);
+
+  /// Section 2.5 Put-Shared: silently drop a read-only line.  A local
+  /// action, not a transaction; the A-state intentionally stays A_S.
+  void putShared(BlockId block);
+
+  // -- network-facing API ---------------------------------------------------
+
+  /// Process one incoming protocol message addressed to this cache.
+  void handle(const Message& m, Outbox& out);
+
+  // -- introspection --------------------------------------------------------
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] GlobalTime clock() const { return clock_; }
+  [[nodiscard]] CacheState state(BlockId block) const;
+  [[nodiscard]] const Line* findLine(BlockId block) const;
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t linesHeld() const;
+  /// True when no request is outstanding anywhere (quiescence check).
+  [[nodiscard]] bool quiescent() const;
+  /// Blocks currently held with the given state (eviction candidates).
+  [[nodiscard]] std::vector<BlockId> blocksInState(CacheState s) const;
+
+ private:
+  Line& lineMut(BlockId block);
+
+  GlobalTime stampDowngrade(Line& line, BlockId block, TransactionId txn,
+                            SerialIdx serial, AState newA);
+  GlobalTime stampUpgrade(Line& line, BlockId block, TransactionId txn,
+                          SerialIdx serial, const std::vector<TsStamp>& stamps,
+                          AState newA);
+
+  void onDataShared(const Message& m, Line& line, Outbox& out);
+  void onDataExclusive(const Message& m, Line& line, Outbox& out);
+  void onUpgradeAck(const Message& m, Line& line, Outbox& out);
+  void onOwnerData(const Message& m, Line& line, Outbox& out);
+  void onInvAck(const Message& m, Line& line, Outbox& out);
+  void onInv(const Message& m, BlockId block, Line& line, Outbox& out);
+  void onFwd(const Message& m, BlockId block, Line& line, Outbox& out);
+  void onWbAck(const Message& m, Line& line, Outbox& out);
+  void onWbBusyAck(const Message& m, Line& line, Outbox& out);
+  void onNackMsg(const Message& m, Line& line, Outbox& out);
+
+  /// Apply an invalidation to a line with no outstanding request.
+  void applyInv(const Message& m, BlockId block, Line& line, Outbox& out);
+  /// Answer a forwarded request as the current owner.  When `closesTxn` is
+  /// set this is the deadlock-resolution path: the reply carries
+  /// ignoreBufferedInv plus the transaction whose invalidation it retires.
+  void serviceFwd(const Message& m, BlockId block, Line& line, Outbox& out,
+                  TransactionId closesTxn = kNoTransaction,
+                  SerialIdx closesSerial = 0);
+
+  /// Complete a GetX/Upgrade once data + all (possibly implicit) acks are
+  /// in.
+  void tryCompleteExclusive(BlockId block, Line& line, Outbox& out);
+  /// Complete a GetS with the given data-bearing reply.
+  void completeShared(const Message& m, BlockId block, Line& line, Outbox& out);
+  /// Apply messages that were buffered behind a completed transaction.
+  void drainBuffered(BlockId block, std::vector<Message> buffered, Outbox& out);
+  /// Section 2.5 deadlock detection: treat `fwd` as an implicit ack.
+  void resolveDeadlock(const Message& fwd, BlockId block, Line& line);
+  /// Handle the ignoreBufferedInv marker on deadlock-resolution data.
+  void retireSupersededInv(const Message& m, BlockId block, Line& line);
+
+  NodeId self_;
+  ProtoConfig config_;
+  EventSink* sink_;
+  CacheClient* client_;
+  GlobalTime clock_ = 0;
+  std::unordered_map<BlockId, Line> lines_;
+  CacheStats stats_;
+};
+
+}  // namespace lcdc::proto

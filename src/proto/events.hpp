@@ -1,0 +1,103 @@
+// Observation interface between the protocol core and the verification
+// machinery.
+//
+// The protocol never *reads* anything reported here — Lamport clocks are "a
+// conceptual device used to reason about the protocol" (Section 3.1) — but
+// it reports every event the proofs of Section 3 quantify over:
+//
+//   * serialization of a transaction at the block's home directory,
+//   * every A-state change with the Lamport stamp the node assigned,
+//   * the binding and timestamping of every LD/ST operation,
+//   * every NACK, value transfer and local action (Put-Shared).
+//
+// The trace module records these into an execution trace; the verify module
+// then replays the trace against Claims 2-4, Lemmas 1-3 and the Main
+// Theorem.  Consumers join cache-side records with the directory's
+// onSerialize record via the transaction id.
+#pragma once
+
+#include <cstdint>
+
+#include "common/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace lcdc::proto {
+
+/// Identity and classification of one serialized transaction.
+struct TxnInfo {
+  TransactionId id = kNoTransaction;
+  SerialIdx serial = 0;  ///< position in the block's serialization order
+  TxnKind kind{};
+  BlockId block = 0;
+  NodeId requester = kNoNode;
+};
+
+/// Whether a node's A-state change for a transaction is the transaction's
+/// unique upgrade or one of its downgrades (Section 3.1).
+enum class StampRole : std::uint8_t { Downgrade, Upgrade };
+
+/// One bound LD/ST operation with its full Lamport timestamp (Section 3.2).
+struct OpRecord {
+  NodeId proc = kNoNode;
+  std::uint64_t progIdx = 0;  ///< position in the processor's program order
+  OpKind kind{};
+  BlockId block = 0;
+  WordIdx word = 0;
+  Word value = 0;  ///< value loaded / value stored
+  TransactionId boundTxn = kNoTransaction;
+  SerialIdx boundSerial = 0;
+  Timestamp ts;
+  /// TSO extension: the load was served from the processor's own store
+  /// buffer (boundTxn is kNoTransaction; the value must equal the latest
+  /// same-processor program-order-earlier store to the word).
+  bool forwarded = false;
+  /// Real-time observation order; 0 when emitted, filled by the recorder.
+  std::uint64_t order = 0;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// The home directory serialized (accepted) a transaction.
+  virtual void onSerialize(const TxnInfo& txn) {}
+
+  /// A writeback racing an in-progress forwarded transaction merged into it
+  /// (transactions 13 / 14a): the in-progress transaction `id` changes kind.
+  virtual void onTxnConverted(TransactionId id, TxnKind newKind) {}
+
+  /// Node `node` assigned Lamport stamp `ts` to transaction `txn` and its
+  /// A-state for the block changed `oldA -> newA` (possibly oldA == newA
+  /// for the home's by-definition Get-Shared downgrades, Section 3.1).
+  virtual void onStamp(NodeId node, TransactionId txn, SerialIdx serial,
+                       BlockId block, StampRole role, GlobalTime ts,
+                       AState oldA, AState newA) {}
+
+  /// Node `node` received the block's value when transaction `txn`
+  /// completed there (for Upgrade transactions this is the value the node
+  /// "receives from itself"; the home receives values via writebacks and
+  /// updates).
+  virtual void onValueReceived(NodeId node, TransactionId txn, BlockId block,
+                               const BlockValue& value) {}
+
+  /// A LD/ST operation was bound and timestamped.
+  virtual void onOperation(const OpRecord& op) {}
+
+  /// The home NACKed a request (cases 4, 8, 10, 11).
+  virtual void onNack(NodeId requester, BlockId block, NackKind kind) {}
+
+  /// A node silently evicted a read-only block (Section 2.5 Put-Shared
+  /// action; not a transaction, never timestamped).
+  virtual void onPutShared(NodeId node, BlockId block) {}
+
+  /// A requester waiting for invalidation acks received a forwarded request
+  /// from the very node it is waiting on, and applied the Section 2.5
+  /// deadlock resolution (implicit acknowledgment).
+  virtual void onDeadlockResolved(NodeId node, BlockId block,
+                                  NodeId impliedAcker) {}
+};
+
+/// Shared no-op sink (model checker, micro-benchmarks).
+EventSink& nullSink();
+
+}  // namespace lcdc::proto

@@ -1,0 +1,28 @@
+#include "proto/messages.hpp"
+
+namespace lcdc::proto {
+
+std::string toString(MsgType t) {
+  switch (t) {
+    case MsgType::GetS: return "GetS";
+    case MsgType::GetX: return "GetX";
+    case MsgType::Upgrade: return "Upgrade";
+    case MsgType::Writeback: return "Writeback";
+    case MsgType::DataShared: return "DataShared";
+    case MsgType::DataExclusive: return "DataExclusive";
+    case MsgType::UpgradeAck: return "UpgradeAck";
+    case MsgType::Nack: return "Nack";
+    case MsgType::WbAck: return "WbAck";
+    case MsgType::WbBusyAck: return "WbBusyAck";
+    case MsgType::FwdGetS: return "FwdGetS";
+    case MsgType::FwdGetX: return "FwdGetX";
+    case MsgType::Inv: return "Inv";
+    case MsgType::OwnerData: return "OwnerData";
+    case MsgType::InvAck: return "InvAck";
+    case MsgType::UpdateS: return "UpdateS";
+    case MsgType::UpdateX: return "UpdateX";
+  }
+  return "MsgType(?)";
+}
+
+}  // namespace lcdc::proto

@@ -1,0 +1,115 @@
+// The message vocabulary of the directory protocol (Section 2.3).
+//
+// Coherence traffic falls into four groups:
+//   * requests      — node -> home          (Get-Shared, Get-Exclusive,
+//                                            Upgrade, Writeback)
+//   * home replies  — home -> requester     (data/ack/NACK, writeback acks)
+//   * home demands  — home -> third parties (invalidations, forwarded
+//                                            requests)
+//   * peer traffic  — owner/sharer -> requester (data, inv acks) and
+//                     owner -> home (update messages)
+//
+// Messages additionally piggyback the Lamport timestamps that affected
+// nodes assign to the transaction (Section 3.2: "We can think of each
+// affected node as sending its timestamp of T along with its message to
+// N").  The timestamps are a conceptual verification device: the protocol's
+// control decisions never read them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace lcdc::proto {
+
+enum class MsgType : std::uint8_t {
+  // Requests (requester -> home).
+  GetS,        ///< request a read-only copy
+  GetX,        ///< request a read-write copy
+  Upgrade,     ///< promote read-only to read-write
+  Writeback,   ///< return a read-write block to the home (carries data)
+
+  // Home replies (home -> requester).
+  DataShared,     ///< data for a Get-Shared served by the home
+  DataExclusive,  ///< data + invalidation list for a Get-Exclusive
+  UpgradeAck,     ///< invalidation list (no data) for an Upgrade
+  Nack,           ///< negative acknowledgment; retry later
+  WbAck,          ///< normal writeback acknowledgment (transaction 12/14b)
+  WbBusyAck,      ///< "busy" writeback ack: ignore the forwarded request
+                  ///  that is in flight towards you (transactions 13/14a)
+
+  // Home demands (home -> current owner / sharers).
+  FwdGetS,  ///< forward a Get-Shared to the exclusive owner
+  FwdGetX,  ///< forward a Get-Exclusive to the exclusive owner
+  Inv,      ///< invalidate your read-only copy; ack the requester
+
+  // Peer traffic.
+  OwnerData,   ///< owner -> requester: data answering a forwarded request
+  InvAck,      ///< sharer -> requester: invalidation acknowledged
+  UpdateS,     ///< owner -> home: downgrade update carrying data (txn 3)
+  UpdateX,     ///< owner -> home: ownership-transfer update (txn 7)
+};
+
+[[nodiscard]] std::string toString(MsgType t);
+
+/// One Lamport stamp attached by an affected node.  `node` identifies who
+/// assigned it so the upgrader can account for every affected node.
+struct TsStamp {
+  NodeId node = kNoNode;
+  GlobalTime ts = 0;
+};
+
+/// A protocol message.  One struct covers the whole vocabulary; unused
+/// fields stay empty.  Keeping a single value type makes the network, the
+/// trace and the model checker uniform.
+struct Message {
+  MsgType type{};
+  BlockId block = 0;
+
+  /// Sender of this concrete message (filled by the network layer).
+  NodeId src = kNoNode;
+  /// The *original requester* of the transaction this message belongs to.
+  /// For forwarded requests and invalidations this is who the receiver must
+  /// answer; for replies it equals the destination.
+  NodeId requester = kNoNode;
+
+  /// Transaction identity, assigned at serialization by the home.  NACKs
+  /// carry kNoTransaction.
+  TransactionId txn = kNoTransaction;
+  /// Per-block serialization index of `txn` at the home (1-based).
+  SerialIdx serial = 0;
+
+  /// Block payload for data-bearing messages.
+  BlockValue data;
+  /// For DataExclusive/UpgradeAck: the sharers that were sent invalidations
+  /// and whose InvAcks the requester must collect.  (The Origin sends only a
+  /// count; we send the list so the requester can implement the Section 2.5
+  /// deadlock detection — "a forwarded request from the very node from which
+  /// it is to receive an acknowledgment".)
+  std::vector<NodeId> invTargets;
+
+  /// For OwnerData produced by the deadlock-detection path: tells the
+  /// requester to discard (without acknowledging) the invalidation that is
+  /// buffered or still in flight towards it.
+  bool ignoreBufferedInv = false;
+  /// With ignoreBufferedInv: the transaction whose invalidation must be
+  /// discarded (the sender's own Get-Exclusive/Upgrade), so the receiver
+  /// can record its A_S -> A_I change and match the right invalidation.
+  TransactionId closesTxn = kNoTransaction;
+  SerialIdx closesSerial = 0;
+
+  /// For Nack: which NACK case fired (statistics / tests).
+  NackKind nackKind{};
+  /// For Nack: the request type being bounced.
+  ReqType nackedReq{};
+
+  /// Lamport stamps of the transaction assigned by affected nodes, relayed
+  /// towards the upgrader.  A forwarded request carries the home's stamp;
+  /// the owner's reply then carries both the home's and the owner's.
+  std::vector<TsStamp> stamps;
+};
+
+}  // namespace lcdc::proto

@@ -1,0 +1,281 @@
+#include "sim/processor.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace lcdc::sim {
+
+Processor::Processor(NodeId id, const SystemConfig& config,
+                     proto::EventSink& sink, Rng rng)
+    : id_(id), config_(config), sink_(&sink),
+      cache_(id, config.proto, sink, *this), stamper_(id), rng_(rng) {}
+
+void Processor::setProgram(workload::Program program) {
+  program_ = std::move(program);
+  pc_ = 0;
+}
+
+void Processor::deliver(const proto::Message& m, proto::Outbox& out) {
+  cache_.handle(m, out);
+}
+
+void Processor::onComplete(BlockId block, ReqType req) {
+  nackStreak_[block] = 0;
+  // Section 2.4: operations whose transaction just completed bind *now*,
+  // before the cache applies anything it buffered.
+  bindEligible();
+}
+
+void Processor::onNacked(BlockId block, ReqType req, NackKind kind) {
+  const std::uint64_t streak = ++nackStreak_[block];
+  stats_.maxNackStreak = std::max(stats_.maxNackStreak, streak);
+  const net::Tick delay =
+      config_.retryDelay + rng_.uniform(0, config_.retryDelay);
+  // tryProgress consults notBefore_ against the current simulated time.
+  pendingDelay_ = delay;
+  nackedBlock_ = block;
+  wantRetry_ = true;
+}
+
+void Processor::onLineUnblocked(BlockId block) { wantRetry_ = true; }
+
+void Processor::emitOp(OpKind kind, BlockId block, WordIdx word, Word value,
+                       std::uint64_t progIdx, const proto::BindResult& bound,
+                       bool forwarded) {
+  proto::OpRecord op;
+  op.proc = id_;
+  op.progIdx = progIdx;
+  op.kind = kind;
+  op.block = block;
+  op.word = word;
+  op.value = value;
+  op.boundTxn = bound.boundTxn;
+  op.boundSerial = bound.boundSerial;
+  op.forwarded = forwarded;
+  op.ts = stamper_.stamp(bound.txnTs);
+  sink_->onOperation(op);
+  if (kind == OpKind::Load) {
+    stats_.loadsBound += 1;
+  } else {
+    stats_.storesBound += 1;
+  }
+}
+
+void Processor::drainStoreBufferBinds() {
+  // Retire in FIFO order only (TSO preserves store->store order); stop at
+  // the first store whose line is not writable yet.
+  while (!storeBuffer_.empty()) {
+    const BufferedStore& head = storeBuffer_.front();
+    if (!cache_.canBind(head.block, OpKind::Store)) return;
+    const proto::BindResult r =
+        cache_.bind(head.block, OpKind::Store, head.word, head.value);
+    emitOp(OpKind::Store, head.block, head.word, head.value, head.progIdx, r,
+           /*forwarded=*/false);
+    storeBuffer_.pop_front();
+  }
+}
+
+void Processor::bindEligible() {
+  drainStoreBufferBinds();
+  const bool tso = config_.storeBufferDepth > 0;
+  while (pc_ < program_.steps.size()) {
+    const workload::Step& step = program_.steps[pc_];
+    if (step.kind != workload::StepKind::Load &&
+        step.kind != workload::StepKind::Store) {
+      // Evictions and prefetches are handled by tryProgress (they may emit
+      // messages).
+      return;
+    }
+    if (tso && step.kind == workload::StepKind::Store) {
+      if (storeBuffer_.size() >= config_.storeBufferDepth) return;  // full
+      storeBuffer_.push_back(
+          BufferedStore{step.block, step.word, step.storeValue, pc_});
+      ++pc_;
+      drainStoreBufferBinds();  // retire immediately when possible
+      continue;
+    }
+    if (tso && step.kind == workload::StepKind::Load) {
+      // TSO load forwarding: the youngest buffered store to the same word
+      // supplies the value without touching the coherence protocol.
+      const BufferedStore* hit = nullptr;
+      for (const BufferedStore& b : storeBuffer_) {
+        if (b.block == step.block && b.word == step.word) hit = &b;
+      }
+      if (hit != nullptr) {
+        emitOp(OpKind::Load, step.block, step.word, hit->value, pc_,
+               proto::BindResult{}, /*forwarded=*/true);
+        stats_.loadsForwarded += 1;
+        ++pc_;
+        continue;
+      }
+    }
+    const OpKind kind =
+        step.kind == workload::StepKind::Load ? OpKind::Load : OpKind::Store;
+    if (!cache_.canBind(step.block, kind)) return;
+    const proto::BindResult r =
+        cache_.bind(step.block, kind, step.word, step.storeValue);
+    emitOp(kind, step.block, step.word, r.value, pc_, r,
+           /*forwarded=*/false);
+    ++pc_;
+  }
+}
+
+net::Tick Processor::progressStoreBuffer(net::Tick now, proto::Outbox& out) {
+  drainStoreBufferBinds();
+  if (storeBuffer_.empty()) return net::kNever;
+  const BufferedStore& head = storeBuffer_.front();
+  if (cache_.requestBlocked(head.block)) return net::kNever;  // in flight
+  const auto nb = notBefore_.find(head.block);
+  if (nb != notBefore_.end() && now < nb->second) return nb->second;
+  const CacheState cs = cache_.state(head.block);
+  const ReqType req = cs == CacheState::ReadOnly ? ReqType::Upgrade
+                                                 : ReqType::GetExclusive;
+  maybeCapacityEvict(head.block, out);
+  if (cache_.requestBlocked(head.block)) return net::kNever;
+  cache_.issueRequest(head.block, req, homeOf(head.block, config_), out);
+  return net::kNever;
+}
+
+net::Tick Processor::tryProgress(net::Tick now, proto::Outbox& out) {
+  if (wantRetry_ && nackedBlock_.has_value()) {
+    notBefore_[*nackedBlock_] = now + pendingDelay_;
+    nackedBlock_.reset();
+    stats_.retriesIssued += 1;
+  }
+  wantRetry_ = false;
+
+  bindEligible();
+  net::Tick wake = progressProgram(now, out);
+  if (config_.storeBufferDepth > 0) {
+    // Run AFTER the program loop: walking the program may have refilled the
+    // store buffer (stores enqueue without stalling), and the new head may
+    // need a coherence request right now.
+    wake = std::min(wake, progressStoreBuffer(now, out));
+  }
+  return wake;
+}
+
+net::Tick Processor::progressProgram(net::Tick now, proto::Outbox& out) {
+  net::Tick wake = net::kNever;
+  while (pc_ < program_.steps.size()) {
+    const workload::Step& step = program_.steps[pc_];
+
+    if (step.kind == workload::StepKind::Evict) {
+      if (cache_.requestBlocked(step.block)) return wake;  // wait
+      const CacheState cs = cache_.state(step.block);
+      if (cs == CacheState::ReadWrite) {
+        cache_.writeback(step.block, homeOf(step.block, config_), out);
+        return wake;  // wait for the ack before moving on
+      }
+      if (cs == CacheState::ReadOnly && config_.proto.putSharedEnabled) {
+        cache_.putShared(step.block);
+      }
+      ++pc_;  // not cached (or read-only without the extension): no-op
+      bindEligible();
+      continue;
+    }
+
+    if (step.kind == workload::StepKind::PrefetchShared ||
+        step.kind == workload::StepKind::PrefetchExclusive) {
+      // Section 2.3: coherence requests decoupled from processor events.
+      // Prefetches are hints: issue the request if the line is free and the
+      // permission is missing, then move on WITHOUT stalling; a NACKed
+      // prefetch simply dies (the demand access re-requests later).
+      const bool wantWrite =
+          step.kind == workload::StepKind::PrefetchExclusive;
+      const CacheState cs = cache_.state(step.block);
+      const bool satisfied =
+          cs == CacheState::ReadWrite ||
+          (!wantWrite && cs == CacheState::ReadOnly);
+      if (!cache_.requestBlocked(step.block) && !satisfied) {
+        const auto nb = notBefore_.find(step.block);
+        if (nb == notBefore_.end() || now >= nb->second) {
+          maybeCapacityEvict(step.block, out);
+          if (!cache_.requestBlocked(step.block)) {
+            const ReqType req = !wantWrite ? ReqType::GetShared
+                                : cs == CacheState::ReadOnly
+                                    ? ReqType::Upgrade
+                                    : ReqType::GetExclusive;
+            cache_.issueRequest(step.block, req,
+                                homeOf(step.block, config_), out);
+            stats_.prefetchesIssued += 1;
+          }
+        }
+      }
+      ++pc_;
+      bindEligible();
+      continue;
+    }
+
+    const OpKind kind =
+        step.kind == workload::StepKind::Load ? OpKind::Load : OpKind::Store;
+    if (config_.storeBufferDepth > 0 && kind == OpKind::Store) {
+      // The store buffer is full (else bindEligible would have consumed the
+      // step); it drains through progressStoreBuffer above.
+      return wake;
+    }
+    if (config_.storeBufferDepth > 0 && kind == OpKind::Load) {
+      // Re-run forwarding/binding; a racing drain may have freed the way.
+      const std::size_t before = pc_;
+      bindEligible();
+      if (pc_ != before) continue;
+    }
+    if (cache_.canBind(step.block, kind)) {
+      bindEligible();
+      continue;
+    }
+    if (cache_.requestBlocked(step.block)) return wake;  // transaction pending
+
+    // Retry pacing after a NACK.
+    const auto nb = notBefore_.find(step.block);
+    if (nb != notBefore_.end() && now < nb->second) {
+      return std::min(wake, nb->second);
+    }
+
+    // Decide the request from the block's *current* state (Section 2.4).
+    const CacheState cs = cache_.state(step.block);
+    ReqType req;
+    if (kind == OpKind::Load) {
+      LCDC_EXPECT(cs == CacheState::Invalid, "load stall with permission");
+      req = ReqType::GetShared;
+    } else if (cs == CacheState::ReadOnly) {
+      req = ReqType::Upgrade;
+    } else {
+      LCDC_EXPECT(cs == CacheState::Invalid, "store stall with permission");
+      req = ReqType::GetExclusive;
+    }
+    maybeCapacityEvict(step.block, out);
+    if (cache_.requestBlocked(step.block)) return wake;  // eviction raced us
+    cache_.issueRequest(step.block, req, homeOf(step.block, config_), out);
+    return wake;  // stall until completion
+  }
+  return wake;
+}
+
+void Processor::maybeCapacityEvict(BlockId incoming, proto::Outbox& out) {
+  if (config_.cacheCapacity == 0) return;
+  if (cache_.linesHeld() < config_.cacheCapacity) return;
+  // Prefer dropping a read-only line (Put-Shared when available); fall back
+  // to writing back a read-write line.  The victim must not be the block we
+  // are about to request and must not have an outstanding transaction.
+  auto pick = [&](CacheState s) -> std::optional<BlockId> {
+    std::vector<BlockId> candidates = cache_.blocksInState(s);
+    std::erase(candidates, incoming);
+    if (candidates.empty()) return std::nullopt;
+    return candidates[rng_.uniform(0, candidates.size() - 1)];
+  };
+  if (config_.proto.putSharedEnabled) {
+    if (const auto b = pick(CacheState::ReadOnly)) {
+      cache_.putShared(*b);
+      stats_.capacityEvictions += 1;
+      return;
+    }
+  }
+  if (const auto b = pick(CacheState::ReadWrite)) {
+    cache_.writeback(*b, homeOf(*b, config_), out);
+    stats_.capacityEvictions += 1;
+  }
+}
+
+}  // namespace lcdc::sim

@@ -1,0 +1,238 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace lcdc::sim {
+
+std::string toString(RunResult::Outcome o) {
+  switch (o) {
+    case RunResult::Outcome::Quiescent: return "quiescent";
+    case RunResult::Outcome::Deadlock: return "deadlock";
+    case RunResult::Outcome::Livelock: return "livelock";
+    case RunResult::Outcome::BudgetExhausted: return "budget-exhausted";
+  }
+  return "outcome(?)";
+}
+
+System::System(const SystemConfig& config, proto::EventSink& sink,
+               net::Network::Mode mode)
+    : config_(config), sink_(&sink), rng_(config.seed),
+      net_(mode, Rng(config.seed ^ 0x6E657477'6F726BULL), config.minLatency,
+           config.maxLatency) {
+  LCDC_EXPECT(config_.numProcessors >= 1, "need at least one processor");
+  LCDC_EXPECT(config_.numDirectories >= 1, "need at least one directory");
+  LCDC_EXPECT(config_.proto.wordsPerBlock >= 1, "blocks need at least 1 word");
+
+  procs_.reserve(config_.numProcessors);
+  for (NodeId p = 0; p < config_.numProcessors; ++p) {
+    procs_.push_back(
+        std::make_unique<Processor>(p, config_, sink, rng_.fork()));
+  }
+  dirs_.reserve(config_.numDirectories);
+  for (NodeId d = 0; d < config_.numDirectories; ++d) {
+    dirs_.push_back(std::make_unique<proto::DirectoryController>(
+        config_.numProcessors + d, config_.proto, sink, txns_));
+  }
+  for (BlockId b = 0; b < config_.numBlocks; ++b) {
+    dirs_[b % config_.numDirectories]->addBlock(
+        b, BlockValue(config_.proto.wordsPerBlock, 0));
+  }
+}
+
+Processor& System::processor(NodeId i) {
+  LCDC_EXPECT(i < procs_.size(), "processor index out of range");
+  return *procs_[i];
+}
+
+proto::DirectoryController& System::directory(std::size_t idx) {
+  LCDC_EXPECT(idx < dirs_.size(), "directory index out of range");
+  return *dirs_[idx];
+}
+
+void System::setProgram(NodeId proc, workload::Program program) {
+  processor(proc).setProgram(std::move(program));
+}
+
+void System::start() {
+  for (NodeId p = 0; p < procs_.size(); ++p) progress(p);
+}
+
+void System::flush(NodeId src, proto::Outbox& out) {
+  for (auto& entry : out.msgs) {
+    (void)net_.send(src, entry.dst, now_, std::move(entry.msg));
+  }
+  out.clear();
+}
+
+void System::progress(NodeId proc) {
+  Processor& p = *procs_[proc];
+  proto::Outbox out;
+  const net::Tick wake = p.tryProgress(now_, out);
+  flush(proc, out);
+  if (wake != net::kNever) timers_.push(Timer{wake, proc});
+}
+
+void System::dispatch(const net::Envelope& env) {
+  proto::Outbox out;
+  if (env.dst < config_.numProcessors) {
+    procs_[env.dst]->deliver(env.msg, out);
+    flush(env.dst, out);
+    progress(env.dst);
+  } else {
+    const std::size_t d = env.dst - config_.numProcessors;
+    LCDC_EXPECT(d < dirs_.size(), "message addressed to unknown node");
+    dirs_[d]->handle(env.msg, out);
+    flush(env.dst, out);
+  }
+}
+
+bool System::stepEvent() {
+  const net::Tick tNet = net_.empty() ? net::kNever : net_.nextDeliveryTime();
+  net::Tick tTimer = net::kNever;
+  while (!timers_.empty() && timers_.top().at <= now_) {
+    // Stale timers (the processor already progressed) fire immediately.
+    const Timer t = timers_.top();
+    timers_.pop();
+    progress(t.proc);
+    return true;
+  }
+  if (!timers_.empty()) tTimer = timers_.top().at;
+  if (tNet == net::kNever && tTimer == net::kNever) return false;
+
+  if (tNet <= tTimer) {
+    now_ = std::max(now_, tNet);
+    dispatch(net_.popNext());
+  } else {
+    const Timer t = timers_.top();
+    timers_.pop();
+    now_ = std::max(now_, t.at);
+    progress(t.proc);
+  }
+  return true;
+}
+
+RunResult System::run(std::uint64_t maxEvents) {
+  RunResult result;
+  std::uint64_t lastBound = totalOpsBound();
+  std::uint64_t lastBoundEvent = 0;
+  // Generous no-binding-progress window: NACK retry storms legitimately
+  // take many events, but an unbounded storm with zero bindings is a
+  // livelock.
+  const std::uint64_t window = 400'000 + 2'000ull * config_.numProcessors;
+
+  start();
+  while (result.eventsProcessed < maxEvents) {
+    if (!stepEvent()) {
+      result.endTime = now_;
+      result.opsBound = totalOpsBound();
+      if (allProgramsDone()) {
+        LCDC_EXPECT(quiescent(), "no events pending but not quiescent");
+        result.outcome = RunResult::Outcome::Quiescent;
+      } else {
+        result.outcome = RunResult::Outcome::Deadlock;
+        std::ostringstream os;
+        os << "no deliverable events; stalled processors:";
+        for (const auto& p : procs_) {
+          if (!p->done()) os << ' ' << p->id() << "@pc=" << p->pc();
+        }
+        result.detail = os.str();
+      }
+      return result;
+    }
+    result.eventsProcessed += 1;
+    if ((result.eventsProcessed & 0xFFF) == 0) {
+      const std::uint64_t bound = totalOpsBound();
+      if (bound != lastBound) {
+        lastBound = bound;
+        lastBoundEvent = result.eventsProcessed;
+      } else if (!allProgramsDone() &&
+                 result.eventsProcessed - lastBoundEvent > window) {
+        result.outcome = RunResult::Outcome::Livelock;
+        result.endTime = now_;
+        result.opsBound = bound;
+        result.detail = "no operation bound within the progress window";
+        return result;
+      }
+    }
+  }
+  result.endTime = now_;
+  result.opsBound = totalOpsBound();
+  return result;
+}
+
+void System::deliverManual(std::size_t idx) {
+  now_ += 1;
+  dispatch(net_.deliverIndex(idx));
+}
+
+bool System::deliverManualFirst(
+    const std::function<bool(const net::Envelope&)>& pred) {
+  const auto& pending = net_.pending();
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pred(pending[i])) {
+      deliverManual(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void System::kick(NodeId proc) { progress(proc); }
+
+void System::advanceTime(net::Tick ticks) {
+  now_ += ticks;
+  for (NodeId p = 0; p < procs_.size(); ++p) progress(p);
+}
+
+bool System::allProgramsDone() const {
+  return std::all_of(procs_.begin(), procs_.end(),
+                     [](const auto& p) { return p->done(); });
+}
+
+bool System::quiescent() const {
+  if (!net_.empty()) return false;
+  for (const auto& p : procs_) {
+    if (!p->cache().quiescent()) return false;
+  }
+  for (const auto& d : dirs_) {
+    if (!d->quiescent()) return false;
+  }
+  return true;
+}
+
+std::uint64_t System::totalOpsBound() const {
+  std::uint64_t n = 0;
+  for (const auto& p : procs_) n += p->opsBound();
+  return n;
+}
+
+proto::DirStats System::aggregateDirStats() const {
+  proto::DirStats s;
+  for (const auto& d : dirs_) s.merge(d->stats());
+  return s;
+}
+
+proto::CacheStats System::aggregateCacheStats() const {
+  proto::CacheStats s;
+  for (const auto& p : procs_) {
+    const proto::CacheStats& c = p->cache().stats();
+    s.requestsIssued += c.requestsIssued;
+    s.nacksReceived += c.nacksReceived;
+    s.putShareds += c.putShareds;
+    s.writebacks += c.writebacks;
+    s.invalidationsApplied += c.invalidationsApplied;
+    s.invalidationsBuffered += c.invalidationsBuffered;
+    s.forwardsBuffered += c.forwardsBuffered;
+    s.staleInvAcks += c.staleInvAcks;
+    s.deadlocksResolved += c.deadlocksResolved;
+    s.fwdsDropped += c.fwdsDropped;
+    s.invsDropped += c.invsDropped;
+  }
+  return s;
+}
+
+}  // namespace lcdc::sim

@@ -1,0 +1,183 @@
+#include "trace/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace lcdc::trace {
+
+namespace {
+
+[[noreturn]] void parseFail(std::size_t lineNo, const std::string& line) {
+  throw SimError("trace parse error at line " + std::to_string(lineNo) +
+                 ": '" + line + "'");
+}
+
+}  // namespace
+
+void save(const Trace& t, std::ostream& os) {
+  // nextOrder is derivable but we persist it so empty/partial traces
+  // round-trip exactly.
+  EventOrder maxOrder = 0;
+  const auto bump = [&maxOrder](EventOrder o) {
+    if (o > maxOrder) maxOrder = o;
+  };
+  for (const auto& r : t.serializations()) bump(r.order);
+  for (const auto& r : t.stamps()) bump(r.order);
+  for (const auto& r : t.values()) bump(r.order);
+  for (const auto& r : t.operations()) bump(r.order);
+  for (const auto& r : t.nacks()) bump(r.order);
+  for (const auto& r : t.putShareds()) bump(r.order);
+  for (const auto& r : t.deadlockResolutions()) bump(r.order);
+  os << "H " << (maxOrder + 1) << '\n';
+
+  for (const auto& r : t.serializations()) {
+    os << "S " << r.txn.id << ' ' << r.txn.serial << ' '
+       << static_cast<unsigned>(r.txn.kind) << ' ' << r.txn.block << ' '
+       << r.txn.requester << ' ' << r.order << '\n';
+  }
+  for (const auto& r : t.stamps()) {
+    os << "T " << r.node << ' ' << r.txn << ' ' << r.serial << ' ' << r.block
+       << ' ' << static_cast<unsigned>(r.role) << ' ' << r.ts << ' '
+       << static_cast<unsigned>(r.oldA) << ' '
+       << static_cast<unsigned>(r.newA) << ' ' << r.order << '\n';
+  }
+  for (const auto& r : t.values()) {
+    os << "V " << r.node << ' ' << r.txn << ' ' << r.block << ' ' << r.order;
+    for (const Word w : r.value) os << ' ' << w;
+    os << '\n';
+  }
+  for (const auto& r : t.operations()) {
+    os << "O " << r.proc << ' ' << r.progIdx << ' '
+       << static_cast<unsigned>(r.kind) << ' ' << r.block << ' ' << r.word
+       << ' ' << r.value << ' ' << r.boundTxn << ' ' << r.boundSerial << ' '
+       << r.ts.global << ' ' << r.ts.local << ' ' << r.ts.pid << ' '
+       << (r.forwarded ? 1 : 0) << ' ' << r.order << '\n';
+  }
+  for (const auto& r : t.nacks()) {
+    os << "N " << r.requester << ' ' << r.block << ' '
+       << static_cast<unsigned>(r.kind) << ' ' << r.order << '\n';
+  }
+  for (const auto& r : t.putShareds()) {
+    os << "P " << r.node << ' ' << r.block << ' ' << r.order << '\n';
+  }
+  for (const auto& r : t.deadlockResolutions()) {
+    os << "D " << r.node << ' ' << r.block << ' ' << r.impliedAcker << ' '
+       << r.order << '\n';
+  }
+  if (!os) throw SimError("trace save failed (stream error)");
+}
+
+Trace load(std::istream& is) {
+  Trace t;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    switch (tag) {
+      case 'H': {
+        EventOrder next = 0;
+        if (!(ls >> next)) parseFail(lineNo, line);
+        t.nextOrder_ = next;
+        break;
+      }
+      case 'S': {
+        SerializeRecord r;
+        unsigned kind = 0;
+        if (!(ls >> r.txn.id >> r.txn.serial >> kind >> r.txn.block >>
+              r.txn.requester >> r.order)) {
+          parseFail(lineNo, line);
+        }
+        r.txn.kind = static_cast<TxnKind>(kind);
+        t.txnIndex_[r.txn.id] = t.serializations_.size();
+        t.serializations_.push_back(r);
+        break;
+      }
+      case 'T': {
+        StampRecord r;
+        unsigned role = 0, oldA = 0, newA = 0;
+        if (!(ls >> r.node >> r.txn >> r.serial >> r.block >> role >> r.ts >>
+              oldA >> newA >> r.order)) {
+          parseFail(lineNo, line);
+        }
+        r.role = static_cast<proto::StampRole>(role);
+        r.oldA = static_cast<AState>(oldA);
+        r.newA = static_cast<AState>(newA);
+        t.stamps_.push_back(r);
+        break;
+      }
+      case 'V': {
+        ValueRecord r;
+        if (!(ls >> r.node >> r.txn >> r.block >> r.order)) {
+          parseFail(lineNo, line);
+        }
+        Word w = 0;
+        while (ls >> w) r.value.push_back(w);
+        t.values_.push_back(std::move(r));
+        break;
+      }
+      case 'O': {
+        proto::OpRecord r;
+        unsigned kind = 0;
+        unsigned forwarded = 0;
+        if (!(ls >> r.proc >> r.progIdx >> kind >> r.block >> r.word >>
+              r.value >> r.boundTxn >> r.boundSerial >> r.ts.global >>
+              r.ts.local >> r.ts.pid >> forwarded >> r.order)) {
+          parseFail(lineNo, line);
+        }
+        r.forwarded = forwarded != 0;
+        r.kind = static_cast<OpKind>(kind);
+        t.operations_.push_back(r);
+        break;
+      }
+      case 'N': {
+        NackRecord r;
+        unsigned kind = 0;
+        if (!(ls >> r.requester >> r.block >> kind >> r.order)) {
+          parseFail(lineNo, line);
+        }
+        r.kind = static_cast<NackKind>(kind);
+        t.nacks_.push_back(r);
+        break;
+      }
+      case 'P': {
+        PutSharedRecord r;
+        if (!(ls >> r.node >> r.block >> r.order)) parseFail(lineNo, line);
+        t.putShareds_.push_back(r);
+        break;
+      }
+      case 'D': {
+        DeadlockRecord r;
+        if (!(ls >> r.node >> r.block >> r.impliedAcker >> r.order)) {
+          parseFail(lineNo, line);
+        }
+        t.deadlockResolutions_.push_back(r);
+        break;
+      }
+      default:
+        parseFail(lineNo, line);
+    }
+  }
+  return t;
+}
+
+void saveFile(const Trace& t, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw SimError("cannot open trace file for writing: " + path);
+  save(t, os);
+}
+
+Trace loadFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw SimError("cannot open trace file: " + path);
+  return load(is);
+}
+
+}  // namespace lcdc::trace

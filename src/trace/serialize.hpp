@@ -1,0 +1,37 @@
+// Trace serialization: save an execution trace to a line-oriented text
+// format and load it back, so verification can run offline (and traces
+// from failing runs can be archived as reproducible counterexamples).
+//
+// Format: one record per line, first token is the record type:
+//   H <nextOrder>                                              header
+//   S <txn> <serial> <kind> <block> <requester> <order>        serialization
+//   T <node> <txn> <serial> <block> <role> <ts> <oldA> <newA> <order>
+//   V <node> <txn> <block> <order> <w0> <w1> ...               value receipt
+//   O <proc> <progIdx> <kind> <block> <word> <value> <boundTxn>
+//     <boundSerial> <g> <l> <pid> <order>                      operation
+//   N <requester> <block> <kind> <order>                       NACK
+//   P <node> <block> <order>                                   Put-Shared
+//   D <node> <block> <acker> <order>                           deadlock fix
+//
+// The format is stable, append-only and diff-friendly; loading rebuilds the
+// trace verbatim (orders included), so save/load round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace lcdc::trace {
+
+/// Write `t` to `os`.  Throws SimError on stream failure.
+void save(const Trace& t, std::ostream& os);
+
+/// Read a trace previously written by save().  Throws SimError on parse
+/// errors.
+[[nodiscard]] Trace load(std::istream& is);
+
+/// Convenience file wrappers.
+void saveFile(const Trace& t, const std::string& path);
+[[nodiscard]] Trace loadFile(const std::string& path);
+
+}  // namespace lcdc::trace

@@ -1,0 +1,65 @@
+#include "trace/trace.hpp"
+
+namespace lcdc::trace {
+
+void Trace::onSerialize(const proto::TxnInfo& txn) {
+  txnIndex_[txn.id] = serializations_.size();
+  serializations_.push_back(SerializeRecord{txn, nextOrder()});
+}
+
+void Trace::onTxnConverted(TransactionId id, TxnKind newKind) {
+  const auto it = txnIndex_.find(id);
+  if (it != txnIndex_.end()) {
+    serializations_[it->second].txn.kind = newKind;
+  }
+}
+
+void Trace::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
+                    BlockId block, proto::StampRole role, GlobalTime ts,
+                    AState oldA, AState newA) {
+  stamps_.push_back(
+      StampRecord{node, txn, serial, block, role, ts, oldA, newA, nextOrder()});
+}
+
+void Trace::onValueReceived(NodeId node, TransactionId txn, BlockId block,
+                            const BlockValue& value) {
+  values_.push_back(ValueRecord{node, txn, block, value, nextOrder()});
+}
+
+void Trace::onOperation(const proto::OpRecord& op) {
+  operations_.push_back(op);
+  operations_.back().order = nextOrder();
+}
+
+void Trace::onNack(NodeId requester, BlockId block, NackKind kind) {
+  nacks_.push_back(NackRecord{requester, block, kind, nextOrder()});
+}
+
+void Trace::onPutShared(NodeId node, BlockId block) {
+  putShareds_.push_back(PutSharedRecord{node, block, nextOrder()});
+}
+
+void Trace::onDeadlockResolved(NodeId node, BlockId block,
+                               NodeId impliedAcker) {
+  deadlockResolutions_.push_back(
+      DeadlockRecord{node, block, impliedAcker, nextOrder()});
+}
+
+const proto::TxnInfo* Trace::findTxn(TransactionId id) const {
+  const auto it = txnIndex_.find(id);
+  return it == txnIndex_.end() ? nullptr : &serializations_[it->second].txn;
+}
+
+void Trace::clear() {
+  nextOrder_ = 1;
+  serializations_.clear();
+  stamps_.clear();
+  values_.clear();
+  operations_.clear();
+  nacks_.clear();
+  putShareds_.clear();
+  deadlockResolutions_.clear();
+  txnIndex_.clear();
+}
+
+}  // namespace lcdc::trace

@@ -1,0 +1,130 @@
+// The execution trace: everything the Section 3 proofs quantify over,
+// recorded from a live run through the proto::EventSink interface.
+//
+// Every record carries a monotone `order` field — the *real-time* order in
+// which the event was observed.  Claim 2 compares this real-time order
+// against the directory serialization order; everything else compares
+// Lamport timestamps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timestamp.hpp"
+#include "common/types.hpp"
+#include "proto/events.hpp"
+
+namespace lcdc::trace {
+
+using EventOrder = std::uint64_t;
+
+struct SerializeRecord {
+  proto::TxnInfo txn;
+  EventOrder order = 0;
+};
+
+struct StampRecord {
+  NodeId node = kNoNode;
+  TransactionId txn = kNoTransaction;
+  SerialIdx serial = 0;
+  BlockId block = 0;
+  proto::StampRole role{};
+  GlobalTime ts = 0;
+  AState oldA{};
+  AState newA{};
+  EventOrder order = 0;
+};
+
+struct ValueRecord {
+  NodeId node = kNoNode;
+  TransactionId txn = kNoTransaction;
+  BlockId block = 0;
+  BlockValue value;
+  EventOrder order = 0;
+};
+
+struct NackRecord {
+  NodeId requester = kNoNode;
+  BlockId block = 0;
+  NackKind kind{};
+  EventOrder order = 0;
+};
+
+struct PutSharedRecord {
+  NodeId node = kNoNode;
+  BlockId block = 0;
+  EventOrder order = 0;
+};
+
+struct DeadlockRecord {
+  NodeId node = kNoNode;
+  BlockId block = 0;
+  NodeId impliedAcker = kNoNode;
+  EventOrder order = 0;
+};
+
+/// Event recorder.  Owns every record of a run; the verify module consumes
+/// it read-only.
+class Trace : public proto::EventSink {
+ public:
+  void onSerialize(const proto::TxnInfo& txn) override;
+  void onTxnConverted(TransactionId id, TxnKind newKind) override;
+  void onStamp(NodeId node, TransactionId txn, SerialIdx serial, BlockId block,
+               proto::StampRole role, GlobalTime ts, AState oldA,
+               AState newA) override;
+  void onValueReceived(NodeId node, TransactionId txn, BlockId block,
+                       const BlockValue& value) override;
+  void onOperation(const proto::OpRecord& op) override;
+  void onNack(NodeId requester, BlockId block, NackKind kind) override;
+  void onPutShared(NodeId node, BlockId block) override;
+  void onDeadlockResolved(NodeId node, BlockId block,
+                          NodeId impliedAcker) override;
+
+  [[nodiscard]] const std::vector<SerializeRecord>& serializations() const {
+    return serializations_;
+  }
+  [[nodiscard]] const std::vector<StampRecord>& stamps() const {
+    return stamps_;
+  }
+  [[nodiscard]] const std::vector<ValueRecord>& values() const {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<proto::OpRecord>& operations() const {
+    return operations_;
+  }
+  [[nodiscard]] const std::vector<NackRecord>& nacks() const { return nacks_; }
+  [[nodiscard]] const std::vector<PutSharedRecord>& putShareds() const {
+    return putShareds_;
+  }
+  [[nodiscard]] const std::vector<DeadlockRecord>& deadlockResolutions() const {
+    return deadlockResolutions_;
+  }
+
+  /// Transaction lookup with kind conversions (transactions 13/14a) applied.
+  [[nodiscard]] const proto::TxnInfo* findTxn(TransactionId id) const;
+
+  /// Order stamp sequence (real time) — exposed so external events (the
+  /// simulator's own markers) can interleave consistently.
+  EventOrder nextOrder() { return nextOrder_++; }
+
+  void clear();
+
+ private:
+  friend Trace load(std::istream& is);  // serialize.hpp round-trips verbatim
+
+  EventOrder nextOrder_ = 1;
+  std::vector<SerializeRecord> serializations_;
+  std::vector<StampRecord> stamps_;
+  std::vector<ValueRecord> values_;
+  std::vector<proto::OpRecord> operations_;
+  std::vector<NackRecord> nacks_;
+  std::vector<PutSharedRecord> putShareds_;
+  std::vector<DeadlockRecord> deadlockResolutions_;
+  std::unordered_map<TransactionId, std::size_t> txnIndex_;
+};
+
+}  // namespace lcdc::trace

@@ -1,0 +1,189 @@
+#include "workload/generators.hpp"
+
+#include "common/expect.hpp"
+
+namespace lcdc::workload {
+
+namespace {
+
+/// Per-processor generation state: one RNG stream and one store-value
+/// counter per processor.
+struct ProcGen {
+  Rng rng;
+  std::uint64_t storeSeq = 0;
+};
+
+std::vector<ProcGen> makeGens(const WorkloadConfig& cfg) {
+  Rng master(cfg.seed ^ 0x776F726B'6C6F6164ULL);
+  std::vector<ProcGen> gens;
+  gens.reserve(cfg.numProcessors);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    gens.push_back(ProcGen{master.fork(), 0});
+  }
+  return gens;
+}
+
+Step randomStep(const WorkloadConfig& cfg, ProcGen& g, NodeId proc,
+                BlockId block) {
+  const WordIdx word =
+      static_cast<WordIdx>(g.rng.uniform(0, cfg.wordsPerBlock - 1));
+  if (g.rng.chance(cfg.evictPercent, 100)) return evict(block);
+  if (g.rng.chance(cfg.storePercent, 100)) {
+    return store(block, word, makeStoreValue(proc, g.storeSeq++));
+  }
+  return load(block, word);
+}
+
+}  // namespace
+
+std::vector<Program> uniformRandom(const WorkloadConfig& cfg) {
+  LCDC_EXPECT(cfg.numBlocks >= 1 && cfg.wordsPerBlock >= 1, "empty memory");
+  auto gens = makeGens(cfg);
+  std::vector<Program> programs(cfg.numProcessors);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    ProcGen& g = gens[p];
+    programs[p].steps.reserve(cfg.opsPerProcessor);
+    for (std::uint64_t i = 0; i < cfg.opsPerProcessor; ++i) {
+      const BlockId block =
+          static_cast<BlockId>(g.rng.uniform(0, cfg.numBlocks - 1));
+      programs[p].steps.push_back(randomStep(cfg, g, p, block));
+    }
+  }
+  return programs;
+}
+
+std::vector<Program> hotBlock(const WorkloadConfig& cfg,
+                              std::uint32_t hotPercent, BlockId hotBlocks) {
+  LCDC_EXPECT(hotBlocks >= 1 && hotBlocks <= cfg.numBlocks,
+              "hotBlocks out of range");
+  auto gens = makeGens(cfg);
+  std::vector<Program> programs(cfg.numProcessors);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    ProcGen& g = gens[p];
+    for (std::uint64_t i = 0; i < cfg.opsPerProcessor; ++i) {
+      const bool hot = g.rng.chance(hotPercent, 100);
+      const BlockId block =
+          hot ? static_cast<BlockId>(g.rng.uniform(0, hotBlocks - 1))
+              : static_cast<BlockId>(g.rng.uniform(0, cfg.numBlocks - 1));
+      programs[p].steps.push_back(randomStep(cfg, g, p, block));
+    }
+  }
+  return programs;
+}
+
+std::vector<Program> producerConsumer(const WorkloadConfig& cfg) {
+  auto gens = makeGens(cfg);
+  std::vector<Program> programs(cfg.numProcessors);
+  const BlockId region = std::min<BlockId>(cfg.numBlocks, 8);
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, cfg.opsPerProcessor / (region * 2));
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (BlockId b = 0; b < region; ++b) {
+      // The producer writes every word, then evicts half the time so
+      // consumers sometimes hit memory and sometimes trigger forwards.
+      for (WordIdx w = 0; w < cfg.wordsPerBlock; ++w) {
+        programs[0].steps.push_back(
+            store(b, w, makeStoreValue(0, gens[0].storeSeq++)));
+      }
+      if (gens[0].rng.chance(1, 2)) programs[0].steps.push_back(evict(b));
+      for (NodeId p = 1; p < cfg.numProcessors; ++p) {
+        const WordIdx w = static_cast<WordIdx>(
+            gens[p].rng.uniform(0, cfg.wordsPerBlock - 1));
+        programs[p].steps.push_back(load(b, w));
+        if (gens[p].rng.chance(1, 4)) programs[p].steps.push_back(evict(b));
+      }
+    }
+  }
+  return programs;
+}
+
+std::vector<Program> migratory(const WorkloadConfig& cfg) {
+  auto gens = makeGens(cfg);
+  std::vector<Program> programs(cfg.numProcessors);
+  const BlockId region = std::min<BlockId>(cfg.numBlocks, 16);
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, cfg.opsPerProcessor / 4);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const BlockId b = static_cast<BlockId>(r % region);
+    // Each processor in turn: read-modify-write (classic migratory data).
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      ProcGen& g = gens[p];
+      const WordIdx w =
+          static_cast<WordIdx>(g.rng.uniform(0, cfg.wordsPerBlock - 1));
+      programs[p].steps.push_back(load(b, w));
+      programs[p].steps.push_back(
+          store(b, w, makeStoreValue(p, g.storeSeq++)));
+    }
+  }
+  return programs;
+}
+
+std::vector<Program> falseSharing(const WorkloadConfig& cfg) {
+  LCDC_EXPECT(cfg.wordsPerBlock >= cfg.numProcessors ||
+                  cfg.wordsPerBlock >= 1,
+              "false sharing needs at least one word");
+  auto gens = makeGens(cfg);
+  std::vector<Program> programs(cfg.numProcessors);
+  const BlockId region = std::min<BlockId>(cfg.numBlocks, 4);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    ProcGen& g = gens[p];
+    const WordIdx myWord = static_cast<WordIdx>(p % cfg.wordsPerBlock);
+    for (std::uint64_t i = 0; i < cfg.opsPerProcessor; ++i) {
+      const BlockId b = static_cast<BlockId>(g.rng.uniform(0, region - 1));
+      if (g.rng.chance(60, 100)) {
+        programs[p].steps.push_back(
+            store(b, myWord, makeStoreValue(p, g.storeSeq++)));
+      } else {
+        programs[p].steps.push_back(load(b, myWord));
+      }
+    }
+  }
+  return programs;
+}
+
+std::vector<Program> addPrefetchHints(std::vector<Program> programs,
+                                      std::uint32_t lookahead,
+                                      std::uint32_t percent,
+                                      std::uint64_t seed) {
+  Rng rng(seed ^ 0x70726566'65746368ULL);
+  for (Program& prog : programs) {
+    Rng mine = rng.fork();
+    // Collect hint insertions first (position -> steps), then rebuild.
+    std::vector<std::vector<Step>> hints(prog.steps.size() + 1);
+    for (std::size_t i = 0; i < prog.steps.size(); ++i) {
+      const Step& s = prog.steps[i];
+      if (s.kind != StepKind::Load && s.kind != StepKind::Store) continue;
+      if (!mine.chance(percent, 100)) continue;
+      const std::size_t at = i > lookahead ? i - lookahead : 0;
+      hints[at].push_back(s.kind == StepKind::Load
+                              ? prefetchShared(s.block)
+                              : prefetchExclusive(s.block));
+    }
+    Program rebuilt;
+    rebuilt.steps.reserve(prog.steps.size() * 2);
+    for (std::size_t i = 0; i <= prog.steps.size(); ++i) {
+      for (const Step& h : hints[i]) rebuilt.steps.push_back(h);
+      if (i < prog.steps.size()) rebuilt.steps.push_back(prog.steps[i]);
+    }
+    prog = std::move(rebuilt);
+  }
+  return programs;
+}
+
+std::vector<Program> readMostly(const WorkloadConfig& cfg) {
+  WorkloadConfig tweaked = cfg;
+  tweaked.storePercent = 5;
+  auto gens = makeGens(tweaked);
+  std::vector<Program> programs(cfg.numProcessors);
+  const BlockId region = std::min<BlockId>(cfg.numBlocks, 16);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    ProcGen& g = gens[p];
+    for (std::uint64_t i = 0; i < cfg.opsPerProcessor; ++i) {
+      const BlockId b = static_cast<BlockId>(g.rng.uniform(0, region - 1));
+      programs[p].steps.push_back(randomStep(tweaked, g, p, b));
+    }
+  }
+  return programs;
+}
+
+}  // namespace lcdc::workload

@@ -1,0 +1,64 @@
+// Workload generators: LD/ST/evict streams that exercise the protocol's
+// interesting regimes — read sharing, invalidation storms, ownership
+// migration, writeback races and Put-Shared re-requests.
+//
+// All generators are deterministic functions of their configuration
+// (including the seed) and emit globally unique store values so the
+// sequential-consistency replay can attribute every load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/program.hpp"
+
+namespace lcdc::workload {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  NodeId numProcessors = 4;
+  BlockId numBlocks = 64;
+  WordIdx wordsPerBlock = 4;
+  std::uint64_t opsPerProcessor = 1000;
+  /// Percent of (non-evict) operations that are stores.
+  std::uint32_t storePercent = 30;
+  /// Percent of program steps that are evict directives (drives writeback
+  /// races and Put-Shared).
+  std::uint32_t evictPercent = 5;
+};
+
+/// Uniform random accesses over all blocks — the broad-coverage stress mix.
+[[nodiscard]] std::vector<Program> uniformRandom(const WorkloadConfig& cfg);
+
+/// Most accesses hit a few hot blocks: heavy invalidation and busy-NACK
+/// contention (where transactions 4/8/10/11 and 13/14 live).
+[[nodiscard]] std::vector<Program> hotBlock(const WorkloadConfig& cfg,
+                                            std::uint32_t hotPercent = 85,
+                                            BlockId hotBlocks = 2);
+
+/// Processor 0 produces into a region, the rest consume it round after
+/// round: classic single-writer/many-reader sharing.
+[[nodiscard]] std::vector<Program> producerConsumer(const WorkloadConfig& cfg);
+
+/// Each block migrates processor to processor in read-modify-write bursts:
+/// the Get-Shared/Get-Exclusive-at-Exclusive forwarding paths.
+[[nodiscard]] std::vector<Program> migratory(const WorkloadConfig& cfg);
+
+/// All processors hammer distinct words of the same blocks: maximal
+/// ownership ping-pong with no data dependence (false sharing).
+[[nodiscard]] std::vector<Program> falseSharing(const WorkloadConfig& cfg);
+
+/// 95% loads over a shared region with occasional writers: wide CACHED
+/// sets, large invalidation fan-outs.
+[[nodiscard]] std::vector<Program> readMostly(const WorkloadConfig& cfg);
+
+/// Decorate programs with prefetch hints: for `percent`% of the memory
+/// operations, insert a matching prefetch `lookahead` steps earlier
+/// (Section 2.3's decoupling of coherence requests from processor events).
+[[nodiscard]] std::vector<Program> addPrefetchHints(
+    std::vector<Program> programs, std::uint32_t lookahead,
+    std::uint32_t percent, std::uint64_t seed);
+
+}  // namespace lcdc::workload

@@ -1,0 +1,69 @@
+// Program representation: the LD/ST stream each simulated processor
+// executes, plus directives that drive the cache actions the paper's races
+// depend on (evictions, Put-Shared).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lcdc::workload {
+
+/// One program step.  Besides plain loads and stores, a program may carry
+/// explicit eviction directives — the decoupled "coherence requests are not
+/// tied to processor events" behaviour of Section 2.3 — which scripted
+/// scenarios and stress workloads use to provoke writeback races and the
+/// Put-Shared deadlock.
+enum class StepKind : std::uint8_t {
+  Load,
+  Store,
+  /// Evict the block: Writeback when held read-write; Put-Shared when held
+  /// read-only (requires the Section 2.5 extension); no-op when not cached.
+  Evict,
+  /// Prefetch the block read-only / read-write without binding an
+  /// operation.  Section 2.3 decouples coherence requests from processor
+  /// events ("a Get-Shared request could be generated even before a
+  /// processor suffers a read miss ... prefetching blocks into its cache");
+  /// these steps exercise that decoupling.  The processor does NOT stall:
+  /// it issues the request (if the line is invalid and unblocked) and moves
+  /// on; a later operation on the block binds when the prefetch completes.
+  PrefetchShared,
+  PrefetchExclusive,
+};
+
+struct Step {
+  StepKind kind{};
+  BlockId block = 0;
+  WordIdx word = 0;
+  Word storeValue = 0;
+};
+
+struct Program {
+  std::vector<Step> steps;
+};
+
+[[nodiscard]] inline Step load(BlockId b, WordIdx w) {
+  return Step{StepKind::Load, b, w, 0};
+}
+[[nodiscard]] inline Step store(BlockId b, WordIdx w, Word v) {
+  return Step{StepKind::Store, b, w, v};
+}
+[[nodiscard]] inline Step evict(BlockId b) {
+  return Step{StepKind::Evict, b, 0, 0};
+}
+[[nodiscard]] inline Step prefetchShared(BlockId b) {
+  return Step{StepKind::PrefetchShared, b, 0, 0};
+}
+[[nodiscard]] inline Step prefetchExclusive(BlockId b) {
+  return Step{StepKind::PrefetchExclusive, b, 0, 0};
+}
+
+/// Store values are made globally unique so the sequential-consistency
+/// replay can attribute every loaded value to the store that produced it.
+/// Word 0 is reserved for "initial value".
+[[nodiscard]] inline Word makeStoreValue(NodeId proc, std::uint64_t seq) {
+  return (static_cast<Word>(proc) + 1) << 40 | (seq + 1);
+}
+
+}  // namespace lcdc::workload

@@ -1,0 +1,350 @@
+// Unit tests for the cache controller: binding rules, request issue,
+// Section 2.4 buffering, Section 2.5 Put-Shared / stale invalidations /
+// deadlock detection, and value handling per Facts 1-2.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.hpp"
+#include "proto/cache.hpp"
+#include "trace/trace.hpp"
+
+namespace lcdc::proto {
+namespace {
+
+constexpr NodeId kSelf = 0;
+constexpr NodeId kHome = 10;
+constexpr BlockId kBlk = 0;
+
+struct RecordingClient : CacheClient {
+  std::vector<std::pair<BlockId, ReqType>> completions;
+  std::vector<std::pair<BlockId, ReqType>> nacks;
+  std::vector<BlockId> unblocked;
+  void onComplete(BlockId b, ReqType r) override {
+    completions.emplace_back(b, r);
+  }
+  void onNacked(BlockId b, ReqType r, NackKind) override {
+    nacks.emplace_back(b, r);
+  }
+  void onLineUnblocked(BlockId b) override { unblocked.push_back(b); }
+};
+
+class CacheTest : public testing::Test {
+ protected:
+  CacheTest() : cache(kSelf, ProtoConfig{}, trace, client) {}
+
+  Message reply(MsgType type, TransactionId txn = 1, SerialIdx serial = 1) {
+    Message m;
+    m.type = type;
+    m.block = kBlk;
+    m.src = kHome;
+    m.requester = kSelf;
+    m.txn = txn;
+    m.serial = serial;
+    m.stamps = {TsStamp{kHome, serial}};
+    if (type == MsgType::DataShared || type == MsgType::DataExclusive ||
+        type == MsgType::OwnerData) {
+      m.data = BlockValue{10, 20, 30, 40};
+    }
+    return m;
+  }
+
+  /// Bring the line to read-only via a GetS round trip.
+  void acquireShared(TransactionId txn = 1, SerialIdx serial = 1) {
+    cache.issueRequest(kBlk, ReqType::GetShared, kHome, out);
+    out.clear();
+    cache.handle(reply(MsgType::DataShared, txn, serial), out);
+    out.clear();
+  }
+
+  /// Bring the line to read-write via a GetX round trip (no sharers).
+  void acquireExclusive(TransactionId txn = 1, SerialIdx serial = 1) {
+    cache.issueRequest(kBlk, ReqType::GetExclusive, kHome, out);
+    out.clear();
+    cache.handle(reply(MsgType::DataExclusive, txn, serial), out);
+    out.clear();
+  }
+
+  trace::Trace trace;
+  RecordingClient client;
+  CacheController cache;
+  Outbox out;
+};
+
+TEST_F(CacheTest, NothingBindsWhenInvalid) {
+  EXPECT_FALSE(cache.canBind(kBlk, OpKind::Load));
+  EXPECT_FALSE(cache.canBind(kBlk, OpKind::Store));
+  EXPECT_EQ(cache.state(kBlk), CacheState::Invalid);
+  EXPECT_FALSE(cache.requestBlocked(kBlk));
+}
+
+TEST_F(CacheTest, GetSharedRoundTripEnablesLoadsOnly) {
+  cache.issueRequest(kBlk, ReqType::GetShared, kHome, out);
+  ASSERT_EQ(out.msgs.size(), 1u);
+  EXPECT_EQ(out.msgs[0].msg.type, MsgType::GetS);
+  EXPECT_EQ(out.msgs[0].dst, kHome);
+  EXPECT_TRUE(cache.requestBlocked(kBlk));
+  EXPECT_FALSE(cache.canBind(kBlk, OpKind::Load));  // not yet
+  out.clear();
+
+  cache.handle(reply(MsgType::DataShared), out);
+  EXPECT_EQ(client.completions,
+            (std::vector<std::pair<BlockId, ReqType>>{
+                {kBlk, ReqType::GetShared}}));
+  EXPECT_TRUE(cache.canBind(kBlk, OpKind::Load));
+  EXPECT_FALSE(cache.canBind(kBlk, OpKind::Store));
+
+  const BindResult r = cache.bind(kBlk, OpKind::Load, 1, 0);
+  EXPECT_EQ(r.value, 20u);  // the delivered data
+  EXPECT_EQ(r.boundTxn, 1u);
+}
+
+TEST_F(CacheTest, StoresUpdateTheLocalCopy) {
+  acquireExclusive();
+  EXPECT_TRUE(cache.canBind(kBlk, OpKind::Store));
+  (void)cache.bind(kBlk, OpKind::Store, 2, 777);
+  const BindResult r = cache.bind(kBlk, OpKind::Load, 2, 0);
+  EXPECT_EQ(r.value, 777u);  // Fact 1(a): load sees own prior store
+}
+
+TEST_F(CacheTest, ForwardedGetSCarriesCurrentValueAndDowngrades) {
+  acquireExclusive();
+  (void)cache.bind(kBlk, OpKind::Store, 0, 555);
+
+  Message fwd;
+  fwd.type = MsgType::FwdGetS;
+  fwd.block = kBlk;
+  fwd.src = kHome;
+  fwd.requester = 2;
+  fwd.txn = 5;
+  fwd.serial = 2;
+  cache.handle(fwd, out);
+
+  ASSERT_EQ(out.msgs.size(), 2u);
+  const Message* data = nullptr;
+  const Message* update = nullptr;
+  for (const auto& e : out.msgs) {
+    if (e.msg.type == MsgType::OwnerData) {
+      EXPECT_EQ(e.dst, 2u);
+      data = &e.msg;
+    } else if (e.msg.type == MsgType::UpdateS) {
+      EXPECT_EQ(e.dst, kHome);
+      update = &e.msg;
+    }
+  }
+  ASSERT_NE(data, nullptr);
+  ASSERT_NE(update, nullptr);
+  // Fact 2: the value sent is the latest bound store.
+  EXPECT_EQ(data->data[0], 555u);
+  EXPECT_EQ(update->data[0], 555u);
+  EXPECT_EQ(cache.state(kBlk), CacheState::ReadOnly);
+  EXPECT_TRUE(cache.canBind(kBlk, OpKind::Load));
+  EXPECT_FALSE(cache.canBind(kBlk, OpKind::Store));
+  // Loads after the downgrade bind to the *forwarded* transaction's epoch.
+  EXPECT_EQ(cache.bind(kBlk, OpKind::Load, 0, 0).boundTxn, 5u);
+}
+
+TEST_F(CacheTest, ForwardedGetXInvalidatesAndTransfersOwnership) {
+  acquireExclusive();
+  Message fwd;
+  fwd.type = MsgType::FwdGetX;
+  fwd.block = kBlk;
+  fwd.src = kHome;
+  fwd.requester = 2;
+  fwd.txn = 5;
+  fwd.serial = 2;
+  cache.handle(fwd, out);
+  ASSERT_EQ(out.msgs.size(), 2u);
+  EXPECT_EQ(cache.state(kBlk), CacheState::Invalid);
+  bool sawUpdateX = false;
+  for (const auto& e : out.msgs) sawUpdateX |= e.msg.type == MsgType::UpdateX;
+  EXPECT_TRUE(sawUpdateX);
+}
+
+TEST_F(CacheTest, InvalidationWhileIdleAcksAndInvalidates) {
+  acquireShared();
+  Message inv;
+  inv.type = MsgType::Inv;
+  inv.block = kBlk;
+  inv.src = kHome;
+  inv.requester = 3;
+  inv.txn = 9;
+  inv.serial = 2;
+  cache.handle(inv, out);
+  ASSERT_EQ(out.msgs.size(), 1u);
+  EXPECT_EQ(out.msgs[0].msg.type, MsgType::InvAck);
+  EXPECT_EQ(out.msgs[0].dst, 3u);  // ack goes to the *requester*
+  ASSERT_EQ(out.msgs[0].msg.stamps.size(), 1u);
+  EXPECT_EQ(out.msgs[0].msg.stamps[0].node, kSelf);
+  EXPECT_EQ(cache.state(kBlk), CacheState::Invalid);
+}
+
+TEST_F(CacheTest, InvalidationBufferedBehindOutstandingUpgrade) {
+  acquireShared();
+  cache.issueRequest(kBlk, ReqType::Upgrade, kHome, out);
+  out.clear();
+  Message inv;
+  inv.type = MsgType::Inv;
+  inv.block = kBlk;
+  inv.src = kHome;
+  inv.requester = 3;
+  inv.txn = 9;
+  inv.serial = 2;
+  cache.handle(inv, out);
+  EXPECT_TRUE(out.msgs.empty());  // buffered, not acknowledged
+  EXPECT_EQ(cache.stats().invalidationsBuffered, 1u);
+
+  // The home NACKs the Upgrade (we lost the race) — the buffered
+  // invalidation now applies, and the retry will be a Get-Exclusive.
+  Message nack;
+  nack.type = MsgType::Nack;
+  nack.block = kBlk;
+  nack.src = kHome;
+  nack.requester = kSelf;
+  nack.nackKind = NackKind::Upg_Exclusive;
+  nack.nackedReq = ReqType::Upgrade;
+  cache.handle(nack, out);
+  ASSERT_EQ(out.msgs.size(), 1u);
+  EXPECT_EQ(out.msgs[0].msg.type, MsgType::InvAck);
+  EXPECT_EQ(cache.state(kBlk), CacheState::Invalid);
+  EXPECT_EQ(client.nacks.size(), 1u);
+}
+
+TEST_F(CacheTest, PutSharedKeepsASharedAState) {
+  acquireShared();
+  cache.putShared(kBlk);
+  EXPECT_EQ(cache.state(kBlk), CacheState::Invalid);
+  EXPECT_EQ(cache.findLine(kBlk)->astate, AState::S);  // conceptual state
+  EXPECT_FALSE(cache.requestBlocked(kBlk));
+  EXPECT_EQ(cache.stats().putShareds, 1u);
+}
+
+TEST_F(CacheTest, StaleInvalidationAfterPutSharedIsAcked) {
+  acquireShared();
+  cache.putShared(kBlk);
+  Message inv;
+  inv.type = MsgType::Inv;
+  inv.block = kBlk;
+  inv.src = kHome;
+  inv.requester = 3;
+  inv.txn = 9;
+  inv.serial = 2;
+  cache.handle(inv, out);  // Section 2.5 addition (3)
+  ASSERT_EQ(out.msgs.size(), 1u);
+  EXPECT_EQ(out.msgs[0].msg.type, MsgType::InvAck);
+  EXPECT_EQ(cache.stats().staleInvAcks, 1u);
+  EXPECT_EQ(cache.findLine(kBlk)->astate, AState::I);
+}
+
+TEST_F(CacheTest, ReRequestAfterPutSharedCarriesPreCloseStamp) {
+  acquireShared();
+  cache.putShared(kBlk);
+  cache.issueRequest(kBlk, ReqType::GetShared, kHome, out);
+  ASSERT_EQ(out.msgs.size(), 1u);
+  const Message& m = out.msgs[0].msg;
+  ASSERT_EQ(m.stamps.size(), 1u);  // the pre-close stamp
+  EXPECT_EQ(m.stamps[0].node, kSelf);
+  EXPECT_GT(m.stamps[0].ts, 0u);
+}
+
+TEST_F(CacheTest, FreshRequestCarriesNoStamp) {
+  cache.issueRequest(kBlk, ReqType::GetShared, kHome, out);
+  EXPECT_TRUE(out.msgs[0].msg.stamps.empty());
+}
+
+TEST_F(CacheTest, GetXWaitsForEveryInvAck) {
+  cache.issueRequest(kBlk, ReqType::GetExclusive, kHome, out);
+  out.clear();
+  Message data = reply(MsgType::DataExclusive);
+  data.invTargets = {2, 3};
+  cache.handle(data, out);
+  EXPECT_TRUE(client.completions.empty());  // still waiting
+
+  Message ack;
+  ack.type = MsgType::InvAck;
+  ack.block = kBlk;
+  ack.src = 2;
+  ack.requester = kSelf;
+  ack.txn = 1;
+  ack.stamps = {TsStamp{2, 4}};
+  cache.handle(ack, out);
+  EXPECT_TRUE(client.completions.empty());  // one of two
+
+  ack.src = 3;
+  ack.stamps = {TsStamp{3, 6}};
+  cache.handle(ack, out);
+  ASSERT_EQ(client.completions.size(), 1u);
+  EXPECT_EQ(cache.state(kBlk), CacheState::ReadWrite);
+  // Upgrade stamp = 1 + max(all received stamps).
+  EXPECT_EQ(cache.findLine(kBlk)->epochTs, 7u);
+}
+
+TEST_F(CacheTest, EarlyInvAckBeforeReplyIsCounted) {
+  cache.issueRequest(kBlk, ReqType::GetExclusive, kHome, out);
+  out.clear();
+  Message ack;  // arrives before the home's reply
+  ack.type = MsgType::InvAck;
+  ack.block = kBlk;
+  ack.src = 2;
+  ack.requester = kSelf;
+  ack.txn = 1;
+  ack.stamps = {TsStamp{2, 4}};
+  cache.handle(ack, out);
+  EXPECT_TRUE(client.completions.empty());
+
+  Message data = reply(MsgType::DataExclusive);
+  data.invTargets = {2};
+  cache.handle(data, out);
+  ASSERT_EQ(client.completions.size(), 1u);
+  EXPECT_EQ(cache.state(kBlk), CacheState::ReadWrite);
+}
+
+TEST_F(CacheTest, WritebackStopsBindingImmediately) {
+  acquireExclusive();
+  cache.writeback(kBlk, kHome, out);
+  ASSERT_EQ(out.msgs.size(), 1u);
+  EXPECT_EQ(out.msgs[0].msg.type, MsgType::Writeback);
+  ASSERT_EQ(out.msgs[0].msg.stamps.size(), 1u);  // pre-assigned stamp
+  EXPECT_FALSE(cache.canBind(kBlk, OpKind::Load));
+  EXPECT_TRUE(cache.requestBlocked(kBlk));
+  out.clear();
+
+  Message ack;
+  ack.type = MsgType::WbAck;
+  ack.block = kBlk;
+  ack.src = kHome;
+  ack.requester = kSelf;
+  ack.txn = 2;
+  ack.serial = 2;
+  cache.handle(ack, out);
+  EXPECT_FALSE(cache.requestBlocked(kBlk));
+  EXPECT_EQ(cache.findLine(kBlk)->astate, AState::I);
+}
+
+TEST_F(CacheTest, MisuseIsRejected) {
+  EXPECT_THROW(cache.bind(kBlk, OpKind::Load, 0, 0), ProtocolError);
+  EXPECT_THROW(cache.putShared(kBlk), ProtocolError);
+  EXPECT_THROW(cache.writeback(kBlk, kHome, out), ProtocolError);
+  EXPECT_THROW(cache.issueRequest(kBlk, ReqType::Upgrade, kHome, out),
+               ProtocolError);
+  acquireShared();
+  EXPECT_THROW(cache.issueRequest(kBlk, ReqType::GetShared, kHome, out),
+               ProtocolError);  // line not invalid
+  cache.issueRequest(kBlk, ReqType::Upgrade, kHome, out);
+  EXPECT_THROW(cache.issueRequest(kBlk, ReqType::Upgrade, kHome, out),
+               ProtocolError);  // one outstanding request per block
+}
+
+TEST_F(CacheTest, InvalidationAddressedToOwnerIsImpossible) {
+  acquireExclusive();
+  Message inv;
+  inv.type = MsgType::Inv;
+  inv.block = kBlk;
+  inv.src = kHome;
+  inv.requester = 3;
+  inv.txn = 9;
+  EXPECT_THROW(cache.handle(inv, out), ProtocolError);
+}
+
+}  // namespace
+}  // namespace lcdc::proto

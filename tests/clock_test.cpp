@@ -1,0 +1,56 @@
+// Unit tests for the Section 3.2 operation-stamping rule and epoch types.
+#include <gtest/gtest.h>
+
+#include "clock/lamport.hpp"
+
+namespace lcdc::clk {
+namespace {
+
+TEST(OpStamper, FirstOpGetsLocalOne) {
+  OpStamper s(3);
+  const Timestamp ts = s.stamp(5);
+  EXPECT_EQ(ts, (Timestamp{5, 1, 3}));
+}
+
+TEST(OpStamper, LocalCountsWithinAnEpoch) {
+  // "Local timestamps ... enable an unbounded number of LD/ST operations
+  // between transactions."
+  OpStamper s(0);
+  EXPECT_EQ(s.stamp(2), (Timestamp{2, 1, 0}));
+  EXPECT_EQ(s.stamp(2), (Timestamp{2, 2, 0}));
+  EXPECT_EQ(s.stamp(2), (Timestamp{2, 3, 0}));
+  EXPECT_EQ(s.stamp(4), (Timestamp{4, 1, 0}));  // new global -> local resets
+  EXPECT_EQ(s.stamp(4), (Timestamp{4, 2, 0}));
+}
+
+TEST(OpStamper, GlobalIsMaxOfTxnAndProgramOrder) {
+  // global(OP) = max{stamp of bound txn, global of previous op}.
+  OpStamper s(1);
+  EXPECT_EQ(s.stamp(7), (Timestamp{7, 1, 1}));
+  // An op bound to an *older* transaction (different block) must not go
+  // backwards: it inherits the previous op's global time.
+  EXPECT_EQ(s.stamp(3), (Timestamp{7, 2, 1}));
+  EXPECT_EQ(s.stamp(9), (Timestamp{9, 1, 1}));
+}
+
+TEST(OpStamper, ProgramOrderEmbedsIntoLamportOrder) {
+  OpStamper s(2);
+  Timestamp prev = s.stamp(1);
+  const GlobalTime txnTs[] = {1, 1, 5, 2, 5, 8, 3, 8};
+  for (const GlobalTime t : txnTs) {
+    const Timestamp cur = s.stamp(t);
+    EXPECT_LT(prev, cur);
+    prev = cur;
+  }
+}
+
+TEST(Epoch, OpenEpochSentinel) {
+  Epoch e;
+  EXPECT_EQ(e.end, kOpenEpoch);
+  e.start = 10;
+  e.end = 12;
+  EXPECT_LT(e.start, e.end);
+}
+
+}  // namespace
+}  // namespace lcdc::clk

@@ -1,0 +1,124 @@
+// Unit tests for the common vocabulary: RNG determinism and uniformity,
+// timestamp ordering, A-state algebra, and string rendering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "common/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace lcdc {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2() != c());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = r.uniform(3, 17);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0, 100));
+    EXPECT_TRUE(r.chance(100, 100));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(5);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += r.chance(25, 100);
+  EXPECT_NEAR(hits, 25'000, 1'000);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng parent1(9), parent2(9);
+  Rng childA = parent1.fork();
+  Rng childB = parent2.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(childA(), childB());
+}
+
+TEST(Timestamp, LexicographicOrdering) {
+  const Timestamp a{1, 2, 0};
+  const Timestamp b{1, 2, 1};
+  const Timestamp c{1, 3, 0};
+  const Timestamp d{2, 1, 0};
+  EXPECT_LT(a, b);  // pid breaks ties
+  EXPECT_LT(b, c);  // local dominates pid
+  EXPECT_LT(c, d);  // global dominates local
+  EXPECT_EQ(a, (Timestamp{1, 2, 0}));
+}
+
+TEST(Timestamp, ToString) {
+  EXPECT_EQ(toString(Timestamp{3, 1, 2}), "(3,1,p2)");
+}
+
+TEST(AState, UpgradeDowngradeAlgebra) {
+  EXPECT_TRUE(isAStateUpgrade(AState::I, AState::S));
+  EXPECT_TRUE(isAStateUpgrade(AState::I, AState::X));
+  EXPECT_TRUE(isAStateUpgrade(AState::S, AState::X));
+  EXPECT_FALSE(isAStateUpgrade(AState::S, AState::S));
+  EXPECT_FALSE(isAStateUpgrade(AState::X, AState::S));
+  EXPECT_TRUE(isAStateDowngrade(AState::X, AState::S));
+  EXPECT_TRUE(isAStateDowngrade(AState::X, AState::I));
+  EXPECT_TRUE(isAStateDowngrade(AState::S, AState::I));
+  EXPECT_FALSE(isAStateDowngrade(AState::I, AState::I));
+  EXPECT_FALSE(isAStateDowngrade(AState::I, AState::X));
+}
+
+TEST(Expect, ThrowsProtocolErrorWithContext) {
+  try {
+    LCDC_EXPECT(false, "something impossible happened");
+    FAIL() << "LCDC_EXPECT did not throw";
+  } catch (const ProtocolError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("something impossible happened"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Strings, EnumRenderingIsTotal) {
+  EXPECT_EQ(toString(ReqType::GetShared), "Get-Shared");
+  EXPECT_EQ(toString(ReqType::Writeback), "Writeback");
+  EXPECT_EQ(toString(CacheState::ReadWrite), "read-write");
+  EXPECT_EQ(toString(AState::X), "A_X");
+  EXPECT_EQ(toString(DirState::BusyShared), "Busy-Shared");
+  EXPECT_EQ(toString(TxnKind::Wb_BusyExclusiveSelf),
+            "14b:Wb/Busy-Exclusive-self");
+  EXPECT_EQ(toString(NackKind::Upg_Exclusive), "10:Upg/Exclusive");
+  EXPECT_EQ(toString(OpKind::Load), "LD");
+  EXPECT_EQ(std::string(toString(Mutant::SkipInvAckWait)),
+            "skip-inv-ack-wait");
+}
+
+}  // namespace
+}  // namespace lcdc

@@ -1,0 +1,112 @@
+// Unit tests for the interconnect: Section 2.1's two guarantees (reliable,
+// eventual delivery; no ordering) and the three delivery modes.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "net/network.hpp"
+
+namespace lcdc::net {
+namespace {
+
+proto::Message msg(proto::MsgType type, BlockId block) {
+  proto::Message m;
+  m.type = type;
+  m.block = block;
+  return m;
+}
+
+TEST(Network, DeliversEverythingExactlyOnce) {
+  Network net(Network::Mode::RandomLatency, Rng(1), 1, 20);
+  for (BlockId b = 0; b < 100; ++b) {
+    net.send(0, 1, 0, msg(proto::MsgType::GetS, b));
+  }
+  EXPECT_EQ(net.inFlight(), 100u);
+  std::set<BlockId> seen;
+  while (!net.empty()) {
+    const Envelope env = net.popNext();
+    EXPECT_TRUE(seen.insert(env.msg.block).second) << "duplicate delivery";
+    EXPECT_EQ(env.dst, 1u);
+    EXPECT_EQ(env.msg.src, 0u);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(net.stats().sent, 100u);
+  EXPECT_EQ(net.stats().delivered, 100u);
+}
+
+TEST(Network, RandomLatencyReordersMessages) {
+  Network net(Network::Mode::RandomLatency, Rng(2), 1, 50);
+  for (BlockId b = 0; b < 50; ++b) {
+    net.send(0, 1, 0, msg(proto::MsgType::GetS, b));
+  }
+  bool reordered = false;
+  BlockId prev = 0;
+  bool first = true;
+  while (!net.empty()) {
+    const Envelope env = net.popNext();
+    if (!first && env.msg.block < prev) reordered = true;
+    prev = env.msg.block;
+    first = false;
+  }
+  EXPECT_TRUE(reordered) << "random-latency network never reordered";
+}
+
+TEST(Network, DeliveryNeverPrecedesSendPlusMinLatency) {
+  Network net(Network::Mode::RandomLatency, Rng(3), 5, 9);
+  net.send(0, 1, 100, msg(proto::MsgType::GetS, 0));
+  const Envelope env = net.popNext();
+  EXPECT_GE(env.deliverAt, 105u);
+  EXPECT_LE(env.deliverAt, 109u);
+}
+
+TEST(Network, FifoPreservesOrder) {
+  Network net(Network::Mode::Fifo, Rng(4), 3, 3);
+  for (BlockId b = 0; b < 20; ++b) {
+    net.send(0, 1, b, msg(proto::MsgType::GetS, b));
+  }
+  for (BlockId b = 0; b < 20; ++b) {
+    EXPECT_EQ(net.popNext().msg.block, b);
+  }
+}
+
+TEST(Network, NextDeliveryTimeTracksEarliest) {
+  Network net(Network::Mode::Fifo, Rng(5), 2, 2);
+  EXPECT_EQ(net.nextDeliveryTime(), kNever);
+  net.send(0, 1, 10, msg(proto::MsgType::GetS, 0));
+  net.send(0, 1, 4, msg(proto::MsgType::GetS, 1));
+  EXPECT_EQ(net.nextDeliveryTime(), 6u);
+}
+
+TEST(Network, ManualModePicksArbitraryOrder) {
+  Network net(Network::Mode::Manual, Rng(6), 1, 1);
+  net.send(0, 1, 0, msg(proto::MsgType::GetS, 10));
+  net.send(0, 2, 0, msg(proto::MsgType::GetX, 20));
+  net.send(1, 2, 0, msg(proto::MsgType::Inv, 30));
+  ASSERT_EQ(net.pending().size(), 3u);
+
+  const Envelope second = net.deliverIndex(1);
+  EXPECT_EQ(second.msg.block, 20u);
+  const auto inv = net.deliverFirst(
+      [](const Envelope& e) { return e.msg.type == proto::MsgType::Inv; });
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(inv->msg.block, 30u);
+  EXPECT_EQ(net.pending().size(), 1u);
+  const Envelope last = net.deliverSeq(net.pending().front().seq);
+  EXPECT_EQ(last.msg.block, 10u);
+  EXPECT_TRUE(net.empty());
+}
+
+TEST(Network, ModeMisuseIsRejected) {
+  Network manual(Network::Mode::Manual, Rng(7), 1, 1);
+  EXPECT_THROW((void)manual.nextDeliveryTime(), ProtocolError);
+  Network timed(Network::Mode::RandomLatency, Rng(8), 1, 1);
+  EXPECT_THROW((void)timed.pending(), ProtocolError);
+  EXPECT_THROW((void)timed.popNext(), ProtocolError);
+}
+
+TEST(Network, LatencyBoundsValidated) {
+  EXPECT_THROW(Network(Network::Mode::Fifo, Rng(1), 5, 2), ProtocolError);
+  EXPECT_THROW(Network(Network::Mode::Fifo, Rng(1), 0, 2), ProtocolError);
+}
+
+}  // namespace
+}  // namespace lcdc::net

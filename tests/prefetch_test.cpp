@@ -1,0 +1,109 @@
+// Tests for the Section 2.3 decoupling: coherence requests generated ahead
+// of processor events (prefetching).  Correctness must be untouched — a
+// prefetch only changes *when* a transaction happens, never what the
+// Lamport order proves.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace lcdc {
+namespace {
+
+using workload::load;
+using workload::prefetchExclusive;
+using workload::prefetchShared;
+using workload::store;
+
+TEST(Prefetch, HintBringsTheLineBeforeTheDemandAccess) {
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 4;
+  cfg.seed = 3;
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  // Prefetch block 2, touch other blocks, then load block 2: by the time
+  // the demand load runs the line should already be resident, and the load
+  // binds to the *prefetch's* transaction.
+  sys.setProgram(0, {{prefetchShared(2), load(0, 0), load(1, 0), load(2, 0)}});
+  sys.setProgram(1, {{}});
+  ASSERT_TRUE(sys.run().ok());
+  EXPECT_EQ(sys.processor(0).stats().prefetchesIssued, 1u);
+
+  const proto::OpRecord* loadOf2 = nullptr;
+  for (const auto& op : trace.operations()) {
+    if (op.block == 2) loadOf2 = &op;
+  }
+  ASSERT_NE(loadOf2, nullptr);
+  // Block 2's only transaction is the prefetch's Get-Shared; the load is
+  // bound to it even though no request was issued at the load itself.
+  const proto::TxnInfo* txn = trace.findTxn(loadOf2->boundTxn);
+  ASSERT_NE(txn, nullptr);
+  EXPECT_EQ(txn->kind, TxnKind::GetS_Idle);
+  EXPECT_TRUE(
+      verify::checkAll(trace, verify::VerifyConfig{2}).ok());
+}
+
+TEST(Prefetch, ExclusiveHintUpgradesASharedLine) {
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 2;
+  cfg.seed = 4;
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  sys.setProgram(0, {{load(0, 0), prefetchExclusive(0), load(1, 0),
+                      store(0, 0, 0x77)}});
+  sys.setProgram(1, {{}});
+  ASSERT_TRUE(sys.run().ok());
+
+  proto::DirStats d = sys.aggregateDirStats();
+  EXPECT_EQ(d.txnByKind[static_cast<std::uint8_t>(TxnKind::Upg_Shared)], 1u);
+  EXPECT_TRUE(verify::checkAll(trace, verify::VerifyConfig{2}).ok());
+}
+
+TEST(Prefetch, SatisfiedAndBlockedHintsAreDropped) {
+  SystemConfig cfg;
+  cfg.numProcessors = 1;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 1;
+  cfg.seed = 5;
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  // The second hint finds the line already read-only (satisfied), the
+  // third finds it read-write: both must be dropped without traffic.
+  sys.setProgram(0, {{prefetchShared(0), prefetchShared(0), load(0, 0),
+                      store(0, 0, 1), prefetchShared(0)}});
+  ASSERT_TRUE(sys.run().ok());
+  EXPECT_EQ(sys.aggregateDirStats().requests, 2u);  // GetS + Upgrade only
+  EXPECT_TRUE(verify::checkAll(trace, verify::VerifyConfig{1}).ok());
+}
+
+TEST(Prefetch, HintedWorkloadsStayVerifiedUnderContention) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SystemConfig cfg;
+    cfg.numProcessors = 6;
+    cfg.numDirectories = 2;
+    cfg.numBlocks = 8;
+    cfg.cacheCapacity = 3;
+    cfg.seed = seed;
+    auto w = test::workloadFor(cfg, 500, seed * 7 + 1);
+    w.storePercent = 45;
+    w.evictPercent = 10;
+    auto programs = workload::addPrefetchHints(
+        workload::hotBlock(w, 80, 3), /*lookahead=*/6, /*percent=*/30,
+        seed);
+    const test::RunOutput out = test::runVerified(cfg, programs);
+    ASSERT_TRUE(out.result.ok())
+        << "seed " << seed << ": " << toString(out.result.outcome);
+    EXPECT_TRUE(out.report.ok()) << "seed " << seed << ": "
+                                 << out.report.summary();
+    std::uint64_t prefetches = 0;
+    // (stats live on processors; fetch through the cache stats instead)
+    EXPECT_GT(out.cacheStats.requestsIssued, 0u);
+    (void)prefetches;
+  }
+}
+
+}  // namespace
+}  // namespace lcdc

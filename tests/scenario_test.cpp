@@ -1,0 +1,345 @@
+// Scripted reproductions of the paper's concrete scenarios, driven with a
+// Manual network so every race fires deterministically:
+//
+//   * the Section 3.2 two-node/two-block example (Tables 2 and 3),
+//   * the Figure 2 Put-Shared deadlock, with and without the Section 2.5
+//     detection,
+//   * the write-back races of transactions 13, 14a and 14b.
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/program.hpp"
+
+namespace lcdc {
+namespace {
+
+using net::Envelope;
+using proto::MsgType;
+using workload::evict;
+using workload::load;
+using workload::store;
+
+constexpr BlockId kA = 0;
+constexpr BlockId kB = 1;
+
+SystemConfig twoNodeConfig() {
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 2;
+  cfg.seed = 1;
+  return cfg;
+}
+
+/// Deliver while any message is pending (manual mode, FIFO order) — used
+/// when the remaining drain order no longer matters.
+void drainAll(sim::System& sys) {
+  while (!sys.network().empty()) sys.deliverManual(0);
+}
+
+bool deliver(sim::System& sys, MsgType type, NodeId dst) {
+  return sys.deliverManualFirst([&](const Envelope& e) {
+    return e.msg.type == type && e.dst == dst;
+  });
+}
+
+const proto::OpRecord* findOp(const trace::Trace& t, NodeId proc, OpKind kind,
+                              BlockId block, std::size_t nth = 0) {
+  std::size_t seen = 0;
+  for (const auto& op : t.operations()) {
+    if (op.proc == proc && op.kind == kind && op.block == block) {
+      if (seen++ == nth) return &op;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3.2 example (Tables 2 / 3): N1 holds A read-only and B
+// read-write; N2 takes A read-write.  N1's load from A is bound before the
+// invalidation is answered, so in Lamport time it orders *before* N2's
+// store even though N2's store completes later in real time.
+// ---------------------------------------------------------------------------
+TEST(Scenario, Tables2And3LamportReordering) {
+  trace::Trace trace;
+  sim::System sys(twoNodeConfig(), trace, net::Network::Mode::Manual);
+  const NodeId n1 = 0, n2 = 1;
+
+  // Warm-up: N1 acquires A read-only and B read-write.
+  sys.setProgram(n1, {{load(kA, 0), store(kB, 0, 0xB1), load(kA, 1)}});
+  sys.setProgram(n2, {{store(kA, 0, 0xA2)}});
+
+  sys.kick(n1);
+  ASSERT_TRUE(deliver(sys, MsgType::GetS, sys.home(kA)));
+  ASSERT_TRUE(deliver(sys, MsgType::DataShared, n1));  // load A#0 binds
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kB)));
+  // N2's request goes out but waits in the network.
+  sys.kick(n2);
+  // N1 completes the store to B and immediately binds the second load of A.
+  ASSERT_TRUE(deliver(sys, MsgType::DataExclusive, n1));
+  // Now the invalidation sweep for A reaches N1 *after* its load was bound.
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kA)));
+  ASSERT_TRUE(deliver(sys, MsgType::Inv, n1));
+  drainAll(sys);
+
+  ASSERT_TRUE(sys.allProgramsDone());
+  ASSERT_TRUE(sys.quiescent());
+
+  const auto* storeB = findOp(trace, n1, OpKind::Store, kB);
+  const auto* loadA = findOp(trace, n1, OpKind::Load, kA, 1);
+  const auto* storeA = findOp(trace, n2, OpKind::Store, kA);
+  ASSERT_NE(storeB, nullptr);
+  ASSERT_NE(loadA, nullptr);
+  ASSERT_NE(storeA, nullptr);
+
+  // Table 3's shape: the store to B and the load from A share a global
+  // timestamp and are ordered by their local components...
+  EXPECT_EQ(storeB->ts.global, loadA->ts.global);
+  EXPECT_EQ(storeB->ts.local + 1, loadA->ts.local);
+  // ...and N1's load orders before N2's store in Lamport time, returning
+  // the pre-store value (the initial 0), which is exactly why the ordering
+  // is a sequentially consistent witness.
+  EXPECT_LT(loadA->ts, storeA->ts);
+  EXPECT_EQ(loadA->value, 0u);
+
+  const auto report =
+      verify::checkAll(trace, verify::VerifyConfig{2});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: the Put-Shared deadlock and its Section 2.5 resolution.
+// ---------------------------------------------------------------------------
+struct Figure2Setup {
+  trace::Trace trace;
+  std::unique_ptr<sim::System> sys;
+
+  explicit Figure2Setup(Mutant mutant) {
+    SystemConfig cfg = twoNodeConfig();
+    cfg.proto.mutant = mutant;
+    sys = std::make_unique<sim::System>(cfg, trace,
+                                        net::Network::Mode::Manual);
+    const NodeId n1 = 0, n2 = 1;
+    // N1: read A, silently evict it, read it again (the re-request).
+    sys->setProgram(n1, {{load(kA, 0), evict(kA), load(kA, 0)}});
+    // N2: take A read-write.
+    sys->setProgram(n2, {{store(kA, 0, 0xA2)}});
+
+    // 1. N1 acquires A read-only, Put-Shareds it, re-requests it.
+    sys->kick(n1);
+    EXPECT_TRUE(deliver(*sys, MsgType::GetS, sys->home(kA)));
+    EXPECT_TRUE(deliver(*sys, MsgType::DataShared, n1));
+    // (the evict and the second Get-Shared happen inside the same kick)
+    // 2. N2's Get-Exclusive beats N1's re-request to the home: the home
+    //    invalidates N1 (stale CACHED entry) and goes Exclusive.
+    sys->kick(n2);
+    EXPECT_TRUE(deliver(*sys, MsgType::GetX, sys->home(kA)));
+    // 3. N1's Get-Shared now finds the directory Exclusive and is forwarded
+    //    to N2.
+    EXPECT_TRUE(deliver(*sys, MsgType::GetS, sys->home(kA)));
+    // 4. The forward reaches N2 before N2 has its reply (buffered), then
+    //    the reply arrives: N2 is waiting for N1's inv-ack while N1 waits
+    //    for N2's data — Figure 2's cycle.
+    EXPECT_TRUE(deliver(*sys, MsgType::FwdGetS, n2));
+    EXPECT_TRUE(deliver(*sys, MsgType::DataExclusive, n2));
+  }
+};
+
+TEST(Scenario, Figure2DeadlockResolved) {
+  Figure2Setup fx(Mutant::None);
+  sim::System& sys = *fx.sys;
+  const NodeId n1 = 0;
+
+  // Detection fired at N2: it bound its store and answered N1 directly,
+  // telling it to drop the superseded invalidation.
+  EXPECT_EQ(sys.processor(1).cache().stats().deadlocksResolved, 1u);
+  ASSERT_TRUE(deliver(sys, MsgType::OwnerData, n1));
+  // N1 is up; the stale invalidation arrives last and is dropped silently.
+  EXPECT_TRUE(sys.allProgramsDone());
+  ASSERT_TRUE(deliver(sys, MsgType::Inv, n1));
+  EXPECT_EQ(sys.processor(0).cache().stats().invsDropped, 1u);
+  drainAll(sys);
+  ASSERT_TRUE(sys.quiescent());
+
+  // N1's second load must see N2's store: N2 bound it before servicing the
+  // forward.
+  const auto* loadA = findOp(fx.trace, 0, OpKind::Load, kA, 1);
+  ASSERT_NE(loadA, nullptr);
+  EXPECT_EQ(loadA->value, 0xA2u);
+
+  const auto report = verify::checkAll(fx.trace, verify::VerifyConfig{2});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Scenario, Figure2DeadlocksWithoutDetection) {
+  Figure2Setup fx(Mutant::NoDeadlockDetection);
+  sim::System& sys = *fx.sys;
+
+  // Without detection, N2 buffers the forward and keeps waiting for N1's
+  // ack; N1 buffers the invalidation and keeps waiting for data.  Once the
+  // remaining messages (the invalidation) are delivered, nothing can move.
+  drainAll(sys);
+  EXPECT_TRUE(sys.network().empty());
+  EXPECT_FALSE(sys.allProgramsDone());
+  EXPECT_FALSE(sys.quiescent());
+  EXPECT_EQ(sys.processor(1).cache().stats().deadlocksResolved, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction 13: a writeback races a forwarded Get-Shared.
+// ---------------------------------------------------------------------------
+TEST(Scenario, Transaction13WritebackRacesForwardedGetS) {
+  trace::Trace trace;
+  sim::System sys(twoNodeConfig(), trace, net::Network::Mode::Manual);
+  const NodeId n1 = 0, n2 = 1;
+  sys.setProgram(n1, {{store(kA, 0, 0xA1), evict(kA)}});
+  sys.setProgram(n2, {{load(kA, 0)}});
+
+  // N1 becomes the owner.
+  sys.kick(n1);
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kA)));
+  ASSERT_TRUE(deliver(sys, MsgType::DataExclusive, n1));
+  // (store bound; the evict issues a Writeback, still in the network)
+  // N2's Get-Shared reaches the home first: Busy-Shared + forward to N1.
+  sys.kick(n2);
+  ASSERT_TRUE(deliver(sys, MsgType::GetS, sys.home(kA)));
+  // The writeback arrives at the busy home: the combined transaction 13.
+  ASSERT_TRUE(deliver(sys, MsgType::Writeback, sys.home(kA)));
+  // The busy ack reaches N1 before the forward: N1 must remember to drop it.
+  ASSERT_TRUE(deliver(sys, MsgType::WbBusyAck, n1));
+  ASSERT_TRUE(deliver(sys, MsgType::FwdGetS, n1));
+  EXPECT_EQ(sys.processor(0).cache().stats().fwdsDropped, 1u);
+  drainAll(sys);
+  ASSERT_TRUE(sys.allProgramsDone());
+  ASSERT_TRUE(sys.quiescent());
+
+  // N2 read the written-back value, served by the home.
+  const auto* loadA = findOp(trace, n2, OpKind::Load, kA);
+  ASSERT_NE(loadA, nullptr);
+  EXPECT_EQ(loadA->value, 0xA1u);
+
+  // The combined transaction is recorded as transaction 13.
+  bool saw13 = false;
+  for (const auto& rec : trace.serializations()) {
+    saw13 |= rec.txn.kind == TxnKind::Wb_BusyShared;
+  }
+  EXPECT_TRUE(saw13);
+
+  const auto report = verify::checkAll(trace, verify::VerifyConfig{2});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// Variant: the forward reaches N1 while its writeback is outstanding (it is
+// buffered), then the busy ack discards it from the buffer.
+TEST(Scenario, Transaction13ForwardBufferedThenDiscarded) {
+  trace::Trace trace;
+  sim::System sys(twoNodeConfig(), trace, net::Network::Mode::Manual);
+  const NodeId n1 = 0, n2 = 1;
+  sys.setProgram(n1, {{store(kA, 0, 0xA1), evict(kA)}});
+  sys.setProgram(n2, {{load(kA, 0)}});
+
+  sys.kick(n1);
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kA)));
+  ASSERT_TRUE(deliver(sys, MsgType::DataExclusive, n1));
+  sys.kick(n2);
+  ASSERT_TRUE(deliver(sys, MsgType::GetS, sys.home(kA)));
+  // This time the forward arrives first and is buffered behind the WB...
+  ASSERT_TRUE(deliver(sys, MsgType::FwdGetS, n1));
+  EXPECT_EQ(sys.processor(0).cache().stats().forwardsBuffered, 1u);
+  ASSERT_TRUE(deliver(sys, MsgType::Writeback, sys.home(kA)));
+  // ...and the busy ack discards it.
+  ASSERT_TRUE(deliver(sys, MsgType::WbBusyAck, n1));
+  EXPECT_EQ(sys.processor(0).cache().stats().fwdsDropped, 1u);
+  drainAll(sys);
+  ASSERT_TRUE(sys.quiescent());
+
+  const auto report = verify::checkAll(trace, verify::VerifyConfig{2});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Transaction 14a: a writeback races a forwarded Get-Exclusive.
+// ---------------------------------------------------------------------------
+TEST(Scenario, Transaction14aWritebackRacesForwardedGetX) {
+  trace::Trace trace;
+  sim::System sys(twoNodeConfig(), trace, net::Network::Mode::Manual);
+  const NodeId n1 = 0, n2 = 1;
+  sys.setProgram(n1, {{store(kA, 0, 0xA1), evict(kA)}});
+  sys.setProgram(n2, {{store(kA, 0, 0xA2), load(kA, 0)}});
+
+  sys.kick(n1);
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kA)));
+  ASSERT_TRUE(deliver(sys, MsgType::DataExclusive, n1));
+  sys.kick(n2);
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kA)));   // Busy-Exclusive
+  ASSERT_TRUE(deliver(sys, MsgType::Writeback, sys.home(kA)));  // 14a
+  ASSERT_TRUE(deliver(sys, MsgType::WbBusyAck, n1));
+  ASSERT_TRUE(deliver(sys, MsgType::FwdGetX, n1));
+  EXPECT_EQ(sys.processor(0).cache().stats().fwdsDropped, 1u);
+  // N2 receives the written-back block with ownership from the home.
+  ASSERT_TRUE(deliver(sys, MsgType::OwnerData, n2));
+  drainAll(sys);
+  ASSERT_TRUE(sys.allProgramsDone());
+  ASSERT_TRUE(sys.quiescent());
+
+  const auto* loadA = findOp(trace, n2, OpKind::Load, kA);
+  ASSERT_NE(loadA, nullptr);
+  EXPECT_EQ(loadA->value, 0xA2u);
+
+  bool saw14a = false;
+  for (const auto& rec : trace.serializations()) {
+    saw14a |= rec.txn.kind == TxnKind::Wb_BusyExclusive;
+  }
+  EXPECT_TRUE(saw14a);
+
+  const auto report = verify::checkAll(trace, verify::VerifyConfig{2});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Transaction 14b: the new owner's writeback beats the former owner's
+// update message to the home.
+// ---------------------------------------------------------------------------
+TEST(Scenario, Transaction14bWritebackBeatsUpdate) {
+  trace::Trace trace;
+  sim::System sys(twoNodeConfig(), trace, net::Network::Mode::Manual);
+  const NodeId n1 = 0, n2 = 1;
+  sys.setProgram(n1, {{store(kA, 0, 0xA1)}});
+  sys.setProgram(n2, {{store(kA, 0, 0xA2), evict(kA)}});
+
+  sys.kick(n1);
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kA)));
+  ASSERT_TRUE(deliver(sys, MsgType::DataExclusive, n1));
+  sys.kick(n2);
+  ASSERT_TRUE(deliver(sys, MsgType::GetX, sys.home(kA)));  // fwd to N1
+  ASSERT_TRUE(deliver(sys, MsgType::FwdGetX, n1));
+  // N1 sent OwnerData -> N2 and UpdateX -> home; hold the update.
+  ASSERT_TRUE(deliver(sys, MsgType::OwnerData, n2));
+  // N2 is now the owner, binds its store, and its evict writes back —
+  // beating N1's update to the home.
+  ASSERT_TRUE(deliver(sys, MsgType::Writeback, sys.home(kA)));
+  ASSERT_TRUE(deliver(sys, MsgType::WbAck, n2));
+  // The straggling update finally lands: Busy-Idle -> Idle.
+  ASSERT_TRUE(deliver(sys, MsgType::UpdateX, sys.home(kA)));
+  drainAll(sys);
+  ASSERT_TRUE(sys.allProgramsDone());
+  ASSERT_TRUE(sys.quiescent());
+
+  bool saw14b = false;
+  for (const auto& rec : trace.serializations()) {
+    saw14b |= rec.txn.kind == TxnKind::Wb_BusyExclusiveSelf;
+  }
+  EXPECT_TRUE(saw14b);
+  // The home holds N2's value in memory.
+  const auto& entry = sys.directory(0).entry(kA);
+  EXPECT_EQ(entry.core.state, DirState::Idle);
+  EXPECT_EQ(entry.mem[0], 0xA2u);
+
+  const auto report = verify::checkAll(trace, verify::VerifyConfig{2});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace lcdc

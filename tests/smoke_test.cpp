@@ -1,0 +1,93 @@
+// End-to-end smoke tests: run full workloads through the simulated system
+// and require every Section 3 property to hold on the recorded trace.
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+namespace lcdc {
+namespace {
+
+verify::CheckReport runAndCheck(const SystemConfig& cfg,
+                                const std::vector<workload::Program>& programs,
+                                sim::RunResult* outResult = nullptr) {
+  trace::Trace trace;
+  sim::System system(cfg, trace);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    system.setProgram(p, programs[p]);
+  }
+  const sim::RunResult result = system.run();
+  if (outResult != nullptr) *outResult = result;
+  EXPECT_TRUE(result.ok()) << toString(result.outcome) << ": "
+                           << result.detail;
+  return verify::checkAll(trace,
+                          verify::VerifyConfig{cfg.numProcessors});
+}
+
+TEST(Smoke, TwoProcessorsOneBlock) {
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 1;
+  cfg.seed = 42;
+
+  workload::WorkloadConfig w;
+  w.numProcessors = cfg.numProcessors;
+  w.numBlocks = cfg.numBlocks;
+  w.wordsPerBlock = cfg.proto.wordsPerBlock;
+  w.opsPerProcessor = 200;
+  w.seed = 7;
+  const auto programs = workload::uniformRandom(w);
+
+  const auto report = runAndCheck(cfg, programs);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.opsChecked, 0u);
+}
+
+TEST(Smoke, UniformRandomMidSize) {
+  SystemConfig cfg;
+  cfg.numProcessors = 8;
+  cfg.numDirectories = 4;
+  cfg.numBlocks = 32;
+  cfg.seed = 3;
+
+  workload::WorkloadConfig w;
+  w.numProcessors = cfg.numProcessors;
+  w.numBlocks = cfg.numBlocks;
+  w.wordsPerBlock = cfg.proto.wordsPerBlock;
+  w.opsPerProcessor = 500;
+  w.storePercent = 40;
+  w.evictPercent = 8;
+  w.seed = 11;
+  const auto programs = workload::uniformRandom(w);
+
+  const auto report = runAndCheck(cfg, programs);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Smoke, HotBlockContention) {
+  SystemConfig cfg;
+  cfg.numProcessors = 6;
+  cfg.numDirectories = 2;
+  cfg.numBlocks = 8;
+  cfg.seed = 5;
+
+  workload::WorkloadConfig w;
+  w.numProcessors = cfg.numProcessors;
+  w.numBlocks = cfg.numBlocks;
+  w.wordsPerBlock = cfg.proto.wordsPerBlock;
+  w.opsPerProcessor = 400;
+  w.storePercent = 50;
+  w.evictPercent = 10;
+  w.seed = 13;
+  const auto programs = workload::hotBlock(w);
+
+  sim::RunResult result;
+  const auto report = runAndCheck(cfg, programs, &result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace lcdc

@@ -1,0 +1,57 @@
+// Shared helpers for the test suites: run a configured system over a
+// workload, collect the trace, and return both the run result and the
+// verification report.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+namespace lcdc::test {
+
+struct RunOutput {
+  sim::RunResult result;
+  verify::CheckReport report;
+  proto::DirStats dirStats;
+  proto::CacheStats cacheStats;
+};
+
+/// Run `programs` on a system built from `cfg`, verify the trace, and
+/// return everything a test might want to assert on.
+inline RunOutput runVerified(const SystemConfig& cfg,
+                             const std::vector<workload::Program>& programs,
+                             trace::Trace* traceOut = nullptr) {
+  trace::Trace localTrace;
+  trace::Trace& trace = traceOut ? *traceOut : localTrace;
+  sim::System system(cfg, trace);
+  for (NodeId p = 0; p < cfg.numProcessors && p < programs.size(); ++p) {
+    system.setProgram(p, programs[p]);
+  }
+  RunOutput out;
+  out.result = system.run();
+  out.report =
+      verify::checkAll(trace, verify::VerifyConfig{cfg.numProcessors});
+  out.dirStats = system.aggregateDirStats();
+  out.cacheStats = system.aggregateCacheStats();
+  return out;
+}
+
+/// Workload config matching a system config.
+inline workload::WorkloadConfig workloadFor(const SystemConfig& cfg,
+                                            std::uint64_t ops,
+                                            std::uint64_t seed) {
+  workload::WorkloadConfig w;
+  w.numProcessors = cfg.numProcessors;
+  w.numBlocks = cfg.numBlocks;
+  w.wordsPerBlock = cfg.proto.wordsPerBlock;
+  w.opsPerProcessor = ops;
+  w.seed = seed;
+  return w;
+}
+
+}  // namespace lcdc::test

@@ -1,0 +1,79 @@
+// Unit tests for the trace recorder: record ordering, transaction
+// conversion (transactions 13/14a), lookup and reset.
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+namespace lcdc::trace {
+namespace {
+
+proto::TxnInfo info(TransactionId id, SerialIdx serial, TxnKind kind) {
+  proto::TxnInfo t;
+  t.id = id;
+  t.serial = serial;
+  t.kind = kind;
+  t.block = 0;
+  t.requester = 1;
+  return t;
+}
+
+TEST(Trace, RecordsCarryMonotoneRealTimeOrder) {
+  Trace t;
+  t.onSerialize(info(1, 1, TxnKind::GetS_Idle));
+  t.onStamp(2, 1, 1, 0, proto::StampRole::Downgrade, 1, AState::X, AState::S);
+  t.onNack(0, 0, NackKind::GetS_Busy);
+  t.onPutShared(0, 0);
+  t.onDeadlockResolved(0, 0, 1);
+  proto::OpRecord op;
+  op.proc = 0;
+  t.onOperation(op);
+
+  EXPECT_EQ(t.serializations()[0].order, 1u);
+  EXPECT_EQ(t.stamps()[0].order, 2u);
+  EXPECT_EQ(t.nacks()[0].order, 3u);
+  EXPECT_EQ(t.putShareds()[0].order, 4u);
+  EXPECT_EQ(t.deadlockResolutions()[0].order, 5u);
+  EXPECT_EQ(t.operations()[0].order, 6u);
+}
+
+TEST(Trace, ConversionRewritesTheKind) {
+  Trace t;
+  t.onSerialize(info(7, 3, TxnKind::GetS_Exclusive));
+  ASSERT_NE(t.findTxn(7), nullptr);
+  EXPECT_EQ(t.findTxn(7)->kind, TxnKind::GetS_Exclusive);
+  t.onTxnConverted(7, TxnKind::Wb_BusyShared);
+  EXPECT_EQ(t.findTxn(7)->kind, TxnKind::Wb_BusyShared);
+  EXPECT_EQ(t.findTxn(7)->serial, 3u);  // identity preserved
+}
+
+TEST(Trace, FindTxnReturnsNullForUnknown) {
+  Trace t;
+  EXPECT_EQ(t.findTxn(99), nullptr);
+  t.onTxnConverted(99, TxnKind::Wb_BusyShared);  // tolerated
+  EXPECT_EQ(t.findTxn(99), nullptr);
+}
+
+TEST(Trace, ValueRecordsCopyThePayload) {
+  Trace t;
+  BlockValue v{1, 2, 3};
+  t.onValueReceived(4, 9, 0, v);
+  v[0] = 99;  // the trace must have its own copy
+  EXPECT_EQ(t.values()[0].value[0], 1u);
+  EXPECT_EQ(t.values()[0].node, 4u);
+  EXPECT_EQ(t.values()[0].txn, 9u);
+}
+
+TEST(Trace, ClearResetsEverything) {
+  Trace t;
+  t.onSerialize(info(1, 1, TxnKind::GetS_Idle));
+  t.onPutShared(0, 0);
+  t.clear();
+  EXPECT_TRUE(t.serializations().empty());
+  EXPECT_TRUE(t.putShareds().empty());
+  EXPECT_EQ(t.findTxn(1), nullptr);
+  t.onSerialize(info(2, 1, TxnKind::GetS_Idle));
+  EXPECT_EQ(t.serializations()[0].order, 1u);  // order restarts
+}
+
+}  // namespace
+}  // namespace lcdc::trace

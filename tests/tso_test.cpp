@@ -1,0 +1,185 @@
+// Tests for the TSO extension (Section 5 future work: "consistency models
+// other than sequential consistency"): processors with FIFO store buffers
+// and load forwarding produce executions that satisfy TSO but in general
+// not SC — and the checkers must tell the two models apart precisely.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace lcdc {
+namespace {
+
+using workload::load;
+using workload::store;
+
+/// Dekker's litmus: p0: St x=1; Ld y.   p1: St y=1; Ld x.
+/// SC forbids both loads reading 0; TSO allows it.
+struct LitmusOutcome {
+  Word p0Reads = ~Word{0};
+  Word p1Reads = ~Word{0};
+  verify::CheckReport scReport;
+  verify::CheckReport tsoReport;
+  bool ranOk = false;
+};
+
+LitmusOutcome runDekker(std::uint32_t storeBufferDepth, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 2;
+  cfg.storeBufferDepth = storeBufferDepth;
+  cfg.seed = seed;
+  const BlockId x = 0, y = 1;
+
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  sys.setProgram(0, {{store(x, 0, 1), load(y, 0)}});
+  sys.setProgram(1, {{store(y, 0, 1), load(x, 0)}});
+  LitmusOutcome out;
+  out.ranOk = sys.run().ok();
+  for (const auto& op : trace.operations()) {
+    if (op.kind != OpKind::Load) continue;
+    if (op.proc == 0) out.p0Reads = op.value;
+    if (op.proc == 1) out.p1Reads = op.value;
+  }
+  verify::VerifyConfig sc{2};
+  out.scReport = verify::checkAll(trace, sc);
+  verify::VerifyConfig tso{2};
+  tso.tso = true;
+  out.tsoReport = verify::checkAll(trace, tso);
+  return out;
+}
+
+TEST(Tso, DekkerUnderScNeverReadsBothZero) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const LitmusOutcome out = runDekker(/*storeBufferDepth=*/0, seed);
+    ASSERT_TRUE(out.ranOk);
+    EXPECT_TRUE(out.scReport.ok()) << out.scReport.summary();
+    EXPECT_FALSE(out.p0Reads == 0 && out.p1Reads == 0)
+        << "SC machine produced the forbidden 0/0 outcome at seed " << seed;
+  }
+}
+
+TEST(Tso, DekkerWithStoreBuffersReachesTheRelaxedOutcome) {
+  bool sawBothZero = false;
+  bool scEverFlagged = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !sawBothZero; ++seed) {
+    const LitmusOutcome out = runDekker(/*storeBufferDepth=*/4, seed);
+    ASSERT_TRUE(out.ranOk);
+    // TSO must always hold — the machine implements TSO by construction.
+    EXPECT_TRUE(out.tsoReport.ok()) << out.tsoReport.summary();
+    if (out.p0Reads == 0 && out.p1Reads == 0) {
+      sawBothZero = true;
+      // ...and the SC checker must reject exactly these executions.
+      EXPECT_FALSE(out.scReport.ok())
+          << "0/0 outcome passed the SC checker";
+      scEverFlagged = !out.scReport.ok();
+    }
+  }
+  EXPECT_TRUE(sawBothZero)
+      << "store buffers never produced the TSO-only outcome";
+  EXPECT_TRUE(scEverFlagged);
+}
+
+TEST(Tso, ForwardingReadsOwnBufferedStore) {
+  SystemConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 2;
+  cfg.storeBufferDepth = 4;
+  cfg.seed = 2;
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  // The load of x must see the processor's own (possibly still buffered)
+  // store, even while another block's load runs in between.
+  sys.setProgram(0, {{store(0, 1, 0xCAFE), load(1, 0), load(0, 1)}});
+  sys.setProgram(1, {{}});
+  ASSERT_TRUE(sys.run().ok());
+
+  const proto::OpRecord* loadX = nullptr;
+  for (const auto& op : trace.operations()) {
+    if (op.kind == OpKind::Load && op.block == 0) loadX = &op;
+  }
+  ASSERT_NE(loadX, nullptr);
+  EXPECT_EQ(loadX->value, 0xCAFEu);
+
+  verify::VerifyConfig tso{2};
+  tso.tso = true;
+  EXPECT_TRUE(verify::checkAll(trace, tso).ok());
+}
+
+TEST(Tso, RandomWorkloadsSatisfyTsoAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SystemConfig cfg;
+    cfg.numProcessors = 6;
+    cfg.numDirectories = 2;
+    cfg.numBlocks = 6;
+    cfg.cacheCapacity = 2;
+    cfg.storeBufferDepth = 4;
+    cfg.seed = seed;
+    auto w = test::workloadFor(cfg, 400, seed * 5 + 2);
+    w.storePercent = 50;
+    w.evictPercent = 10;
+    const auto programs = workload::hotBlock(w, 80, 3);
+    trace::Trace trace;
+    sim::System sys(cfg, trace);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      sys.setProgram(p, programs[p]);
+    }
+    const auto result = sys.run();
+    ASSERT_TRUE(result.ok())
+        << "seed " << seed << ": " << toString(result.outcome);
+    verify::VerifyConfig tso{cfg.numProcessors};
+    tso.tso = true;
+    const auto report = verify::checkAll(trace, tso);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.summary();
+  }
+}
+
+TEST(Tso, CoherenceClaimsHoldRegardlessOfTheProcessorModel) {
+  // The protocol-level properties (Claims 2-3, Lemma 1, the value chain)
+  // know nothing about store buffers; they must hold verbatim on TSO runs.
+  SystemConfig cfg;
+  cfg.numProcessors = 4;
+  cfg.numDirectories = 2;
+  cfg.numBlocks = 4;
+  cfg.storeBufferDepth = 8;
+  cfg.seed = 7;
+  auto w = test::workloadFor(cfg, 500, 3);
+  w.storePercent = 50;
+  const auto programs = workload::hotBlock(w, 80, 2);
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    sys.setProgram(p, programs[p]);
+  }
+  ASSERT_TRUE(sys.run().ok());
+  const verify::VerifyConfig plain{cfg.numProcessors};
+  EXPECT_TRUE(verify::checkClaim2(trace, plain).ok());
+  EXPECT_TRUE(verify::checkClaim3(trace, plain).ok());
+  EXPECT_TRUE(verify::checkValueChain(trace, plain).ok());
+}
+
+TEST(Tso, ScCheckerDistinguishesForwardedLoadsInScMode) {
+  // A forwarded load appearing in a trace verified as SC is itself a
+  // violation (the SC machine has no store buffer).
+  SystemConfig cfg;
+  cfg.numProcessors = 1;
+  cfg.numDirectories = 1;
+  cfg.numBlocks = 1;
+  cfg.storeBufferDepth = 2;
+  trace::Trace trace;
+  sim::System sys(cfg, trace);
+  sys.setProgram(0, {{store(0, 0, 5), load(0, 0)}});
+  ASSERT_TRUE(sys.run().ok());
+  const auto report =
+      verify::checkEpochs(trace, verify::VerifyConfig{1});
+  bool flaggedForwarded = false;
+  for (const auto& v : report.violations) {
+    flaggedForwarded |= v.detail.find("forwarded load") != std::string::npos;
+  }
+  EXPECT_TRUE(flaggedForwarded);
+}
+
+}  // namespace
+}  // namespace lcdc

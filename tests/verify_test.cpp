@@ -1,0 +1,298 @@
+// Unit tests for the checkers: hand-built traces with known-good and
+// known-bad shapes.  A verifier is only trustworthy if it (a) accepts
+// correct executions and (b) pinpoints each specific defect — these are the
+// checkers' own negative controls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+
+namespace lcdc::verify {
+namespace {
+
+using proto::OpRecord;
+using proto::StampRole;
+using proto::TxnInfo;
+
+constexpr NodeId kP0 = 0, kP1 = 1, kHome = 2;
+constexpr BlockId kBlk = 0;
+const VerifyConfig kCfg{2};
+
+/// Builder for small hand-written traces.
+struct TraceBuilder {
+  trace::Trace t;
+  TransactionId nextTxn = 1;
+  SerialIdx nextSerial = 0;
+  std::uint64_t opIdx[8] = {};
+
+  TxnInfo txn(TxnKind kind, NodeId requester) {
+    TxnInfo info;
+    info.id = nextTxn++;
+    info.serial = ++nextSerial;
+    info.kind = kind;
+    info.block = kBlk;
+    info.requester = requester;
+    t.onSerialize(info);
+    return info;
+  }
+  void stamp(NodeId node, const TxnInfo& txn, StampRole role, GlobalTime ts,
+             AState oldA, AState newA) {
+    t.onStamp(node, txn.id, txn.serial, kBlk, role, ts, oldA, newA);
+  }
+  void op(NodeId proc, OpKind kind, Word value, const TxnInfo& bound,
+          GlobalTime global, LocalTime local, WordIdx word = 0) {
+    OpRecord rec;
+    rec.proc = proc;
+    rec.progIdx = opIdx[proc]++;
+    rec.kind = kind;
+    rec.block = kBlk;
+    rec.word = word;
+    rec.value = value;
+    rec.boundTxn = bound.id;
+    rec.boundSerial = bound.serial;
+    rec.ts = Timestamp{global, local, proc};
+    t.onOperation(rec);
+  }
+};
+
+/// A correct little execution: P0 reads, P1 takes exclusive and writes,
+/// P0 reads the new value.
+TraceBuilder goodTrace() {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetS_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::S);
+  b.stamp(kP0, t1, StampRole::Upgrade, 2, AState::I, AState::S);
+  b.op(kP0, OpKind::Load, 0, t1, 2, 1);
+
+  const TxnInfo t2 = b.txn(TxnKind::GetX_Shared, kP1);
+  b.stamp(kHome, t2, StampRole::Downgrade, 2, AState::S, AState::I);
+  b.stamp(kP0, t2, StampRole::Downgrade, 3, AState::S, AState::I);
+  b.stamp(kP1, t2, StampRole::Upgrade, 4, AState::I, AState::X);
+  b.op(kP1, OpKind::Store, 42, t2, 4, 1);
+
+  const TxnInfo t3 = b.txn(TxnKind::GetS_Exclusive, kP0);
+  b.stamp(kHome, t3, StampRole::Downgrade, 3, AState::I, AState::S);
+  b.stamp(kP1, t3, StampRole::Downgrade, 5, AState::X, AState::S);
+  b.stamp(kP0, t3, StampRole::Upgrade, 6, AState::I, AState::S);
+  b.op(kP0, OpKind::Load, 42, t3, 6, 1);
+  return b;
+}
+
+TEST(Checkers, AcceptACorrectExecution) {
+  TraceBuilder b = goodTrace();
+  const CheckReport r = checkAll(b.t, kCfg);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.opsChecked, 3u);
+  EXPECT_EQ(r.txnsChecked, 3u);
+}
+
+TEST(Checkers, EpochsAreBuiltPerNodeAndBlock) {
+  TraceBuilder b = goodTrace();
+  const auto epochs = buildEpochs(b.t, kCfg);
+  // home: initial X + S + I + S; P0: S + I + S; P1: X + S.
+  EXPECT_EQ(epochs.size(), 9u);
+  int open = 0;
+  for (const auto& e : epochs) open += e.end == clk::kOpenEpoch;
+  EXPECT_EQ(open, 3);  // one open epoch per node
+}
+
+TEST(Checkers, ScCatchesAStaleLoad) {
+  TraceBuilder b = goodTrace();
+  // P0 reads 0 *after* P1's store of 42 in Lamport time.
+  const TxnInfo t4 = b.txn(TxnKind::GetS_Shared, kP0);
+  b.stamp(kHome, t4, StampRole::Downgrade, 4, AState::S, AState::S);
+  b.stamp(kP0, t4, StampRole::Upgrade, 7, AState::S, AState::S);
+  b.op(kP0, OpKind::Load, 0, t4, 7, 1);
+  const CheckReport r = checkSequentialConsistency(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "sequential-consistency");
+}
+
+TEST(Checkers, ScAcceptsInitialValueBeforeAnyStore) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetS_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::S);
+  b.stamp(kP0, t1, StampRole::Upgrade, 2, AState::I, AState::S);
+  b.op(kP0, OpKind::Load, 0, t1, 2, 1);
+  EXPECT_TRUE(checkSequentialConsistency(b.t, kCfg).ok());
+}
+
+TEST(Checkers, TotalOrderRejectsDuplicateTimestamps) {
+  TraceBuilder b = goodTrace();
+  // Forge a second op at an already-used timestamp of the same processor.
+  const TxnInfo* t1 = b.t.findTxn(1);
+  ASSERT_NE(t1, nullptr);
+  proto::OpRecord dup;
+  dup.proc = kP0;
+  dup.progIdx = 99;
+  dup.kind = OpKind::Load;
+  dup.block = kBlk;
+  dup.value = 0;
+  dup.boundTxn = t1->id;
+  dup.boundSerial = t1->serial;
+  dup.ts = Timestamp{2, 1, kP0};
+  b.t.onOperation(dup);
+  const CheckReport r = checkSequentialConsistency(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "total-order");
+}
+
+TEST(Checkers, Lemma1CatchesOverlappingExclusiveEpochs) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetX_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::I);
+  b.stamp(kP0, t1, StampRole::Upgrade, 2, AState::I, AState::X);
+  // A second exclusive epoch at P1 starting while P0's is still open.
+  const TxnInfo t2 = b.txn(TxnKind::GetX_Idle, kP1);
+  b.stamp(kP1, t2, StampRole::Upgrade, 5, AState::I, AState::X);
+  const CheckReport r = checkEpochs(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "lemma1");
+}
+
+TEST(Checkers, Lemma1AllowsConcurrentSharedEpochs) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetS_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::S);
+  b.stamp(kP0, t1, StampRole::Upgrade, 2, AState::I, AState::S);
+  const TxnInfo t2 = b.txn(TxnKind::GetS_Shared, kP1);
+  b.stamp(kHome, t2, StampRole::Downgrade, 2, AState::S, AState::S);
+  b.stamp(kP1, t2, StampRole::Upgrade, 3, AState::I, AState::S);
+  EXPECT_TRUE(checkEpochs(b.t, kCfg).ok());
+}
+
+TEST(Checkers, Lemma2CatchesAStoreInASharedEpoch) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetS_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::S);
+  b.stamp(kP0, t1, StampRole::Upgrade, 2, AState::I, AState::S);
+  b.op(kP0, OpKind::Store, 7, t1, 2, 1);  // store without write permission
+  const CheckReport r = checkEpochs(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "lemma2");
+}
+
+TEST(Checkers, Lemma2CatchesAnOpOutsideItsEpoch) {
+  TraceBuilder b = goodTrace();
+  // A load bound to txn 1 (P0's shared epoch [2,3)) stamped way past its
+  // end.
+  const TxnInfo* t1 = b.t.findTxn(1);
+  b.op(kP0, OpKind::Load, 0, *t1, 9, 1);
+  const CheckReport r = checkEpochs(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "lemma2");
+}
+
+TEST(Checkers, Claim2CatchesOutOfSerialAStateChanges) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetS_Idle, kP0);
+  const TxnInfo t2 = b.txn(TxnKind::GetX_Shared, kP1);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::S);
+  b.stamp(kP0, t2, StampRole::Downgrade, 1, AState::S, AState::I);
+  b.stamp(kP0, t1, StampRole::Upgrade, 2, AState::I, AState::S);  // late!
+  const CheckReport r = checkClaim2(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "claim2");
+}
+
+TEST(Checkers, Claim3aCatchesLateDowngrades) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetX_Shared, kP1);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::S, AState::I);
+  b.stamp(kP1, t1, StampRole::Upgrade, 2, AState::I, AState::X);
+  b.stamp(kP0, t1, StampRole::Downgrade, 9, AState::S, AState::I);  // > 2
+  const CheckReport r = checkClaim3(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "claim3a");
+}
+
+TEST(Checkers, Claim3bCatchesNonMonotoneExclusiveUpgrades) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetX_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::I);
+  b.stamp(kP0, t1, StampRole::Upgrade, 5, AState::I, AState::X);
+  const TxnInfo t2 = b.txn(TxnKind::Wb_Exclusive, kP0);
+  b.stamp(kP0, t2, StampRole::Downgrade, 6, AState::X, AState::I);
+  b.stamp(kHome, t2, StampRole::Upgrade, 3, AState::I, AState::X);  // < 5
+  const CheckReport r = checkClaim3(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  // Both 3(a) (downgrade 6 > upgrade 3) and 3(b) fire; 3(b) must be there.
+  const bool saw3b = std::any_of(
+      r.violations.begin(), r.violations.end(),
+      [](const Violation& v) { return v.check == "claim3b"; });
+  EXPECT_TRUE(saw3b);
+}
+
+TEST(Checkers, Claim3StructureRequiresExactlyOneUpgrader) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetS_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::S);
+  // No upgrade stamp at all.
+  const CheckReport r = checkClaim3(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "claim3-structure");
+
+  VerifyConfig lenient = kCfg;
+  lenient.expectComplete = false;  // truncated traces are fine then
+  EXPECT_TRUE(checkClaim3(b.t, lenient).ok());
+}
+
+TEST(Checkers, ValueChainAcceptsCorrectTransfers) {
+  TraceBuilder b = goodTrace();
+  // P1's exclusive epoch starts at 4; the only store before it wrote
+  // nothing (initial 0), so P1 receiving 0s is consistent...
+  b.t.onValueReceived(kP1, 2, kBlk, BlockValue{0, 0});
+  // ...and P0's re-read epoch starts at 6, after P1's store of 42 to
+  // word 0.
+  b.t.onValueReceived(kP0, 3, kBlk, BlockValue{42, 0});
+  EXPECT_TRUE(checkValueChain(b.t, kCfg).ok());
+}
+
+TEST(Checkers, ValueChainCatchesAStaleTransfer) {
+  TraceBuilder b = goodTrace();
+  // P0's epoch for txn 3 starts at 6 — after P1 stored 42 — yet the block
+  // arrives with the stale initial value.
+  b.t.onValueReceived(kP0, 3, kBlk, BlockValue{0, 0});
+  const CheckReport r = checkValueChain(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "lemma3-values");
+}
+
+TEST(Checkers, ProgramOrderCatchesLamportInversion) {
+  TraceBuilder b = goodTrace();
+  // P1's second op goes backwards in Lamport time.
+  const TxnInfo* t2 = b.t.findTxn(2);
+  b.op(kP1, OpKind::Store, 43, *t2, 3, 1);  // global 3 < previous op's 4
+  const CheckReport r = checkProgramOrder(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations.front().check, "program-order");
+}
+
+TEST(Checkers, ViolationListIsBounded) {
+  TraceBuilder b;
+  const TxnInfo t1 = b.txn(TxnKind::GetX_Idle, kP0);
+  b.stamp(kHome, t1, StampRole::Downgrade, 1, AState::X, AState::I);
+  b.stamp(kP0, t1, StampRole::Upgrade, 2, AState::I, AState::X);
+  for (int i = 0; i < 100; ++i) {
+    b.op(kP0, OpKind::Load, 12345, t1, 2, static_cast<LocalTime>(i + 1));
+  }
+  VerifyConfig small = kCfg;
+  small.maxViolations = 5;
+  const CheckReport r = checkSequentialConsistency(b.t, small);
+  ASSERT_FALSE(r.ok());
+  EXPECT_LE(r.violations.size(), 6u);  // 5 + the elision marker
+}
+
+TEST(Checkers, SummaryMentionsFirstViolation) {
+  TraceBuilder b = goodTrace();
+  const TxnInfo* t1 = b.t.findTxn(1);
+  b.op(kP0, OpKind::Load, 999, *t1, 9, 1);
+  const CheckReport r = checkAll(b.t, kCfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.summary().find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcdc::verify

@@ -1,0 +1,249 @@
+// lcdc — command-line driver for the whole reproduction.
+//
+//   lcdc run     simulate a workload on the directory (or bus) protocol,
+//                verify the Section 3 properties, optionally dump the trace
+//   lcdc verify  re-verify a previously dumped trace offline
+//   lcdc mc      exhaustively model-check a small configuration
+//
+// Examples:
+//   lcdc run --procs 8 --dirs 4 --blocks 64 --ops 5000 --workload hot
+//   lcdc run --mutant forward-stale-value --trace /tmp/bug.trace
+//   lcdc verify --trace /tmp/bug.trace --procs 6
+//   lcdc mc --procs 3 --blocks 1
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/bus_system.hpp"
+#include "common/expect.hpp"
+#include "mc/model_checker.hpp"
+#include "sim/system.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace lcdc;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] std::uint64_t num(const std::string& key,
+                                  std::uint64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& flag) const {
+    return std::find(flags.begin(), flags.end(), flag) != flags.end();
+  }
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      throw SimError("unexpected argument: " + a);
+    }
+    a = a.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.kv[a] = argv[++i];
+    } else {
+      args.flags.push_back(a);
+    }
+  }
+  return args;
+}
+
+Mutant parseMutant(const std::string& name) {
+  const Mutant all[] = {Mutant::None,
+                        Mutant::SkipInvAckWait,
+                        Mutant::StaleDataFromHome,
+                        Mutant::IgnoreInvalidation,
+                        Mutant::ForwardStaleValue,
+                        Mutant::NoBusyNack,
+                        Mutant::NoDeadlockDetection};
+  for (const Mutant m : all) {
+    if (name == toString(m)) return m;
+  }
+  throw SimError("unknown mutant: " + name);
+}
+
+std::vector<workload::Program> makeWorkload(const std::string& name,
+                                            const workload::WorkloadConfig& w) {
+  if (name == "uniform") return workload::uniformRandom(w);
+  if (name == "hot") return workload::hotBlock(w);
+  if (name == "prodcons") return workload::producerConsumer(w);
+  if (name == "migratory") return workload::migratory(w);
+  if (name == "falseshare") return workload::falseSharing(w);
+  if (name == "readmostly") return workload::readMostly(w);
+  throw SimError("unknown workload: " + name +
+                 " (try uniform|hot|prodcons|migratory|falseshare|"
+                 "readmostly)");
+}
+
+int reportAndExit(const verify::CheckReport& report, bool quiet) {
+  std::cout << "verification: " << report.summary() << '\n';
+  if (!report.ok() && !quiet) {
+    std::size_t shown = 0;
+    for (const auto& v : report.violations) {
+      std::cout << "  [" << v.check << "] " << v.detail << '\n';
+      if (++shown == 10) break;
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmdRun(const Args& args) {
+  const NodeId procs = static_cast<NodeId>(args.num("procs", 8));
+  const std::string workloadName = args.str("workload", "uniform");
+
+  workload::WorkloadConfig w;
+  w.numProcessors = procs;
+  w.numBlocks = static_cast<BlockId>(args.num("blocks", 64));
+  w.wordsPerBlock = static_cast<WordIdx>(args.num("words", 4));
+  w.opsPerProcessor = args.num("ops", 2000);
+  w.storePercent = static_cast<std::uint32_t>(args.num("store-pct", 35));
+  w.evictPercent = static_cast<std::uint32_t>(args.num("evict-pct", 6));
+  w.seed = args.num("seed", 1);
+  auto programs = makeWorkload(workloadName, w);
+  if (args.kv.contains("prefetch")) {
+    programs = workload::addPrefetchHints(
+        std::move(programs), /*lookahead=*/8,
+        static_cast<std::uint32_t>(args.num("prefetch", 25)), w.seed);
+  }
+
+  trace::Trace trace;
+  std::uint64_t opsBound = 0;
+  std::string outcome;
+  bool runOk = false;
+
+  if (args.str("protocol", "directory") == "bus") {
+    bus::BusConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.numBlocks = w.numBlocks;
+    cfg.wordsPerBlock = w.wordsPerBlock;
+    cfg.cacheCapacity = static_cast<std::uint32_t>(args.num("capacity", 0));
+    cfg.snoopDelayMax = args.num("snoop-delay", 16);
+    cfg.seed = w.seed;
+    bus::BusSystem sys(cfg, trace);
+    for (NodeId p = 0; p < procs; ++p) sys.setProgram(p, programs[p]);
+    const bus::BusRunResult r = sys.run();
+    outcome = toString(r.outcome);
+    opsBound = r.opsBound;
+    runOk = r.ok();
+  } else {
+    SystemConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.numDirectories = static_cast<NodeId>(
+        args.num("dirs", std::max<NodeId>(1, procs / 2)));
+    cfg.numBlocks = w.numBlocks;
+    cfg.proto.wordsPerBlock = w.wordsPerBlock;
+    cfg.cacheCapacity = static_cast<std::uint32_t>(args.num("capacity", 0));
+    cfg.minLatency = args.num("min-latency", 1);
+    cfg.maxLatency = args.num("max-latency", 40);
+    cfg.seed = w.seed;
+    cfg.proto.putSharedEnabled = !args.has("no-putshared");
+    cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
+    cfg.storeBufferDepth =
+        static_cast<std::uint32_t>(args.num("store-buffer", 0));
+    sim::System sys(cfg, trace);
+    for (NodeId p = 0; p < procs; ++p) sys.setProgram(p, programs[p]);
+    const sim::RunResult r = sys.run();
+    outcome = toString(r.outcome);
+    opsBound = r.opsBound;
+    runOk = r.ok();
+  }
+
+  std::cout << "simulation: " << outcome << " — " << opsBound
+            << " operations, " << trace.serializations().size()
+            << " transactions\n";
+  if (const auto it = args.kv.find("trace"); it != args.kv.end()) {
+    trace::saveFile(trace, it->second);
+    std::cout << "trace written to " << it->second << '\n';
+  }
+  if (!runOk) return 2;
+  verify::VerifyConfig vc{procs};
+  vc.tso = args.str("model", "sc") == "tso" || args.num("store-buffer", 0) > 0;
+  if (vc.tso) std::cout << "(verifying against TSO)\n";
+  return reportAndExit(verify::checkAll(trace, vc), args.has("quiet"));
+}
+
+int cmdVerify(const Args& args) {
+  const auto it = args.kv.find("trace");
+  if (it == args.kv.end()) throw SimError("verify requires --trace FILE");
+  const trace::Trace trace = trace::loadFile(it->second);
+  verify::VerifyConfig cfg{static_cast<NodeId>(args.num("procs", 8))};
+  cfg.expectComplete = !args.has("partial");
+  std::cout << "loaded " << trace.operations().size() << " operations, "
+            << trace.serializations().size() << " transactions\n";
+  return reportAndExit(verify::checkAll(trace, cfg), args.has("quiet"));
+}
+
+int cmdMc(const Args& args) {
+  mc::McConfig cfg;
+  cfg.numProcessors = static_cast<NodeId>(args.num("procs", 2));
+  cfg.numBlocks = static_cast<BlockId>(args.num("blocks", 1));
+  cfg.maxStates = args.num("max-states", 2'000'000);
+  cfg.allowEvictions = !args.has("no-evictions");
+  cfg.proto.putSharedEnabled = !args.has("no-putshared");
+  cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
+  const mc::McResult r = mc::explore(cfg);
+  std::cout << "states: " << r.statesExplored
+            << (r.hitStateLimit ? " (limit hit)" : "")
+            << ", transitions: " << r.transitions
+            << ", peak frontier: " << r.frontierPeak << '\n';
+  if (r.deadlockFound) std::cout << "DEADLOCK state reachable\n";
+  for (const auto& v : r.violations) std::cout << "VIOLATION: " << v << '\n';
+  return r.ok() && !r.hitStateLimit ? 0 : 1;
+}
+
+void usage() {
+  std::cout <<
+      "usage: lcdc <command> [options]\n\n"
+      "commands:\n"
+      "  run     simulate + verify\n"
+      "          --procs N --dirs D --blocks B --ops K --seed S\n"
+      "          --workload uniform|hot|prodcons|migratory|falseshare|readmostly\n"
+      "          --protocol directory|bus  --capacity C  --no-putshared\n"
+      "          --mutant NAME  --store-pct P --evict-pct P --prefetch PCT\n"
+      "          --store-buffer DEPTH (TSO mode)  --model sc|tso\n"
+      "          --min-latency T --max-latency T --trace FILE --quiet\n"
+      "  verify  re-check a dumped trace\n"
+      "          --trace FILE --procs N [--partial]\n"
+      "  mc      exhaustive model checking (small configs!)\n"
+      "          --procs N --blocks B --max-states M --no-evictions\n"
+      "          --mutant NAME\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse(argc, argv, 2);
+    if (cmd == "run") return cmdRun(args);
+    if (cmd == "verify") return cmdVerify(args);
+    if (cmd == "mc") return cmdMc(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
