@@ -1,0 +1,48 @@
+// Experiment S9: campaign throughput scaling — seeds/second of the
+// parallel verification campaign as the worker count grows.
+//
+// The paper's scalability argument (Section 4) is about one execution; the
+// campaign subsystem multiplies it: every sub-run (simulate + full checker
+// suite) is independent, so throughput should scale with cores until the
+// memory system saturates.  This bench sweeps --jobs over {1,2,4,8} on a
+// fixed mixed campaign and reports seeds/s, speedup over one worker, and
+// how much work-stealing the pool needed.
+//
+// Note: numbers depend on the hardware parallelism actually available —
+// on a single-core container every jobs level collapses to ~1x, and the
+// recorded EXPERIMENTS.md entry says so explicitly.
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "campaign/campaign.hpp"
+
+using namespace lcdc;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seeds = argc > 1 ? std::stoull(argv[1]) : 192;
+
+  std::cout << "S9 — campaign throughput scaling (" << seeds
+            << " mixed seeds per point, hardware threads: "
+            << std::thread::hardware_concurrency() << ")\n\n";
+
+  bench::Table table(
+      {"jobs", "wall s", "seeds/s", "speedup", "stolen", "failures"});
+  double baseline = 0;
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    campaign::CampaignConfig cfg;
+    cfg.masterSeed = 2026;
+    cfg.seeds = seeds;
+    cfg.jobs = jobs;
+    cfg.minimize = false;
+    const campaign::CampaignResult r = campaign::run(cfg);
+    const double perSec =
+        r.seconds > 0 ? static_cast<double>(r.seedsRun) / r.seconds : 0.0;
+    if (jobs == 1) baseline = perSec;
+    table.row(jobs, r.seconds, perSec,
+              baseline > 0 ? perSec / baseline : 0.0,
+              r.pool.tasksStolen, r.failures.size());
+  }
+  table.print();
+  return 0;
+}

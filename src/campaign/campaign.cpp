@@ -1,0 +1,310 @@
+#include "campaign/campaign.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+
+#include "campaign/minimize.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "sim/system.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+
+namespace lcdc::campaign {
+
+namespace {
+
+workload::Kind pickKind(Rng& rng) {
+  // Weighted toward the contended families: the rare cases (the write-back
+  // races 13/14a/14b, upgrade NACKs) only fire under hot-block pressure
+  // with capacity evictions.
+  const std::uint64_t roll = rng.uniform(0, 99);
+  if (roll < 40) return workload::Kind::Hot;
+  if (roll < 55) return workload::Kind::Migratory;
+  if (roll < 70) return workload::Kind::Uniform;
+  if (roll < 80) return workload::Kind::FalseShare;
+  if (roll < 90) return workload::Kind::ProdCons;
+  return workload::Kind::ReadMostly;
+}
+
+}  // namespace
+
+CaseSpec deriveCase(const CampaignConfig& cfg, std::uint64_t index) {
+  // All shape decisions flow from the derived child seed — never from
+  // thread identity or global state — so case `index` is reproducible in
+  // isolation (the minimizer and the CLI's repro instructions rely on it).
+  const std::uint64_t caseSeed = workload::deriveSeed(cfg.masterSeed, index);
+  Rng rng(caseSeed);
+
+  SystemConfig sys;
+  sys.numProcessors = static_cast<NodeId>(rng.uniform(3, 8));
+  sys.numDirectories = static_cast<NodeId>(
+      rng.uniform(1, std::max<std::uint64_t>(2, sys.numProcessors / 2)));
+  sys.numBlocks = static_cast<BlockId>(rng.uniform(4, 16));
+  // Capacity pressure most of the time: evictions under contention are
+  // what reach transactions 12/13/14a/14b.
+  sys.cacheCapacity =
+      rng.chance(70, 100) ? static_cast<std::uint32_t>(rng.uniform(2, 4)) : 0;
+  sys.minLatency = 1;
+  sys.maxLatency = rng.uniform(8, 48);
+  sys.retryDelay = rng.uniform(4, 12);
+  sys.proto.mutant = cfg.mutant;
+  // The deadlock-detection mutant is only reachable through the Section
+  // 2.5 extension, so keep it always-on for that mutant.
+  sys.proto.putSharedEnabled =
+      cfg.mutant == Mutant::NoDeadlockDetection || rng.chance(85, 100);
+  sys.storeBufferDepth =
+      rng.chance(15, 100) ? static_cast<std::uint32_t>(rng.uniform(2, 4)) : 0;
+  sys.seed = rng();
+
+  workload::WorkloadConfig w;
+  w.numProcessors = sys.numProcessors;
+  w.numBlocks = sys.numBlocks;
+  w.wordsPerBlock = sys.proto.wordsPerBlock;
+  w.opsPerProcessor = rng.uniform(250, 700);
+  w.storePercent = static_cast<std::uint32_t>(rng.uniform(25, 60));
+  w.evictPercent = static_cast<std::uint32_t>(rng.uniform(4, 16));
+  w.seed = rng();
+
+  const workload::Kind kind = cfg.workload ? *cfg.workload : pickKind(rng);
+  auto programs = workload::make(kind, w);
+  bool prefetch = false;
+  if (rng.chance(20, 100)) {
+    prefetch = true;
+    programs = workload::addPrefetchHints(
+        std::move(programs), /*lookahead=*/8,
+        static_cast<std::uint32_t>(rng.uniform(10, 30)), rng());
+  }
+
+  std::ostringstream desc;
+  desc << workload::toString(kind) << " procs=" << sys.numProcessors
+       << " dirs=" << sys.numDirectories << " blocks=" << sys.numBlocks
+       << " cap=" << sys.cacheCapacity << " lat=[" << sys.minLatency << ","
+       << sys.maxLatency << "]" << " retry=" << sys.retryDelay
+       << " ops=" << w.opsPerProcessor << " st%=" << w.storePercent
+       << " ev%=" << w.evictPercent
+       << " ps=" << (sys.proto.putSharedEnabled ? 1 : 0)
+       << " sb=" << sys.storeBufferDepth << " pf=" << (prefetch ? 1 : 0);
+  return CaseSpec{sys, std::move(programs), desc.str()};
+}
+
+CaseOutcome runCase(const CaseSpec& spec, std::uint64_t maxEvents,
+                    trace::Trace* traceOut) {
+  trace::Trace localTrace;
+  trace::Trace& trace = traceOut ? *traceOut : localTrace;
+  trace.clear();
+
+  CaseOutcome out;
+  try {
+    sim::System system(spec.sys, trace);
+    for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
+      system.setProgram(p, spec.programs[p]);
+    }
+    const sim::RunResult result = system.run(maxEvents);
+    out.opsBound = result.opsBound;
+    out.txnsSerialized = trace.serializations().size();
+    out.coverage.record(trace);
+    if (!result.ok()) {
+      switch (result.outcome) {
+        case sim::RunResult::Outcome::Deadlock:
+          out.signature = "outcome:deadlock";
+          break;
+        case sim::RunResult::Outcome::Livelock:
+          out.signature = "outcome:livelock";
+          break;
+        default:
+          out.signature = "outcome:budget";
+          break;
+      }
+      out.detail = result.detail;
+      return out;
+    }
+  } catch (const ProtocolError& e) {
+    // An Appendix-B "impossible case" invariant fired inside the protocol
+    // core.  The partial trace still contributes coverage.
+    out.txnsSerialized = trace.serializations().size();
+    out.coverage.record(trace);
+    out.signature = "invariant";
+    out.detail = e.what();
+    return out;
+  }
+
+  verify::VerifyConfig vc{spec.sys.numProcessors};
+  vc.tso = spec.sys.storeBufferDepth > 0;
+  const verify::CheckReport report = verify::checkAll(trace, vc);
+  out.checkerFirings = report.countsByCheck();
+  if (!report.ok()) {
+    out.signature = "checker:" + report.primaryCheck();
+    out.detail = report.violations.front().detail;
+  }
+  return out;
+}
+
+namespace {
+
+std::string caseFileStem(std::uint64_t index) {
+  std::ostringstream os;
+  os << "case-" << std::setw(6) << std::setfill('0') << index;
+  return os.str();
+}
+
+/// Archive one trace with enough metadata to re-verify it offline.
+std::string archiveTrace(const trace::Trace& trace, const std::string& outDir,
+                         const std::string& stem, const CampaignConfig& cfg,
+                         std::uint64_t index, const CaseSpec& spec,
+                         const std::string& signature, bool complete) {
+  namespace fs = std::filesystem;
+  fs::create_directories(outDir);
+  const std::string path = (fs::path(outDir) / (stem + ".trace")).string();
+  std::vector<std::string> meta;
+  meta.push_back("lcdc campaign counterexample");
+  meta.push_back("master-seed: " + std::to_string(cfg.masterSeed) +
+                 "  index: " + std::to_string(index));
+  meta.push_back("case: " + spec.description);
+  meta.push_back(std::string("mutant: ") + toString(cfg.mutant));
+  meta.push_back("signature: " + signature);
+  meta.push_back("re-verify: lcdc verify --trace " + path + " --procs " +
+                 std::to_string(spec.sys.numProcessors) +
+                 (spec.sys.storeBufferDepth > 0 ? " --model tso" : "") +
+                 (complete ? "" : " --partial"));
+  trace::saveFileWithMeta(trace, path, meta);
+  return path;
+}
+
+}  // namespace
+
+CampaignResult run(const CampaignConfig& cfg) {
+  LCDC_EXPECT(cfg.seeds > 0, "campaign needs at least one seed");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  CampaignResult result;
+  ThreadPool pool(cfg.jobs);
+
+  // Per-seed outcome table, indexed by sub-run index.  Workers write only
+  // their own slot; aggregation reads the table in index order after the
+  // wave barrier — the scheduling-independent part of the determinism
+  // guarantee.
+  std::vector<CaseOutcome> outcomes(cfg.seeds);
+
+  // Waves keep --until-coverage deterministic: the stop decision is taken
+  // only at wave boundaries, on fully aggregated prefixes, so it depends
+  // on seed indices alone, never on which worker finished first.
+  const std::uint64_t waveSize =
+      cfg.untilCoverage ? std::max<std::uint64_t>(64, cfg.jobs * 8ULL)
+                        : cfg.seeds;
+  std::uint64_t next = 0;
+  while (next < cfg.seeds) {
+    const std::uint64_t waveEnd = std::min(cfg.seeds, next + waveSize);
+    for (std::uint64_t i = next; i < waveEnd; ++i) {
+      pool.submit([&cfg, &outcomes, i] {
+        outcomes[i] = runCase(deriveCase(cfg, i), cfg.maxEventsPerRun);
+      });
+    }
+    pool.wait();
+    for (std::uint64_t i = next; i < waveEnd; ++i) {
+      CaseOutcome& o = outcomes[i];
+      result.coverage.merge(o.coverage);
+      result.opsBound += o.opsBound;
+      result.txnsSerialized += o.txnsSerialized;
+      for (const auto& [check, n] : o.checkerFirings) {
+        result.checkerFirings[check] += n;
+      }
+    }
+    result.seedsRun = waveEnd;
+    next = waveEnd;
+    if (cfg.untilCoverage && result.coverage.transactionCasesComplete()) {
+      break;
+    }
+  }
+
+  // Collect failures in index order, then minimize/archive sequentially —
+  // single-threaded on purpose, so reproducer contents are deterministic
+  // too.
+  for (std::uint64_t i = 0; i < result.seedsRun; ++i) {
+    const CaseOutcome& o = outcomes[i];
+    if (o.clean()) continue;
+    Failure f;
+    f.index = i;
+    f.signature = o.signature;
+    f.detail = o.detail;
+    CaseSpec spec = deriveCase(cfg, i);
+    f.description = spec.description;
+    f.steps = totalSteps(spec);
+    f.procs = spec.sys.numProcessors;
+
+    const bool shrinkThis =
+        cfg.minimize && result.failures.size() < cfg.maxMinimized;
+    if (!cfg.outDir.empty()) {
+      trace::Trace original;
+      (void)runCase(spec, cfg.maxEventsPerRun, &original);
+      f.tracePath = archiveTrace(
+          original, cfg.outDir, caseFileStem(i), cfg, i, spec, o.signature,
+          /*complete=*/o.signature.rfind("outcome:", 0) != 0 &&
+              o.signature != "invariant");
+    }
+    if (shrinkThis) {
+      MinimizeOptions mo;
+      mo.maxAttempts = cfg.minimizeAttempts;
+      mo.maxEventsPerRun = cfg.maxEventsPerRun;
+      const MinimizeResult mr = shrink(spec, o.signature, mo);
+      f.minimized = mr.reduced();
+      f.minSteps = mr.stepsAfter;
+      f.minProcs = mr.procsAfter;
+      f.minMaxLatency = mr.spec.sys.maxLatency;
+      if (!cfg.outDir.empty()) {
+        trace::Trace minTrace;
+        const CaseOutcome minOutcome =
+            runCase(mr.spec, cfg.maxEventsPerRun, &minTrace);
+        LCDC_EXPECT(minOutcome.signature == o.signature,
+                    "minimized case no longer reproduces");
+        f.minimizedPath = archiveTrace(
+            minTrace, cfg.outDir, caseFileStem(i) + "-min", cfg, i, mr.spec,
+            o.signature,
+            /*complete=*/o.signature.rfind("outcome:", 0) != 0 &&
+                o.signature != "invariant");
+      }
+    }
+    result.failures.push_back(std::move(f));
+  }
+
+  result.pool = pool.stats();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::string CampaignResult::report() const {
+  std::ostringstream os;
+  os << "seeds run: " << seedsRun << '\n'
+     << "operations bound: " << opsBound << '\n'
+     << "transactions serialized: " << txnsSerialized << '\n';
+  os << coverage.report();
+  os << "checker firings:";
+  if (checkerFirings.empty()) {
+    os << " none\n";
+  } else {
+    os << '\n';
+    for (const auto& [check, n] : checkerFirings) {
+      os << "  " << check << ": " << n << '\n';
+    }
+  }
+  os << "failures: " << failures.size() << '\n';
+  for (const Failure& f : failures) {
+    os << "  #" << f.index << " [" << f.signature << "] " << f.description
+       << '\n'
+       << "      " << f.detail << '\n';
+    if (f.minimized) {
+      os << "      minimized: steps " << f.steps << " -> " << f.minSteps
+         << ", procs " << static_cast<unsigned>(f.procs) << " -> "
+         << static_cast<unsigned>(f.minProcs) << ", max-latency "
+         << f.minMaxLatency << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lcdc::campaign

@@ -1,0 +1,110 @@
+#include "campaign/coverage.hpp"
+
+#include <sstream>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace lcdc::campaign {
+
+namespace {
+
+Point pointOf(TxnKind k) {
+  switch (k) {
+    case TxnKind::GetS_Idle: return Point::Txn1_GetS_Idle;
+    case TxnKind::GetS_Shared: return Point::Txn2_GetS_Shared;
+    case TxnKind::GetS_Exclusive: return Point::Txn3_GetS_Exclusive;
+    case TxnKind::GetX_Idle: return Point::Txn5_GetX_Idle;
+    case TxnKind::GetX_Shared: return Point::Txn6_GetX_Shared;
+    case TxnKind::GetX_Exclusive: return Point::Txn7_GetX_Exclusive;
+    case TxnKind::Upg_Shared: return Point::Txn9_Upg_Shared;
+    case TxnKind::Wb_Exclusive: return Point::Txn12_Wb_Exclusive;
+    case TxnKind::Wb_BusyShared: return Point::Txn13_Wb_BusyShared;
+    case TxnKind::Wb_BusyExclusive: return Point::Txn14a_Wb_BusyExclusive;
+    case TxnKind::Wb_BusyExclusiveSelf:
+      return Point::Txn14b_Wb_BusyExclusiveSelf;
+  }
+  return Point::Count;
+}
+
+Point pointOf(NackKind k) {
+  switch (k) {
+    case NackKind::GetS_Busy: return Point::Nack4_GetS_Busy;
+    case NackKind::GetX_Busy: return Point::Nack8_GetX_Busy;
+    case NackKind::Upg_Exclusive: return Point::Nack10_Upg_Exclusive;
+    case NackKind::Upg_Busy: return Point::Nack11_Upg_Busy;
+  }
+  return Point::Count;
+}
+
+}  // namespace
+
+const char* toString(Point p) {
+  switch (p) {
+    case Point::Txn1_GetS_Idle: return "1  get-shared/idle";
+    case Point::Txn2_GetS_Shared: return "2  get-shared/shared";
+    case Point::Txn3_GetS_Exclusive: return "3  get-shared/exclusive";
+    case Point::Nack4_GetS_Busy: return "4  get-shared/busy (NACK)";
+    case Point::Txn5_GetX_Idle: return "5  get-exclusive/idle";
+    case Point::Txn6_GetX_Shared: return "6  get-exclusive/shared";
+    case Point::Txn7_GetX_Exclusive: return "7  get-exclusive/exclusive";
+    case Point::Nack8_GetX_Busy: return "8  get-exclusive/busy (NACK)";
+    case Point::Txn9_Upg_Shared: return "9  upgrade/shared";
+    case Point::Nack10_Upg_Exclusive: return "10 upgrade/exclusive (NACK)";
+    case Point::Nack11_Upg_Busy: return "11 upgrade/busy (NACK)";
+    case Point::Txn12_Wb_Exclusive: return "12 writeback/exclusive";
+    case Point::Txn13_Wb_BusyShared: return "13 writeback/busy-shared";
+    case Point::Txn14a_Wb_BusyExclusive: return "14a writeback/busy-excl";
+    case Point::Txn14b_Wb_BusyExclusiveSelf:
+      return "14b writeback/busy-excl-self";
+    case Point::PutShared: return "put-shared (silent eviction)";
+    case Point::DeadlockResolved: return "deadlock resolved (Figure 2)";
+    case Point::ForwardedLoad: return "forwarded load (store buffer)";
+    case Point::Count: break;
+  }
+  return "?";
+}
+
+void Coverage::record(const trace::Trace& trace) {
+  const auto bump = [this](Point p) {
+    if (p != Point::Count) ++counts[static_cast<std::size_t>(p)];
+  };
+  // Serialization records carry post-conversion kinds, so a writeback that
+  // merged into a busy transaction (13/14a) is counted as the race it
+  // became, exactly as the paper numbers it.
+  for (const auto& s : trace.serializations()) bump(pointOf(s.txn.kind));
+  for (const auto& n : trace.nacks()) bump(pointOf(n.kind));
+  counts[static_cast<std::size_t>(Point::PutShared)] +=
+      trace.putShareds().size();
+  counts[static_cast<std::size_t>(Point::DeadlockResolved)] +=
+      trace.deadlockResolutions().size();
+  for (const auto& op : trace.operations()) {
+    if (op.forwarded) bump(Point::ForwardedLoad);
+  }
+}
+
+void Coverage::merge(const Coverage& other) {
+  for (std::size_t i = 0; i < kNumPoints; ++i) counts[i] += other.counts[i];
+}
+
+std::size_t Coverage::transactionCasesCovered() const {
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < kNumTransactionCases; ++i) {
+    if (counts[i] > 0) ++covered;
+  }
+  return covered;
+}
+
+std::string Coverage::report() const {
+  std::ostringstream os;
+  os << "transaction-case coverage: " << transactionCasesCovered() << "/"
+     << kNumTransactionCases << '\n';
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    if (i == kNumTransactionCases) os << "extension paths:\n";
+    os << "  " << (counts[i] > 0 ? "hit " : "MISS") << "  "
+       << toString(static_cast<Point>(i)) << "  " << counts[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lcdc::campaign

@@ -1,0 +1,83 @@
+// Coverage accounting for verification campaigns.
+//
+// The paper's case analysis (Section 2.3, Table 1) enumerates 14 distinct
+// transactions — including the three NACK cases and the write-back races
+// 13/14a/14b — plus the Section 2.5 extension behaviours (Put-Shared
+// silent eviction, the Figure 2 deadlock resolution) and, in this
+// reproduction, the TSO store-buffering rule.  A verification campaign is
+// only convincing evidence if its schedules actually *reached* all of
+// those paths; this module counts, per trace, how often each one fired.
+//
+// A Coverage is a plain array of counters: merging is associative and
+// commutative, so the campaign aggregator can fold per-seed coverage in
+// deterministic seed order regardless of which worker finished first.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lcdc::trace {
+class Trace;
+}
+
+namespace lcdc::campaign {
+
+/// Every protocol path a campaign tracks.  The first kNumTransactionCases
+/// entries are the paper's 14 transaction cases (14a/14b split, NACKs
+/// numbered as in Section 2.3) — these define "full coverage" for
+/// --until-coverage; the rest are extension paths reported alongside.
+enum class Point : std::uint8_t {
+  Txn1_GetS_Idle,
+  Txn2_GetS_Shared,
+  Txn3_GetS_Exclusive,
+  Nack4_GetS_Busy,
+  Txn5_GetX_Idle,
+  Txn6_GetX_Shared,
+  Txn7_GetX_Exclusive,
+  Nack8_GetX_Busy,
+  Txn9_Upg_Shared,
+  Nack10_Upg_Exclusive,
+  Nack11_Upg_Busy,
+  Txn12_Wb_Exclusive,
+  Txn13_Wb_BusyShared,
+  Txn14a_Wb_BusyExclusive,
+  Txn14b_Wb_BusyExclusiveSelf,
+  // -- Section 2.5 extension paths ------------------------------------------
+  PutShared,         ///< silent read-only eviction (never timestamped)
+  DeadlockResolved,  ///< Figure 2 resolution by implicit acknowledgment
+  // -- store-buffering rule (TSO extension) ----------------------------------
+  ForwardedLoad,  ///< load served from the processor's own store buffer
+  Count,
+};
+
+inline constexpr std::size_t kNumPoints =
+    static_cast<std::size_t>(Point::Count);
+inline constexpr std::size_t kNumTransactionCases = 15;
+
+/// Short stable name ("1 get-shared/idle", "14b writeback/busy-excl-self",
+/// "put-shared", ...) used in the campaign's coverage report.
+[[nodiscard]] const char* toString(Point p);
+
+struct Coverage {
+  std::array<std::uint64_t, kNumPoints> counts{};
+
+  /// Tally every covered path of one recorded execution (complete or
+  /// truncated — a deadlocked run's partial trace still counts).
+  void record(const trace::Trace& trace);
+  void merge(const Coverage& other);
+
+  [[nodiscard]] std::uint64_t count(Point p) const {
+    return counts[static_cast<std::size_t>(p)];
+  }
+  /// How many of the paper's transaction cases have fired at least once.
+  [[nodiscard]] std::size_t transactionCasesCovered() const;
+  [[nodiscard]] bool transactionCasesComplete() const {
+    return transactionCasesCovered() == kNumTransactionCases;
+  }
+
+  /// Deterministic multi-line table of all points and counts.
+  [[nodiscard]] std::string report() const;
+};
+
+}  // namespace lcdc::campaign

@@ -1,0 +1,115 @@
+#include "common/thread_pool.hpp"
+
+namespace lcdc {
+
+namespace {
+
+// Identifies the current thread's worker slot so submit() from inside a
+// task lands on the submitting worker's own deque.
+thread_local const ThreadPool* tlsPool = nullptr;
+thread_local unsigned tlsIndex = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  deques_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const unsigned target =
+      tlsPool == this
+          ? tlsIndex
+          : static_cast<unsigned>(nextDeque_.fetch_add(1) % deques_.size());
+  // pending_ rises before the task becomes stealable, so a worker that
+  // finishes it instantly can never drive the counter below zero.
+  pending_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lk(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // queued_ changes under mu_ so a worker that just evaluated the sleep
+    // predicate cannot miss the wakeup.
+    std::lock_guard<std::mutex> lk(mu_);
+    queued_.fetch_add(1);
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::tryPop(unsigned self, std::function<void()>& task,
+                        bool& stolen) {
+  {
+    Deque& own = *deques_[self];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1);
+      stolen = false;
+      return true;
+    }
+  }
+  for (std::size_t off = 1; off < deques_.size(); ++off) {
+    Deque& victim = *deques_[(self + off) % deques_.size()];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1);
+      stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned self) {
+  tlsPool = this;
+  tlsIndex = self;
+  std::function<void()> task;
+  bool stolen = false;
+  for (;;) {
+    if (tryPop(self, task, stolen)) {
+      task();
+      task = nullptr;
+      executed_.fetch_add(1);
+      if (stolen) stolen_.fetch_add(1);
+      if (pending_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lk(mu_);
+        doneCv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return stop_ || queued_.load() > 0; });
+    if (stop_ && queued_.load() == 0) return;
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  doneCv_.wait(lk, [this] { return pending_.load() == 0; });
+}
+
+PoolStats ThreadPool::stats() const {
+  return PoolStats{executed_.load(), stolen_.load()};
+}
+
+}  // namespace lcdc

@@ -174,6 +174,18 @@ void saveFile(const Trace& t, const std::string& path) {
   save(t, os);
 }
 
+void saveFileWithMeta(const Trace& t, const std::string& path,
+                      const std::vector<std::string>& metaLines) {
+  std::ofstream os(path);
+  if (!os) throw SimError("cannot open trace file for writing: " + path);
+  for (const std::string& line : metaLines) {
+    LCDC_EXPECT(line.find('\n') == std::string::npos,
+                "metadata line contains a newline");
+    os << "# " << line << '\n';
+  }
+  save(t, os);
+}
+
 Trace loadFile(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw SimError("cannot open trace file: " + path);

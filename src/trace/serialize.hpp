@@ -34,4 +34,12 @@ void save(const Trace& t, std::ostream& os);
 void saveFile(const Trace& t, const std::string& path);
 [[nodiscard]] Trace loadFile(const std::string& path);
 
+/// Archive a counterexample: like saveFile, but prefixed with `# `-comment
+/// metadata lines (campaign seed, derived configuration, failure
+/// signature, repro command).  load() skips comments, so archived traces
+/// re-verify offline with the stock `lcdc verify` path.  Metadata lines
+/// must not contain newlines.
+void saveFileWithMeta(const Trace& t, const std::string& path,
+                      const std::vector<std::string>& metaLines);
+
 }  // namespace lcdc::trace

@@ -83,6 +83,16 @@ void CheckReport::merge(CheckReport other) {
   epochsBuilt += other.epochsBuilt;
 }
 
+std::string CheckReport::primaryCheck() const {
+  return violations.empty() ? std::string{} : violations.front().check;
+}
+
+std::map<std::string, std::uint64_t> CheckReport::countsByCheck() const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const Violation& v : violations) ++counts[v.check];
+  return counts;
+}
+
 // ---------------------------------------------------------------------------
 // Epoch construction (Section 3.3)
 // ---------------------------------------------------------------------------

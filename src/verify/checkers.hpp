@@ -23,9 +23,16 @@
 // All checkers are pure functions of the trace: they can run on traces from
 // the live simulator, from scripted scenarios, or from fault-injected
 // mutants (where they are expected to fire).
+//
+// Thread-safety: every checker reads the trace through const references
+// and keeps all working state on its own stack — no globals, no caches.
+// Distinct threads may therefore verify *distinct* traces concurrently
+// (the campaign runner does exactly that); concurrent checks of the same
+// Trace object are also safe as long as no thread mutates it.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -49,6 +56,16 @@ struct CheckReport {
   [[nodiscard]] bool ok() const { return violations.empty(); }
   [[nodiscard]] std::string summary() const;
   void merge(CheckReport other);
+
+  /// Which property fired first ("" when the report is clean).  The
+  /// campaign uses this as the failure signature the minimizer must
+  /// preserve while shrinking a reproducer.
+  [[nodiscard]] std::string primaryCheck() const;
+
+  /// Violation count per property name — the campaign's per-claim firing
+  /// statistics.  std::map so iteration order (and hence any printed
+  /// aggregate) is deterministic.
+  [[nodiscard]] std::map<std::string, std::uint64_t> countsByCheck() const;
 };
 
 struct VerifyConfig {

@@ -186,4 +186,48 @@ std::vector<Program> readMostly(const WorkloadConfig& cfg) {
   return programs;
 }
 
+const char* toString(Kind k) {
+  switch (k) {
+    case Kind::Uniform: return "uniform";
+    case Kind::Hot: return "hot";
+    case Kind::ProdCons: return "prodcons";
+    case Kind::Migratory: return "migratory";
+    case Kind::FalseShare: return "falseshare";
+    case Kind::ReadMostly: return "readmostly";
+  }
+  return "?";
+}
+
+Kind kindFromName(const std::string& name) {
+  for (std::uint8_t i = 0; i < kNumKinds; ++i) {
+    const Kind k = static_cast<Kind>(i);
+    if (name == toString(k)) return k;
+  }
+  throw SimError("unknown workload: " + name +
+                 " (try uniform|hot|prodcons|migratory|falseshare|"
+                 "readmostly)");
+}
+
+std::vector<Program> make(Kind kind, const WorkloadConfig& cfg) {
+  switch (kind) {
+    case Kind::Uniform: return uniformRandom(cfg);
+    case Kind::Hot: return hotBlock(cfg);
+    case Kind::ProdCons: return producerConsumer(cfg);
+    case Kind::Migratory: return migratory(cfg);
+    case Kind::FalseShare: return falseSharing(cfg);
+    case Kind::ReadMostly: return readMostly(cfg);
+  }
+  throw SimError("unknown workload kind");
+}
+
+std::uint64_t deriveSeed(std::uint64_t masterSeed, std::uint64_t index) {
+  // Two dependent splitmix64 steps: the first whitens the master, the
+  // second mixes in the index, so neighbouring indices land in unrelated
+  // parts of the sequence and seed 0 is safe.
+  std::uint64_t s = masterSeed ^ 0x63616D70'6169676EULL;  // "campaign"
+  const std::uint64_t whitened = splitmix64(s);
+  std::uint64_t t = whitened ^ (index * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(t);
+}
+
 }  // namespace lcdc::workload

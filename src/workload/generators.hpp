@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -60,5 +61,40 @@ struct WorkloadConfig {
 [[nodiscard]] std::vector<Program> addPrefetchHints(
     std::vector<Program> programs, std::uint32_t lookahead,
     std::uint32_t percent, std::uint64_t seed);
+
+// -- campaign plumbing -------------------------------------------------------
+//
+// The campaign subsystem fans out thousands of seeded sub-runs; it needs
+// (a) the generator family as a first-class value it can derive from a
+// seed, and (b) statistically independent child seeds, so that sub-campaign
+// i of master seed M is a pure function of (M, i) no matter which worker
+// thread runs it or in which order.
+
+/// The named generator families above, as a value the campaign can select
+/// by derived seed and the CLI can parse by name.
+enum class Kind : std::uint8_t {
+  Uniform,
+  Hot,
+  ProdCons,
+  Migratory,
+  FalseShare,
+  ReadMostly,
+};
+inline constexpr std::uint8_t kNumKinds = 6;
+
+[[nodiscard]] const char* toString(Kind k);
+
+/// Parse a CLI name ("uniform", "hot", ...).  Throws SimError on an
+/// unknown name.
+[[nodiscard]] Kind kindFromName(const std::string& name);
+
+/// Dispatch to the family's generator (default extra parameters).
+[[nodiscard]] std::vector<Program> make(Kind kind, const WorkloadConfig& cfg);
+
+/// Derive child seed `index` from a master seed: one splitmix64 stream per
+/// master, mixed with the index, so sub-campaign seeds collide neither with
+/// each other nor with the master across campaign sizes.
+[[nodiscard]] std::uint64_t deriveSeed(std::uint64_t masterSeed,
+                                       std::uint64_t index);
 
 }  // namespace lcdc::workload

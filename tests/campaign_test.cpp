@@ -1,0 +1,238 @@
+// The campaign subsystem's contract tests:
+//
+//   * the work-stealing pool runs every task (including tasks submitted
+//     from inside tasks) and survives reuse across waves;
+//   * sub-run derivation is a pure function of (master seed, index);
+//   * the mixed campaign covers all 14 transaction cases of Section 2.3
+//     with zero false positives on the faithful protocol;
+//   * the aggregated report is byte-identical for any --jobs value (the
+//     determinism guarantee CI leans on);
+//   * the delta-debugging minimizer shrinks a failing schedule while
+//     preserving the exact failure signature, and the archived minimal
+//     trace re-verifies offline with the same checker.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/minimize.hpp"
+#include "common/thread_pool.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace.hpp"
+#include "verify/checkers.hpp"
+
+namespace lcdc {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskAcrossWaves) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+  }
+  EXPECT_EQ(counter.load(), 300);
+  EXPECT_EQ(pool.stats().tasksExecuted, 300u);
+}
+
+TEST(ThreadPool, TasksMaySubmitSubtasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &counter] {
+      for (int j = 0; j < 5; ++j) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait();  // must cover the nested submissions too
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(Campaign, DeriveCaseIsPureFunctionOfIndex) {
+  campaign::CampaignConfig cfg;
+  cfg.masterSeed = 99;
+  for (const std::uint64_t i : {0ULL, 1ULL, 17ULL}) {
+    const campaign::CaseSpec a = campaign::deriveCase(cfg, i);
+    const campaign::CaseSpec b = campaign::deriveCase(cfg, i);
+    EXPECT_EQ(a.description, b.description);
+    ASSERT_EQ(a.programs.size(), b.programs.size());
+    EXPECT_EQ(campaign::totalSteps(a), campaign::totalSteps(b));
+    EXPECT_EQ(a.sys.seed, b.sys.seed);
+  }
+  // Distinct indices must not collide (distinct derived sim seeds).
+  const campaign::CaseSpec a = campaign::deriveCase(cfg, 2);
+  const campaign::CaseSpec b = campaign::deriveCase(cfg, 3);
+  EXPECT_NE(a.sys.seed, b.sys.seed);
+}
+
+TEST(Campaign, MixedCampaignCoversAllTransactionCasesCleanly) {
+  campaign::CampaignConfig cfg;
+  cfg.masterSeed = 1;
+  cfg.seeds = 24;
+  cfg.jobs = 4;
+  cfg.minimize = false;
+  const campaign::CampaignResult r = campaign::run(cfg);
+  EXPECT_EQ(r.seedsRun, 24u);
+  EXPECT_TRUE(r.failures.empty())
+      << "false positive: " << r.failures.front().signature << " — "
+      << r.failures.front().detail;
+  EXPECT_TRUE(r.coverage.transactionCasesComplete()) << r.coverage.report();
+  // The extension paths must be exercised too.
+  EXPECT_GT(r.coverage.count(campaign::Point::PutShared), 0u);
+  EXPECT_GT(r.coverage.count(campaign::Point::DeadlockResolved), 0u);
+  EXPECT_GT(r.coverage.count(campaign::Point::ForwardedLoad), 0u);
+}
+
+TEST(Campaign, ReportIsByteIdenticalAcrossJobCounts) {
+  // Clean campaign: coverage tables and totals must fold identically.
+  campaign::CampaignConfig cfg;
+  cfg.masterSeed = 42;
+  cfg.seeds = 16;
+  cfg.minimize = false;
+  cfg.jobs = 1;
+  const std::string r1 = campaign::run(cfg).report();
+  cfg.jobs = 4;
+  const std::string r4 = campaign::run(cfg).report();
+  EXPECT_EQ(r1, r4);
+
+  // Failing campaign: the failure *set* (indices, signatures, details)
+  // must also be order-independent.
+  campaign::CampaignConfig bad;
+  bad.masterSeed = 7;
+  bad.seeds = 5;
+  bad.mutant = Mutant::NoBusyNack;
+  bad.minimize = false;
+  bad.jobs = 1;
+  const campaign::CampaignResult b1 = campaign::run(bad);
+  bad.jobs = 3;
+  const campaign::CampaignResult b3 = campaign::run(bad);
+  ASSERT_FALSE(b1.failures.empty());
+  ASSERT_EQ(b1.failures.size(), b3.failures.size());
+  for (std::size_t i = 0; i < b1.failures.size(); ++i) {
+    EXPECT_EQ(b1.failures[i].index, b3.failures[i].index);
+    EXPECT_EQ(b1.failures[i].signature, b3.failures[i].signature);
+    EXPECT_EQ(b1.failures[i].detail, b3.failures[i].detail);
+  }
+  EXPECT_EQ(b1.report(), b3.report());
+}
+
+TEST(Campaign, UntilCoverageStopsAtAWaveBoundaryDeterministically) {
+  campaign::CampaignConfig cfg;
+  cfg.masterSeed = 3;
+  cfg.seeds = 512;
+  cfg.untilCoverage = true;
+  cfg.minimize = false;
+  cfg.jobs = 2;
+  const campaign::CampaignResult a = campaign::run(cfg);
+  cfg.jobs = 5;
+  const campaign::CampaignResult b = campaign::run(cfg);
+  EXPECT_TRUE(a.coverage.transactionCasesComplete());
+  EXPECT_LT(a.seedsRun, 512u) << "coverage should complete well before 512";
+  EXPECT_EQ(a.seedsRun, b.seedsRun);
+  EXPECT_EQ(a.report(), b.report());
+}
+
+/// First campaign sub-run that fails with a checker signature.
+campaign::CaseSpec findCheckerFailure(const campaign::CampaignConfig& cfg,
+                                      std::string* signature) {
+  for (std::uint64_t i = 0; i < cfg.seeds; ++i) {
+    campaign::CaseSpec spec = campaign::deriveCase(cfg, i);
+    const campaign::CaseOutcome o =
+        campaign::runCase(spec, cfg.maxEventsPerRun);
+    if (o.signature.rfind("checker:", 0) == 0) {
+      *signature = o.signature;
+      return spec;
+    }
+  }
+  ADD_FAILURE() << "no checker-detected failure in " << cfg.seeds << " seeds";
+  return campaign::deriveCase(cfg, 0);
+}
+
+TEST(Minimizer, ShrinksWhilePreservingTheFailureSignature) {
+  campaign::CampaignConfig cfg;
+  cfg.mutant = Mutant::ForwardStaleValue;
+  cfg.seeds = 16;
+  std::string signature;
+  const campaign::CaseSpec failing = findCheckerFailure(cfg, &signature);
+  ASSERT_FALSE(signature.empty());
+
+  campaign::MinimizeOptions opts;
+  opts.maxAttempts = 150;
+  const campaign::MinimizeResult mr =
+      campaign::shrink(failing, signature, opts);
+  EXPECT_EQ(mr.signature, signature);
+  EXPECT_LE(mr.stepsAfter, mr.stepsBefore);
+  EXPECT_TRUE(mr.reduced()) << "nothing shrank within the probe budget";
+  // The guarantee that matters: the minimized case still trips the same
+  // checker when re-executed from scratch.
+  const campaign::CaseOutcome again =
+      campaign::runCase(mr.spec, cfg.maxEventsPerRun);
+  EXPECT_EQ(again.signature, signature);
+}
+
+TEST(Minimizer, MinimizedTraceReVerifiesOfflineWithTheSameChecker) {
+  campaign::CampaignConfig cfg;
+  cfg.mutant = Mutant::ForwardStaleValue;
+  cfg.seeds = 16;
+  std::string signature;
+  const campaign::CaseSpec failing = findCheckerFailure(cfg, &signature);
+  ASSERT_FALSE(signature.empty());
+
+  campaign::MinimizeOptions opts;
+  opts.maxAttempts = 120;
+  const campaign::MinimizeResult mr =
+      campaign::shrink(failing, signature, opts);
+
+  trace::Trace minTrace;
+  (void)campaign::runCase(mr.spec, opts.maxEventsPerRun, &minTrace);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lcdc_campaign_min.trace")
+          .string();
+  trace::saveFileWithMeta(
+      minTrace, path,
+      {"campaign test reproducer", "signature: " + signature});
+  const trace::Trace loaded = trace::loadFile(path);
+  std::remove(path.c_str());
+
+  verify::VerifyConfig vc{mr.spec.sys.numProcessors};
+  vc.tso = mr.spec.sys.storeBufferDepth > 0;
+  const verify::CheckReport report = verify::checkAll(loaded, vc);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ("checker:" + report.primaryCheck(), signature);
+}
+
+TEST(Campaign, ArchivesFailingAndMinimizedTraces) {
+  const std::string outDir =
+      (std::filesystem::temp_directory_path() / "lcdc_campaign_out").string();
+  std::filesystem::remove_all(outDir);
+
+  campaign::CampaignConfig cfg;
+  cfg.mutant = Mutant::ForwardStaleValue;
+  cfg.seeds = 6;
+  cfg.jobs = 2;
+  cfg.minimize = true;
+  cfg.maxMinimized = 1;
+  cfg.minimizeAttempts = 100;
+  cfg.outDir = outDir;
+  const campaign::CampaignResult r = campaign::run(cfg);
+  ASSERT_FALSE(r.failures.empty());
+  const campaign::Failure& f = r.failures.front();
+  EXPECT_FALSE(f.tracePath.empty());
+  EXPECT_TRUE(std::filesystem::exists(f.tracePath));
+  if (!f.minimizedPath.empty()) {
+    EXPECT_TRUE(std::filesystem::exists(f.minimizedPath));
+    // Archived minimized traces must parse back (comments skipped).
+    const trace::Trace t = trace::loadFile(f.minimizedPath);
+    EXPECT_FALSE(t.operations().empty() && t.serializations().empty());
+  }
+  std::filesystem::remove_all(outDir);
+}
+
+}  // namespace
+}  // namespace lcdc

@@ -1,23 +1,39 @@
 // lcdc — command-line driver for the whole reproduction.
 //
-//   lcdc run     simulate a workload on the directory (or bus) protocol,
-//                verify the Section 3 properties, optionally dump the trace
-//   lcdc verify  re-verify a previously dumped trace offline
-//   lcdc mc      exhaustively model-check a small configuration
+//   lcdc run       simulate a workload on the directory (or bus) protocol,
+//                  verify the Section 3 properties, optionally dump the trace
+//   lcdc verify    re-verify a previously dumped trace offline
+//   lcdc mc        exhaustively model-check a small configuration
+//   lcdc campaign  fan out thousands of seeded runs across a thread pool,
+//                  aggregate transaction-case coverage and checker verdicts,
+//                  and delta-debug any failure into a minimal reproducer
 //
 // Examples:
 //   lcdc run --procs 8 --dirs 4 --blocks 64 --ops 5000 --workload hot
 //   lcdc run --mutant forward-stale-value --trace /tmp/bug.trace
 //   lcdc verify --trace /tmp/bug.trace --procs 6
 //   lcdc mc --procs 3 --blocks 1
-#include <cstring>
+//   lcdc campaign --seeds 1024 --jobs 8 --until-coverage
+//   lcdc campaign --seeds 256 --mutant no-busy-nack --minimize --out /tmp/cex
+//
+// Exit codes (stable; campaign scripts and CI discriminate on them):
+//   0  success
+//   1  verification violations
+//   2  simulation did not reach quiescence / protocol invariant fired
+//   3  campaign detected failures
+//   4  usage error (unknown command/option, malformed value)
+//   5  I/O or trace-format error
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bus/bus_system.hpp"
+#include "campaign/campaign.hpp"
 #include "common/expect.hpp"
 #include "mc/model_checker.hpp"
 #include "sim/system.hpp"
@@ -30,6 +46,28 @@ namespace {
 
 using namespace lcdc;
 
+constexpr int kExitOk = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitSimFailed = 2;
+constexpr int kExitCampaignFailed = 3;
+constexpr int kExitUsage = 4;
+constexpr int kExitIo = 5;
+
+/// Malformed invocation: unknown command/option, missing or unparsable
+/// value.  Distinct from SimError so scripts can tell "you called it
+/// wrong" (exit 4) from "the input file is bad" (exit 5).
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-command option schema: every key takes a value, every flag stands
+/// alone.  Anything not listed is rejected up front.
+struct OptionSpec {
+  std::set<std::string> keys;
+  std::set<std::string> flags;
+};
+
 struct Args {
   std::map<std::string, std::string> kv;
   std::vector<std::string> flags;
@@ -37,7 +75,18 @@ struct Args {
   [[nodiscard]] std::uint64_t num(const std::string& key,
                                   std::uint64_t fallback) const {
     const auto it = kv.find(key);
-    return it == kv.end() ? fallback : std::stoull(it->second);
+    if (it == kv.end()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const std::uint64_t value = std::stoull(it->second, &pos);
+      if (pos != it->second.size() || it->second.front() == '-') {
+        throw std::invalid_argument(it->second);
+      }
+      return value;
+    } catch (const std::exception&) {
+      throw UsageError("--" + key + " expects a non-negative integer, got '" +
+                       it->second + "'");
+    }
   }
   [[nodiscard]] std::string str(const std::string& key,
                                 const std::string& fallback) const {
@@ -49,21 +98,35 @@ struct Args {
   }
 };
 
-Args parse(int argc, char** argv, int from) {
+Args parse(int argc, char** argv, int from, const std::string& cmd,
+           const OptionSpec& spec) {
   Args args;
   for (int i = from; i < argc; ++i) {
-    std::string a = argv[i];
+    const std::string a = argv[i];
     if (a.rfind("--", 0) != 0) {
-      throw SimError("unexpected argument: " + a);
+      throw UsageError("unexpected argument '" + a + "' for '" + cmd + "'");
     }
-    a = a.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.kv[a] = argv[++i];
+    const std::string name = a.substr(2);
+    if (spec.keys.contains(name)) {
+      if (i + 1 >= argc) {
+        throw UsageError("--" + name + " requires a value");
+      }
+      args.kv[name] = argv[++i];
+    } else if (spec.flags.contains(name)) {
+      if (!args.has(name)) args.flags.push_back(name);
     } else {
-      args.flags.push_back(a);
+      throw UsageError("unknown option --" + name + " for '" + cmd + "'");
     }
   }
   return args;
+}
+
+workload::Kind parseWorkload(const std::string& name) {
+  try {
+    return workload::kindFromName(name);
+  } catch (const SimError& e) {
+    throw UsageError(e.what());
+  }
 }
 
 Mutant parseMutant(const std::string& name) {
@@ -77,20 +140,7 @@ Mutant parseMutant(const std::string& name) {
   for (const Mutant m : all) {
     if (name == toString(m)) return m;
   }
-  throw SimError("unknown mutant: " + name);
-}
-
-std::vector<workload::Program> makeWorkload(const std::string& name,
-                                            const workload::WorkloadConfig& w) {
-  if (name == "uniform") return workload::uniformRandom(w);
-  if (name == "hot") return workload::hotBlock(w);
-  if (name == "prodcons") return workload::producerConsumer(w);
-  if (name == "migratory") return workload::migratory(w);
-  if (name == "falseshare") return workload::falseSharing(w);
-  if (name == "readmostly") return workload::readMostly(w);
-  throw SimError("unknown workload: " + name +
-                 " (try uniform|hot|prodcons|migratory|falseshare|"
-                 "readmostly)");
+  throw UsageError("unknown mutant: " + name);
 }
 
 int reportAndExit(const verify::CheckReport& report, bool quiet) {
@@ -102,7 +152,7 @@ int reportAndExit(const verify::CheckReport& report, bool quiet) {
       if (++shown == 10) break;
     }
   }
-  return report.ok() ? 0 : 1;
+  return report.ok() ? kExitOk : kExitViolations;
 }
 
 int cmdRun(const Args& args) {
@@ -117,7 +167,7 @@ int cmdRun(const Args& args) {
   w.storePercent = static_cast<std::uint32_t>(args.num("store-pct", 35));
   w.evictPercent = static_cast<std::uint32_t>(args.num("evict-pct", 6));
   w.seed = args.num("seed", 1);
-  auto programs = makeWorkload(workloadName, w);
+  auto programs = workload::make(parseWorkload(workloadName), w);
   if (args.kv.contains("prefetch")) {
     programs = workload::addPrefetchHints(
         std::move(programs), /*lookahead=*/8,
@@ -129,7 +179,11 @@ int cmdRun(const Args& args) {
   std::string outcome;
   bool runOk = false;
 
-  if (args.str("protocol", "directory") == "bus") {
+  const std::string protocol = args.str("protocol", "directory");
+  if (protocol != "directory" && protocol != "bus") {
+    throw UsageError("unknown protocol: " + protocol + " (directory|bus)");
+  }
+  if (protocol == "bus") {
     bus::BusConfig cfg;
     cfg.numProcessors = procs;
     cfg.numBlocks = w.numBlocks;
@@ -173,19 +227,24 @@ int cmdRun(const Args& args) {
     trace::saveFile(trace, it->second);
     std::cout << "trace written to " << it->second << '\n';
   }
-  if (!runOk) return 2;
+  if (!runOk) return kExitSimFailed;
   verify::VerifyConfig vc{procs};
-  vc.tso = args.str("model", "sc") == "tso" || args.num("store-buffer", 0) > 0;
+  const std::string model = args.str("model", "sc");
+  if (model != "sc" && model != "tso") {
+    throw UsageError("unknown model: " + model + " (sc|tso)");
+  }
+  vc.tso = model == "tso" || args.num("store-buffer", 0) > 0;
   if (vc.tso) std::cout << "(verifying against TSO)\n";
   return reportAndExit(verify::checkAll(trace, vc), args.has("quiet"));
 }
 
 int cmdVerify(const Args& args) {
   const auto it = args.kv.find("trace");
-  if (it == args.kv.end()) throw SimError("verify requires --trace FILE");
+  if (it == args.kv.end()) throw UsageError("verify requires --trace FILE");
   const trace::Trace trace = trace::loadFile(it->second);
   verify::VerifyConfig cfg{static_cast<NodeId>(args.num("procs", 8))};
   cfg.expectComplete = !args.has("partial");
+  cfg.tso = args.str("model", "sc") == "tso";
   std::cout << "loaded " << trace.operations().size() << " operations, "
             << trace.serializations().size() << " transactions\n";
   return reportAndExit(verify::checkAll(trace, cfg), args.has("quiet"));
@@ -206,44 +265,143 @@ int cmdMc(const Args& args) {
             << ", peak frontier: " << r.frontierPeak << '\n';
   if (r.deadlockFound) std::cout << "DEADLOCK state reachable\n";
   for (const auto& v : r.violations) std::cout << "VIOLATION: " << v << '\n';
-  return r.ok() && !r.hitStateLimit ? 0 : 1;
+  return r.ok() && !r.hitStateLimit ? kExitOk : kExitViolations;
 }
 
-void usage() {
-  std::cout <<
+int cmdCampaign(const Args& args) {
+  campaign::CampaignConfig cfg;
+  cfg.masterSeed = args.num("master-seed", 1);
+  cfg.seeds = args.num("seeds", 256);
+  if (cfg.seeds == 0) throw UsageError("--seeds must be at least 1");
+  cfg.jobs = static_cast<unsigned>(args.num("jobs", 1));
+  if (cfg.jobs == 0) throw UsageError("--jobs must be at least 1");
+  const std::string workloadName = args.str("workload", "mixed");
+  if (workloadName != "mixed") {
+    cfg.workload = parseWorkload(workloadName);
+  }
+  cfg.mutant = parseMutant(args.str("mutant", "none"));
+  cfg.untilCoverage = args.has("until-coverage");
+  cfg.minimize = args.has("minimize");
+  cfg.maxMinimized = args.num("max-minimized", 4);
+  cfg.outDir = args.str("out", "");
+  cfg.maxEventsPerRun = args.num("max-events", 5'000'000);
+  cfg.minimizeAttempts = args.num("minimize-attempts", 400);
+
+  std::cout << "campaign: master-seed=" << cfg.masterSeed
+            << " seeds=" << cfg.seeds << " workload=" << workloadName
+            << " mutant=" << toString(cfg.mutant)
+            << (cfg.untilCoverage ? " until-coverage" : "")
+            << (cfg.minimize ? " minimize" : "") << '\n';
+
+  const campaign::CampaignResult r = campaign::run(cfg);
+  std::cout << r.report();
+
+  // Timing and pool behaviour are real but scheduling-dependent; keep them
+  // visually separate from the deterministic report above.
+  std::cout << "-- timing (non-deterministic) --\n"
+            << "jobs: " << cfg.jobs << ", wall: " << r.seconds << " s, "
+            << (r.seconds > 0
+                    ? static_cast<double>(r.seedsRun) / r.seconds
+                    : 0.0)
+            << " seeds/s, tasks stolen: " << r.pool.tasksStolen << "/"
+            << r.pool.tasksExecuted << '\n';
+  if (!args.has("quiet")) {
+    for (const auto& f : r.failures) {
+      if (!f.tracePath.empty()) {
+        std::cout << "archived: " << f.tracePath << '\n';
+      }
+      if (!f.minimizedPath.empty()) {
+        std::cout << "minimal reproducer: " << f.minimizedPath << '\n';
+      }
+    }
+  }
+  if (cfg.untilCoverage && !r.coverage.transactionCasesComplete()) {
+    std::cout << "coverage target NOT reached after " << r.seedsRun
+              << " seeds\n";
+  }
+  return r.ok() ? kExitOk : kExitCampaignFailed;
+}
+
+const std::map<std::string, OptionSpec>& optionSpecs() {
+  static const std::map<std::string, OptionSpec> specs = {
+      {"run",
+       {{"procs", "dirs", "blocks", "ops", "words", "seed", "workload",
+         "protocol", "capacity", "mutant", "store-pct", "evict-pct",
+         "prefetch", "store-buffer", "model", "min-latency", "max-latency",
+         "snoop-delay", "trace"},
+        {"no-putshared", "quiet"}}},
+      {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
+      {"mc",
+       {{"procs", "blocks", "max-states", "mutant"},
+        {"no-evictions", "no-putshared"}}},
+      {"campaign",
+       {{"seeds", "jobs", "master-seed", "workload", "mutant", "out",
+         "max-events", "max-minimized", "minimize-attempts"},
+        {"until-coverage", "minimize", "quiet"}}},
+  };
+  return specs;
+}
+
+void usage(std::ostream& os) {
+  os <<
       "usage: lcdc <command> [options]\n\n"
       "commands:\n"
-      "  run     simulate + verify\n"
-      "          --procs N --dirs D --blocks B --ops K --seed S\n"
-      "          --workload uniform|hot|prodcons|migratory|falseshare|readmostly\n"
-      "          --protocol directory|bus  --capacity C  --no-putshared\n"
-      "          --mutant NAME  --store-pct P --evict-pct P --prefetch PCT\n"
-      "          --store-buffer DEPTH (TSO mode)  --model sc|tso\n"
-      "          --min-latency T --max-latency T --trace FILE --quiet\n"
-      "  verify  re-check a dumped trace\n"
-      "          --trace FILE --procs N [--partial]\n"
-      "  mc      exhaustive model checking (small configs!)\n"
-      "          --procs N --blocks B --max-states M --no-evictions\n"
-      "          --mutant NAME\n";
+      "  run       simulate + verify\n"
+      "            --procs N --dirs D --blocks B --ops K --seed S\n"
+      "            --workload uniform|hot|prodcons|migratory|falseshare|readmostly\n"
+      "            --protocol directory|bus  --capacity C  --no-putshared\n"
+      "            --mutant NAME  --store-pct P --evict-pct P --prefetch PCT\n"
+      "            --store-buffer DEPTH (TSO mode)  --model sc|tso\n"
+      "            --min-latency T --max-latency T --trace FILE --quiet\n"
+      "  verify    re-check a dumped trace\n"
+      "            --trace FILE --procs N --model sc|tso [--partial]\n"
+      "  mc        exhaustive model checking (small configs!)\n"
+      "            --procs N --blocks B --max-states M --no-evictions\n"
+      "            --mutant NAME\n"
+      "  campaign  parallel seed-fuzzing campaign over the checker suite\n"
+      "            --seeds N --jobs J --master-seed S\n"
+      "            --workload mixed|uniform|hot|prodcons|migratory|falseshare|readmostly\n"
+      "            --mutant NAME --until-coverage --minimize\n"
+      "            --max-minimized K --minimize-attempts A\n"
+      "            --out DIR (archive failing + minimized traces)\n"
+      "            --max-events E --quiet\n\n"
+      "exit codes: 0 ok, 1 verification violations, 2 simulation failed,\n"
+      "            3 campaign failures, 4 usage error, 5 I/O error\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
-    return 2;
+    usage(std::cerr);
+    return kExitUsage;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage(std::cout);
+    return kExitOk;
+  }
+  const auto& specs = optionSpecs();
+  const auto spec = specs.find(cmd);
+  if (spec == specs.end()) {
+    std::cerr << "error: unknown command '" << cmd << "'\n\n";
+    usage(std::cerr);
+    return kExitUsage;
+  }
   try {
-    const Args args = parse(argc, argv, 2);
+    const Args args = parse(argc, argv, 2, cmd, spec->second);
     if (cmd == "run") return cmdRun(args);
     if (cmd == "verify") return cmdVerify(args);
     if (cmd == "mc") return cmdMc(args);
-    usage();
-    return 2;
+    return cmdCampaign(args);
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n(see 'lcdc help')\n";
+    return kExitUsage;
+  } catch (const ProtocolError& e) {
+    std::cerr << "protocol invariant violated: " << e.what() << '\n';
+    return kExitSimFailed;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 2;
+    return kExitIo;
   }
 }
