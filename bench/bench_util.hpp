@@ -88,4 +88,11 @@ inline void banner(const std::string& title) {
   std::cout << '\n' << "== " << title << " ==\n\n";
 }
 
+/// Fixed-point formatting for table cells.
+inline std::string fixed(double v, int places) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(places) << v;
+  return os.str();
+}
+
 }  // namespace lcdc::bench

@@ -8,10 +8,12 @@
 #include "campaign/minimize.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
+#include "proto/observer.hpp"
 #include "sim/system.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace.hpp"
 #include "verify/checkers.hpp"
+#include "verify/stream.hpp"
 
 namespace lcdc::campaign {
 
@@ -91,8 +93,73 @@ CaseSpec deriveCase(const CampaignConfig& cfg, std::uint64_t index) {
   return CaseSpec{sys, std::move(programs), desc.str()};
 }
 
-CaseOutcome runCase(const CaseSpec& spec, std::uint64_t maxEvents,
-                    trace::Trace* traceOut) {
+namespace {
+
+std::string outcomeSignature(const sim::RunResult& result) {
+  switch (result.outcome) {
+    case sim::RunResult::Outcome::Deadlock: return "outcome:deadlock";
+    case sim::RunResult::Outcome::Livelock: return "outcome:livelock";
+    default: return "outcome:budget";
+  }
+}
+
+/// The streaming path: the checkers and the coverage tally observe the run
+/// online through a TeeSink; nothing is recorded unless the caller asked
+/// for a trace.  Per-run memory is the checkers' bounded state, not the
+/// event count.
+CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
+                             trace::Trace* traceOut) {
+  CoverageObserver cov;
+  verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(spec.sys));
+  proto::TeeSink tee;
+  if (traceOut) {
+    traceOut->clear();
+    tee.attach(*traceOut);
+  }
+  tee.attach(cov);
+  tee.attach(checkers);
+
+  CaseOutcome out;
+  try {
+    sim::System system(spec.sys, tee);
+    for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
+      system.setProgram(p, spec.programs[p]);
+    }
+    const sim::RunResult result = system.run(maxEvents);
+    out.opsBound = result.opsBound;
+    out.txnsSerialized = cov.txnsSerialized();
+    out.coverage = cov.coverage();
+    if (!result.ok()) {
+      out.signature = outcomeSignature(result);
+      out.detail = result.detail;
+      return out;
+    }
+  } catch (const ProtocolError& e) {
+    // An Appendix-B "impossible case" invariant fired inside the protocol
+    // core.  The events observed so far still contribute coverage.
+    out.txnsSerialized = cov.txnsSerialized();
+    out.coverage = cov.coverage();
+    out.signature = "invariant";
+    out.detail = e.what();
+    return out;
+  }
+
+  checkers.finish();
+  const verify::CheckReport report = checkers.report();
+  out.checkerFirings = report.countsByCheck();
+  if (!report.ok()) {
+    out.signature = "checker:" + report.primaryCheck();
+    out.detail = report.violations.front().detail;
+  }
+  return out;
+}
+
+/// The recorded path: run to a trace, then batch-check.  Kept for A/B
+/// comparison (--no-streaming, the equivalence tests, the overhead bench);
+/// the batch checkers replay through the same streaming cores, so the two
+/// paths cannot disagree.
+CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
+                            trace::Trace* traceOut) {
   trace::Trace localTrace;
   trace::Trace& trace = traceOut ? *traceOut : localTrace;
   trace.clear();
@@ -108,23 +175,11 @@ CaseOutcome runCase(const CaseSpec& spec, std::uint64_t maxEvents,
     out.txnsSerialized = trace.serializations().size();
     out.coverage.record(trace);
     if (!result.ok()) {
-      switch (result.outcome) {
-        case sim::RunResult::Outcome::Deadlock:
-          out.signature = "outcome:deadlock";
-          break;
-        case sim::RunResult::Outcome::Livelock:
-          out.signature = "outcome:livelock";
-          break;
-        default:
-          out.signature = "outcome:budget";
-          break;
-      }
+      out.signature = outcomeSignature(result);
       out.detail = result.detail;
       return out;
     }
   } catch (const ProtocolError& e) {
-    // An Appendix-B "impossible case" invariant fired inside the protocol
-    // core.  The partial trace still contributes coverage.
     out.txnsSerialized = trace.serializations().size();
     out.coverage.record(trace);
     out.signature = "invariant";
@@ -132,15 +187,22 @@ CaseOutcome runCase(const CaseSpec& spec, std::uint64_t maxEvents,
     return out;
   }
 
-  verify::VerifyConfig vc{spec.sys.numProcessors};
-  vc.tso = spec.sys.storeBufferDepth > 0;
-  const verify::CheckReport report = verify::checkAll(trace, vc);
+  const verify::CheckReport report =
+      verify::checkAll(trace, verify::VerifyConfig::fromSystem(spec.sys));
   out.checkerFirings = report.countsByCheck();
   if (!report.ok()) {
     out.signature = "checker:" + report.primaryCheck();
     out.detail = report.violations.front().detail;
   }
   return out;
+}
+
+}  // namespace
+
+CaseOutcome runCase(const CaseSpec& spec, std::uint64_t maxEvents,
+                    trace::Trace* traceOut, bool streaming) {
+  return streaming ? runCaseStreaming(spec, maxEvents, traceOut)
+                   : runCaseRecorded(spec, maxEvents, traceOut);
 }
 
 namespace {
@@ -200,7 +262,8 @@ CampaignResult run(const CampaignConfig& cfg) {
     const std::uint64_t waveEnd = std::min(cfg.seeds, next + waveSize);
     for (std::uint64_t i = next; i < waveEnd; ++i) {
       pool.submit([&cfg, &outcomes, i] {
-        outcomes[i] = runCase(deriveCase(cfg, i), cfg.maxEventsPerRun);
+        outcomes[i] = runCase(deriveCase(cfg, i), cfg.maxEventsPerRun,
+                              /*traceOut=*/nullptr, cfg.streaming);
       });
     }
     pool.wait();
@@ -239,7 +302,7 @@ CampaignResult run(const CampaignConfig& cfg) {
         cfg.minimize && result.failures.size() < cfg.maxMinimized;
     if (!cfg.outDir.empty()) {
       trace::Trace original;
-      (void)runCase(spec, cfg.maxEventsPerRun, &original);
+      (void)runCase(spec, cfg.maxEventsPerRun, &original, cfg.streaming);
       f.tracePath = archiveTrace(
           original, cfg.outDir, caseFileStem(i), cfg, i, spec, o.signature,
           /*complete=*/o.signature.rfind("outcome:", 0) != 0 &&
@@ -257,7 +320,7 @@ CampaignResult run(const CampaignConfig& cfg) {
       if (!cfg.outDir.empty()) {
         trace::Trace minTrace;
         const CaseOutcome minOutcome =
-            runCase(mr.spec, cfg.maxEventsPerRun, &minTrace);
+            runCase(mr.spec, cfg.maxEventsPerRun, &minTrace, cfg.streaming);
         LCDC_EXPECT(minOutcome.signature == o.signature,
                     "minimized case no longer reproduces");
         f.minimizedPath = archiveTrace(

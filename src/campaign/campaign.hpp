@@ -63,6 +63,14 @@ struct CampaignConfig {
   std::uint64_t maxEventsPerRun = 5'000'000;
   /// Probe budget for the minimizer, per failure.
   std::uint64_t minimizeAttempts = 400;
+  /// Verify online through the streaming pipeline (TeeSink ->
+  /// {CoverageObserver, StreamCheckerSet}) with no trace recording —
+  /// per-run memory O(blocks + processors) instead of O(events).  Failing
+  /// seeds are re-executed with a recorder attached, so archiving and
+  /// minimization see full traces either way.  Signatures and reports are
+  /// identical in both modes (the batch checkers replay through the same
+  /// streaming cores).
+  bool streaming = true;
 };
 
 /// One fully derived sub-run: everything needed to re-execute it exactly.
@@ -92,12 +100,16 @@ struct CaseOutcome {
   [[nodiscard]] bool clean() const { return signature.empty(); }
 };
 
-/// Execute one case and run the full checker suite on its trace.  When
-/// `traceOut` is non-null the recorded trace is left there (also for
-/// failing runs — a deadlocked run leaves its truncated trace).
+/// Execute one case and run the full checker suite over it.  With
+/// `streaming` (the default) the checkers observe the run online and no
+/// trace is kept; otherwise the run is recorded and batch-checked.  Both
+/// paths produce identical outcomes.  When `traceOut` is non-null a
+/// recorder is attached in either mode and the trace is left there (also
+/// for failing runs — a deadlocked run leaves its truncated trace).
 [[nodiscard]] CaseOutcome runCase(const CaseSpec& spec,
                                   std::uint64_t maxEvents,
-                                  trace::Trace* traceOut = nullptr);
+                                  trace::Trace* traceOut = nullptr,
+                                  bool streaming = true);
 
 /// One failing sub-run, with its minimization result when enabled.
 struct Failure {

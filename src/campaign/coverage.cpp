@@ -37,6 +37,10 @@ Point pointOf(NackKind k) {
   return Point::Count;
 }
 
+/// Conversions can only target in-flight transactions, so a window this
+/// deep always still holds the pre-conversion kind to rebucket from.
+constexpr std::size_t kRecentKindsCap = 4096;
+
 }  // namespace
 
 const char* toString(Point p) {
@@ -93,6 +97,49 @@ std::size_t Coverage::transactionCasesCovered() const {
     if (counts[i] > 0) ++covered;
   }
   return covered;
+}
+
+void CoverageObserver::onSerialize(const proto::TxnInfo& txn) {
+  ++serialized_;
+  const Point p = pointOf(txn.kind);
+  if (p != Point::Count) ++cov_.counts[static_cast<std::size_t>(p)];
+  recentKinds_[txn.id] = txn.kind;
+  recentFifo_.push_back(txn.id);
+  while (recentFifo_.size() > kRecentKindsCap) {
+    recentKinds_.erase(recentFifo_.front());
+    recentFifo_.pop_front();
+  }
+}
+
+void CoverageObserver::onTxnConverted(TransactionId id, TxnKind newKind) {
+  const auto it = recentKinds_.find(id);
+  if (it == recentKinds_.end()) return;  // evicted: keep the original bucket
+  const Point oldP = pointOf(it->second);
+  const Point newP = pointOf(newKind);
+  if (oldP != Point::Count && cov_.counts[static_cast<std::size_t>(oldP)] > 0) {
+    --cov_.counts[static_cast<std::size_t>(oldP)];
+  }
+  if (newP != Point::Count) ++cov_.counts[static_cast<std::size_t>(newP)];
+  it->second = newKind;
+}
+
+void CoverageObserver::onOperation(const proto::OpRecord& op) {
+  if (op.forwarded) {
+    ++cov_.counts[static_cast<std::size_t>(Point::ForwardedLoad)];
+  }
+}
+
+void CoverageObserver::onNack(NodeId, BlockId, NackKind kind) {
+  const Point p = pointOf(kind);
+  if (p != Point::Count) ++cov_.counts[static_cast<std::size_t>(p)];
+}
+
+void CoverageObserver::onPutShared(NodeId, BlockId) {
+  ++cov_.counts[static_cast<std::size_t>(Point::PutShared)];
+}
+
+void CoverageObserver::onDeadlockResolved(NodeId, BlockId, NodeId) {
+  ++cov_.counts[static_cast<std::size_t>(Point::DeadlockResolved)];
 }
 
 std::string Coverage::report() const {

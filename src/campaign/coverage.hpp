@@ -15,7 +15,12 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "proto/observer.hpp"
 
 namespace lcdc::trace {
 class Trace;
@@ -78,6 +83,35 @@ struct Coverage {
 
   /// Deterministic multi-line table of all points and counts.
   [[nodiscard]] std::string report() const;
+};
+
+/// Online coverage: the same tally Coverage::record() computes from a
+/// recorded trace, accumulated as a pipeline stage instead — the campaign's
+/// streaming path needs no trace at all.  The one subtlety is write-back
+/// conversion (cases 13/14a): the trace recorder rewrites the serialization
+/// record in place, so batch counting sees post-conversion kinds; online we
+/// observe the original onSerialize and rebucket on onTxnConverted, keeping
+/// a bounded window of recent transaction kinds (conversions only ever hit
+/// in-flight transactions, which are young).
+class CoverageObserver final : public proto::ObserverAdapter {
+ public:
+  [[nodiscard]] const Coverage& coverage() const { return cov_; }
+  /// Serializations observed (the campaign's txnsSerialized statistic).
+  [[nodiscard]] std::uint64_t txnsSerialized() const { return serialized_; }
+
+  void onSerialize(const proto::TxnInfo& txn) override;
+  void onTxnConverted(TransactionId id, TxnKind newKind) override;
+  void onOperation(const proto::OpRecord& op) override;
+  void onNack(NodeId requester, BlockId block, NackKind kind) override;
+  void onPutShared(NodeId node, BlockId block) override;
+  void onDeadlockResolved(NodeId node, BlockId block,
+                          NodeId impliedAcker) override;
+
+ private:
+  Coverage cov_;
+  std::uint64_t serialized_ = 0;
+  std::unordered_map<TransactionId, TxnKind> recentKinds_;
+  std::deque<TransactionId> recentFifo_;  ///< eviction order, bounded
 };
 
 }  // namespace lcdc::campaign

@@ -1,0 +1,38 @@
+// Outcome of driving a system to completion.  Lives in common/ (not sim/)
+// because it is part of the observer API: proto::EventSink's onRunEnd hook
+// hands every observer the final result, so the protocol-facing headers
+// need the type without pulling in the whole simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lcdc {
+
+struct RunResult {
+  enum class Outcome {
+    Quiescent,     ///< all programs finished, protocol drained
+    Deadlock,      ///< no deliverable events but programs incomplete
+    Livelock,      ///< events keep flowing but no operation binds
+    BudgetExhausted,
+  };
+  Outcome outcome = Outcome::BudgetExhausted;
+  std::uint64_t eventsProcessed = 0;
+  std::uint64_t endTime = 0;  ///< final simulated tick (net::Tick)
+  std::uint64_t opsBound = 0;
+  std::string detail;
+
+  [[nodiscard]] bool ok() const { return outcome == Outcome::Quiescent; }
+};
+
+[[nodiscard]] inline std::string toString(RunResult::Outcome o) {
+  switch (o) {
+    case RunResult::Outcome::Quiescent: return "quiescent";
+    case RunResult::Outcome::Deadlock: return "deadlock";
+    case RunResult::Outcome::Livelock: return "livelock";
+    case RunResult::Outcome::BudgetExhausted: return "budget-exhausted";
+  }
+  return "outcome(?)";
+}
+
+}  // namespace lcdc

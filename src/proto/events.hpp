@@ -18,6 +18,8 @@
 
 #include <cstdint>
 
+#include "common/config.hpp"
+#include "common/run_result.hpp"
 #include "common/timestamp.hpp"
 #include "common/types.hpp"
 
@@ -55,9 +57,25 @@ struct OpRecord {
   std::uint64_t order = 0;
 };
 
+/// Compatibility shim: every handler defaults to a no-op so ad-hoc sinks
+/// can override only what they care about.  That default is also a
+/// footgun — a typo'd override silently observes nothing — so pipeline
+/// observers should derive from proto::Observer (observer.hpp), which
+/// re-declares every handler pure virtual.
 class EventSink {
  public:
   virtual ~EventSink() = default;
+
+  // -- lifecycle --------------------------------------------------------------
+
+  /// The simulator is about to start delivering events.  Hands observers
+  /// the run's shape (processor count, store-buffer depth, mutant, ...)
+  /// so they need no out-of-band config plumbing.
+  virtual void onRunBegin(const SystemConfig& config) {}
+  /// The run ended; always the last callback of a sim::System::run().
+  virtual void onRunEnd(const RunResult& result) {}
+
+  // -- protocol events --------------------------------------------------------
 
   /// The home directory serialized (accepted) a transaction.
   virtual void onSerialize(const TxnInfo& txn) {}

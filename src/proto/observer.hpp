@@ -1,0 +1,113 @@
+// The composable observer pipeline over proto::EventSink.
+//
+//   sim::System --> TeeSink --> { trace::Trace, verify::StreamCheckerSet,
+//                                 verify::StatsObserver, ... }
+//
+// Observer re-declares every EventSink handler pure virtual: a pipeline
+// stage must say explicitly what it does with each event (an empty body is
+// a visible decision, a missing override is a compile error) — the
+// antidote to EventSink's silent-no-op footgun.  ObserverAdapter restores
+// the no-op defaults for observers that genuinely only sample a few
+// events, but keeps them one deliberate derivation away.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "proto/events.hpp"
+
+namespace lcdc::proto {
+
+/// Explicit observer interface: derive from this (not EventSink) for
+/// pipeline stages, and the compiler enforces that every event — the
+/// lifecycle hooks included — is handled on purpose.
+class Observer : public EventSink {
+ public:
+  void onRunBegin(const SystemConfig& config) override = 0;
+  void onRunEnd(const RunResult& result) override = 0;
+  void onSerialize(const TxnInfo& txn) override = 0;
+  void onTxnConverted(TransactionId id, TxnKind newKind) override = 0;
+  void onStamp(NodeId node, TransactionId txn, SerialIdx serial, BlockId block,
+               StampRole role, GlobalTime ts, AState oldA,
+               AState newA) override = 0;
+  void onValueReceived(NodeId node, TransactionId txn, BlockId block,
+                       const BlockValue& value) override = 0;
+  void onOperation(const OpRecord& op) override = 0;
+  void onNack(NodeId requester, BlockId block, NackKind kind) override = 0;
+  void onPutShared(NodeId node, BlockId block) override = 0;
+  void onDeadlockResolved(NodeId node, BlockId block,
+                          NodeId impliedAcker) override = 0;
+};
+
+/// Observer with explicit no-op defaults, for stages that only sample a
+/// subset of the stream.
+class ObserverAdapter : public Observer {
+ public:
+  void onRunBegin(const SystemConfig&) override {}
+  void onRunEnd(const RunResult&) override {}
+  void onSerialize(const TxnInfo&) override {}
+  void onTxnConverted(TransactionId, TxnKind) override {}
+  void onStamp(NodeId, TransactionId, SerialIdx, BlockId, StampRole,
+               GlobalTime, AState, AState) override {}
+  void onValueReceived(NodeId, TransactionId, BlockId,
+                       const BlockValue&) override {}
+  void onOperation(const OpRecord&) override {}
+  void onNack(NodeId, BlockId, NackKind) override {}
+  void onPutShared(NodeId, BlockId) override {}
+  void onDeadlockResolved(NodeId, BlockId, NodeId) override {}
+};
+
+/// Fan-out sink: forwards every event, in attach order, to each attached
+/// sink.  Attached sinks are borrowed, not owned; they must outlive the
+/// TeeSink.  Attaching a trace recorder plus streaming checkers gives
+/// online verification and a replayable trace from one run.
+class TeeSink final : public EventSink {
+ public:
+  TeeSink() = default;
+  TeeSink(std::initializer_list<EventSink*> sinks) : sinks_(sinks) {}
+
+  void attach(EventSink& sink) { sinks_.push_back(&sink); }
+  [[nodiscard]] std::size_t attached() const { return sinks_.size(); }
+
+  void onRunBegin(const SystemConfig& config) override {
+    for (EventSink* s : sinks_) s->onRunBegin(config);
+  }
+  void onRunEnd(const RunResult& result) override {
+    for (EventSink* s : sinks_) s->onRunEnd(result);
+  }
+  void onSerialize(const TxnInfo& txn) override {
+    for (EventSink* s : sinks_) s->onSerialize(txn);
+  }
+  void onTxnConverted(TransactionId id, TxnKind newKind) override {
+    for (EventSink* s : sinks_) s->onTxnConverted(id, newKind);
+  }
+  void onStamp(NodeId node, TransactionId txn, SerialIdx serial, BlockId block,
+               StampRole role, GlobalTime ts, AState oldA,
+               AState newA) override {
+    for (EventSink* s : sinks_) {
+      s->onStamp(node, txn, serial, block, role, ts, oldA, newA);
+    }
+  }
+  void onValueReceived(NodeId node, TransactionId txn, BlockId block,
+                       const BlockValue& value) override {
+    for (EventSink* s : sinks_) s->onValueReceived(node, txn, block, value);
+  }
+  void onOperation(const OpRecord& op) override {
+    for (EventSink* s : sinks_) s->onOperation(op);
+  }
+  void onNack(NodeId requester, BlockId block, NackKind kind) override {
+    for (EventSink* s : sinks_) s->onNack(requester, block, kind);
+  }
+  void onPutShared(NodeId node, BlockId block) override {
+    for (EventSink* s : sinks_) s->onPutShared(node, block);
+  }
+  void onDeadlockResolved(NodeId node, BlockId block,
+                          NodeId impliedAcker) override {
+    for (EventSink* s : sinks_) s->onDeadlockResolved(node, block, impliedAcker);
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace lcdc::proto

@@ -8,16 +8,6 @@
 
 namespace lcdc::sim {
 
-std::string toString(RunResult::Outcome o) {
-  switch (o) {
-    case RunResult::Outcome::Quiescent: return "quiescent";
-    case RunResult::Outcome::Deadlock: return "deadlock";
-    case RunResult::Outcome::Livelock: return "livelock";
-    case RunResult::Outcome::BudgetExhausted: return "budget-exhausted";
-  }
-  return "outcome(?)";
-}
-
 System::System(const SystemConfig& config, proto::EventSink& sink,
                net::Network::Mode mode)
     : config_(config), sink_(&sink), rng_(config.seed),
@@ -116,6 +106,13 @@ bool System::stepEvent() {
 }
 
 RunResult System::run(std::uint64_t maxEvents) {
+  sink_->onRunBegin(config_);
+  RunResult result = runLoop(maxEvents);
+  sink_->onRunEnd(result);
+  return result;
+}
+
+RunResult System::runLoop(std::uint64_t maxEvents) {
   RunResult result;
   std::uint64_t lastBound = totalOpsBound();
   std::uint64_t lastBoundEvent = 0;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/run_result.hpp"
 #include "net/network.hpp"
 #include "proto/directory.hpp"
 #include "proto/events.hpp"
@@ -25,23 +26,11 @@
 
 namespace lcdc::sim {
 
-struct RunResult {
-  enum class Outcome {
-    Quiescent,     ///< all programs finished, protocol drained
-    Deadlock,      ///< no deliverable events but programs incomplete
-    Livelock,      ///< events keep flowing but no operation binds
-    BudgetExhausted,
-  };
-  Outcome outcome = Outcome::BudgetExhausted;
-  std::uint64_t eventsProcessed = 0;
-  net::Tick endTime = 0;
-  std::uint64_t opsBound = 0;
-  std::string detail;
-
-  [[nodiscard]] bool ok() const { return outcome == Outcome::Quiescent; }
-};
-
-[[nodiscard]] std::string toString(RunResult::Outcome o);
+// RunResult moved to common/run_result.hpp (it is part of the observer
+// API: proto::EventSink::onRunEnd receives it); these aliases keep the
+// historical sim:: spelling working.
+using lcdc::RunResult;
+using lcdc::toString;
 
 class System {
  public:
@@ -89,6 +78,7 @@ class System {
   [[nodiscard]] proto::CacheStats aggregateCacheStats() const;
 
  private:
+  RunResult runLoop(std::uint64_t maxEvents);
   void dispatch(const net::Envelope& env);
   void flush(NodeId src, proto::Outbox& out);
   void progress(NodeId proc);

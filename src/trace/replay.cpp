@@ -1,0 +1,84 @@
+#include "trace/replay.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace lcdc::trace {
+
+void replay(const Trace& trace, proto::EventSink& sink) {
+  const auto& ser = trace.serializations();
+  const auto& stamps = trace.stamps();
+  const auto& values = trace.values();
+  const auto& ops = trace.operations();
+  const auto& nacks = trace.nacks();
+  const auto& puts = trace.putShareds();
+  const auto& deadlocks = trace.deadlockResolutions();
+
+  std::size_t is = 0, ist = 0, iv = 0, io = 0, in = 0, ip = 0, idl = 0;
+  for (;;) {
+    // Seven-way merge on the real-time order stamp.  Strict `<` makes the
+    // consideration order below the tie-break, which only matters for
+    // hand-built traces whose records share an order value.
+    EventOrder best = std::numeric_limits<EventOrder>::max();
+    int which = -1;
+    const auto consider = [&](int w, bool has, EventOrder order) {
+      if (has && order < best) {
+        best = order;
+        which = w;
+      }
+    };
+    consider(0, is < ser.size(), is < ser.size() ? ser[is].order : 0);
+    consider(1, ist < stamps.size(), ist < stamps.size() ? stamps[ist].order : 0);
+    consider(2, iv < values.size(), iv < values.size() ? values[iv].order : 0);
+    consider(3, io < ops.size(), io < ops.size() ? ops[io].order : 0);
+    consider(4, in < nacks.size(), in < nacks.size() ? nacks[in].order : 0);
+    consider(5, ip < puts.size(), ip < puts.size() ? puts[ip].order : 0);
+    consider(6, idl < deadlocks.size(),
+             idl < deadlocks.size() ? deadlocks[idl].order : 0);
+    if (which < 0) break;
+
+    switch (which) {
+      case 0:
+        sink.onSerialize(ser[is].txn);
+        ++is;
+        break;
+      case 1: {
+        const StampRecord& s = stamps[ist];
+        sink.onStamp(s.node, s.txn, s.serial, s.block, s.role, s.ts, s.oldA,
+                     s.newA);
+        ++ist;
+        break;
+      }
+      case 2: {
+        const ValueRecord& v = values[iv];
+        sink.onValueReceived(v.node, v.txn, v.block, v.value);
+        ++iv;
+        break;
+      }
+      case 3:
+        sink.onOperation(ops[io]);
+        ++io;
+        break;
+      case 4: {
+        const NackRecord& n = nacks[in];
+        sink.onNack(n.requester, n.block, n.kind);
+        ++in;
+        break;
+      }
+      case 5: {
+        const PutSharedRecord& p = puts[ip];
+        sink.onPutShared(p.node, p.block);
+        ++ip;
+        break;
+      }
+      default: {
+        const DeadlockRecord& d = deadlocks[idl];
+        sink.onDeadlockResolved(d.node, d.block, d.impliedAcker);
+        ++idl;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace lcdc::trace

@@ -1,0 +1,28 @@
+// Replay a recorded trace through any EventSink, in the original
+// real-time observation order.
+//
+// Every Trace record carries the monotone `order` stamp the recorder
+// assigned at observation time; merging the seven record vectors on that
+// stamp reconstructs the exact event sequence the live run produced.
+// This is what lets the batch checkers be thin adapters over the
+// streaming cores (verify/stream.hpp): "check a trace" == "replay the
+// trace into the streaming checker" — one implementation per property.
+//
+// Two deliberate differences from the live stream:
+//   * onTxnConverted is never replayed — serialization records already
+//     carry post-conversion kinds (the recorder rewrites them in place);
+//   * the lifecycle hooks (onRunBegin/onRunEnd) are not fired — a trace
+//     does not store its SystemConfig or RunResult; callers that need
+//     them wrap the call.
+#pragma once
+
+#include "proto/events.hpp"
+#include "trace/trace.hpp"
+
+namespace lcdc::trace {
+
+/// Feed every record of `trace` to `sink`, ordered by the records'
+/// real-time `order` stamps (ties broken deterministically).
+void replay(const Trace& trace, proto::EventSink& sink);
+
+}  // namespace lcdc::trace

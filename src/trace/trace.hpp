@@ -111,6 +111,19 @@ class Trace : public proto::EventSink {
   /// simulator's own markers) can interleave consistently.
   EventOrder nextOrder() { return nextOrder_++; }
 
+  /// Bytes held by the record vectors — the O(events) cost the streaming
+  /// pipeline exists to avoid (bench/streaming_overhead compares this
+  /// against StreamCheckerSet::memoryFootprint()).
+  [[nodiscard]] std::size_t memoryBytes() const {
+    return serializations_.capacity() * sizeof(SerializeRecord) +
+           stamps_.capacity() * sizeof(StampRecord) +
+           values_.capacity() * sizeof(ValueRecord) +
+           operations_.capacity() * sizeof(proto::OpRecord) +
+           nacks_.capacity() * sizeof(NackRecord) +
+           putShareds_.capacity() * sizeof(PutSharedRecord) +
+           deadlockResolutions_.capacity() * sizeof(DeadlockRecord);
+  }
+
   void clear();
 
  private:

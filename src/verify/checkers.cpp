@@ -1,66 +1,28 @@
 #include "verify/checkers.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
 
-#include "common/expect.hpp"
+#include "trace/replay.hpp"
+#include "verify/stream.hpp"
 
 namespace lcdc::verify {
 
 namespace {
 
 using trace::StampRecord;
-using proto::OpRecord;
-using proto::StampRole;
 
-void addViolation(CheckReport& report, const VerifyConfig& cfg,
-                  std::string check, std::string detail) {
-  if (report.violations.size() < cfg.maxViolations) {
-    report.violations.push_back(
-        Violation{std::move(check), std::move(detail)});
-  } else if (report.violations.size() == cfg.maxViolations) {
-    report.violations.push_back(Violation{"...", "further violations elided"});
-  }
-}
-
-std::string opToString(const OpRecord& op) {
-  std::ostringstream os;
-  os << toString(op.kind) << " p" << op.proc << " #" << op.progIdx
-     << " block " << op.block << " word " << op.word << " value "
-     << op.value << " ts " << toString(op.ts) << " bound-to txn "
-     << op.boundTxn << " (serial " << op.boundSerial << ")";
-  return os.str();
-}
-
-std::string epochToString(const clk::Epoch& e) {
-  std::ostringstream os;
-  os << toString(e.state) << " epoch at node " << e.node << " for block "
-     << e.block << " [" << e.start << ", ";
-  if (e.end == clk::kOpenEpoch) {
-    os << "open";
-  } else {
-    os << e.end;
-  }
-  os << ") opened by txn " << e.txn << " (serial " << e.serial << ")";
-  return os.str();
-}
-
-bool isExclusiveKind(TxnKind k) {
-  switch (k) {
-    case TxnKind::GetS_Idle:
-    case TxnKind::GetS_Shared:
-    case TxnKind::GetS_Exclusive:
-    // Transaction 13's unique *upgrade* belongs to its Get-Shared half (the
-    // writeback half upgrades nobody — memory takes the value, and the
-    // entry clock absorbs the owner's stamp instead), so for the
-    // Claim 3(b) upgrade-ordering rule it behaves as a Get-Shared.
-    case TxnKind::Wb_BusyShared:
-      return false;
-    default:
-      return true;
-  }
+/// Batch checking is replay: feed the recorded events, in their original
+/// observation order, through the streaming core and flush it.  One
+/// implementation per property; the recorded-trace path and the live
+/// online path cannot disagree.
+template <typename Core>
+CheckReport runCore(const trace::Trace& trace, const VerifyConfig& cfg) {
+  Core core(cfg);
+  trace::replay(trace, core);
+  core.finish();
+  return core.report();
 }
 
 }  // namespace
@@ -133,471 +95,38 @@ std::vector<clk::Epoch> buildEpochs(const trace::Trace& trace,
   return epochs;
 }
 
-// ---------------------------------------------------------------------------
-// Program order embeds into Lamport order
-// ---------------------------------------------------------------------------
 CheckReport checkProgramOrder(const trace::Trace& trace,
                               const VerifyConfig& cfg) {
-  CheckReport report;
-  if (!cfg.tso) {
-    std::unordered_map<NodeId, const OpRecord*> last;
-    for (const OpRecord& op : trace.operations()) {
-      report.opsChecked += 1;
-      const auto it = last.find(op.proc);
-      if (it != last.end()) {
-        const OpRecord& prev = *it->second;
-        if (op.progIdx <= prev.progIdx) {
-          addViolation(report, cfg, "program-order",
-                       "ops recorded out of program order: " +
-                           opToString(prev) + " then " + opToString(op));
-        }
-        const bool increases =
-            op.ts.global > prev.ts.global ||
-            (op.ts.global == prev.ts.global && op.ts.local > prev.ts.local);
-        if (!increases) {
-          addViolation(report, cfg, "program-order",
-                       "Lamport order breaks program order: " +
-                           opToString(prev) + " then " + opToString(op));
-        }
-      }
-      last[op.proc] = &op;
-    }
-    return report;
-  }
-
-  // TSO: program order must embed into Lamport order for every pair except
-  // store -> load.  Equivalently, walking each processor's ops in program
-  // order: a load must out-timestamp every earlier load; a store must
-  // out-timestamp every earlier operation.
-  std::map<NodeId, std::vector<const OpRecord*>> byProc;
-  for (const OpRecord& op : trace.operations()) {
-    report.opsChecked += 1;
-    byProc[op.proc].push_back(&op);
-  }
-  for (auto& [proc, ops] : byProc) {
-    std::sort(ops.begin(), ops.end(),
-              [](const OpRecord* a, const OpRecord* b) {
-                return a->progIdx < b->progIdx;
-              });
-    const OpRecord* maxAll = nullptr;
-    const OpRecord* maxLoad = nullptr;
-    for (const OpRecord* op : ops) {
-      const OpRecord* bound =
-          op->kind == OpKind::Store ? maxAll : maxLoad;
-      if (bound != nullptr && !(bound->ts < op->ts)) {
-        addViolation(report, cfg, "tso-program-order",
-                     "TSO-forbidden reordering: " + opToString(*bound) +
-                         " then " + opToString(*op));
-      }
-      if (maxAll == nullptr || maxAll->ts < op->ts) maxAll = op;
-      if (op->kind == OpKind::Load &&
-          (maxLoad == nullptr || maxLoad->ts < op->ts)) {
-        maxLoad = op;
-      }
-    }
-  }
-  return report;
+  return runCore<StreamProgramOrder>(trace, cfg);
 }
 
-// ---------------------------------------------------------------------------
-// Claim 2: A-state changes follow the directory serialization order
-// ---------------------------------------------------------------------------
 CheckReport checkClaim2(const trace::Trace& trace, const VerifyConfig& cfg) {
-  CheckReport report;
-  std::map<std::pair<NodeId, BlockId>, const StampRecord*> lastStamp;
-  for (const StampRecord& s : trace.stamps()) {
-    const auto key = std::make_pair(s.node, s.block);
-    const auto it = lastStamp.find(key);
-    if (it != lastStamp.end()) {
-      const StampRecord& prev = *it->second;
-      if (s.serial <= prev.serial) {
-        std::ostringstream os;
-        os << "node " << s.node << " block " << s.block
-           << ": A-state change for txn " << s.txn << " (serial " << s.serial
-           << ") applied after txn " << prev.txn << " (serial "
-           << prev.serial << ")";
-        addViolation(report, cfg, "claim2", os.str());
-      }
-      if (s.ts <= prev.ts) {
-        std::ostringstream os;
-        os << "node " << s.node << " block " << s.block
-           << ": clock not monotone (" << prev.ts << " then " << s.ts << ")";
-        addViolation(report, cfg, "claim2", os.str());
-      }
-    }
-    lastStamp[key] = &s;
-  }
-  return report;
+  return runCore<StreamClaim2>(trace, cfg);
 }
 
-// ---------------------------------------------------------------------------
-// Claim 3 + the Section 3.1 structural facts
-// ---------------------------------------------------------------------------
 CheckReport checkClaim3(const trace::Trace& trace, const VerifyConfig& cfg) {
-  CheckReport report;
-
-  struct TxnStamps {
-    GlobalTime maxDowngrade = 0;
-    std::size_t downgrades = 0;
-    GlobalTime upgrade = 0;
-    std::size_t upgrades = 0;
-    NodeId upgrader = kNoNode;
-  };
-  std::unordered_map<TransactionId, TxnStamps> byTxn;
-  for (const StampRecord& s : trace.stamps()) {
-    TxnStamps& t = byTxn[s.txn];
-    if (s.role == StampRole::Downgrade) {
-      t.downgrades += 1;
-      t.maxDowngrade = std::max(t.maxDowngrade, s.ts);
-    } else {
-      t.upgrades += 1;
-      t.upgrade = s.ts;
-      t.upgrader = s.node;
-    }
-  }
-
-  // Per-block serialization order for Claim 3(b).
-  std::map<BlockId, std::vector<const proto::TxnInfo*>> byBlock;
-  for (const auto& rec : trace.serializations()) {
-    byBlock[rec.txn.block].push_back(&rec.txn);
-  }
-
-  for (auto& [block, txns] : byBlock) {
-    std::sort(txns.begin(), txns.end(),
-              [](const proto::TxnInfo* a, const proto::TxnInfo* b) {
-                return a->serial < b->serial;
-              });
-    GlobalTime maxUpgrade = 0;       // over every earlier transaction
-    GlobalTime maxExclUpgrade = 0;   // over earlier exclusive transactions
-    for (const proto::TxnInfo* txn : txns) {
-      report.txnsChecked += 1;
-      const auto it = byTxn.find(txn->id);
-      if (it == byTxn.end() || it->second.upgrades == 0) {
-        if (cfg.expectComplete) {
-          std::ostringstream os;
-          os << "txn " << txn->id << " (" << toString(txn->kind)
-             << ", serial " << txn->serial << ", block " << block
-             << ") has no upgrade stamp";
-          addViolation(report, cfg, "claim3-structure", os.str());
-        }
-        continue;
-      }
-      const TxnStamps& t = it->second;
-      if (t.upgrades != 1) {
-        std::ostringstream os;
-        os << "txn " << txn->id << " has " << t.upgrades
-           << " upgrade stamps (expected exactly one)";
-        addViolation(report, cfg, "claim3-structure", os.str());
-      }
-      if (t.downgrades == 0) {
-        std::ostringstream os;
-        os << "txn " << txn->id << " (" << toString(txn->kind)
-           << ") has no downgrade stamp";
-        addViolation(report, cfg, "claim3-structure", os.str());
-      }
-      // Claim 3(a).
-      if (t.maxDowngrade > t.upgrade) {
-        std::ostringstream os;
-        os << "claim 3(a): txn " << txn->id << " (" << toString(txn->kind)
-           << ", block " << block << "): downgrade stamp " << t.maxDowngrade
-           << " exceeds upgrade stamp " << t.upgrade;
-        addViolation(report, cfg, "claim3a", os.str());
-      }
-      // Claim 3(b): for a pair (T, T') with T before T' and either
-      // exclusive, upgrade(T) < upgrade(T').
-      const bool exclusive = isExclusiveKind(txn->kind);
-      if (exclusive && t.upgrade <= maxUpgrade) {
-        std::ostringstream os;
-        os << "claim 3(b): exclusive txn " << txn->id << " ("
-           << toString(txn->kind) << ", serial " << txn->serial << ", block "
-           << block << ") upgrade stamp " << t.upgrade
-           << " does not exceed an earlier transaction's " << maxUpgrade;
-        addViolation(report, cfg, "claim3b", os.str());
-      }
-      if (!exclusive && t.upgrade <= maxExclUpgrade) {
-        std::ostringstream os;
-        os << "claim 3(b): txn " << txn->id << " (" << toString(txn->kind)
-           << ", serial " << txn->serial << ", block " << block
-           << ") upgrade stamp " << t.upgrade
-           << " does not exceed an earlier exclusive transaction's "
-           << maxExclUpgrade;
-        addViolation(report, cfg, "claim3b", os.str());
-      }
-      maxUpgrade = std::max(maxUpgrade, t.upgrade);
-      if (exclusive) maxExclUpgrade = std::max(maxExclUpgrade, t.upgrade);
-    }
-  }
-  return report;
+  return runCore<StreamClaim3>(trace, cfg);
 }
 
-// ---------------------------------------------------------------------------
-// Lemmas 1 and 2 (+ Claim 4): epoch geometry and operation containment
-// ---------------------------------------------------------------------------
 CheckReport checkEpochs(const trace::Trace& trace, const VerifyConfig& cfg) {
-  CheckReport report;
-  const std::vector<clk::Epoch> epochs = buildEpochs(trace, cfg);
-  report.epochsBuilt = epochs.size();
-
-  // ---- Lemma 1: no overlap with exclusive epochs, per block. ----
-  // Considered: processor S/X epochs and directory X epochs (Idle = memory
-  // is the valid copy).  Directory A_S "epochs" carry no operations and the
-  // home's by-definition downgrade stamps make their boundaries
-  // conventional, so they are excluded (DESIGN.md).
-  struct Boundary {
-    GlobalTime time;
-    bool isStart;
-    const clk::Epoch* epoch;
-  };
-  std::map<BlockId, std::vector<Boundary>> boundaries;
-  for (const clk::Epoch& e : epochs) {
-    if (e.state == AState::I) continue;
-    const bool isDir = e.node >= cfg.numProcessors;
-    if (isDir && e.state != AState::X) continue;
-    boundaries[e.block].push_back(Boundary{e.start, true, &e});
-    if (e.end != clk::kOpenEpoch) {
-      boundaries[e.block].push_back(Boundary{e.end, false, &e});
-    }
-  }
-  for (auto& [block, bs] : boundaries) {
-    std::sort(bs.begin(), bs.end(), [](const Boundary& a, const Boundary& b) {
-      if (a.time != b.time) return a.time < b.time;
-      return a.isStart < b.isStart;  // ends before starts: [s, e) semantics
-    });
-    // Active epochs per node (a node has at most one active access epoch).
-    std::map<NodeId, const clk::Epoch*> active;
-    for (const Boundary& b : bs) {
-      if (!b.isStart) {
-        active.erase(b.epoch->node);
-        continue;
-      }
-      for (const auto& [node, other] : active) {
-        if (node == b.epoch->node) continue;
-        const bool conflict =
-            b.epoch->state == AState::X || other->state == AState::X;
-        if (conflict) {
-          addViolation(report, cfg, "lemma1",
-                       "overlapping epochs: " + epochToString(*b.epoch) +
-                           " vs " + epochToString(*other));
-        }
-      }
-      active[b.epoch->node] = b.epoch;
-    }
-  }
-
-  // ---- Lemma 2 / Claim 4: operation containment. ----
-  std::map<std::tuple<NodeId, BlockId, TransactionId>, const clk::Epoch*>
-      epochByTxn;
-  for (const clk::Epoch& e : epochs) {
-    if (e.node >= cfg.numProcessors) continue;
-    epochByTxn[{e.node, e.block, e.txn}] = &e;
-  }
-  for (const OpRecord& op : trace.operations()) {
-    report.opsChecked += 1;
-    if (op.forwarded) {
-      // Store-buffer forwarded loads never touch the coherence protocol;
-      // they are validated by the TSO forwarding check instead.
-      if (!cfg.tso) {
-        addViolation(report, cfg, "lemma2",
-                     "forwarded load in an SC-mode trace: " + opToString(op));
-      }
-      continue;
-    }
-    const auto it = epochByTxn.find({op.proc, op.block, op.boundTxn});
-    if (it == epochByTxn.end()) {
-      addViolation(report, cfg, "lemma2",
-                   "operation bound to a transaction with no epoch at its "
-                   "processor: " + opToString(op));
-      continue;
-    }
-    const clk::Epoch& e = *it->second;
-    if (op.ts.global < e.start ||
-        (e.end != clk::kOpenEpoch && op.ts.global >= e.end)) {
-      addViolation(report, cfg, "lemma2",
-                   "operation outside its epoch: " + opToString(op) +
-                       " not in " + epochToString(e));
-      continue;
-    }
-    if (op.kind == OpKind::Store && e.state != AState::X) {
-      addViolation(report, cfg, "lemma2",
-                   "store outside an exclusive epoch: " + opToString(op) +
-                       " in " + epochToString(e));
-    }
-    if (op.kind == OpKind::Load && e.state == AState::I) {
-      addViolation(report, cfg, "lemma2",
-                   "load inside an invalid interval: " + opToString(op));
-    }
-  }
-  return report;
+  return runCore<StreamEpochs>(trace, cfg);
 }
 
-// ---------------------------------------------------------------------------
-// Lemma 3 + Main Theorem: sequential consistency by replay
-// ---------------------------------------------------------------------------
 CheckReport checkSequentialConsistency(const trace::Trace& trace,
                                        const VerifyConfig& cfg) {
-  CheckReport report;
-  std::vector<const OpRecord*> ops;
-  ops.reserve(trace.operations().size());
-  for (const OpRecord& op : trace.operations()) ops.push_back(&op);
-  std::sort(ops.begin(), ops.end(),
-            [](const OpRecord* a, const OpRecord* b) { return a->ts < b->ts; });
-
-  // Total order sanity: timestamps must be unique.
-  for (std::size_t i = 1; i < ops.size(); ++i) {
-    if (ops[i - 1]->ts == ops[i]->ts) {
-      addViolation(report, cfg, "total-order",
-                   "two operations share a timestamp: " +
-                       opToString(*ops[i - 1]) + " and " +
-                       opToString(*ops[i]));
-    }
-  }
-
-  // TSO: forwarded loads read the youngest program-order-earlier store of
-  // their own processor; everything else follows the Lamport replay.
-  std::map<std::tuple<NodeId, BlockId, WordIdx>, std::vector<const OpRecord*>>
-      ownStores;
-  if (cfg.tso) {
-    for (const OpRecord& op : trace.operations()) {
-      if (op.kind != OpKind::Store) continue;
-      ownStores[{op.proc, op.block, op.word}].push_back(&op);
-    }
-    for (auto& [k, v] : ownStores) {
-      std::sort(v.begin(), v.end(),
-                [](const OpRecord* a, const OpRecord* b) {
-                  return a->progIdx < b->progIdx;
-                });
-    }
-  }
-
-  std::unordered_map<std::uint64_t, const OpRecord*> lastStore;
-  const auto key = [](BlockId b, WordIdx w) {
-    return (static_cast<std::uint64_t>(b) << 16) | w;
-  };
-  for (const OpRecord* op : ops) {
-    report.opsChecked += 1;
-    if (op->forwarded) {
-      const auto sit = ownStores.find({op->proc, op->block, op->word});
-      const OpRecord* source = nullptr;
-      if (sit != ownStores.end()) {
-        for (const OpRecord* st : sit->second) {
-          if (st->progIdx >= op->progIdx) break;
-          source = st;
-        }
-      }
-      if (source == nullptr) {
-        addViolation(report, cfg, "tso-forwarding",
-                     "forwarded load with no program-order-earlier store: " +
-                         opToString(*op));
-      } else if (source->value != op->value) {
-        addViolation(report, cfg, "tso-forwarding",
-                     "forwarded load returned " + opToString(*op) +
-                         " but the youngest earlier store is " +
-                         opToString(*source));
-      }
-      continue;
-    }
-    const std::uint64_t k = key(op->block, op->word);
-    if (op->kind == OpKind::Store) {
-      lastStore[k] = op;
-      continue;
-    }
-    const auto it = lastStore.find(k);
-    const Word expected = it == lastStore.end() ? 0 : it->second->value;
-    if (op->value != expected) {
-      std::ostringstream os;
-      os << "load returns " << op->value << " but the most recent store in "
-         << "Lamport order "
-         << (it == lastStore.end()
-                 ? std::string("is absent (expected the initial value 0)")
-                 : "is " + opToString(*it->second));
-      os << "; load: " << opToString(*op);
-      addViolation(report, cfg,
-                   cfg.tso ? "tso-memory-order" : "sequential-consistency",
-                   os.str());
-    }
-  }
-  return report;
+  return runCore<StreamSequentialConsistency>(trace, cfg);
 }
 
-// ---------------------------------------------------------------------------
-// Lemma 3, checked directly at every value transfer
-// ---------------------------------------------------------------------------
 CheckReport checkValueChain(const trace::Trace& trace,
                             const VerifyConfig& cfg) {
-  CheckReport report;
-
-  // Per (block, word): the store history in Lamport order.
-  struct StoreAt {
-    GlobalTime global;
-    LocalTime local;
-    NodeId pid;
-    Word value;
-  };
-  std::map<std::pair<BlockId, WordIdx>, std::vector<StoreAt>> stores;
-  for (const OpRecord& op : trace.operations()) {
-    if (op.kind != OpKind::Store) continue;
-    stores[{op.block, op.word}].push_back(
-        StoreAt{op.ts.global, op.ts.local, op.ts.pid, op.value});
-  }
-  for (auto& [key, v] : stores) {
-    std::sort(v.begin(), v.end(), [](const StoreAt& a, const StoreAt& b) {
-      if (a.global != b.global) return a.global < b.global;
-      if (a.local != b.local) return a.local < b.local;
-      return a.pid < b.pid;
-    });
-  }
-
-  // The upgrade stamp each node assigned per transaction (the epoch start
-  // t1 at the receiving node).
-  std::map<std::pair<NodeId, TransactionId>, GlobalTime> upgradeTs;
-  for (const StampRecord& s : trace.stamps()) {
-    if (s.role == StampRole::Upgrade) upgradeTs[{s.node, s.txn}] = s.ts;
-  }
-
-  for (const auto& rec : trace.values()) {
-    const auto it = upgradeTs.find({rec.node, rec.txn});
-    if (it == upgradeTs.end()) continue;  // downgrade-side receipt (home)
-    const GlobalTime t1 = it->second;
-    report.txnsChecked += 1;
-    for (WordIdx w = 0; w < rec.value.size(); ++w) {
-      // Most recent store strictly before t1 (stores of the receiving
-      // epoch itself have global >= t1).
-      Word expected = 0;
-      const auto sit = stores.find({rec.block, w});
-      if (sit != stores.end()) {
-        for (const StoreAt& s : sit->second) {
-          if (s.global >= t1) break;
-          expected = s.value;
-        }
-      }
-      if (rec.value[w] != expected) {
-        std::ostringstream os;
-        os << "lemma 3: node " << rec.node << " received word " << w
-           << " of block " << rec.block << " = " << rec.value[w]
-           << " for txn " << rec.txn << " (epoch start " << t1
-           << "), but the most recent store prior to " << t1 << " wrote "
-           << expected;
-        addViolation(report, cfg, "lemma3-values", os.str());
-      }
-    }
-  }
-  return report;
+  return runCore<StreamValueChain>(trace, cfg);
 }
 
 CheckReport checkAll(const trace::Trace& trace, const VerifyConfig& cfg) {
-  CheckReport report;
-  const CheckReport parts[] = {
-      checkProgramOrder(trace, cfg), checkClaim2(trace, cfg),
-      checkClaim3(trace, cfg), checkEpochs(trace, cfg),
-      checkSequentialConsistency(trace, cfg), checkValueChain(trace, cfg)};
-  for (const CheckReport& part : parts) {
-    report.violations.insert(report.violations.end(),
-                             part.violations.begin(), part.violations.end());
-    report.epochsBuilt = std::max(report.epochsBuilt, part.epochsBuilt);
-  }
-  report.opsChecked = trace.operations().size();
-  report.txnsChecked = trace.serializations().size();
-  return report;
+  StreamCheckerSet set(cfg);
+  trace::replay(trace, set);
+  set.finish();
+  return set.report();
 }
 
 }  // namespace lcdc::verify

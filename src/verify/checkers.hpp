@@ -24,6 +24,12 @@
 // the live simulator, from scripted scenarios, or from fault-injected
 // mutants (where they are expected to fire).
 //
+// Since the streaming redesign each batch function here is a thin adapter:
+// it replays the recorded trace (trace/replay.hpp) through the matching
+// streaming core in verify/stream.hpp, so every property has exactly one
+// implementation and batch results are identical-by-construction to what
+// an online StreamCheckerSet observing the live run reports.
+//
 // Thread-safety: every checker reads the trace through const references
 // and keeps all working state on its own stack — no globals, no caches.
 // Distinct threads may therefore verify *distinct* traces concurrently
@@ -37,6 +43,7 @@
 #include <vector>
 
 #include "clock/lamport.hpp"
+#include "common/config.hpp"
 #include "common/types.hpp"
 #include "trace/trace.hpp"
 
@@ -81,6 +88,16 @@ struct VerifyConfig {
   /// loads are checked against their own processor's program-order store
   /// stream instead of the Lamport replay.
   bool tso = false;
+
+  /// The one canonical mapping from a simulated system's shape to its
+  /// verification settings: node split from the processor count, memory
+  /// model from the store-buffer depth.
+  [[nodiscard]] static VerifyConfig fromSystem(const SystemConfig& sys) {
+    VerifyConfig cfg;
+    cfg.numProcessors = sys.numProcessors;
+    cfg.tso = sys.storeBufferDepth > 0;
+    return cfg;
+  }
 };
 
 /// Build the per-node, per-block coherence epochs from the stamp records.

@@ -1,0 +1,1030 @@
+#include "verify/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace lcdc::verify {
+
+namespace {
+
+using proto::OpRecord;
+using proto::StampRole;
+
+// Settling lag before a transaction with a full stamp set finalizes online:
+// a later downgrade (a second sharer's inval ack, a late writeback ack) can
+// still arrive shortly after, so wait until the block's serialization has
+// moved this far past the transaction.  Purely a false-negative/latency
+// trade-off — finalizing early can only miss a violation, never invent one.
+constexpr SerialIdx kSettleLag = 2;
+// Backstops that keep state bounded even on adversarial (mutant) streams.
+constexpr std::size_t kMaxPendingTxnsPerBlock = 4096;
+constexpr std::size_t kLineHistoryCap = 64;
+constexpr std::size_t kBlockHistoryCap = 128;
+constexpr std::size_t kParkedOpsCap = 64;
+constexpr std::size_t kUpgradeCap = 256;
+constexpr std::size_t kLiveTxnCap = 4096;
+/// SC merge window: past this many buffered ops the smallest head retires
+/// even if some processor has not advanced past it — a processor whose
+/// program finished (or a pathological trace) must not pin the window.
+constexpr std::size_t kScReorderCap = 8192;
+
+std::string opToString(const OpRecord& op) {
+  std::ostringstream os;
+  os << toString(op.kind) << " p" << op.proc << " #" << op.progIdx
+     << " block " << op.block << " word " << op.word << " value "
+     << op.value << " ts " << toString(op.ts) << " bound-to txn "
+     << op.boundTxn << " (serial " << op.boundSerial << ")";
+  return os.str();
+}
+
+std::string epochToString(const clk::Epoch& e) {
+  std::ostringstream os;
+  os << toString(e.state) << " epoch at node " << e.node << " for block "
+     << e.block << " [" << e.start << ", ";
+  if (e.end == clk::kOpenEpoch) {
+    os << "open";
+  } else {
+    os << e.end;
+  }
+  os << ") opened by txn " << e.txn << " (serial " << e.serial << ")";
+  return os.str();
+}
+
+bool isExclusiveKind(TxnKind k) {
+  switch (k) {
+    case TxnKind::GetS_Idle:
+    case TxnKind::GetS_Shared:
+    case TxnKind::GetS_Exclusive:
+    // Transaction 13's unique *upgrade* belongs to its Get-Shared half (the
+    // writeback half upgrades nobody — memory takes the value, and the
+    // entry clock absorbs the owner's stamp instead), so for the
+    // Claim 3(b) upgrade-ordering rule it behaves as a Get-Shared.
+    case TxnKind::Wb_BusyShared:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Epoch intersection under [start, end) semantics; kOpenEpoch (max value)
+/// acts as infinity.
+bool epochsOverlap(const clk::Epoch& a, const clk::Epoch& b) {
+  return a.start < b.end && b.start < a.end;
+}
+
+}  // namespace
+
+void StreamChecker::addViolation(std::string check, std::string detail) {
+  if (report_.violations.size() < cfg_.maxViolations) {
+    report_.violations.push_back(
+        Violation{std::move(check), std::move(detail)});
+  } else if (report_.violations.size() == cfg_.maxViolations) {
+    report_.violations.push_back(Violation{"...", "further violations elided"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Program order embeds into Lamport order
+// ---------------------------------------------------------------------------
+void StreamProgramOrder::onOperation(const OpRecord& op) {
+  report_.opsChecked += 1;
+  if (!cfg_.tso) {
+    ScState& st = sc_[op.proc];
+    if (st.has) {
+      const OpRecord& prev = st.last;
+      if (op.progIdx <= prev.progIdx) {
+        addViolation("program-order",
+                     "ops recorded out of program order: " + opToString(prev) +
+                         " then " + opToString(op));
+      }
+      const bool increases =
+          op.ts.global > prev.ts.global ||
+          (op.ts.global == prev.ts.global && op.ts.local > prev.ts.local);
+      if (!increases) {
+        addViolation("program-order",
+                     "Lamport order breaks program order: " + opToString(prev) +
+                         " then " + opToString(op));
+      }
+    }
+    st.has = true;
+    st.last = op;
+    return;
+  }
+
+  // TSO.  Loads bind (and are observed) in program order; stores retire
+  // FIFO, and every program-earlier op has been observed by the time a
+  // store retires — so the program-order-earlier op set of each arriving
+  // op is fully known on arrival.
+  TsoState& t = tso_[op.proc];
+  if (op.kind == OpKind::Store) {
+    // Fold the loads that are program-order-earlier than this store.
+    while (!t.pendingLoads.empty() &&
+           t.pendingLoads.front().progIdx < op.progIdx) {
+      const OpRecord& l = t.pendingLoads.front();
+      if (!t.maxLoadBelow || t.maxLoadBelow->ts < l.ts) t.maxLoadBelow = l;
+      t.pendingLoads.pop_front();
+    }
+    // The max-timestamp program-earlier op; ties (impossible on faithful
+    // streams) resolve to the program-earlier op, like the batch walk.
+    const OpRecord* bound = t.maxStore ? &*t.maxStore : nullptr;
+    if (t.maxLoadBelow) {
+      const OpRecord& lb = *t.maxLoadBelow;
+      if (bound == nullptr || bound->ts < lb.ts ||
+          (bound->ts == lb.ts && lb.progIdx < bound->progIdx)) {
+        bound = &lb;
+      }
+    }
+    if (bound != nullptr && !(bound->ts < op.ts)) {
+      addViolation("tso-program-order",
+                   "TSO-forbidden reordering: " + opToString(*bound) +
+                       " then " + opToString(op));
+    }
+    if (!t.maxStore || t.maxStore->ts < op.ts) t.maxStore = op;
+    return;
+  }
+  // Loads (forwarded ones included): must out-timestamp every earlier load;
+  // the store->load direction is the one TSO exempts.
+  if (t.maxLoad && !(t.maxLoad->ts < op.ts)) {
+    addViolation("tso-program-order",
+                 "TSO-forbidden reordering: " + opToString(*t.maxLoad) +
+                     " then " + opToString(op));
+  }
+  if (!t.maxLoad || t.maxLoad->ts < op.ts) t.maxLoad = op;
+  t.pendingLoads.push_back(op);
+}
+
+std::size_t StreamProgramOrder::memoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += sc_.size() * (sizeof(NodeId) + sizeof(ScState) + 48);
+  for (const auto& [proc, t] : tso_) {
+    bytes += sizeof(NodeId) + sizeof(TsoState) + 48;
+    bytes += t.pendingLoads.size() * sizeof(OpRecord);
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Claim 2
+// ---------------------------------------------------------------------------
+void StreamClaim2::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
+                           BlockId block, StampRole role, GlobalTime ts,
+                           AState oldA, AState newA) {
+  Last& prev = last_[{node, block}];
+  if (prev.has) {
+    if (serial <= prev.serial) {
+      std::ostringstream os;
+      os << "node " << node << " block " << block
+         << ": A-state change for txn " << txn << " (serial " << serial
+         << ") applied after txn " << prev.txn << " (serial " << prev.serial
+         << ")";
+      addViolation("claim2", os.str());
+    }
+    if (ts <= prev.ts) {
+      std::ostringstream os;
+      os << "node " << node << " block " << block << ": clock not monotone ("
+         << prev.ts << " then " << ts << ")";
+      addViolation("claim2", os.str());
+    }
+  }
+  prev.has = true;
+  prev.txn = txn;
+  prev.serial = serial;
+  prev.ts = ts;
+}
+
+std::size_t StreamClaim2::memoryFootprint() const {
+  return sizeof(*this) +
+         last_.size() * (sizeof(std::pair<NodeId, BlockId>) + sizeof(Last) + 48);
+}
+
+// ---------------------------------------------------------------------------
+// Claim 3
+// ---------------------------------------------------------------------------
+void StreamClaim3::onSerialize(const proto::TxnInfo& txn) {
+  BlockState& bs = blocks_[txn.block];
+  bs.maxSerial = std::max(bs.maxSerial, txn.serial);
+  bs.pending.insert_or_assign(txn.serial, Pending{txn, {}});
+  live_[txn.id] = {txn.block, txn.serial};
+  tryFinalize(bs);
+}
+
+void StreamClaim3::onTxnConverted(TransactionId id, TxnKind newKind) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  BlockState& bs = blocks_[it->second.first];
+  const auto pit = bs.pending.find(it->second.second);
+  if (pit != bs.pending.end()) pit->second.txn.kind = newKind;
+}
+
+void StreamClaim3::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
+                           BlockId block, StampRole role, GlobalTime ts,
+                           AState oldA, AState newA) {
+  const auto it = live_.find(txn);
+  if (it == live_.end()) return;  // stamp for an already-finalized txn
+  BlockState& bs = blocks_[it->second.first];
+  const auto pit = bs.pending.find(it->second.second);
+  if (pit == bs.pending.end()) return;
+  Agg& a = pit->second.agg;
+  if (role == StampRole::Downgrade) {
+    a.downgrades += 1;
+    a.maxDowngrade = std::max(a.maxDowngrade, ts);
+  } else {
+    a.upgrades += 1;
+    a.upgrade = ts;
+  }
+  tryFinalize(bs);
+}
+
+void StreamClaim3::tryFinalize(BlockState& bs) {
+  while (!bs.pending.empty()) {
+    const auto it = bs.pending.begin();
+    const Pending& p = it->second;
+    const bool complete = p.agg.upgrades >= 1 && p.agg.downgrades >= 1;
+    const bool settled = bs.maxSerial >= p.txn.serial + kSettleLag;
+    if (!((complete && settled) ||
+          bs.pending.size() > kMaxPendingTxnsPerBlock)) {
+      break;
+    }
+    finalize(bs, p);
+    live_.erase(p.txn.id);
+    bs.pending.erase(it);
+  }
+}
+
+void StreamClaim3::finalize(BlockState& bs, const Pending& p) {
+  report_.txnsChecked += 1;
+  const proto::TxnInfo& txn = p.txn;
+  const Agg& t = p.agg;
+  if (t.upgrades == 0) {
+    if (cfg_.expectComplete) {
+      std::ostringstream os;
+      os << "txn " << txn.id << " (" << toString(txn.kind) << ", serial "
+         << txn.serial << ", block " << txn.block << ") has no upgrade stamp";
+      addViolation("claim3-structure", os.str());
+    }
+    return;
+  }
+  if (t.upgrades != 1) {
+    std::ostringstream os;
+    os << "txn " << txn.id << " has " << t.upgrades
+       << " upgrade stamps (expected exactly one)";
+    addViolation("claim3-structure", os.str());
+  }
+  if (t.downgrades == 0) {
+    std::ostringstream os;
+    os << "txn " << txn.id << " (" << toString(txn.kind)
+       << ") has no downgrade stamp";
+    addViolation("claim3-structure", os.str());
+  }
+  // Claim 3(a).
+  if (t.maxDowngrade > t.upgrade) {
+    std::ostringstream os;
+    os << "claim 3(a): txn " << txn.id << " (" << toString(txn.kind)
+       << ", block " << txn.block << "): downgrade stamp " << t.maxDowngrade
+       << " exceeds upgrade stamp " << t.upgrade;
+    addViolation("claim3a", os.str());
+  }
+  // Claim 3(b): for a pair (T, T') with T before T' and either exclusive,
+  // upgrade(T) < upgrade(T').  Transactions finalize in serialization
+  // order per block, so the running maxima match the batch sweep.
+  const bool exclusive = isExclusiveKind(txn.kind);
+  if (exclusive && t.upgrade <= bs.maxUpgrade) {
+    std::ostringstream os;
+    os << "claim 3(b): exclusive txn " << txn.id << " ("
+       << toString(txn.kind) << ", serial " << txn.serial << ", block "
+       << txn.block << ") upgrade stamp " << t.upgrade
+       << " does not exceed an earlier transaction's " << bs.maxUpgrade;
+    addViolation("claim3b", os.str());
+  }
+  if (!exclusive && t.upgrade <= bs.maxExclUpgrade) {
+    std::ostringstream os;
+    os << "claim 3(b): txn " << txn.id << " (" << toString(txn.kind)
+       << ", serial " << txn.serial << ", block " << txn.block
+       << ") upgrade stamp " << t.upgrade
+       << " does not exceed an earlier exclusive transaction's "
+       << bs.maxExclUpgrade;
+    addViolation("claim3b", os.str());
+  }
+  bs.maxUpgrade = std::max(bs.maxUpgrade, t.upgrade);
+  if (exclusive) bs.maxExclUpgrade = std::max(bs.maxExclUpgrade, t.upgrade);
+}
+
+void StreamClaim3::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& [block, bs] : blocks_) {
+    while (!bs.pending.empty()) {
+      const auto it = bs.pending.begin();
+      finalize(bs, it->second);
+      live_.erase(it->second.txn.id);
+      bs.pending.erase(it);
+    }
+  }
+}
+
+std::size_t StreamClaim3::memoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [block, bs] : blocks_) {
+    bytes += sizeof(BlockId) + sizeof(BlockState) + 48;
+    bytes += bs.pending.size() * (sizeof(SerialIdx) + sizeof(Pending) + 48);
+  }
+  bytes += live_.size() *
+           (sizeof(TransactionId) + sizeof(std::pair<BlockId, SerialIdx>) + 16);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Lemmas 1 and 2 (+ Claim 4)
+// ---------------------------------------------------------------------------
+bool StreamEpochs::lemma1Relevant(const clk::Epoch& e) const {
+  // Processor S/X epochs and directory X (Idle: memory is the valid copy)
+  // epochs; directory A_S "epochs" carry no operations and their
+  // boundaries are conventional (the home's by-definition downgrades).
+  if (e.state == AState::I) return false;
+  const bool isDir = e.node >= cfg_.numProcessors;
+  return !isDir || e.state == AState::X;
+}
+
+void StreamEpochs::checkAgainstEpoch(const OpRecord& op, const clk::Epoch& e,
+                                     bool endKnown) {
+  if (op.ts.global < e.start ||
+      (endKnown && e.end != clk::kOpenEpoch && op.ts.global >= e.end)) {
+    addViolation("lemma2", "operation outside its epoch: " + opToString(op) +
+                               " not in " + epochToString(e));
+    return;
+  }
+  if (op.kind == OpKind::Store && e.state != AState::X) {
+    addViolation("lemma2", "store outside an exclusive epoch: " +
+                               opToString(op) + " in " + epochToString(e));
+  }
+  if (op.kind == OpKind::Load && e.state == AState::I) {
+    addViolation("lemma2", "load inside an invalid interval: " + opToString(op));
+  }
+}
+
+void StreamEpochs::closeCurrent(Line& line, GlobalTime end) {
+  clk::Epoch e = line.current;
+  e.end = end;
+  // Ops whose end-of-epoch check had to wait: the epoch boundary is now
+  // exact, so run the full containment + state check.
+  for (const OpRecord& op : line.parked) checkAgainstEpoch(op, e, true);
+  line.parked.clear();
+  // Lemma 1: each overlap pair is counted exactly once — when the
+  // later-closing epoch closes against the block's closed-epoch history
+  // (the earlier-closing partner is already there).
+  if (lemma1Relevant(e)) {
+    auto& hist = closedByBlock_[e.block];
+    for (const clk::Epoch& other : hist) {
+      if (other.node == e.node) continue;
+      if (!epochsOverlap(e, other)) continue;
+      if (e.state != AState::X && other.state != AState::X) continue;
+      const bool eLater = e.start >= other.start;
+      const clk::Epoch& later = eLater ? e : other;
+      const clk::Epoch& earlier = eLater ? other : e;
+      addViolation("lemma1", "overlapping epochs: " + epochToString(later) +
+                                 " vs " + epochToString(earlier));
+    }
+    hist.push_back(e);
+    if (hist.size() > kBlockHistoryCap) hist.pop_front();
+  }
+  line.history.push_back(e);
+  if (line.history.size() > kLineHistoryCap) line.history.pop_front();
+  line.hasCurrent = false;
+}
+
+void StreamEpochs::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
+                           BlockId block, StampRole role, GlobalTime ts,
+                           AState oldA, AState newA) {
+  GlobalTime& lastTs = lastStampTs_[node];
+  if (ts > lastTs) lastTs = ts;
+  Line& line = lines_[{node, block}];
+  if (!line.sawStamp) {
+    line.sawStamp = true;
+    if (node >= cfg_.numProcessors) {
+      // A directory entry starts Idle = A_X: memory is the valid copy.
+      line.current = clk::Epoch{node, block, AState::X, 0, clk::kOpenEpoch,
+                                kNoTransaction, 0};
+      line.hasCurrent = true;
+      report_.epochsBuilt += 1;
+    }
+  }
+  if (line.hasCurrent) closeCurrent(line, ts);
+  line.current =
+      clk::Epoch{node, block, newA, ts, clk::kOpenEpoch, txn, serial};
+  line.hasCurrent = true;
+  report_.epochsBuilt += 1;
+}
+
+void StreamEpochs::onOperation(const OpRecord& op) {
+  report_.opsChecked += 1;
+  if (op.forwarded) {
+    // Store-buffer forwarded loads never touch the coherence protocol;
+    // they are validated by the TSO forwarding check instead.
+    if (!cfg_.tso) {
+      addViolation("lemma2",
+                   "forwarded load in an SC-mode trace: " + opToString(op));
+    }
+    return;
+  }
+  Line& line = lines_[{op.proc, op.block}];
+  // Latest epoch of the bound transaction at this line: the current epoch
+  // first, then the closed history newest-to-oldest.
+  if (line.hasCurrent && line.current.txn == op.boundTxn) {
+    const auto lit = lastStampTs_.find(op.proc);
+    const GlobalTime nodeClock = lit == lastStampTs_.end() ? 0 : lit->second;
+    if (op.ts.global >= line.current.start && op.ts.global > nodeClock &&
+        line.parked.size() < kParkedOpsCap) {
+      // The epoch's end is still unknown and the node clock has not yet
+      // passed the op, so containment cannot be decided — defer to close.
+      // (On faithful streams ops never out-run their node's clock, so
+      // this path is exercised only by hand-built or broken traces.)
+      line.parked.push_back(op);
+      return;
+    }
+    checkAgainstEpoch(op, line.current, false);
+    return;
+  }
+  for (auto it = line.history.rbegin(); it != line.history.rend(); ++it) {
+    if (it->txn == op.boundTxn) {
+      checkAgainstEpoch(op, *it, true);
+      return;
+    }
+  }
+  addViolation("lemma2",
+               "operation bound to a transaction with no epoch at its "
+               "processor: " + opToString(op));
+}
+
+void StreamEpochs::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& [key, line] : lines_) {
+    if (!line.hasCurrent) continue;
+    const clk::Epoch e = line.current;  // end stays open
+    for (const OpRecord& op : line.parked) checkAgainstEpoch(op, e, false);
+    line.parked.clear();
+    if (lemma1Relevant(e)) {
+      auto& hist = closedByBlock_[e.block];
+      for (const clk::Epoch& other : hist) {
+        if (other.node == e.node) continue;
+        if (!epochsOverlap(e, other)) continue;
+        if (e.state != AState::X && other.state != AState::X) continue;
+        const bool eLater = e.start >= other.start;
+        addViolation("lemma1",
+                     "overlapping epochs: " +
+                         epochToString(eLater ? e : other) + " vs " +
+                         epochToString(eLater ? other : e));
+      }
+      hist.push_back(e);
+      if (hist.size() > kBlockHistoryCap) hist.pop_front();
+    }
+    line.hasCurrent = false;
+  }
+}
+
+std::size_t StreamEpochs::memoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [key, line] : lines_) {
+    bytes += sizeof(key) + sizeof(Line) + 48;
+    bytes += line.parked.size() * sizeof(OpRecord);
+    bytes += line.history.size() * sizeof(clk::Epoch);
+  }
+  for (const auto& [block, hist] : closedByBlock_) {
+    bytes += sizeof(BlockId) + 48 + hist.size() * sizeof(clk::Epoch);
+  }
+  bytes += lastStampTs_.size() * (sizeof(NodeId) + sizeof(GlobalTime) + 16);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Main Theorem replay (+ total order, + TSO forwarding)
+// ---------------------------------------------------------------------------
+namespace {
+std::uint64_t wordKey(BlockId b, WordIdx w) {
+  return (static_cast<std::uint64_t>(b) << 16) | w;
+}
+}  // namespace
+
+void StreamSequentialConsistency::judgeForwarded(const OpRecord& load,
+                                                 const OpRecord* source) {
+  if (source == nullptr) {
+    addViolation("tso-forwarding",
+                 "forwarded load with no program-order-earlier store: " +
+                     opToString(load));
+  } else if (source->value != load.value) {
+    addViolation("tso-forwarding",
+                 "forwarded load returned " + opToString(load) +
+                     " but the youngest earlier store is " +
+                     opToString(*source));
+  }
+}
+
+void StreamSequentialConsistency::onOperation(const OpRecord& op) {
+  report_.opsChecked += 1;
+  if (op.forwarded) {
+    if (!cfg_.tso) {
+      // An SC machine has no store buffer; SC mode treats the forwarded
+      // load as sourceless, like the batch check always did.
+      judgeForwarded(op, nullptr);
+    } else {
+      // Judged once the processor's store stream retires past the load's
+      // program position (or at finish): only then is "the youngest
+      // program-order-earlier store" final.
+      fwd_[{op.proc, op.block, op.word}].pending.push_back(op);
+    }
+  } else if (op.kind == OpKind::Store && cfg_.tso) {
+    FwdState& f = fwd_[{op.proc, op.block, op.word}];
+    while (!f.pending.empty() && f.pending.front().progIdx < op.progIdx) {
+      judgeForwarded(f.pending.front(), f.hasStore ? &f.lastStore : nullptr);
+      f.pending.pop_front();
+    }
+    f.hasStore = true;
+    f.lastStore = op;
+  }
+
+  // Everything — forwarded loads included, for the total-order scan —
+  // enters the merge window and retires in global Lamport order.
+  ProcStream& s = procs_[op.proc];
+  s.lastArrival = op.ts;
+  s.pending.push_back(op);
+  ++buffered_;
+  drain(/*atEnd=*/false);
+}
+
+void StreamSequentialConsistency::drain(bool atEnd) {
+  for (;;) {
+    ProcStream* best = nullptr;
+    for (auto& [id, s] : procs_) {
+      if (s.pending.empty()) continue;
+      if (best == nullptr || s.pending.front().ts < best->pending.front().ts) {
+        best = &s;
+      }
+    }
+    if (best == nullptr) return;
+    if (!atEnd && buffered_ <= kScReorderCap) {
+      // The head may retire only once every processor has provably moved
+      // past it: a queue head above it, or a newest arrival at/above it
+      // (per-processor timestamps are monotone, so everything that
+      // processor emits later is above its newest arrival).
+      const Timestamp& head = best->pending.front().ts;
+      bool safe = true;
+      for (NodeId p = 0; p < cfg_.numProcessors && safe; ++p) {
+        const auto it = procs_.find(p);
+        if (it == procs_.end()) {
+          safe = false;  // never heard from p; it could still emit below head
+        } else if (it->second.pending.empty() &&
+                   it->second.lastArrival < head) {
+          safe = false;
+        }
+      }
+      if (!safe) return;
+    }
+    retire(best->pending.front());
+    best->pending.pop_front();
+    --buffered_;
+  }
+}
+
+void StreamSequentialConsistency::retire(const OpRecord& op) {
+  // Total order sanity: merged timestamps must be globally unique (and the
+  // merge emits them in nondecreasing order on any per-processor-monotone
+  // stream, so a regression here means the stream itself was malformed).
+  if (hasRetired_ && !(lastRetired_.ts < op.ts)) {
+    if (lastRetired_.ts == op.ts) {
+      addViolation("total-order", "two operations share a timestamp: " +
+                                      opToString(lastRetired_) + " and " +
+                                      opToString(op));
+    } else {
+      addViolation("total-order",
+                   "operation timestamps regress in observation order: " +
+                       opToString(lastRetired_) + " then " + opToString(op));
+    }
+  }
+  hasRetired_ = true;
+  lastRetired_ = op;
+
+  if (op.forwarded) return;  // judged against its own store stream instead
+
+  const std::uint64_t k = wordKey(op.block, op.word);
+  if (op.kind == OpKind::Store) {
+    lastStore_.insert_or_assign(k, op);
+    return;
+  }
+  const auto it = lastStore_.find(k);
+  const Word expected = it == lastStore_.end() ? 0 : it->second.value;
+  if (op.value != expected) {
+    std::ostringstream os;
+    os << "load returns " << op.value << " but the most recent store in "
+       << "Lamport order "
+       << (it == lastStore_.end()
+               ? std::string("is absent (expected the initial value 0)")
+               : "is " + opToString(it->second));
+    os << "; load: " << opToString(op);
+    addViolation(cfg_.tso ? "tso-memory-order" : "sequential-consistency",
+                 os.str());
+  }
+}
+
+void StreamSequentialConsistency::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // No further ops can arrive: release the merge window unconditionally
+  // (still smallest-timestamp first), then judge forwarded loads with no
+  // later same-word store — the youngest retired store is final now.
+  drain(/*atEnd=*/true);
+  for (auto& [key, f] : fwd_) {
+    for (const OpRecord& l : f.pending) {
+      judgeForwarded(l, f.hasStore ? &f.lastStore : nullptr);
+    }
+    f.pending.clear();
+  }
+}
+
+std::size_t StreamSequentialConsistency::memoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [id, s] : procs_) {
+    bytes += sizeof(NodeId) + sizeof(ProcStream) + 48;
+    bytes += s.pending.size() * sizeof(OpRecord);
+  }
+  bytes += lastStore_.size() * (sizeof(std::uint64_t) + sizeof(OpRecord) + 16);
+  for (const auto& [key, f] : fwd_) {
+    bytes += sizeof(key) + sizeof(FwdState) + 48;
+    bytes += f.pending.size() * sizeof(OpRecord);
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3 at every value transfer
+// ---------------------------------------------------------------------------
+void StreamValueChain::trackLive(TransactionId txn, BlockId block,
+                                 GlobalTime floor, bool upgraded) {
+  live_.insert_or_assign(txn, LiveTxn{block, floor, upgraded});
+  floors_[block].insert(floor);
+  liveFifo_.push_back(txn);
+  while (liveFifo_.size() > kLiveTxnCap) {
+    dropLive(liveFifo_.front());
+    liveFifo_.pop_front();
+  }
+}
+
+void StreamValueChain::dropLive(TransactionId txn) {
+  const auto it = live_.find(txn);
+  if (it == live_.end()) return;
+  const auto fit = floors_.find(it->second.block);
+  if (fit != floors_.end()) {
+    const auto vit = fit->second.find(it->second.floor);
+    if (vit != fit->second.end()) fit->second.erase(vit);
+    if (fit->second.empty()) floors_.erase(fit);
+  }
+  live_.erase(it);
+}
+
+void StreamValueChain::moveFloor(LiveTxn& t, GlobalTime ts) {
+  auto& fs = floors_[t.block];
+  const auto vit = fs.find(t.floor);
+  if (vit != fs.end()) fs.erase(vit);
+  fs.insert(ts);
+  t.floor = ts;
+}
+
+void StreamValueChain::onSerialize(const proto::TxnInfo& txn) {
+  dropLive(txn.id);  // id reuse is impossible on faithful streams
+  trackLive(txn.id, txn.block, 0, /*upgraded=*/false);
+}
+
+void StreamValueChain::onStamp(NodeId node, TransactionId txn,
+                               SerialIdx serial, BlockId block, StampRole role,
+                               GlobalTime ts, AState oldA, AState newA) {
+  const auto lit = live_.find(txn);
+  if (role != StampRole::Upgrade) {
+    // A downgrade raises the pending floor: Claim 3(a) keeps every
+    // downgrade at or below the upgrade (= t1) still to come.
+    if (lit != live_.end() && !lit->second.upgraded &&
+        ts > lit->second.floor) {
+      moveFloor(lit->second, ts);
+    }
+    return;
+  }
+  NodeUpgrades& u = upgrades_[node];
+  const auto it = u.ts.find(txn);
+  if (it != u.ts.end()) {
+    it->second = ts;  // re-stamp of a known transaction: supersede
+  } else {
+    u.ts.emplace(txn, ts);
+    u.fifo.push_back(txn);
+    while (u.fifo.size() > kUpgradeCap) {
+      const auto evict = u.ts.find(u.fifo.front());
+      u.fifo.pop_front();
+      if (evict != u.ts.end()) u.ts.erase(evict);
+    }
+  }
+  if (lit != live_.end()) {
+    moveFloor(lit->second, ts);
+    lit->second.upgraded = true;
+  } else {
+    // Serialization unobserved (truncated stream): start tracking here.
+    trackLive(txn, block, ts, /*upgraded=*/true);
+  }
+}
+
+void StreamValueChain::onOperation(const OpRecord& op) {
+  if (op.kind != OpKind::Store) return;
+  auto& v = stores_[{op.block, op.word}];
+  const StoreAt s{op.ts.global, op.ts.local, op.ts.pid, op.value};
+  const auto pos = std::upper_bound(
+      v.begin(), v.end(), s, [](const StoreAt& a, const StoreAt& b) {
+        if (a.global != b.global) return a.global < b.global;
+        if (a.local != b.local) return a.local < b.local;
+        return a.pid < b.pid;
+      });
+  v.insert(pos, s);
+}
+
+void StreamValueChain::onValueReceived(NodeId node, TransactionId txn,
+                                       BlockId block,
+                                       const BlockValue& value) {
+  const auto uit = upgrades_.find(node);
+  if (uit == upgrades_.end()) return;
+  const auto tit = uit->second.ts.find(txn);
+  if (tit == uit->second.ts.end()) return;  // downgrade-side receipt (home)
+  const GlobalTime t1 = tit->second;
+  // Consumed: a transaction has exactly one judgeable value receipt, so it
+  // stops holding the prune floor down.
+  uit->second.ts.erase(tit);
+  dropLive(txn);
+
+  // Every future judgeable receipt on this block starts at or above the
+  // minimum floor of its still-live transactions: a live one's t1 is at or
+  // above its own floor, and a not-yet-serialized one's t1 exceeds the
+  // epoch starts already live (Claim 3(b) for the exclusive side; for the
+  // shared side any store under an older start would sit in an exclusive
+  // epoch overlapping the new one, which Lemma 1 forbids).
+  const auto fit = floors_.find(block);
+  const GlobalTime pruneFloor = fit == floors_.end() || fit->second.empty()
+                                    ? clk::kOpenEpoch
+                                    : *fit->second.begin();
+
+  report_.txnsChecked += 1;
+  for (WordIdx w = 0; w < value.size(); ++w) {
+    const auto sit = stores_.find({block, w});
+    Word expected = 0;
+    if (sit != stores_.end()) {
+      const auto& v = sit->second;
+      // Most recent store strictly before t1 (stores of the receiving
+      // epoch itself have global >= t1).
+      const auto firstAt = std::lower_bound(
+          v.begin(), v.end(), t1,
+          [](const StoreAt& s, GlobalTime t) { return s.global < t; });
+      if (firstAt != v.begin()) expected = (firstAt - 1)->value;
+    }
+    if (value[w] != expected) {
+      std::ostringstream os;
+      os << "lemma 3: node " << node << " received word " << w << " of block "
+         << block << " = " << value[w] << " for txn " << txn
+         << " (epoch start " << t1 << "), but the most recent store prior to "
+         << t1 << " wrote " << expected;
+      addViolation("lemma3-values", os.str());
+    }
+    // Prune to the youngest store below the floor (plus everything above
+    // it) — bounded history without ever dropping a store a future
+    // receipt could still name.
+    if (sit != stores_.end()) {
+      auto& v = sit->second;
+      const auto keepFrom = std::lower_bound(
+          v.begin(), v.end(), pruneFloor,
+          [](const StoreAt& s, GlobalTime t) { return s.global < t; });
+      if (keepFrom - v.begin() > 1) v.erase(v.begin(), keepFrom - 1);
+    }
+  }
+}
+
+std::size_t StreamValueChain::memoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [key, v] : stores_) {
+    bytes += sizeof(key) + 48 + v.size() * sizeof(StoreAt);
+  }
+  for (const auto& [node, u] : upgrades_) {
+    bytes += sizeof(NodeId) + 48;
+    bytes += u.ts.size() * (sizeof(TransactionId) + sizeof(GlobalTime) + 48);
+    bytes += u.fifo.size() * sizeof(TransactionId);
+  }
+  bytes += live_.size() * (sizeof(TransactionId) + sizeof(LiveTxn) + 16);
+  bytes += liveFifo_.size() * sizeof(TransactionId);
+  for (const auto& [block, fs] : floors_) {
+    bytes += sizeof(BlockId) + 48 + fs.size() * (sizeof(GlobalTime) + 48);
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// The full suite as one pipeline stage
+// ---------------------------------------------------------------------------
+StreamCheckerSet::StreamCheckerSet(const VerifyConfig& cfg)
+    : cfg_(cfg),
+      programOrder_(cfg),
+      claim2_(cfg),
+      claim3_(cfg),
+      epochs_(cfg),
+      sc_(cfg),
+      valueChain_(cfg) {}
+
+void StreamCheckerSet::finish() {
+  if (finished_) return;
+  finished_ = true;
+  programOrder_.finish();
+  claim2_.finish();
+  claim3_.finish();
+  epochs_.finish();
+  sc_.finish();
+  valueChain_.finish();
+}
+
+CheckReport StreamCheckerSet::report() const {
+  CheckReport r;
+  const StreamChecker* cores[] = {&programOrder_, &claim2_, &claim3_,
+                                  &epochs_,       &sc_,     &valueChain_};
+  for (const StreamChecker* core : cores) {
+    const CheckReport& part = core->report();
+    r.violations.insert(r.violations.end(), part.violations.begin(),
+                        part.violations.end());
+    r.epochsBuilt = std::max(r.epochsBuilt, part.epochsBuilt);
+  }
+  r.opsChecked = opsSeen_;
+  r.txnsChecked = txnsSeen_;
+  return r;
+}
+
+std::size_t StreamCheckerSet::memoryFootprint() const {
+  return sizeof(*this) + programOrder_.memoryFootprint() +
+         claim2_.memoryFootprint() + claim3_.memoryFootprint() +
+         epochs_.memoryFootprint() + sc_.memoryFootprint() +
+         valueChain_.memoryFootprint();
+}
+
+void StreamCheckerSet::onRunBegin(const SystemConfig& config) {}
+void StreamCheckerSet::onRunEnd(const RunResult& result) {}
+
+void StreamCheckerSet::onSerialize(const proto::TxnInfo& txn) {
+  txnsSeen_ += 1;
+  claim3_.onSerialize(txn);
+  valueChain_.onSerialize(txn);
+}
+
+void StreamCheckerSet::onTxnConverted(TransactionId id, TxnKind newKind) {
+  claim3_.onTxnConverted(id, newKind);
+}
+
+void StreamCheckerSet::onStamp(NodeId node, TransactionId txn,
+                               SerialIdx serial, BlockId block, StampRole role,
+                               GlobalTime ts, AState oldA, AState newA) {
+  claim2_.onStamp(node, txn, serial, block, role, ts, oldA, newA);
+  claim3_.onStamp(node, txn, serial, block, role, ts, oldA, newA);
+  epochs_.onStamp(node, txn, serial, block, role, ts, oldA, newA);
+  valueChain_.onStamp(node, txn, serial, block, role, ts, oldA, newA);
+}
+
+void StreamCheckerSet::onValueReceived(NodeId node, TransactionId txn,
+                                       BlockId block,
+                                       const BlockValue& value) {
+  valueChain_.onValueReceived(node, txn, block, value);
+}
+
+void StreamCheckerSet::onOperation(const proto::OpRecord& op) {
+  opsSeen_ += 1;
+  programOrder_.onOperation(op);
+  epochs_.onOperation(op);
+  sc_.onOperation(op);
+  valueChain_.onOperation(op);
+}
+
+void StreamCheckerSet::onNack(NodeId requester, BlockId block, NackKind kind) {}
+void StreamCheckerSet::onPutShared(NodeId node, BlockId block) {}
+void StreamCheckerSet::onDeadlockResolved(NodeId node, BlockId block,
+                                          NodeId impliedAcker) {}
+
+// ---------------------------------------------------------------------------
+// StatsObserver
+// ---------------------------------------------------------------------------
+void StatsObserver::noteEvent() {
+  stats_.events += 1;
+  if (watch_ != nullptr && (stats_.events & 0xFFFU) == 0) {
+    stats_.peakCheckerBytes =
+        std::max(stats_.peakCheckerBytes, watch_->memoryFootprint());
+  }
+}
+
+double StatsObserver::eventsPerSecond() const {
+  return stats_.seconds > 0
+             ? static_cast<double>(stats_.events) / stats_.seconds
+             : 0.0;
+}
+
+std::string StatsObserver::report() const {
+  std::ostringstream os;
+  os << "events: " << stats_.events << '\n';
+  os << "  serializations: " << stats_.serializations
+     << " (conversions: " << stats_.conversions << ")\n";
+  os << "  stamps: " << stats_.stamps << " (upgrades " << stats_.upgrades
+     << ", downgrades " << stats_.downgrades << ")\n";
+  os << "  operations: " << stats_.operations << " (loads " << stats_.loads
+     << ", stores " << stats_.stores << ", forwarded "
+     << stats_.forwardedLoads << ")\n";
+  os << "  value transfers: " << stats_.valueTransfers << '\n';
+  os << "  nacks: " << stats_.nacks << ", put-shared: " << stats_.putShareds
+     << ", deadlocks resolved: " << stats_.deadlocksResolved << '\n';
+  if (!stats_.txnsByKind.empty()) {
+    os << "txns by kind (as serialized):\n";
+    for (const auto& [kind, n] : stats_.txnsByKind) {
+      os << "  " << toString(kind) << ": " << n << '\n';
+    }
+  }
+  if (watch_ != nullptr) {
+    os << "peak checker state: " << stats_.peakCheckerBytes << " bytes\n";
+  }
+  return os.str();
+}
+
+void StatsObserver::onRunBegin(const SystemConfig& config) {
+  stats_.haveConfig = true;
+  stats_.config = config;
+  beginNanos_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void StatsObserver::onRunEnd(const RunResult& result) {
+  stats_.haveResult = true;
+  stats_.result = result;
+  if (beginNanos_ != 0) {
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    stats_.seconds = static_cast<double>(now - beginNanos_) * 1e-9;
+  }
+  if (watch_ != nullptr) {
+    stats_.peakCheckerBytes =
+        std::max(stats_.peakCheckerBytes, watch_->memoryFootprint());
+  }
+}
+
+void StatsObserver::onSerialize(const proto::TxnInfo& txn) {
+  noteEvent();
+  stats_.serializations += 1;
+  stats_.txnsByKind[txn.kind] += 1;
+}
+
+void StatsObserver::onTxnConverted(TransactionId id, TxnKind newKind) {
+  noteEvent();
+  stats_.conversions += 1;
+}
+
+void StatsObserver::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
+                            BlockId block, proto::StampRole role,
+                            GlobalTime ts, AState oldA, AState newA) {
+  noteEvent();
+  stats_.stamps += 1;
+  if (role == StampRole::Upgrade) {
+    stats_.upgrades += 1;
+  } else {
+    stats_.downgrades += 1;
+  }
+}
+
+void StatsObserver::onValueReceived(NodeId node, TransactionId txn,
+                                    BlockId block, const BlockValue& value) {
+  noteEvent();
+  stats_.valueTransfers += 1;
+}
+
+void StatsObserver::onOperation(const proto::OpRecord& op) {
+  noteEvent();
+  stats_.operations += 1;
+  if (op.kind == OpKind::Store) {
+    stats_.stores += 1;
+  } else {
+    stats_.loads += 1;
+    if (op.forwarded) stats_.forwardedLoads += 1;
+  }
+}
+
+void StatsObserver::onNack(NodeId requester, BlockId block, NackKind kind) {
+  noteEvent();
+  stats_.nacks += 1;
+}
+
+void StatsObserver::onPutShared(NodeId node, BlockId block) {
+  noteEvent();
+  stats_.putShareds += 1;
+}
+
+void StatsObserver::onDeadlockResolved(NodeId node, BlockId block,
+                                       NodeId impliedAcker) {
+  noteEvent();
+  stats_.deadlocksResolved += 1;
+}
+
+}  // namespace lcdc::verify

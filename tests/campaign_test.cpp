@@ -200,9 +200,8 @@ TEST(Minimizer, MinimizedTraceReVerifiesOfflineWithTheSameChecker) {
   const trace::Trace loaded = trace::loadFile(path);
   std::remove(path.c_str());
 
-  verify::VerifyConfig vc{mr.spec.sys.numProcessors};
-  vc.tso = mr.spec.sys.storeBufferDepth > 0;
-  const verify::CheckReport report = verify::checkAll(loaded, vc);
+  const verify::CheckReport report =
+      verify::checkAll(loaded, verify::VerifyConfig::fromSystem(mr.spec.sys));
   ASSERT_FALSE(report.ok());
   EXPECT_EQ("checker:" + report.primaryCheck(), signature);
 }

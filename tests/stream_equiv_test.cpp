@@ -1,0 +1,222 @@
+// Streaming equals batch — the acceptance property of the observer
+// pipeline redesign.  One execution feeds a TeeSink carrying both a Trace
+// recorder and a live StreamCheckerSet; the recorded trace then goes
+// through batch checkAll (which replays through the same streaming cores).
+// The two reports must agree byte-for-byte: same violations in the same
+// order, same primary check, same per-claim counts — on clean runs, on
+// every protocol mutant, under SC and TSO, on the directory and the
+// snooping-bus models, and under adversarial manual schedules.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bus/bus_system.hpp"
+#include "common/expect.hpp"
+#include "proto/observer.hpp"
+#include "testutil.hpp"
+#include "verify/stream.hpp"
+
+namespace lcdc {
+namespace {
+
+void expectSameReport(const verify::CheckReport& streaming,
+                      const verify::CheckReport& batch,
+                      const std::string& what) {
+  EXPECT_EQ(streaming.summary(), batch.summary()) << what;
+  EXPECT_EQ(streaming.primaryCheck(), batch.primaryCheck()) << what;
+  EXPECT_EQ(streaming.countsByCheck(), batch.countsByCheck()) << what;
+  ASSERT_EQ(streaming.violations.size(), batch.violations.size()) << what;
+  for (std::size_t i = 0; i < streaming.violations.size(); ++i) {
+    EXPECT_EQ(streaming.violations[i].check, batch.violations[i].check)
+        << what << " violation " << i;
+    EXPECT_EQ(streaming.violations[i].detail, batch.violations[i].detail)
+        << what << " violation " << i;
+  }
+}
+
+/// Execute one directory-model run with both pipelines attached and
+/// compare.  Returns false if the simulation itself failed (deadlock /
+/// invariant) before producing comparable reports; bumps *violating when
+/// the (agreeing) reports actually flagged something.
+bool checkDirectoryEquivalence(const SystemConfig& cfg,
+                               const std::vector<workload::Program>& programs,
+                               const std::string& what,
+                               std::size_t* violating = nullptr) {
+  const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(cfg);
+  trace::Trace trace;
+  verify::StreamCheckerSet checkers(vc);
+  proto::TeeSink tee{&trace, &checkers};
+  sim::System sys(cfg, tee);
+  for (NodeId p = 0; p < cfg.numProcessors && p < programs.size(); ++p) {
+    sys.setProgram(p, programs[p]);
+  }
+  try {
+    if (!sys.run(20'000'000).ok()) return false;
+  } catch (const ProtocolError&) {
+    return false;
+  }
+  checkers.finish();
+  expectSameReport(checkers.report(), verify::checkAll(trace, vc), what);
+  if (violating != nullptr && !checkers.report().ok()) ++*violating;
+  return true;
+}
+
+SystemConfig contendedConfig(std::uint64_t seed, Mutant mutant,
+                             std::uint32_t storeBufferDepth) {
+  SystemConfig cfg;
+  cfg.numProcessors = 6;
+  cfg.numDirectories = 2;
+  cfg.numBlocks = 6;
+  cfg.cacheCapacity = 2;
+  cfg.seed = seed;
+  cfg.proto.mutant = mutant;
+  cfg.storeBufferDepth = storeBufferDepth;
+  return cfg;
+}
+
+std::vector<workload::Program> contendedPrograms(const SystemConfig& cfg,
+                                                 std::uint64_t seed) {
+  auto w = test::workloadFor(cfg, 600, seed * 31 + 7);
+  w.storePercent = 50;
+  w.evictPercent = 12;
+  return workload::hotBlock(w, 85, 3);
+}
+
+TEST(StreamEquiv, CleanContendedRunsUnderScAndTso) {
+  std::size_t compared = 0;
+  for (const std::uint32_t sb : {0U, 4U}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const SystemConfig cfg = contendedConfig(seed, Mutant::None, sb);
+      if (checkDirectoryEquivalence(
+              cfg, contendedPrograms(cfg, seed),
+              (sb ? "tso seed " : "sc seed ") + std::to_string(seed))) {
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GE(compared, 10u);
+}
+
+// Every mutant, SC and TSO: wherever the batch suite flags a violation,
+// the live pipeline must flag the identical one (and vice versa).  Runs
+// that die in the simulator (deadlock watchdog, Appendix-B invariant)
+// never reach the checkers in either mode, so they are skipped alike.
+TEST(StreamEquiv, MutantCorpusProducesIdenticalViolations) {
+  const Mutant mutants[] = {Mutant::SkipInvAckWait, Mutant::StaleDataFromHome,
+                            Mutant::IgnoreInvalidation,
+                            Mutant::ForwardStaleValue, Mutant::NoBusyNack,
+                            Mutant::NoDeadlockDetection};
+  std::size_t compared = 0;
+  std::size_t violating = 0;
+  for (const Mutant m : mutants) {
+    for (const std::uint32_t sb : {0U, 4U}) {
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const SystemConfig cfg = contendedConfig(seed, m, sb);
+        if (checkDirectoryEquivalence(
+                cfg, contendedPrograms(cfg, seed),
+                std::string(toString(m)) + (sb ? " tso" : " sc") + " seed " +
+                    std::to_string(seed),
+                &violating)) {
+          ++compared;
+        }
+      }
+    }
+  }
+  EXPECT_GE(compared, 12u) << "mutant corpus mostly died before checking";
+  EXPECT_GE(violating, 1u)
+      << "no mutant run reached the checkers with a violation — the "
+         "equivalence sweep only compared clean reports";
+}
+
+// The snooping-bus companion model is the adversarial case for the online
+// SC and value-chain cores: fire-and-forget invalidations let loads bind
+// stale epochs long after the writer's store, and upgrade stamps lag their
+// serialization by the whole snoop delay.
+TEST(StreamEquiv, BusModelWithDeepSnoopDelays) {
+  std::size_t compared = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    bus::BusConfig cfg;
+    cfg.numProcessors = 6;
+    cfg.numBlocks = 2;
+    cfg.wordsPerBlock = 4;
+    cfg.cacheCapacity = 1;
+    cfg.snoopDelayMax = 48;
+    cfg.seed = seed;
+
+    workload::WorkloadConfig w;
+    w.numProcessors = cfg.numProcessors;
+    w.numBlocks = cfg.numBlocks;
+    w.wordsPerBlock = cfg.wordsPerBlock;
+    w.opsPerProcessor = 400;
+    w.storePercent = 55;
+    w.evictPercent = 15;
+    w.seed = seed * 3 + 1;
+    const auto programs = workload::hotBlock(w, 90, 2);
+
+    const verify::VerifyConfig vc{cfg.numProcessors};
+    trace::Trace trace;
+    verify::StreamCheckerSet checkers(vc);
+    proto::TeeSink tee{&trace, &checkers};
+    bus::BusSystem sys(cfg, tee);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      sys.setProgram(p, programs[p]);
+    }
+    if (!sys.run().ok()) continue;
+    checkers.finish();
+    expectSameReport(checkers.report(), verify::checkAll(trace, vc),
+                     "bus seed " + std::to_string(seed));
+    ++compared;
+  }
+  EXPECT_GE(compared, 20u);
+}
+
+// Manual adversarial delivery (the Section 2.3-style reorderings): the
+// scheduler picks the next message uniformly from the whole in-flight bag,
+// producing interleavings a timed network would almost never emit.
+TEST(StreamEquiv, AdversarialSchedulesStayEquivalent) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SystemConfig cfg;
+    cfg.numProcessors = 5;
+    cfg.numDirectories = 2;
+    cfg.numBlocks = 3;
+    cfg.cacheCapacity = 2;
+    cfg.seed = seed;
+
+    auto w = test::workloadFor(cfg, 250, seed * 13 + 5);
+    w.storePercent = 45;
+    w.evictPercent = 12;
+    const auto programs = workload::hotBlock(w, 85, 3);
+
+    const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(cfg);
+    trace::Trace trace;
+    verify::StreamCheckerSet checkers(vc);
+    proto::TeeSink tee{&trace, &checkers};
+    sim::System sys(cfg, tee, net::Network::Mode::Manual);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      sys.setProgram(p, programs[p]);
+    }
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) sys.kick(p);
+
+    Rng scheduler(seed ^ 0xADBEEF);
+    std::uint64_t steps = 0;
+    while (steps++ < 3'000'000) {
+      if (!sys.network().empty()) {
+        sys.deliverManual(
+            scheduler.uniform(0, sys.network().pending().size() - 1));
+      } else if (!sys.allProgramsDone()) {
+        sys.advanceTime(cfg.retryDelay * 2 + 1);
+      } else {
+        break;
+      }
+    }
+    ASSERT_TRUE(sys.allProgramsDone());
+    checkers.finish();
+    expectSameReport(checkers.report(), verify::checkAll(trace, vc),
+                     "adversary seed " + std::to_string(seed));
+    EXPECT_TRUE(checkers.report().ok());
+  }
+}
+
+}  // namespace
+}  // namespace lcdc

@@ -34,8 +34,7 @@ inline RunOutput runVerified(const SystemConfig& cfg,
   }
   RunOutput out;
   out.result = system.run();
-  out.report =
-      verify::checkAll(trace, verify::VerifyConfig{cfg.numProcessors});
+  out.report = verify::checkAll(trace, verify::VerifyConfig::fromSystem(cfg));
   out.dirStats = system.aggregateDirStats();
   out.cacheStats = system.aggregateCacheStats();
   return out;

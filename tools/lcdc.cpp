@@ -36,10 +36,12 @@
 #include "campaign/campaign.hpp"
 #include "common/expect.hpp"
 #include "mc/model_checker.hpp"
+#include "proto/observer.hpp"
 #include "sim/system.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace.hpp"
 #include "verify/checkers.hpp"
+#include "verify/stream.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -174,7 +176,28 @@ int cmdRun(const Args& args) {
         static_cast<std::uint32_t>(args.num("prefetch", 25)), w.seed);
   }
 
+  const std::string model = args.str("model", "sc");
+  if (model != "sc" && model != "tso") {
+    throw UsageError("unknown model: " + model + " (sc|tso)");
+  }
+  // --streaming verifies online through the observer pipeline; --no-trace
+  // additionally drops the recorder, so memory stays O(blocks + procs).
+  const bool noTrace = args.has("no-trace");
+  const bool streaming = args.has("streaming") || noTrace;
+  if (noTrace && args.kv.contains("trace")) {
+    throw UsageError("--no-trace conflicts with --trace FILE");
+  }
+  const bool keepTrace = !streaming || args.kv.contains("trace");
+
   trace::Trace trace;
+  verify::StatsObserver stats;
+  std::optional<verify::StreamCheckerSet> checkers;
+  proto::TeeSink tee;
+  if (keepTrace) tee.attach(trace);
+  tee.attach(stats);
+
+  verify::VerifyConfig vc{procs};
+  vc.tso = model == "tso";
   std::uint64_t opsBound = 0;
   std::string outcome;
   bool runOk = false;
@@ -191,7 +214,11 @@ int cmdRun(const Args& args) {
     cfg.cacheCapacity = static_cast<std::uint32_t>(args.num("capacity", 0));
     cfg.snoopDelayMax = args.num("snoop-delay", 16);
     cfg.seed = w.seed;
-    bus::BusSystem sys(cfg, trace);
+    if (streaming) {
+      checkers.emplace(vc);
+      tee.attach(*checkers);
+    }
+    bus::BusSystem sys(cfg, tee);
     for (NodeId p = 0; p < procs; ++p) sys.setProgram(p, programs[p]);
     const bus::BusRunResult r = sys.run();
     outcome = toString(r.outcome);
@@ -212,7 +239,13 @@ int cmdRun(const Args& args) {
     cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
     cfg.storeBufferDepth =
         static_cast<std::uint32_t>(args.num("store-buffer", 0));
-    sim::System sys(cfg, trace);
+    vc = verify::VerifyConfig::fromSystem(cfg);
+    if (model == "tso") vc.tso = true;
+    if (streaming) {
+      checkers.emplace(vc);
+      tee.attach(*checkers);
+    }
+    sim::System sys(cfg, tee);
     for (NodeId p = 0; p < procs; ++p) sys.setProgram(p, programs[p]);
     const sim::RunResult r = sys.run();
     outcome = toString(r.outcome);
@@ -221,20 +254,20 @@ int cmdRun(const Args& args) {
   }
 
   std::cout << "simulation: " << outcome << " — " << opsBound
-            << " operations, " << trace.serializations().size()
+            << " operations, " << stats.stats().serializations
             << " transactions\n";
   if (const auto it = args.kv.find("trace"); it != args.kv.end()) {
     trace::saveFile(trace, it->second);
     std::cout << "trace written to " << it->second << '\n';
   }
   if (!runOk) return kExitSimFailed;
-  verify::VerifyConfig vc{procs};
-  const std::string model = args.str("model", "sc");
-  if (model != "sc" && model != "tso") {
-    throw UsageError("unknown model: " + model + " (sc|tso)");
-  }
-  vc.tso = model == "tso" || args.num("store-buffer", 0) > 0;
   if (vc.tso) std::cout << "(verifying against TSO)\n";
+  if (streaming) {
+    checkers->finish();
+    std::cout << "checker state: " << checkers->memoryFootprint()
+              << " bytes (streaming)\n";
+    return reportAndExit(checkers->report(), args.has("quiet"));
+  }
   return reportAndExit(verify::checkAll(trace, vc), args.has("quiet"));
 }
 
@@ -286,12 +319,17 @@ int cmdCampaign(const Args& args) {
   cfg.outDir = args.str("out", "");
   cfg.maxEventsPerRun = args.num("max-events", 5'000'000);
   cfg.minimizeAttempts = args.num("minimize-attempts", 400);
+  // Streaming (online, trace-free) verification is the default; --no-streaming
+  // re-enables the record-then-batch-check path for A/B comparison.  Both
+  // produce identical reports and failure signatures.
+  cfg.streaming = !args.has("no-streaming");
 
   std::cout << "campaign: master-seed=" << cfg.masterSeed
             << " seeds=" << cfg.seeds << " workload=" << workloadName
             << " mutant=" << toString(cfg.mutant)
             << (cfg.untilCoverage ? " until-coverage" : "")
-            << (cfg.minimize ? " minimize" : "") << '\n';
+            << (cfg.minimize ? " minimize" : "")
+            << (cfg.streaming ? "" : " no-streaming") << '\n';
 
   const campaign::CampaignResult r = campaign::run(cfg);
   std::cout << r.report();
@@ -329,7 +367,7 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
          "protocol", "capacity", "mutant", "store-pct", "evict-pct",
          "prefetch", "store-buffer", "model", "min-latency", "max-latency",
          "snoop-delay", "trace"},
-        {"no-putshared", "quiet"}}},
+        {"no-putshared", "quiet", "streaming", "no-trace"}}},
       {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
       {"mc",
        {{"procs", "blocks", "max-states", "mutant"},
@@ -337,7 +375,8 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
       {"campaign",
        {{"seeds", "jobs", "master-seed", "workload", "mutant", "out",
          "max-events", "max-minimized", "minimize-attempts"},
-        {"until-coverage", "minimize", "quiet"}}},
+        {"until-coverage", "minimize", "quiet", "streaming",
+         "no-streaming"}}},
   };
   return specs;
 }
@@ -353,6 +392,7 @@ void usage(std::ostream& os) {
       "            --mutant NAME  --store-pct P --evict-pct P --prefetch PCT\n"
       "            --store-buffer DEPTH (TSO mode)  --model sc|tso\n"
       "            --min-latency T --max-latency T --trace FILE --quiet\n"
+      "            --streaming (verify online) --no-trace (O(1) memory)\n"
       "  verify    re-check a dumped trace\n"
       "            --trace FILE --procs N --model sc|tso [--partial]\n"
       "  mc        exhaustive model checking (small configs!)\n"
@@ -364,7 +404,7 @@ void usage(std::ostream& os) {
       "            --mutant NAME --until-coverage --minimize\n"
       "            --max-minimized K --minimize-attempts A\n"
       "            --out DIR (archive failing + minimized traces)\n"
-      "            --max-events E --quiet\n\n"
+      "            --max-events E --quiet --no-streaming (batch-check A/B)\n\n"
       "exit codes: 0 ok, 1 verification violations, 2 simulation failed,\n"
       "            3 campaign failures, 4 usage error, 5 I/O error\n";
 }
