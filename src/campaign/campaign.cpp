@@ -8,6 +8,7 @@
 #include "campaign/minimize.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
+#include "mc/model_checker.hpp"
 #include "proto/observer.hpp"
 #include "sim/system.hpp"
 #include "trace/serialize.hpp"
@@ -243,6 +244,33 @@ CampaignResult run(const CampaignConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
 
   CampaignResult result;
+
+  // Optional exhaustive stage on a small configuration of the same
+  // protocol variant.  Runs before the fan-out: if the protocol is broken
+  // at (mcProcs x mcBlocks), the campaign should say so even when no
+  // sampled schedule happens to trip it.  All counts it reports are
+  // wave-deterministic, so the report stays byte-identical across --jobs.
+  if (cfg.mcStage) {
+    mc::McConfig mcCfg;
+    mcCfg.numProcessors = cfg.mcProcs;
+    mcCfg.numBlocks = cfg.mcBlocks;
+    mcCfg.proto.mutant = cfg.mutant;
+    mcCfg.maxStates = cfg.mcMaxStates;
+    mcCfg.jobs = cfg.jobs;
+    mcCfg.symmetry = true;
+    mcCfg.por = true;
+    mcCfg.modelData = true;
+    const mc::McResult mcRes = mc::explore(mcCfg);
+    result.mcStage.ran = true;
+    result.mcStage.ok = mcRes.ok();
+    result.mcStage.deadlock = mcRes.deadlockFound;
+    result.mcStage.hitStateLimit = mcRes.hitStateLimit;
+    result.mcStage.states = mcRes.statesExplored;
+    result.mcStage.violations = mcRes.violations.size();
+    result.mcStage.procs = cfg.mcProcs;
+    result.mcStage.blocks = cfg.mcBlocks;
+  }
+
   ThreadPool pool(cfg.jobs);
 
   // Per-seed outcome table, indexed by sub-run index.  Workers write only
@@ -354,6 +382,14 @@ std::string CampaignResult::report() const {
     for (const auto& [check, n] : checkerFirings) {
       os << "  " << check << ": " << n << '\n';
     }
+  }
+  if (mcStage.ran) {
+    os << "mc stage: (" << static_cast<unsigned>(mcStage.procs) << " procs x "
+       << mcStage.blocks << " blocks) "
+       << (mcStage.ok ? "clean" : (mcStage.deadlock ? "DEADLOCK" : "VIOLATED"))
+       << ", states=" << mcStage.states;
+    if (mcStage.hitStateLimit) os << " (state limit hit)";
+    os << '\n';
   }
   os << "failures: " << failures.size() << '\n';
   for (const Failure& f : failures) {

@@ -71,6 +71,14 @@ struct CampaignConfig {
   /// identical in both modes (the batch checkers replay through the same
   /// streaming cores).
   bool streaming = true;
+  /// Exhaustively model-check a small configuration of the campaign's
+  /// protocol variant (same mutant) before the seed fan-out — the
+  /// complementary verification world: MC proves the small configuration,
+  /// the Lamport checkers scale to the big ones.
+  bool mcStage = false;
+  NodeId mcProcs = 2;
+  BlockId mcBlocks = 1;
+  std::uint64_t mcMaxStates = 400'000;
 };
 
 /// One fully derived sub-run: everything needed to re-execute it exactly.
@@ -128,8 +136,25 @@ struct Failure {
   std::string minimizedPath;   ///< archived minimal reproducer trace
 };
 
+/// Verdict of the optional model-checking stage.  Violation details are
+/// deliberately not kept here: under symmetry reduction the representative
+/// state (and hence the node ids in the text) can vary across job counts,
+/// and this struct feeds the byte-identical report guarantee.  Run
+/// `lcdc mc` directly for diagnostics.
+struct McStageResult {
+  bool ran = false;
+  bool ok = true;
+  bool deadlock = false;
+  bool hitStateLimit = false;
+  std::uint64_t states = 0;
+  std::uint64_t violations = 0;
+  NodeId procs = 0;
+  BlockId blocks = 0;
+};
+
 struct CampaignResult {
   Coverage coverage;
+  McStageResult mcStage;
   std::vector<Failure> failures;  ///< ordered by sub-run index
   std::uint64_t seedsRun = 0;
   std::uint64_t opsBound = 0;
@@ -139,7 +164,9 @@ struct CampaignResult {
   PoolStats pool;
   double seconds = 0;
 
-  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] bool ok() const {
+    return failures.empty() && (!mcStage.ran || mcStage.ok);
+  }
   /// Deterministic text report (coverage table, per-claim firings,
   /// failure list).  Contains no timing, thread counts or paths — equal
   /// bytes for equal (masterSeed, seeds, workload, mutant) regardless of

@@ -1,13 +1,15 @@
 #include "mc/model_checker.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <array>
 #include <map>
+#include <mutex>
+#include <numeric>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/expect.hpp"
+#include "common/thread_pool.hpp"
 #include "proto/cache.hpp"
 #include "proto/directory.hpp"
 
@@ -43,51 +45,150 @@ struct World {
   std::vector<Flight> flight;
 };
 
+/// All processor-id permutations when symmetry reduction is on (identity
+/// first).  Capped at 6 processors — beyond that the P! canonicalization
+/// cost dwarfs what the reduction saves, so symmetry degrades to identity.
+std::vector<std::vector<NodeId>> makePerms(NodeId procs, bool symmetry) {
+  std::vector<NodeId> ident(procs);
+  std::iota(ident.begin(), ident.end(), NodeId{0});
+  if (!symmetry || procs > 6) return {ident};
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> perm = ident;
+  do {
+    out.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return out;
+}
+
 // -- canonical serialization -------------------------------------------------
 
 class Canonicalizer {
  public:
-  explicit Canonicalizer(const McConfig& cfg) : cfg_(cfg) {}
+  explicit Canonicalizer(const McConfig& cfg)
+      : cfg_(cfg), perms_(makePerms(cfg.numProcessors, cfg.symmetry)) {
+    for (const auto& perm : perms_) {
+      std::vector<NodeId> inv(perm.size());
+      for (NodeId i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
+      invPerms_.push_back(std::move(inv));
+    }
+  }
 
+  /// Canonical key: the lexicographic minimum over all processor-id
+  /// permutations (just the identity without symmetry reduction).
   std::string key(const World& w) {
+    std::string best = keyWithPerm(w, perms_[0], invPerms_[0]);
+    for (std::size_t i = 1; i < perms_.size(); ++i) {
+      std::string k = keyWithPerm(w, perms_[i], invPerms_[i]);
+      if (k < best) best = std::move(k);
+    }
+    return best;
+  }
+
+ private:
+  [[nodiscard]] NodeId mapNode(NodeId n, const std::vector<NodeId>& perm) const {
+    return n < cfg_.numProcessors ? perm[n] : n;
+  }
+
+  std::string keyWithPerm(const World& w, const std::vector<NodeId>& perm,
+                          const std::vector<NodeId>& inv) {
     txnMap_.clear();
     out_.str(std::string());
     for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
       const proto::DirEntry& e = w.dirs[0].entry(b);
       out_ << 'D' << static_cast<int>(e.core.state) << ','
-           << e.core.busyRequester << ',' << static_cast<int>(e.core.busyReq)
-           << ",[";
-      for (const NodeId n : e.core.cached) out_ << n << ' ';
-      out_ << "];";
+           << mapNode(e.core.busyRequester, perm) << ','
+           << static_cast<int>(e.core.busyReq) << ",[";
+      std::vector<NodeId> cached;
+      cached.reserve(e.core.cached.size());
+      for (const NodeId n : e.core.cached) cached.push_back(mapNode(n, perm));
+      std::sort(cached.begin(), cached.end());
+      for (const NodeId n : cached) out_ << n << ' ';
+      out_ << ']';
+      if (cfg_.modelData) {
+        out_ << 'v';
+        if (e.mem.empty()) {
+          out_ << '-';
+        } else {
+          out_ << e.mem[0];
+        }
+      }
+      out_ << ';';
     }
-    for (const auto& cache : w.caches) {
+    // Caches in canonical (permuted) id order.
+    for (NodeId i = 0; i < cfg_.numProcessors; ++i) {
+      const proto::CacheController& cache = w.caches[inv[i]];
       for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
-        emitLine(cache.findLine(b));
+        emitLine(cache.findLine(b), perm);
       }
     }
-    // Flight bag: order-independent — sort by a per-message canonical
-    // string (original txn id as a deterministic tiebreaker).
-    std::vector<std::string> msgs;
+    // Flight bag: order-independent — sorted by a view of each message in
+    // which txn ids already canonicalized by the dir/cache sections appear
+    // as their small marker and ids first seen in flight collapse to a
+    // placeholder.  Sorting on raw txn ids would leak the global
+    // allocation order (path- and scheduling-dependent) into the key,
+    // splitting identical states.  Two in-flight messages can tie only
+    // when they are content-identical up to such fresh ids; either order
+    // then yields the same final key (markers are assigned positionally,
+    // and one (requester, block) never has two concurrent transactions).
+    std::vector<std::pair<std::string, std::string>> msgs;  // {view, raw}
     msgs.reserve(w.flight.size());
-    for (const Flight& f : w.flight) msgs.push_back(preKey(f));
-    std::sort(msgs.begin(), msgs.end());
-    for (const std::string& m : msgs) out_ << 'F' << remapInString(m) << ';';
+    for (const Flight& f : w.flight) {
+      std::string raw = preKey(f, perm);
+      msgs.emplace_back(sortView(raw), std::move(raw));
+    }
+    std::sort(msgs.begin(), msgs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& m : msgs) out_ << 'F' << remapInString(m.second) << ';';
     return out_.str();
   }
 
- private:
+  /// The id-blind sorting view of a message preKey (see above).
+  [[nodiscard]] std::string sortView(const std::string& s) const {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '<') {
+        const std::size_t end = s.find('>', i);
+        const TransactionId id = std::stoull(s.substr(i + 1, end - i - 1));
+        if (id == kNoTransaction) {
+          out += '~';
+        } else if (const auto it = txnMap_.find(id); it != txnMap_.end()) {
+          out += std::to_string(it->second);
+        } else {
+          out += '?';
+        }
+        i = end;
+      } else {
+        out += s[i];
+      }
+    }
+    return out;
+  }
+
   /// Canonical message text with txn ids marked for later remapping.
-  std::string preKey(const Flight& f) {
+  std::string preKey(const Flight& f, const std::vector<NodeId>& perm) {
     std::ostringstream os;
-    os << f.dst << ',' << static_cast<int>(f.msg.type) << ',' << f.msg.block
-       << ',' << f.msg.src << ',' << f.msg.requester << ','
+    os << mapNode(f.dst, perm) << ',' << static_cast<int>(f.msg.type) << ','
+       << f.msg.block << ',' << mapNode(f.msg.src, perm) << ','
+       << mapNode(f.msg.requester, perm) << ','
        << static_cast<int>(f.msg.nackKind) << ','
        << static_cast<int>(f.msg.nackedReq) << ','
        << f.msg.ignoreBufferedInv << ",[";
-    std::vector<NodeId> targets = f.msg.invTargets;
+    std::vector<NodeId> targets;
+    targets.reserve(f.msg.invTargets.size());
+    for (const NodeId n : f.msg.invTargets) targets.push_back(mapNode(n, perm));
     std::sort(targets.begin(), targets.end());
     for (const NodeId n : targets) os << n << ' ';
-    os << "],t<" << f.msg.txn << ">,c<" << f.msg.closesTxn << '>';
+    os << ']';
+    if (cfg_.modelData) {
+      os << 'v';
+      if (f.msg.data.empty()) {
+        os << '-';
+      } else {
+        os << f.msg.data[0];
+      }
+    }
+    os << ",t<" << f.msg.txn << ">,c<" << f.msg.closesTxn << '>';
     return os.str();
   }
 
@@ -99,8 +200,7 @@ class Canonicalizer {
     for (std::size_t i = 0; i < s.size(); ++i) {
       if (s[i] == '<') {
         const std::size_t end = s.find('>', i);
-        const TransactionId id =
-            std::stoull(s.substr(i + 1, end - i - 1));
+        const TransactionId id = std::stoull(s.substr(i + 1, end - i - 1));
         out += std::to_string(remap(id));
         i = end;
       } else {
@@ -116,7 +216,7 @@ class Canonicalizer {
     return it->second;
   }
 
-  void emitLine(const proto::Line* line) {
+  void emitLine(const proto::Line* line, const std::vector<NodeId>& perm) {
     if (line == nullptr) {
       out_ << "L-;";
       return;
@@ -124,28 +224,55 @@ class Canonicalizer {
     out_ << 'L' << static_cast<int>(line->cstate)
          << static_cast<int>(line->astate) << ",i" << remap(line->ignoreFwdTxn)
          << ",d" << remap(line->dropInvTxn) << ',';
+    if (cfg_.modelData) {
+      out_ << 'v';
+      if (line->data.empty()) {
+        out_ << '-';
+      } else {
+        out_ << line->data[0];
+      }
+      // The ForwardStaleValue mutant sends epochStartData on forwards, so
+      // the projection must distinguish it or the abstraction leaks.
+      if (cfg_.proto.mutant == Mutant::ForwardStaleValue &&
+          !line->epochStartData.empty()) {
+        out_ << 'e' << line->epochStartData[0];
+      }
+      out_ << ',';
+    }
     if (line->mshr) {
       const proto::Mshr& m = *line->mshr;
       out_ << 'M' << static_cast<int>(m.req) << m.replySeen << m.invListKnown
            << ",[";
-      std::vector<NodeId> acks = m.acksPending;
+      std::vector<NodeId> acks;
+      acks.reserve(m.acksPending.size());
+      for (const NodeId n : m.acksPending) acks.push_back(mapNode(n, perm));
       std::sort(acks.begin(), acks.end());
       for (const NodeId n : acks) out_ << n << ' ';
       out_ << "],[";
-      std::vector<NodeId> early = m.earlyAcks;
+      std::vector<NodeId> early;
+      early.reserve(m.earlyAcks.size());
+      for (const NodeId n : m.earlyAcks) early.push_back(mapNode(n, perm));
       std::sort(early.begin(), early.end());
       for (const NodeId n : early) out_ << n << ' ';
       out_ << "],p";
       if (m.pendingFwd) {
         out_ << static_cast<int>(m.pendingFwd->type) << '/'
-             << m.pendingFwd->requester;
+             << mapNode(m.pendingFwd->requester, perm);
       } else {
         out_ << '-';
       }
+      if (cfg_.modelData) {
+        out_ << ",v";
+        if (m.data.empty()) {
+          out_ << '-';
+        } else {
+          out_ << m.data[0];
+        }
+      }
       out_ << ",b[";
       for (const proto::Message& bm : m.buffered) {
-        out_ << static_cast<int>(bm.type) << '/' << bm.requester << '/'
-             << remap(bm.txn) << ' ';
+        out_ << static_cast<int>(bm.type) << '/' << mapNode(bm.requester, perm)
+             << '/' << remap(bm.txn) << ' ';
       }
       out_ << ']';
     } else {
@@ -155,53 +282,66 @@ class Canonicalizer {
   }
 
   const McConfig& cfg_;
+  std::vector<std::vector<NodeId>> perms_;
+  std::vector<std::vector<NodeId>> invPerms_;
   std::map<TransactionId, std::uint64_t> txnMap_;
   std::ostringstream out_;
 };
 
-// -- the explorer -------------------------------------------------------------
+// -- the wave-parallel explorer ----------------------------------------------
 
-class Explorer {
+class ParallelExplorer {
  public:
-  explicit Explorer(const McConfig& cfg) : cfg_(cfg), canon_(cfg) {}
+  explicit ParallelExplorer(const McConfig& cfg) : cfg_(cfg) {}
 
-  McResult run() {
-    World init = makeInitial();
-    std::deque<World> frontier;
-    std::unordered_set<std::string> visited;
-    visited.insert(canon_.key(init));
-    frontier.push_back(std::move(init));
-
-    while (!frontier.empty()) {
-      result_.frontierPeak =
-          std::max<std::uint64_t>(result_.frontierPeak, frontier.size());
-      World w = std::move(frontier.front());
-      frontier.pop_front();
-      result_.statesExplored += 1;
-      if (result_.statesExplored >= cfg_.maxStates) {
-        result_.hitStateLimit = true;
-        break;
-      }
-
-      checkState(w);
-      if (!result_.violations.empty() &&
-          result_.violations.size() > 8) {
-        break;  // enough evidence
-      }
-
-      std::vector<World> succ = successors(w);
-      for (World& s : succ) {
-        result_.transitions += 1;
-        std::string key = canon_.key(s);
-        if (visited.insert(std::move(key)).second) {
-          frontier.push_back(std::move(s));
-        }
-      }
-    }
-    return result_;
-  }
+  McResult run();
 
  private:
+  /// A frontier entry: the concrete world plus its id in the visited set.
+  struct Node {
+    World w;
+    std::uint64_t id = 0;
+  };
+
+  /// Compact parent pointer: 16 bytes per visited state reconstruct any
+  /// path back to the root.
+  struct Edge {
+    std::uint64_t parent = 0;
+    Action action{};
+  };
+
+  /// One shard of the visited set.  The canonical key maps to a per-stripe
+  /// local index; the global StateId is localIndex * kStripes + stripe, so
+  /// ids are dense per stripe and the edge log doubles as the id table.
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::string, std::uint32_t> ids;
+    std::vector<Edge> edges;
+  };
+
+  /// Seed of a counterexample: the leaf state plus (for violations thrown
+  /// while generating successors) the action that triggered the throw.
+  struct CexSeed {
+    std::uint64_t leaf = 0;
+    std::optional<Action> extra;
+    std::string kind;
+    std::string detail;
+  };
+
+  /// Chunk-local expansion output; merged at the wave barrier in chunk
+  /// order so every result field is independent of worker scheduling.
+  struct ChunkOut {
+    std::vector<Node> next;
+    std::vector<std::string> violations;
+    std::uint64_t transitions = 0;
+    std::uint64_t ampleStates = 0;
+    bool deadlock = false;
+    std::optional<CexSeed> cex;
+  };
+
+  static constexpr std::size_t kStripes = 64;
+  static constexpr std::uint64_t kNoParent = ~std::uint64_t{0};
+
   World makeInitial() {
     World w;
     w.dirs.emplace_back(cfg_.numProcessors, cfg_.proto, proto::nullSink(),
@@ -215,8 +355,64 @@ class Explorer {
     return w;
   }
 
-  void checkState(const World& w) {
-    // Single-writer / multiple-reader: the invariant behind Lemma 1.
+  std::uint64_t insert(std::string key, std::uint64_t parent, const Action& a,
+                       bool& inserted) {
+    const std::size_t sIdx = std::hash<std::string>{}(key) % kStripes;
+    Stripe& st = stripes_[sIdx];
+    const std::lock_guard<std::mutex> lk(st.mu);
+    const auto [it, fresh] =
+        st.ids.try_emplace(std::move(key),
+                           static_cast<std::uint32_t>(st.edges.size()));
+    inserted = fresh;
+    if (fresh) st.edges.push_back(Edge{parent, a});
+    return static_cast<std::uint64_t>(it->second) * kStripes + sIdx;
+  }
+
+  /// Was this key inserted in a wave *before* the current one?  The POR
+  /// proviso consults this frozen horizon instead of the live set so the
+  /// ample decision is a pure function of the (deterministic) per-wave
+  /// state sets, not of worker timing.
+  bool visitedBeforeWave(const std::string& key) {
+    const std::size_t sIdx = std::hash<std::string>{}(key) % kStripes;
+    Stripe& st = stripes_[sIdx];
+    const std::lock_guard<std::mutex> lk(st.mu);
+    const auto it = st.ids.find(key);
+    return it != st.ids.end() && it->second < watermark_[sIdx];
+  }
+
+  Edge edgeAt(std::uint64_t id) {
+    Stripe& st = stripes_[id % kStripes];
+    const std::lock_guard<std::mutex> lk(st.mu);
+    return st.edges[static_cast<std::size_t>(id / kStripes)];
+  }
+
+  Schedule reconstructSchedule(const CexSeed& seed) {
+    Schedule rev;
+    std::uint64_t cur = seed.leaf;
+    while (true) {
+      const Edge e = edgeAt(cur);
+      if (e.parent == kNoParent) break;
+      rev.push_back(e.action);
+      cur = e.parent;
+    }
+    std::reverse(rev.begin(), rev.end());
+    if (seed.extra) rev.push_back(*seed.extra);
+    return rev;
+  }
+
+  void noteCex(ChunkOut& out, std::uint64_t leaf, std::optional<Action> extra,
+               std::string kind, std::string detail) {
+    if (out.cex) return;
+    out.cex = CexSeed{leaf, std::move(extra), std::move(kind),
+                      std::move(detail)};
+  }
+
+  /// Per-state safety checks: SWMR, value coherence (modelData), definite
+  /// deadlock.  Returns true when this state itself violated an invariant
+  /// (its successors are then not generated).
+  bool checkState(const Node& n, ChunkOut& out) {
+    const World& w = n.w;
+    bool violating = false;
     for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
       NodeId writer = kNoNode;
       std::uint32_t readers = 0;
@@ -228,7 +424,9 @@ class Explorer {
             std::ostringstream os;
             os << "SWMR violated on block " << b << ": nodes " << writer
                << " and " << cache.self() << " both read-write";
-            result_.violations.push_back(os.str());
+            out.violations.push_back(os.str());
+            noteCex(out, n.id, std::nullopt, "violation", os.str());
+            violating = true;
           }
           writer = cache.self();
         } else if (line->cstate == CacheState::ReadOnly) {
@@ -239,34 +437,258 @@ class Explorer {
         std::ostringstream os;
         os << "SWMR violated on block " << b << ": node " << writer
            << " is read-write while " << readers << " reader(s) persist";
-        result_.violations.push_back(os.str());
+        out.violations.push_back(os.str());
+        noteCex(out, n.id, std::nullopt, "violation", os.str());
+        violating = true;
       }
     }
+    if (cfg_.modelData && checkValues(n, out)) violating = true;
     // Definite deadlock: requests outstanding but nothing in flight and no
     // local action can produce the awaited reply.
     if (w.flight.empty()) {
       for (const auto& cache : w.caches) {
-        if (!cache.quiescent()) {
-          bool waiting = false;
-          for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
-            const proto::Line* line = cache.findLine(b);
-            if (line != nullptr && line->mshr.has_value()) waiting = true;
+        if (cache.quiescent()) continue;
+        for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+          const proto::Line* line = cache.findLine(b);
+          if (line != nullptr && line->mshr.has_value()) {
+            out.deadlock = true;
+            std::ostringstream os;
+            os << "deadlock: node " << cache.self() << " waiting on block "
+               << b << " with no messages in flight";
+            noteCex(out, n.id, std::nullopt, "deadlock", os.str());
           }
-          if (waiting) result_.deadlockFound = true;
         }
       }
     }
+    return violating;
   }
 
-  std::vector<World> successors(const World& w) {
-    std::vector<World> out;
+  /// Value coherence of settled blocks (modelData): once a block has no
+  /// in-flight message, no open MSHR and no pending drop bookkeeping, all
+  /// live cached copies — plus home memory unless the directory is
+  /// Exclusive — must hold the same word-0 value.
+  bool checkValues(const Node& n, ChunkOut& out) {
+    const World& w = n.w;
+    bool violating = false;
+    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+      const proto::DirEntry& e = w.dirs[0].entry(b);
+      if (e.core.state != DirState::Idle && e.core.state != DirState::Shared &&
+          e.core.state != DirState::Exclusive) {
+        continue;  // mid-transaction
+      }
+      bool settled = true;
+      for (const Flight& f : w.flight) {
+        if (f.msg.block == b) settled = false;
+      }
+      for (const auto& cache : w.caches) {
+        const proto::Line* line = cache.findLine(b);
+        if (line != nullptr &&
+            (line->mshr.has_value() ||
+             line->ignoreFwdTxn != kNoTransaction ||
+             line->dropInvTxn != kNoTransaction)) {
+          settled = false;
+        }
+      }
+      if (!settled) continue;
+      std::optional<Word> ref;
+      if (e.core.state != DirState::Exclusive && !e.mem.empty()) {
+        ref = e.mem[0];
+      }
+      for (const auto& cache : w.caches) {
+        const proto::Line* line = cache.findLine(b);
+        if (line == nullptr || line->cstate == CacheState::Invalid ||
+            line->data.empty()) {
+          continue;
+        }
+        if (ref.has_value() && line->data[0] != *ref) {
+          std::ostringstream os;
+          os << "value coherence violated on block " << b << ": node "
+             << cache.self() << " holds " << line->data[0]
+             << " but the settled value is " << *ref;
+          out.violations.push_back(os.str());
+          noteCex(out, n.id, std::nullopt, "violation", os.str());
+          violating = true;
+        }
+        if (!ref.has_value()) ref = line->data[0];
+      }
+    }
+    return violating;
+  }
+
+  /// Deliver one message into `s`; false if it raised a protocol violation
+  /// (the violation is recorded and the state not expanded further).
+  bool deliver(World& s, const Flight& f, std::uint64_t parent,
+               const Action& a, ChunkOut& out) {
+    proto::Outbox ob;
+    try {
+      if (f.dst >= cfg_.numProcessors) {
+        s.dirs[0].handle(f.msg, ob);
+      } else {
+        s.caches[f.dst].handle(f.msg, ob);
+      }
+      absorb(s, f.dst, ob);
+    } catch (const ProtocolError& e) {
+      const std::string v = std::string("protocol invariant: ") + e.what();
+      out.violations.push_back(v);
+      noteCex(out, parent, a, "violation", v);
+      return false;
+    }
+    return true;
+  }
+
+  static void absorb(World& s, NodeId src, proto::Outbox& ob) {
+    for (auto& entry : ob.msgs) {
+      entry.msg.src = src;
+      s.flight.push_back(Flight{entry.dst, std::move(entry.msg)});
+    }
+  }
+
+  void record(World&& s, std::uint64_t parent, const Action& a,
+              Canonicalizer& canon, ChunkOut& out) {
+    bool inserted = false;
+    const std::uint64_t id = insert(canon.key(s), parent, a, inserted);
+    if (inserted) out.next.push_back(Node{std::move(s), id});
+  }
+
+  /// The control projection of one cache used by the POR safety test:
+  /// everything the protocol branches on (states, MSHR presence/phase,
+  /// buffered messages, drop bookkeeping), excluding pure-accounting
+  /// fields (ack sets, stamps, data payloads) whose updates commute.
+  std::string controlProjection(const proto::CacheController& c) const {
+    std::ostringstream os;
+    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+      const proto::Line* line = c.findLine(b);
+      if (line == nullptr) {
+        os << "-;";
+        continue;
+      }
+      os << static_cast<int>(line->cstate) << static_cast<int>(line->astate)
+         << ',' << line->ignoreFwdTxn << ',' << line->dropInvTxn << ',';
+      if (line->mshr) {
+        const proto::Mshr& m = *line->mshr;
+        os << 'M' << static_cast<int>(m.req) << m.replySeen << m.invListKnown
+           << ',' << m.txn << ",p";
+        if (m.pendingFwd) {
+          os << static_cast<int>(m.pendingFwd->type) << '/'
+             << m.pendingFwd->requester << '/' << m.pendingFwd->txn;
+        } else {
+          os << '-';
+        }
+        os << ",b[";
+        for (const proto::Message& bm : m.buffered) {
+          os << static_cast<int>(bm.type) << '/' << bm.requester << '/'
+             << bm.txn << ' ';
+        }
+        os << ']';
+      } else {
+        os << "M-";
+      }
+      os << ';';
+    }
+    return os.str();
+  }
+
+  /// Ample-set attempt: find a "safe" delivery — destined to a cache, the
+  /// only in-flight message for that (cache, block), raising no error,
+  /// emitting nothing, and leaving the cache's control projection
+  /// untouched — and expand only it.  Candidates are ranked by canonical
+  /// successor key (so the choice is a function of the canonical state,
+  /// not of the representative's flight order) and a candidate whose
+  /// successor was already visited in an earlier wave is skipped (the
+  /// proviso that defeats the ignoring problem); with no eligible
+  /// candidate the caller falls back to full expansion.
+  bool expandAmple(const Node& n, Canonicalizer& canon, ChunkOut& out) {
+    const World& w = n.w;
+    struct Cand {
+      std::string key;
+      World succ;
+      std::size_t idx;
+    };
+    std::vector<Cand> cands;
+    for (std::size_t i = 0; i < w.flight.size(); ++i) {
+      const Flight& f = w.flight[i];
+      if (f.dst >= cfg_.numProcessors) continue;
+      bool exclusive = true;
+      for (std::size_t j = 0; j < w.flight.size(); ++j) {
+        if (j != i && w.flight[j].dst == f.dst &&
+            w.flight[j].msg.block == f.msg.block) {
+          exclusive = false;
+          break;
+        }
+      }
+      if (!exclusive) continue;
+      World s = w;
+      s.flight.erase(s.flight.begin() + static_cast<std::ptrdiff_t>(i));
+      proto::Outbox ob;
+      try {
+        s.caches[f.dst].handle(f.msg, ob);
+      } catch (const ProtocolError&) {
+        continue;  // not safe: full expansion will surface the violation
+      }
+      if (!ob.msgs.empty()) continue;
+      if (controlProjection(w.caches[f.dst]) !=
+          controlProjection(s.caches[f.dst])) {
+        continue;
+      }
+      cands.push_back(Cand{canon.key(s), std::move(s), i});
+    }
+    if (cands.empty()) return false;
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand& a, const Cand& b) { return a.key < b.key; });
+    for (Cand& c : cands) {
+      if (visitedBeforeWave(c.key)) continue;
+      const Flight& f = w.flight[c.idx];
+      Action a;
+      a.kind = Action::Kind::Deliver;
+      a.flightIndex = static_cast<std::uint32_t>(c.idx);
+      a.dst = f.dst;
+      a.msgType = f.msg.type;
+      a.block = f.msg.block;
+      out.transitions += 1;
+      bool inserted = false;
+      const std::uint64_t id = insert(std::move(c.key), n.id, a, inserted);
+      if (inserted) out.next.push_back(Node{std::move(c.succ), id});
+      return true;
+    }
+    return false;
+  }
+
+  void issue(const World& w, NodeId p, BlockId b, ReqType req,
+             std::uint64_t parent, Canonicalizer& canon, ChunkOut& out) {
+    World s = w;
+    proto::Outbox ob;
+    s.caches[p].issueRequest(b, req, cfg_.numProcessors, ob);
+    absorb(s, p, ob);
+    Action a;
+    a.kind = Action::Kind::Issue;
+    a.proc = p;
+    a.block = b;
+    a.req = req;
+    out.transitions += 1;
+    record(std::move(s), parent, a, canon, out);
+  }
+
+  void expandState(const Node& n, Canonicalizer& canon, ChunkOut& out) {
+    if (cfg_.por && expandAmple(n, canon, out)) {
+      out.ampleStates += 1;
+      return;
+    }
+    const World& w = n.w;
     // (a) Deliver any in-flight message (the unordered network).
     for (std::size_t i = 0; i < w.flight.size(); ++i) {
       World s = w;
-      rebind(s);
       const Flight f = s.flight[i];
       s.flight.erase(s.flight.begin() + static_cast<std::ptrdiff_t>(i));
-      if (deliver(s, f)) out.push_back(std::move(s));
+      Action a;
+      a.kind = Action::Kind::Deliver;
+      a.flightIndex = static_cast<std::uint32_t>(i);
+      a.dst = f.dst;
+      a.msgType = f.msg.type;
+      a.block = f.msg.block;
+      out.transitions += 1;
+      if (deliver(s, f, n.id, a, out)) {
+        record(std::move(s), n.id, a, canon, out);
+      }
     }
     // (b) Any processor issues any legal request / local action.
     for (NodeId p = 0; p < cfg_.numProcessors; ++p) {
@@ -275,82 +697,188 @@ class Explorer {
         if (cache.requestBlocked(b)) continue;
         const CacheState cs = cache.state(b);
         if (cs == CacheState::Invalid) {
-          out.push_back(issue(w, p, b, ReqType::GetShared));
-          out.push_back(issue(w, p, b, ReqType::GetExclusive));
+          issue(w, p, b, ReqType::GetShared, n.id, canon, out);
+          issue(w, p, b, ReqType::GetExclusive, n.id, canon, out);
         } else if (cs == CacheState::ReadOnly) {
-          out.push_back(issue(w, p, b, ReqType::Upgrade));
+          issue(w, p, b, ReqType::Upgrade, n.id, canon, out);
           if (cfg_.allowEvictions && cfg_.proto.putSharedEnabled) {
             World s = w;
-            rebind(s);
             s.caches[p].putShared(b);
-            out.push_back(std::move(s));
+            Action a;
+            a.kind = Action::Kind::Evict;
+            a.proc = p;
+            a.block = b;
+            out.transitions += 1;
+            record(std::move(s), n.id, a, canon, out);
           }
         } else if (cfg_.allowEvictions) {
           World s = w;
-          rebind(s);
           proto::Outbox ob;
           s.caches[p].writeback(b, cfg_.numProcessors, ob);
           absorb(s, p, ob);
-          out.push_back(std::move(s));
+          Action a;
+          a.kind = Action::Kind::Evict;
+          a.proc = p;
+          a.block = b;
+          out.transitions += 1;
+          record(std::move(s), n.id, a, canon, out);
         }
       }
     }
-    return out;
-  }
-
-  World issue(const World& w, NodeId p, BlockId b, ReqType req) {
-    World s = w;
-    rebind(s);
-    proto::Outbox ob;
-    s.caches[p].issueRequest(b, req, cfg_.numProcessors, ob);
-    absorb(s, p, ob);
-    return s;
-  }
-
-  /// Deliver one message; false if it raised a protocol violation (the
-  /// state is then recorded but not expanded).
-  bool deliver(World& s, const Flight& f) {
-    proto::Outbox ob;
-    try {
-      if (f.dst >= cfg_.numProcessors) {
-        s.dirs[0].handle(f.msg, ob);
-        absorb(s, f.dst, ob);
-      } else {
-        s.caches[f.dst].handle(f.msg, ob);
-        absorb(s, f.dst, ob);
+    // (c) modelData: a writer bumps the block's bounded version counter
+    // (word 0, mod 4) — the abstraction of "any store".
+    if (cfg_.modelData) {
+      for (NodeId p = 0; p < cfg_.numProcessors; ++p) {
+        for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+          const proto::Line* line = w.caches[p].findLine(b);
+          if (line == nullptr || line->data.empty() ||
+              !w.caches[p].canBind(b, OpKind::Store)) {
+            continue;
+          }
+          World s = w;
+          const Word v = (line->data[0] + 1) & 3;
+          (void)s.caches[p].bind(b, OpKind::Store, 0, v);
+          Action a;
+          a.kind = Action::Kind::Store;
+          a.proc = p;
+          a.block = b;
+          out.transitions += 1;
+          record(std::move(s), n.id, a, canon, out);
+        }
       }
-    } catch (const ProtocolError& e) {
-      result_.violations.push_back(std::string("protocol invariant: ") +
-                                   e.what());
-      return false;
-    }
-    return true;
-  }
-
-  void absorb(World& s, NodeId src, proto::Outbox& ob) {
-    for (auto& entry : ob.msgs) {
-      entry.msg.src = src;
-      s.flight.push_back(Flight{entry.dst, std::move(entry.msg)});
     }
   }
 
-  /// After copying a world, re-point controller callbacks at the shared
-  /// sink/client singletons (they are stateless, so copies are fine; this
-  /// exists for clarity and future-proofing).
-  void rebind(World&) {}
+  void expandRange(const std::vector<Node>& frontier, std::size_t begin,
+                   std::size_t end, ChunkOut& out) {
+    Canonicalizer canon(cfg_);
+    for (std::size_t i = begin; i < end; ++i) {
+      const Node& n = frontier[i];
+      const bool violating = checkState(n, out);
+      if (!violating) expandState(n, canon, out);
+    }
+  }
 
   McConfig cfg_;
-  Canonicalizer canon_;
+  std::array<Stripe, kStripes> stripes_;
+  std::array<std::uint32_t, kStripes> watermark_{};
   proto::TxnCounter txns_;
   McResult result_;
 };
 
+McResult ParallelExplorer::run() {
+  Canonicalizer rootCanon(cfg_);
+  World init = makeInitial();
+  bool inserted = false;
+  const std::uint64_t rootId =
+      insert(rootCanon.key(init), kNoParent, Action{}, inserted);
+  std::vector<Node> frontier;
+  frontier.push_back(Node{std::move(init), rootId});
+
+  const unsigned jobs = std::max(1u, cfg_.jobs);
+  ThreadPool pool(jobs);
+  std::optional<CexSeed> cexSeed;
+
+  while (!frontier.empty()) {
+    result_.frontierPeak =
+        std::max<std::uint64_t>(result_.frontierPeak, frontier.size());
+    const std::uint64_t remaining = cfg_.maxStates - result_.statesExplored;
+    std::size_t expandCount = frontier.size();
+    if (remaining < frontier.size()) {
+      expandCount = static_cast<std::size_t>(remaining);
+      result_.hitStateLimit = true;
+    }
+    if (expandCount == 0) break;
+
+    // Freeze the POR proviso horizon at the wave boundary.
+    for (std::size_t s = 0; s < kStripes; ++s) {
+      watermark_[s] = static_cast<std::uint32_t>(stripes_[s].edges.size());
+    }
+
+    const std::size_t chunkSize =
+        std::max<std::size_t>(std::size_t{1},
+                              expandCount / (std::size_t{jobs} * 4) + 1);
+    const std::size_t nChunks = (expandCount + chunkSize - 1) / chunkSize;
+    std::vector<ChunkOut> outs(nChunks);
+    for (std::size_t c = 0; c < nChunks; ++c) {
+      const std::size_t begin = c * chunkSize;
+      const std::size_t end = std::min(expandCount, begin + chunkSize);
+      pool.submit([this, &frontier, &outs, c, begin, end] {
+        expandRange(frontier, begin, end, outs[c]);
+      });
+    }
+    pool.wait();
+
+    result_.statesExplored += expandCount;
+    std::vector<Node> next;
+    std::vector<std::string> waveViolations;
+    for (ChunkOut& o : outs) {
+      result_.transitions += o.transitions;
+      result_.ampleStates += o.ampleStates;
+      result_.deadlockFound = result_.deadlockFound || o.deadlock;
+      for (std::string& v : o.violations) {
+        waveViolations.push_back(std::move(v));
+      }
+      if (!cexSeed && o.cex) cexSeed = std::move(o.cex);
+      for (Node& nd : o.next) next.push_back(std::move(nd));
+    }
+    std::sort(waveViolations.begin(), waveViolations.end());
+    waveViolations.erase(
+        std::unique(waveViolations.begin(), waveViolations.end()),
+        waveViolations.end());
+    for (std::string& v : waveViolations) {
+      if (result_.violations.size() < cfg_.maxViolations) {
+        result_.violations.push_back(std::move(v));
+      }
+    }
+    result_.wavesCompleted += 1;
+    // Stop decisions live at wave boundaries only, so counts and verdicts
+    // are identical for any jobs value.
+    if (!result_.violations.empty() || result_.deadlockFound ||
+        result_.hitStateLimit) {
+      break;
+    }
+    if (cfg_.maxDepth != 0 && result_.wavesCompleted >= cfg_.maxDepth) break;
+    frontier = std::move(next);
+  }
+
+  if (cexSeed) {
+    Counterexample cex;
+    cex.kind = cexSeed->kind;
+    cex.detail = cexSeed->detail;
+    cex.schedule = reconstructSchedule(*cexSeed);
+    result_.counterexample = std::move(cex);
+  }
+  return result_;
+}
+
 }  // namespace
+
+std::string toString(const Action& a) {
+  std::ostringstream os;
+  switch (a.kind) {
+    case Action::Kind::Deliver:
+      os << "deliver #" << a.flightIndex << ' ' << proto::toString(a.msgType)
+         << " -> node " << a.dst << " (block " << a.block << ')';
+      break;
+    case Action::Kind::Issue:
+      os << "node " << a.proc << " issues " << lcdc::toString(a.req)
+         << " on block " << a.block;
+      break;
+    case Action::Kind::Evict:
+      os << "node " << a.proc << " evicts block " << a.block;
+      break;
+    case Action::Kind::Store:
+      os << "node " << a.proc << " stores to block " << a.block;
+      break;
+  }
+  return os.str();
+}
 
 McResult explore(const McConfig& cfg) {
   LCDC_EXPECT(cfg.numProcessors >= 1, "need at least one processor");
   LCDC_EXPECT(cfg.numBlocks >= 1, "need at least one block");
-  Explorer explorer(cfg);
+  ParallelExplorer explorer(cfg);
   return explorer.run();
 }
 

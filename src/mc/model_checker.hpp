@@ -1,8 +1,10 @@
-// Explicit-state model checker over the directory protocol — the baseline
-// verification technique the paper contrasts with (Section 1: such methods
-// "do not scale well to systems of a practical size"; Section 4 lists
-// protocol verifications limited to a handful of nodes and one cache
-// block).
+// Parallel explicit-state model checker over the directory protocol — the
+// baseline verification technique the paper contrasts with (Section 1:
+// such methods "do not scale well to systems of a practical size";
+// Section 4 lists protocol verifications limited to a handful of nodes and
+// one cache block).  This engine pushes that wall outward with threads and
+// two sound reductions, which is exactly the lineage of Qadeer's SC
+// model-checking work cited in PAPERS.md.
 //
 // Design points:
 //   * It drives the *same* `proto::CacheController`/`DirectoryController`
@@ -16,23 +18,40 @@
 //     data values, serial numbers and statistics are projected away (the
 //     protocol never branches on them), and live transaction ids are
 //     renumbered, so the reachable state space is finite and exploration
-//     terminates.
+//     terminates.  With `symmetry`, processor ids are canonicalized too
+//     (lexicographic minimum over all id permutations, Murphi-scalarset
+//     style).  With `modelData`, word-0 data values and a bounded store
+//     action are modeled instead of projected, plus a per-state value
+//     coherence check — this is what lets MC refute value-only mutants.
+//   * Exploration is a wave-synchronous parallel BFS: the visited set is
+//     sharded across 64 striped hash sets, each wave's frontier is chunked
+//     across the work-stealing `lcdc::ThreadPool`, and all stop decisions
+//     (violation found, deadlock, state cap) happen at wave boundaries, so
+//     `statesExplored` / `transitions` / verdicts are identical for any
+//     `jobs` value.
+//   * Every visited state keeps a compact parent edge (8-byte parent id +
+//     the action taken), so any violation or deadlock reconstructs into a
+//     concrete schedule; `replay.hpp` re-executes that schedule through
+//     `sim::System` with the streaming Lamport checkers attached.
 //   * Safety checks per state: the single-writer/multiple-reader invariant,
 //     protocol-invariant (Appendix B) violations surfacing as exceptions,
-//     and definite deadlocks (no message in flight yet requests
-//     outstanding).
+//     definite deadlocks (no message in flight yet requests outstanding),
+//     and — under `modelData` — value coherence of settled blocks.
 //
 // The bench `mc_explosion` tabulates reachable-state counts against
 // (processors × blocks) — the state-space explosion that motivates the
-// paper's Lamport-clock alternative.
+// paper's Lamport-clock alternative — plus the effect of jobs and of the
+// two reductions on that wall.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "proto/messages.hpp"
 
 namespace lcdc::mc {
 
@@ -43,24 +62,87 @@ struct McConfig {
   /// Allow processors to issue Writebacks / Put-Shareds (more actions =>
   /// bigger space).
   bool allowEvictions = true;
-  /// Abort exploration after this many distinct states.
+  /// Abort exploration after this many distinct states.  The cap is
+  /// enforced at wave boundaries: the final wave expands exactly the
+  /// prefix of the frontier that fits, so a capped run drains cleanly and
+  /// reports the same `statesExplored` for any `jobs` value.
   std::uint64_t maxStates = 2'000'000;
+  /// Worker threads for the wave-parallel BFS.
+  unsigned jobs = 1;
+  /// Symmetry reduction over processor ids: hash the lexicographic minimum
+  /// over all processor-id permutations.  Sound because processors are
+  /// fully interchangeable (the protocol's control logic never branches on
+  /// the numeric value of a processor id).
+  bool symmetry = false;
+  /// Ample-set partial-order reduction: when a state has a "safe" message
+  /// delivery — pure MSHR bookkeeping at one cache that emits nothing,
+  /// changes no control state, and has no in-flight sibling to the same
+  /// (cache, block) — expand only that delivery.  A visited-successor
+  /// proviso falls back to full expansion (see DESIGN.md for the soundness
+  /// argument).
+  bool por = false;
+  /// Model word-0 data values instead of projecting them away: adds a
+  /// bounded store action (version counter mod 4), keys states on values,
+  /// and checks per-state value coherence of settled blocks.  Required to
+  /// refute value-only mutants such as ForwardStaleValue.
+  bool modelData = false;
+  /// Keep at most this many distinct violation strings.
+  std::size_t maxViolations = 32;
+  /// Stop after this many BFS waves (0 = unlimited).  States within depth
+  /// D form a well-defined sub-space, so equal-depth comparisons measure
+  /// reduction factors on configurations too large to explore fully.
+  std::uint64_t maxDepth = 0;
+};
+
+/// One scheduled step of an exploration path.  `Deliver` indexes into the
+/// in-flight vector of the *predecessor* state, which maps 1:1 onto the
+/// manual-mode network deque of a replaying `sim::System` (both append
+/// sends in outbox order and erase at the delivered index); `dst`, `block`
+/// and `msgType` are recorded so replay can cross-check the mapping.
+struct Action {
+  enum class Kind : std::uint8_t { Deliver, Issue, Evict, Store };
+  Kind kind = Kind::Deliver;
+  std::uint32_t flightIndex = 0;  ///< Deliver: index into parent's flight
+  NodeId dst = kNoNode;           ///< Deliver: receiving node
+  proto::MsgType msgType{};       ///< Deliver: message type (cross-check)
+  NodeId proc = kNoNode;          ///< Issue/Evict/Store: acting processor
+  BlockId block = 0;              ///< block concerned
+  ReqType req{};                  ///< Issue: request type
+};
+
+using Schedule = std::vector<Action>;
+
+[[nodiscard]] std::string toString(const Action& a);
+
+/// A reconstructed failing path: the exact message-delivery / request
+/// schedule from the initial state to the bad state.
+struct Counterexample {
+  std::string kind;    ///< "violation" | "deadlock"
+  std::string detail;  ///< first violation text / deadlock description
+  Schedule schedule;
 };
 
 struct McResult {
   std::uint64_t statesExplored = 0;
   std::uint64_t transitions = 0;
   std::uint64_t frontierPeak = 0;
+  /// States expanded through a POR singleton ample set.
+  std::uint64_t ampleStates = 0;
+  /// Fully expanded BFS waves (the depth the exploration reached).
+  std::uint64_t wavesCompleted = 0;
   bool hitStateLimit = false;
   bool deadlockFound = false;
   std::vector<std::string> violations;
+  /// First failing path found (wave order), when any check failed.
+  std::optional<Counterexample> counterexample;
 
   [[nodiscard]] bool ok() const {
     return violations.empty() && !deadlockFound;
   }
 };
 
-/// Breadth-first exploration of the reachable protocol state space.
+/// Wave-synchronous parallel breadth-first exploration of the reachable
+/// protocol state space.
 [[nodiscard]] McResult explore(const McConfig& cfg);
 
 }  // namespace lcdc::mc

@@ -13,6 +13,7 @@
 // checker drive the *same* code.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -42,8 +43,12 @@ struct Outbox {
 /// Globally shared transaction-id allocator (ids are unique across all
 /// directory slices so traces are unambiguous).
 struct TxnCounter {
-  TransactionId next = 1;
-  TransactionId allocate() { return next++; }
+  /// Atomic so the model checker's workers can share one counter: every
+  /// copied world aliases the same counter, and the ids it hands out are
+  /// canonicalized away before hashing, so only allocation uniqueness
+  /// matters — not order.
+  std::atomic<TransactionId> next{1};
+  TransactionId allocate() { return next.fetch_add(1, std::memory_order_relaxed); }
 };
 
 /// Protocol-relevant fields of a directory entry.  This is the projection

@@ -20,6 +20,14 @@ void Processor::deliver(const proto::Message& m, proto::Outbox& out) {
   cache_.handle(m, out);
 }
 
+bool Processor::bindDirect(BlockId block, OpKind kind, WordIdx word,
+                           Word value) {
+  if (!cache_.canBind(block, kind)) return false;
+  const proto::BindResult r = cache_.bind(block, kind, word, value);
+  emitOp(kind, block, word, r.value, opsBound(), r, /*forwarded=*/false);
+  return true;
+}
+
 void Processor::onComplete(BlockId block, ReqType req) {
   nackStreak_[block] = 0;
   // Section 2.4: operations whose transaction just completed bind *now*,

@@ -68,6 +68,11 @@ class Processor final : public proto::CacheClient {
   /// Deliver a protocol message to this node's cache.
   void deliver(const proto::Message& m, proto::Outbox& out);
 
+  /// Bind one operation outside any program (MC counterexample replay).
+  /// Op indices continue from the operations bound so far; false when the
+  /// cache has no permission.
+  bool bindDirect(BlockId block, OpKind kind, WordIdx word, Word value);
+
   /// Advance: bind every immediately bindable step and issue at most the
   /// request needed by the current step.  `now` is the simulated time (for
   /// retry pacing).  Returns the tick at which the processor wants to be

@@ -180,6 +180,29 @@ bool System::deliverManualFirst(
 
 void System::kick(NodeId proc) { progress(proc); }
 
+void System::injectRequest(NodeId proc, BlockId block, ReqType req) {
+  proto::Outbox out;
+  processor(proc).cache().issueRequest(block, req, home(block), out);
+  flush(proc, out);
+}
+
+void System::injectEvict(NodeId proc, BlockId block) {
+  proto::CacheController& cache = processor(proc).cache();
+  proto::Outbox out;
+  const CacheState cs = cache.state(block);
+  if (cs == CacheState::ReadWrite) {
+    cache.writeback(block, home(block), out);
+  } else if (cs == CacheState::ReadOnly && config_.proto.putSharedEnabled) {
+    cache.putShared(block);
+  }
+  flush(proc, out);
+}
+
+bool System::injectBind(NodeId proc, BlockId block, OpKind kind, WordIdx word,
+                        Word value) {
+  return processor(proc).bindDirect(block, kind, word, value);
+}
+
 void System::advanceTime(net::Tick ticks) {
   now_ += ticks;
   for (NodeId p = 0; p < procs_.size(); ++p) progress(p);

@@ -69,6 +69,19 @@ class System {
   /// Advance simulated time (retry pacing in manual mode).
   void advanceTime(net::Tick ticks);
 
+  // -- model-checker replay hooks ---------------------------------------------
+  // Drive the protocol directly, bypassing programs: the MC replay bridge
+  // (mc/replay.hpp) re-executes an exploration schedule step by step.
+
+  /// Issue a coherence request from `proc` right now (no retry pacing).
+  void injectRequest(NodeId proc, BlockId block, ReqType req);
+  /// Evict: write back a read-write line / put-shared a read-only line.
+  void injectEvict(NodeId proc, BlockId block);
+  /// Bind one operation directly when the cache permits (emitting it to
+  /// the sink); false when the line has no permission.
+  bool injectBind(NodeId proc, BlockId block, OpKind kind, WordIdx word,
+                  Word value);
+
   // -- state inspection -------------------------------------------------------
 
   [[nodiscard]] bool allProgramsDone() const;

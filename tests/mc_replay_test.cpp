@@ -1,0 +1,159 @@
+// Counterexample replay: a schedule found by the model checker re-executes
+// through the event-driven simulator (manual network mode) and the streaming
+// Lamport checkers — the bridge between the two verification worlds.  The
+// MC's abstract claim ("SWMR violated", "deadlock reachable") must turn into
+// a concrete simulator run that the Section 3 checkers (or the watchdog)
+// flag for the same reason, with zero divergence between the worlds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mc/model_checker.hpp"
+#include "mc/replay.hpp"
+
+namespace lcdc {
+namespace {
+
+/// Explore and require a counterexample.
+mc::McResult findCex(Mutant m, bool modelData = false) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = m;
+  cfg.modelData = modelData;
+  mc::McResult r = mc::explore(cfg);
+  EXPECT_TRUE(r.counterexample.has_value()) << "no counterexample for mutant "
+                                            << toString(m);
+  return r;
+}
+
+bool reportHas(const verify::CheckReport& rep, const std::string& check) {
+  return std::any_of(rep.violations.begin(), rep.violations.end(),
+                     [&check](const verify::Violation& v) {
+                       return v.check.find(check) != std::string::npos;
+                     });
+}
+
+TEST(Replay, SkipInvAckWaitTripsLemma1) {
+  const mc::McResult r = findCex(Mutant::SkipInvAckWait);
+  ASSERT_TRUE(r.counterexample.has_value());
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::SkipInvAckWait;
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_TRUE(rep.scheduleCompleted);
+  // The MC saw SWMR break; the Lamport checkers see the same overlap as
+  // incompatible epochs (Lemma 1).
+  EXPECT_FALSE(rep.report.ok());
+  EXPECT_TRUE(reportHas(rep.report, "lemma1")) << rep.report.summary();
+}
+
+TEST(Replay, StaleDataFromHomeIsFlagged) {
+  const mc::McResult r = findCex(Mutant::StaleDataFromHome);
+  ASSERT_TRUE(r.counterexample.has_value());
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::StaleDataFromHome;
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_TRUE(rep.flagged());
+}
+
+TEST(Replay, IgnoreInvalidationIsFlagged) {
+  const mc::McResult r = findCex(Mutant::IgnoreInvalidation);
+  ASSERT_TRUE(r.counterexample.has_value());
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::IgnoreInvalidation;
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_TRUE(rep.flagged());
+}
+
+TEST(Replay, ForwardStaleValueTripsValueCheckers) {
+  // Only the value-tracking abstraction catches this mutant, and only the
+  // value-chain / SC checkers flag the replay.
+  const mc::McResult r = findCex(Mutant::ForwardStaleValue, /*modelData=*/true);
+  ASSERT_TRUE(r.counterexample.has_value());
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::ForwardStaleValue;
+  cfg.modelData = true;
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_FALSE(rep.report.ok()) << "stale forwarded value not flagged";
+}
+
+TEST(Replay, NoDeadlockDetectionDeadlocksTheSimulator) {
+  const mc::McResult r = findCex(Mutant::NoDeadlockDetection);
+  ASSERT_TRUE(r.counterexample.has_value());
+  ASSERT_EQ(r.counterexample->kind, "deadlock");
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::NoDeadlockDetection;
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_TRUE(rep.scheduleCompleted);
+  // The Figure 2 hang: messages drained, nodes stuck.
+  EXPECT_TRUE(rep.deadlocked);
+}
+
+TEST(Replay, NoBusyNackIsFlagged) {
+  const mc::McResult r = findCex(Mutant::NoBusyNack);
+  ASSERT_TRUE(r.counterexample.has_value());
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::NoBusyNack;
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_TRUE(rep.flagged());
+}
+
+TEST(Replay, ReducedCounterexamplesReplayToo) {
+  // Schedules reconstructed from the symmetry+POR-reduced graph are still
+  // concrete executable schedules (node ids of the representative state).
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::SkipInvAckWait;
+  cfg.symmetry = true;
+  cfg.por = true;
+  const mc::McResult r = mc::explore(cfg);
+  ASSERT_FALSE(r.ok());
+  ASSERT_TRUE(r.counterexample.has_value());
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_TRUE(rep.flagged());
+}
+
+TEST(Replay, TraceCaptureWorks) {
+  const mc::McResult r = findCex(Mutant::SkipInvAckWait);
+  ASSERT_TRUE(r.counterexample.has_value());
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::SkipInvAckWait;
+  trace::Trace trace;
+  const mc::ReplayResult rep =
+      mc::replayCounterexample(cfg, r.counterexample->schedule, &trace);
+  EXPECT_TRUE(rep.divergence.empty()) << rep.divergence;
+  EXPECT_FALSE(trace.stamps().empty());
+  EXPECT_FALSE(trace.operations().empty());
+}
+
+}  // namespace
+}  // namespace lcdc

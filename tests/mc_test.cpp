@@ -124,5 +124,184 @@ TEST(ModelChecker, RefutesNoBusyNack) {
   EXPECT_FALSE(r.violations.empty());
 }
 
+// -- parallel exploration ----------------------------------------------------
+
+TEST(ParallelMc, ResultsAreIndependentOfJobCount) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.jobs = 1;
+  const mc::McResult base = mc::explore(cfg);
+  for (const unsigned jobs : {2u, 8u}) {
+    cfg.jobs = jobs;
+    const mc::McResult r = mc::explore(cfg);
+    EXPECT_EQ(r.statesExplored, base.statesExplored) << "jobs=" << jobs;
+    EXPECT_EQ(r.transitions, base.transitions) << "jobs=" << jobs;
+    EXPECT_EQ(r.frontierPeak, base.frontierPeak) << "jobs=" << jobs;
+    EXPECT_EQ(r.wavesCompleted, base.wavesCompleted) << "jobs=" << jobs;
+    EXPECT_EQ(r.ok(), base.ok()) << "jobs=" << jobs;
+    EXPECT_EQ(r.deadlockFound, base.deadlockFound) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelMc, MutantVerdictIsIndependentOfJobCount) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::SkipInvAckWait;
+  cfg.jobs = 1;
+  const mc::McResult base = mc::explore(cfg);
+  ASSERT_FALSE(base.ok());
+  for (const unsigned jobs : {2u, 8u}) {
+    cfg.jobs = jobs;
+    const mc::McResult r = mc::explore(cfg);
+    EXPECT_EQ(r.statesExplored, base.statesExplored) << "jobs=" << jobs;
+    EXPECT_FALSE(r.ok()) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelMc, StateCapDrainsCleanlyAndDeterministically) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.maxStates = 500;  // well below the ~2k reachable states
+  cfg.jobs = 1;
+  const mc::McResult base = mc::explore(cfg);
+  EXPECT_TRUE(base.hitStateLimit);
+  // The cap is exact: expansion stops at the budget, never beyond it.
+  EXPECT_EQ(base.statesExplored, 500u);
+  for (const unsigned jobs : {2u, 8u}) {
+    cfg.jobs = jobs;
+    const mc::McResult r = mc::explore(cfg);
+    EXPECT_TRUE(r.hitStateLimit) << "jobs=" << jobs;
+    // statesExplored is jobs-invariant even on capped runs (transitions of
+    // the final partial wave are not — the cap cuts chunk expansion).
+    EXPECT_EQ(r.statesExplored, base.statesExplored) << "jobs=" << jobs;
+  }
+}
+
+// -- reductions --------------------------------------------------------------
+
+TEST(Reduction, SymmetryShrinksStatesAndPreservesSafety) {
+  mc::McConfig plain;
+  plain.numProcessors = 2;
+  plain.numBlocks = 1;
+  mc::McConfig sym = plain;
+  sym.symmetry = true;
+  const mc::McResult a = mc::explore(plain);
+  const mc::McResult b = mc::explore(sym);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  // Two interchangeable processors: the quotient is close to half.
+  EXPECT_LT(b.statesExplored, a.statesExplored * 2 / 3)
+      << "plain " << a.statesExplored << " vs sym " << b.statesExplored;
+}
+
+TEST(Reduction, SymmetryPreservesMutantVerdicts) {
+  for (const Mutant m : {Mutant::SkipInvAckWait, Mutant::StaleDataFromHome,
+                         Mutant::IgnoreInvalidation, Mutant::NoBusyNack}) {
+    mc::McConfig plain;
+    plain.numProcessors = 2;
+    plain.numBlocks = 1;
+    plain.proto.mutant = m;
+    mc::McConfig sym = plain;
+    sym.symmetry = true;
+    const mc::McResult a = mc::explore(plain);
+    const mc::McResult b = mc::explore(sym);
+    EXPECT_EQ(a.ok(), b.ok()) << "mutant " << toString(m);
+    EXPECT_EQ(a.violations.empty(), b.violations.empty())
+        << "mutant " << toString(m);
+  }
+}
+
+TEST(Reduction, PorPreservesSafetyAndCutsTransitions) {
+  mc::McConfig plain;
+  plain.numProcessors = 3;
+  plain.numBlocks = 1;
+  plain.maxDepth = 14;  // depth-bounded: keeps the test sub-second
+  mc::McConfig por = plain;
+  por.por = true;
+  const mc::McResult a = mc::explore(plain);
+  const mc::McResult b = mc::explore(por);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_LE(b.transitions, a.transitions);
+  EXPECT_GT(b.ampleStates, 0u) << "ample sets never applied — POR inert";
+}
+
+TEST(Reduction, PorPreservesMutantVerdicts) {
+  for (const Mutant m : {Mutant::SkipInvAckWait, Mutant::NoBusyNack,
+                         Mutant::NoDeadlockDetection}) {
+    mc::McConfig plain;
+    plain.numProcessors = 2;
+    plain.numBlocks = 1;
+    plain.proto.mutant = m;
+    mc::McConfig red = plain;
+    red.symmetry = true;
+    red.por = true;
+    const mc::McResult a = mc::explore(plain);
+    const mc::McResult b = mc::explore(red);
+    EXPECT_EQ(a.ok(), b.ok()) << "mutant " << toString(m);
+    EXPECT_EQ(a.deadlockFound, b.deadlockFound) << "mutant " << toString(m);
+  }
+}
+
+TEST(Reduction, ModelDataCatchesForwardStaleValue) {
+  // Control-state projection alone cannot see this bug: the protocol
+  // messages are all legal, only the *value* forwarded is stale.
+  mc::McConfig control;
+  control.numProcessors = 2;
+  control.numBlocks = 1;
+  control.proto.mutant = Mutant::ForwardStaleValue;
+  const mc::McResult a = mc::explore(control);
+  EXPECT_TRUE(a.ok()) << "control projection unexpectedly flags values";
+
+  mc::McConfig data = control;
+  data.modelData = true;
+  const mc::McResult b = mc::explore(data);
+  EXPECT_FALSE(b.ok()) << "value coherence missed the stale forward in "
+                       << b.statesExplored << " states";
+}
+
+// -- counterexamples ---------------------------------------------------------
+
+TEST(Counterexample, ViolationYieldsASchedule) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::SkipInvAckWait;
+  const mc::McResult r = mc::explore(cfg);
+  ASSERT_FALSE(r.ok());
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->kind, "violation");
+  EXPECT_FALSE(r.counterexample->schedule.empty());
+  EXPECT_FALSE(r.counterexample->detail.empty());
+  // Every step renders.
+  for (const mc::Action& a : r.counterexample->schedule) {
+    EXPECT_FALSE(mc::toString(a).empty());
+  }
+}
+
+TEST(Counterexample, DeadlockYieldsASchedule) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.proto.mutant = Mutant::NoDeadlockDetection;
+  const mc::McResult r = mc::explore(cfg);
+  ASSERT_TRUE(r.deadlockFound);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->kind, "deadlock");
+  EXPECT_FALSE(r.counterexample->schedule.empty());
+}
+
+TEST(Counterexample, PristineProtocolYieldsNone) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  const mc::McResult r = mc::explore(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.counterexample.has_value());
+}
+
 }  // namespace
 }  // namespace lcdc

@@ -36,6 +36,7 @@
 #include "campaign/campaign.hpp"
 #include "common/expect.hpp"
 #include "mc/model_checker.hpp"
+#include "mc/replay.hpp"
 #include "proto/observer.hpp"
 #include "sim/system.hpp"
 #include "trace/serialize.hpp"
@@ -288,6 +289,12 @@ int cmdMc(const Args& args) {
   cfg.numProcessors = static_cast<NodeId>(args.num("procs", 2));
   cfg.numBlocks = static_cast<BlockId>(args.num("blocks", 1));
   cfg.maxStates = args.num("max-states", 2'000'000);
+  cfg.maxDepth = args.num("max-depth", 0);
+  cfg.jobs = static_cast<unsigned>(args.num("jobs", 1));
+  if (cfg.jobs == 0) throw UsageError("--jobs must be at least 1");
+  cfg.symmetry = args.has("symmetry");
+  cfg.por = args.has("por");
+  cfg.modelData = args.has("model-data");
   cfg.allowEvictions = !args.has("no-evictions");
   cfg.proto.putSharedEnabled = !args.has("no-putshared");
   cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
@@ -295,9 +302,38 @@ int cmdMc(const Args& args) {
   std::cout << "states: " << r.statesExplored
             << (r.hitStateLimit ? " (limit hit)" : "")
             << ", transitions: " << r.transitions
-            << ", peak frontier: " << r.frontierPeak << '\n';
+            << ", peak frontier: " << r.frontierPeak
+            << ", waves: " << r.wavesCompleted;
+  if (cfg.por) std::cout << ", ample states: " << r.ampleStates;
+  std::cout << '\n';
   if (r.deadlockFound) std::cout << "DEADLOCK state reachable\n";
   for (const auto& v : r.violations) std::cout << "VIOLATION: " << v << '\n';
+  if (r.counterexample) {
+    const mc::Counterexample& cex = *r.counterexample;
+    std::cout << "counterexample (" << cex.kind << ", "
+              << cex.schedule.size() << " steps): " << cex.detail << '\n';
+    std::size_t step = 0;
+    for (const mc::Action& a : cex.schedule) {
+      std::cout << "  " << step++ << ": " << mc::toString(a) << '\n';
+    }
+    if (args.has("replay")) {
+      const mc::ReplayResult rep = mc::replayCounterexample(cfg, cex.schedule);
+      std::cout << "replay: "
+                << (rep.divergence.empty() ? "schedule applied"
+                                           : "DIVERGED: " + rep.divergence)
+                << '\n';
+      if (!rep.invariant.empty()) {
+        std::cout << "replay invariant: " << rep.invariant << '\n';
+      }
+      if (rep.deadlocked) std::cout << "replay: simulator deadlocked\n";
+      std::cout << "replay checkers: " << rep.report.summary() << '\n';
+      for (const auto& v : rep.report.violations) {
+        std::cout << "  [" << v.check << "] " << v.detail << '\n';
+      }
+    }
+  } else if (args.has("replay")) {
+    std::cout << "replay: nothing to replay (no counterexample)\n";
+  }
   return r.ok() && !r.hitStateLimit ? kExitOk : kExitViolations;
 }
 
@@ -323,13 +359,20 @@ int cmdCampaign(const Args& args) {
   // re-enables the record-then-batch-check path for A/B comparison.  Both
   // produce identical reports and failure signatures.
   cfg.streaming = !args.has("no-streaming");
+  // Optional exhaustive stage: model-check a small configuration of the
+  // same protocol variant before the seed fan-out.
+  cfg.mcStage = args.has("mc-stage");
+  cfg.mcProcs = static_cast<NodeId>(args.num("mc-procs", 2));
+  cfg.mcBlocks = static_cast<BlockId>(args.num("mc-blocks", 1));
+  cfg.mcMaxStates = args.num("mc-max-states", 400'000);
 
   std::cout << "campaign: master-seed=" << cfg.masterSeed
             << " seeds=" << cfg.seeds << " workload=" << workloadName
             << " mutant=" << toString(cfg.mutant)
             << (cfg.untilCoverage ? " until-coverage" : "")
             << (cfg.minimize ? " minimize" : "")
-            << (cfg.streaming ? "" : " no-streaming") << '\n';
+            << (cfg.streaming ? "" : " no-streaming")
+            << (cfg.mcStage ? " mc-stage" : "") << '\n';
 
   const campaign::CampaignResult r = campaign::run(cfg);
   std::cout << r.report();
@@ -370,13 +413,15 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
         {"no-putshared", "quiet", "streaming", "no-trace"}}},
       {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
       {"mc",
-       {{"procs", "blocks", "max-states", "mutant"},
-        {"no-evictions", "no-putshared"}}},
+       {{"procs", "blocks", "max-states", "max-depth", "jobs", "mutant"},
+        {"no-evictions", "no-putshared", "symmetry", "por", "model-data",
+         "replay"}}},
       {"campaign",
        {{"seeds", "jobs", "master-seed", "workload", "mutant", "out",
-         "max-events", "max-minimized", "minimize-attempts"},
+         "max-events", "max-minimized", "minimize-attempts", "mc-procs",
+         "mc-blocks", "mc-max-states"},
         {"until-coverage", "minimize", "quiet", "streaming",
-         "no-streaming"}}},
+         "no-streaming", "mc-stage"}}},
   };
   return specs;
 }
@@ -396,15 +441,24 @@ void usage(std::ostream& os) {
       "  verify    re-check a dumped trace\n"
       "            --trace FILE --procs N --model sc|tso [--partial]\n"
       "  mc        exhaustive model checking (small configs!)\n"
-      "            --procs N --blocks B --max-states M --no-evictions\n"
-      "            --mutant NAME\n"
+      "            --procs N --blocks B --max-states M --max-depth D\n"
+      "            --jobs J (parallel wave BFS; results independent of J)\n"
+      "            --symmetry (processor-id canonicalization)\n"
+      "            --por (ample-set partial-order reduction)\n"
+      "            --model-data (track word values; value-coherence check)\n"
+      "            --replay (re-execute counterexample in the simulator\n"
+      "                      through the streaming Lamport checkers)\n"
+      "            --no-evictions --mutant NAME\n"
       "  campaign  parallel seed-fuzzing campaign over the checker suite\n"
       "            --seeds N --jobs J --master-seed S\n"
       "            --workload mixed|uniform|hot|prodcons|migratory|falseshare|readmostly\n"
       "            --mutant NAME --until-coverage --minimize\n"
       "            --max-minimized K --minimize-attempts A\n"
       "            --out DIR (archive failing + minimized traces)\n"
-      "            --max-events E --quiet --no-streaming (batch-check A/B)\n\n"
+      "            --max-events E --quiet --no-streaming (batch-check A/B)\n"
+      "            --mc-stage (exhaustively model-check a small config of\n"
+      "                        the same variant first)\n"
+      "            --mc-procs N --mc-blocks B --mc-max-states M\n\n"
       "exit codes: 0 ok, 1 verification violations, 2 simulation failed,\n"
       "            3 campaign failures, 4 usage error, 5 I/O error\n";
 }
