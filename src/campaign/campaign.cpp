@@ -260,13 +260,18 @@ CampaignResult run(const CampaignConfig& cfg) {
     mcCfg.symmetry = true;
     mcCfg.por = true;
     mcCfg.modelData = true;
+    const auto mcT0 = std::chrono::steady_clock::now();
     const mc::McResult mcRes = mc::explore(mcCfg);
+    result.mcSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - mcT0)
+            .count();
     result.mcStage.ran = true;
     result.mcStage.ok = mcRes.ok();
     result.mcStage.deadlock = mcRes.deadlockFound;
     result.mcStage.hitStateLimit = mcRes.hitStateLimit;
     result.mcStage.states = mcRes.statesExplored;
     result.mcStage.violations = mcRes.violations.size();
+    result.mcStage.storedEncBytes = mcRes.perf.storedEncodingBytes;
     result.mcStage.procs = cfg.mcProcs;
     result.mcStage.blocks = cfg.mcBlocks;
   }
@@ -388,7 +393,14 @@ std::string CampaignResult::report() const {
        << mcStage.blocks << " blocks) "
        << (mcStage.ok ? "clean" : (mcStage.deadlock ? "DEADLOCK" : "VIOLATED"))
        << ", states=" << mcStage.states;
-    if (mcStage.hitStateLimit) os << " (state limit hit)";
+    if (mcStage.hitStateLimit) {
+      // On a capped run the discovered-state set depends on frontier
+      // order, so the encoding-byte total is not deterministic; omit it.
+      os << " (state limit hit)";
+    } else if (mcStage.states != 0) {
+      os << ", enc-bytes/state="
+         << mcStage.storedEncBytes / mcStage.states;
+    }
     os << '\n';
   }
   os << "failures: " << failures.size() << '\n';

@@ -148,6 +148,11 @@ struct McStageResult {
   bool hitStateLimit = false;
   std::uint64_t states = 0;
   std::uint64_t violations = 0;
+  /// Canonical-encoding bytes stored for distinct states.  Deterministic
+  /// for a given configuration (the state set is), unlike arena or RSS
+  /// numbers, so the report may print it; scheduling-dependent throughput
+  /// stays in the timing block.
+  std::uint64_t storedEncBytes = 0;
   NodeId procs = 0;
   BlockId blocks = 0;
 };
@@ -163,6 +168,8 @@ struct CampaignResult {
   // Non-deterministic extras, deliberately excluded from report():
   PoolStats pool;
   double seconds = 0;
+  /// Wall-clock of the optional mc stage (0 when it did not run).
+  double mcSeconds = 0;
 
   [[nodiscard]] bool ok() const {
     return failures.empty() && (!mcStage.ran || mcStage.ok);

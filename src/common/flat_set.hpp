@@ -1,0 +1,218 @@
+// Open-addressing concurrent visited set for the model checker.
+//
+// Stores 64-bit fingerprints plus a 32-bit payload (state id) in two
+// parallel flat slabs with linear probing.  Insertion claims a slot by
+// CAS on the fingerprint word, then publishes the payload with a release
+// store; racing inserters of the same fingerprint spin briefly on the
+// payload and then run the caller-supplied byte-equality check, so a
+// fingerprint collision degrades to an extra probe instead of a lost
+// state (full encodings are compared, never trusted to the hash alone).
+//
+// Concurrency contract:
+//   * `insert`/`find` may run from any number of threads concurrently.
+//   * `reserveFor` (growth/rehash) is single-threaded and must be called
+//     only while no insert/find is in flight — the explorer calls it at
+//     wave boundaries, sized by the wave's successor upper bound, so the
+//     table NEVER grows mid-wave.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/expect.hpp"
+
+namespace lcdc {
+
+/// 64-bit hash over a byte span (xxhash-style multiply/rotate lanes).
+/// Quality matters: the flat set's probe lengths and the correctness
+/// fallback rate are both functions of fingerprint avalanche.
+inline std::uint64_t fingerprintHash(const std::byte* data, std::size_t len) {
+  constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ULL;
+  constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4FULL;
+  constexpr std::uint64_t kP3 = 0x165667B19E3779F9ULL;
+  auto rotl = [](std::uint64_t v, int r) {
+    return (v << r) | (v >> (64 - r));
+  };
+  auto read64 = [](const std::byte* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  std::uint64_t h = kP3 ^ (static_cast<std::uint64_t>(len) * kP1);
+  const std::byte* p = data;
+  std::size_t n = len;
+  while (n >= 8) {
+    h ^= rotl(read64(p) * kP2, 31) * kP1;
+    h = rotl(h, 27) * kP1 + kP2;
+    p += 8;
+    n -= 8;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tail |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+            << (8 * i);
+  }
+  if (n != 0) {
+    h ^= rotl(tail * kP2, 31) * kP1;
+    h = rotl(h, 27) * kP1 + kP2;
+  }
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+class FlatFingerprintSet {
+ public:
+  static constexpr std::uint32_t kPendingPayload = 0xFFFFFFFFu;
+
+  struct InsertResult {
+    std::uint32_t payload = 0;
+    bool inserted = false;
+    std::uint32_t probes = 0;  ///< extra slots visited past the home slot
+  };
+
+  explicit FlatFingerprintSet(std::size_t initialCapacity = 1u << 16) {
+    std::size_t cap = 64;
+    while (cap < initialCapacity) cap <<= 1;
+    rebuild(cap);
+  }
+
+  FlatFingerprintSet(const FlatFingerprintSet&) = delete;
+  FlatFingerprintSet& operator=(const FlatFingerprintSet&) = delete;
+
+  /// Insert fingerprint `fp`.  On winning an empty slot, calls
+  /// `assign()` exactly once to produce the payload (the caller stores
+  /// the full encoding there) and publishes it.  On finding an occupied
+  /// slot with the same fingerprint, waits for that slot's payload and
+  /// calls `equals(payload)`; a `false` answer (true 64-bit collision)
+  /// continues the probe instead of deduplicating.
+  template <typename EqualsFn, typename AssignFn>
+  InsertResult insert(std::uint64_t fp, EqualsFn&& equals, AssignFn&& assign) {
+    fp = normalize(fp);
+    std::size_t idx = fp & mask_;
+    std::uint32_t probes = 0;
+    for (;;) {
+      std::uint64_t cur = fps_[idx].load(std::memory_order_acquire);
+      if (cur == kEmpty) {
+        if (fps_[idx].compare_exchange_strong(cur, fp,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+          const std::uint32_t payload = assign();
+          LCDC_EXPECT(payload != kPendingPayload,
+                      "flat set payload collides with pending sentinel");
+          payloads_[idx].store(payload, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return {payload, true, probes};
+        }
+        // Lost the race; `cur` now holds the winner's fingerprint.
+      }
+      if (cur == fp) {
+        const std::uint32_t payload = waitPayload(idx);
+        if (equals(payload)) return {payload, false, probes};
+        // Same fingerprint, different state bytes: keep probing.
+      }
+      idx = (idx + 1) & mask_;
+      ++probes;
+      LCDC_EXPECT(probes <= capacity_, "flat set full (reserveFor missing)");
+    }
+  }
+
+  /// Lookup without inserting (used by the POR visited-before-wave
+  /// proviso).  Returns the payload if a byte-equal entry is present.
+  template <typename EqualsFn>
+  std::optional<std::uint32_t> find(std::uint64_t fp, EqualsFn&& equals) const {
+    fp = normalize(fp);
+    std::size_t idx = fp & mask_;
+    std::uint32_t probes = 0;
+    for (;;) {
+      const std::uint64_t cur = fps_[idx].load(std::memory_order_acquire);
+      if (cur == kEmpty) return std::nullopt;
+      if (cur == fp) {
+        const std::uint32_t payload = waitPayload(idx);
+        if (equals(payload)) return payload;
+      }
+      idx = (idx + 1) & mask_;
+      ++probes;
+      if (probes > capacity_) return std::nullopt;
+    }
+  }
+
+  /// Single-threaded: guarantee room for `extra` further insertions at
+  /// <= 50% load, rehashing into a larger slab if needed.  Must not run
+  /// concurrently with insert/find.
+  void reserveFor(std::size_t extra) {
+    const std::size_t need = size_.load(std::memory_order_relaxed) + extra;
+    if (need * 2 <= capacity_) return;
+    std::size_t cap = capacity_;
+    while (need * 2 > cap) cap <<= 1;
+    auto oldFps = std::move(fps_);
+    auto oldPayloads = std::move(payloads_);
+    const std::size_t oldCap = capacity_;
+    rebuild(cap);
+    for (std::size_t i = 0; i < oldCap; ++i) {
+      const std::uint64_t fp = oldFps[i].load(std::memory_order_relaxed);
+      if (fp == kEmpty) continue;
+      std::size_t idx = fp & mask_;
+      while (fps_[idx].load(std::memory_order_relaxed) != kEmpty) {
+        idx = (idx + 1) & mask_;
+      }
+      fps_[idx].store(fp, std::memory_order_relaxed);
+      payloads_[idx].store(oldPayloads[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t bytes() const {
+    return capacity_ * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+
+  /// Fingerprint 0 is the empty-slot marker; remap a real hash of 0 to an
+  /// arbitrary fixed odd constant (still compared against full bytes, so
+  /// this costs at most a fallback comparison).
+  static std::uint64_t normalize(std::uint64_t fp) {
+    return fp != kEmpty ? fp : 0x9E3779B97F4A7C15ULL;
+  }
+
+  std::uint32_t waitPayload(std::size_t idx) const {
+    std::uint32_t p = payloads_[idx].load(std::memory_order_acquire);
+    while (p == kPendingPayload) {
+      p = payloads_[idx].load(std::memory_order_acquire);
+    }
+    return p;
+  }
+
+  void rebuild(std::size_t cap) {
+    fps_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+    payloads_ = std::make_unique<std::atomic<std::uint32_t>[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      fps_[i].store(kEmpty, std::memory_order_relaxed);
+      payloads_[i].store(kPendingPayload, std::memory_order_relaxed);
+    }
+    capacity_ = cap;
+    mask_ = cap - 1;
+  }
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> fps_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> payloads_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace lcdc

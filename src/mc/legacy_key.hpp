@@ -1,0 +1,53 @@
+// The original text canonical key, preserved verbatim from the string-key
+// explorer.  It is no longer on the exploration hot path; it survives for
+// two reasons:
+//
+//   1. Differential oracle: the codec tests assert, over thousands of
+//      sampled reachable states, that two worlds get equal binary
+//      encodings (`StateCodec`) iff they get equal legacy string keys —
+//      the property that makes the binary engine's state counts provably
+//      byte-identical to the old engine's.
+//   2. POR candidate ordering: the ample-set rule ranks safe-delivery
+//      candidates by canonical successor key.  Equal *classes* are not
+//      enough there — the explorer must pick the same representative the
+//      old engine picked, or POR-reduced state counts drift.  Ordering by
+//      this string keeps `--por` results bit-for-bit stable (and POR runs
+//      are the one place the string cost is acceptable: the reduction
+//      already trades throughput for fewer states).
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mc/world.hpp"
+
+namespace lcdc::mc {
+
+class LegacyCanonicalizer {
+ public:
+  explicit LegacyCanonicalizer(const McConfig& cfg);
+
+  /// Canonical key: the lexicographic minimum over all processor-id
+  /// permutations (just the identity without symmetry reduction).
+  std::string key(const World& w);
+
+ private:
+  [[nodiscard]] NodeId mapNode(NodeId n, const std::vector<NodeId>& perm) const;
+  std::string keyWithPerm(const World& w, const std::vector<NodeId>& perm,
+                          const std::vector<NodeId>& inv);
+  [[nodiscard]] std::string sortView(const std::string& s) const;
+  std::string preKey(const Flight& f, const std::vector<NodeId>& perm);
+  std::string remapInString(const std::string& s);
+  std::uint64_t remap(TransactionId id);
+  void emitLine(const proto::Line* line, const std::vector<NodeId>& perm);
+
+  const McConfig& cfg_;
+  std::vector<std::vector<NodeId>> perms_;
+  std::vector<std::vector<NodeId>> invPerms_;
+  std::map<TransactionId, std::uint64_t> txnMap_;
+  std::ostringstream out_;
+};
+
+}  // namespace lcdc::mc

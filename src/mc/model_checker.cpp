@@ -1,15 +1,21 @@
 #include "mc/model_checker.hpp"
 
 #include <algorithm>
-#include <array>
-#include <map>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
 #include <mutex>
-#include <numeric>
 #include <sstream>
-#include <unordered_map>
 
+#include "common/arena.hpp"
 #include "common/expect.hpp"
+#include "common/flat_set.hpp"
 #include "common/thread_pool.hpp"
+#include "mc/legacy_key.hpp"
+#include "mc/state_codec.hpp"
+#include "mc/world.hpp"
+#include "mc/world_codec.hpp"
 #include "proto/cache.hpp"
 #include "proto/directory.hpp"
 
@@ -17,275 +23,65 @@ namespace lcdc::mc {
 
 namespace {
 
-/// Processors never see callbacks in the model checker: there is no
-/// program, only nondeterministic request intents.
-class NullClient final : public proto::CacheClient {
- public:
-  void onComplete(BlockId, ReqType) override {}
-  void onNacked(BlockId, ReqType, NackKind) override {}
-  void onLineUnblocked(BlockId) override {}
-};
+// -- packed parent edges -----------------------------------------------------
+//
+// 4-byte parent id + the action in one 64-bit word: kind(2) |
+// flightIndex(16) | dst(8) | msgType(4) | proc(8) | block(16) | req(2).
+// Node ids use 255 as the "no node" code; the explored configurations are
+// orders of magnitude below every field's range (asserted on pack).
 
-NullClient& nullClient() {
-  static NullClient c;
-  return c;
+std::uint64_t packAction(const Action& a) {
+  const auto node8 = [](NodeId n) -> std::uint64_t {
+    if (n == kNoNode) return 0xFF;
+    LCDC_EXPECT(n < 0xFF, "node id exceeds packed-action range");
+    return n;
+  };
+  LCDC_EXPECT(a.flightIndex < 0xFFFF, "flight index exceeds packed range");
+  LCDC_EXPECT(a.block < 0xFFFF, "block id exceeds packed range");
+  return static_cast<std::uint64_t>(a.kind) |
+         (static_cast<std::uint64_t>(a.flightIndex) << 2) |
+         (node8(a.dst) << 18) |
+         (static_cast<std::uint64_t>(a.msgType) << 26) |
+         (node8(a.proc) << 30) |
+         (static_cast<std::uint64_t>(a.block) << 38) |
+         (static_cast<std::uint64_t>(a.req) << 54);
 }
 
-/// One in-flight message with its destination (the network "bag").
-struct Flight {
-  NodeId dst = kNoNode;
-  proto::Message msg;
-};
-
-/// A full world state.  Controllers are plain value types, so copying the
-/// world is a deep copy of the protocol state.
-struct World {
-  std::vector<proto::CacheController> caches;
-  std::vector<proto::DirectoryController> dirs;  // one in this checker
-  std::vector<Flight> flight;
-};
-
-/// All processor-id permutations when symmetry reduction is on (identity
-/// first).  Capped at 6 processors — beyond that the P! canonicalization
-/// cost dwarfs what the reduction saves, so symmetry degrades to identity.
-std::vector<std::vector<NodeId>> makePerms(NodeId procs, bool symmetry) {
-  std::vector<NodeId> ident(procs);
-  std::iota(ident.begin(), ident.end(), NodeId{0});
-  if (!symmetry || procs > 6) return {ident};
-  std::vector<std::vector<NodeId>> out;
-  std::vector<NodeId> perm = ident;
-  do {
-    out.push_back(perm);
-  } while (std::next_permutation(perm.begin(), perm.end()));
-  return out;
+Action unpackAction(std::uint64_t v) {
+  const auto node = [](std::uint64_t b) -> NodeId {
+    return b == 0xFF ? kNoNode : static_cast<NodeId>(b);
+  };
+  Action a;
+  a.kind = static_cast<Action::Kind>(v & 0x3);
+  a.flightIndex = static_cast<std::uint32_t>((v >> 2) & 0xFFFF);
+  a.dst = node((v >> 18) & 0xFF);
+  a.msgType = static_cast<proto::MsgType>((v >> 26) & 0xF);
+  a.proc = node((v >> 30) & 0xFF);
+  a.block = static_cast<BlockId>((v >> 38) & 0xFFFF);
+  a.req = static_cast<ReqType>((v >> 54) & 0x3);
+  return a;
 }
 
-// -- canonical serialization -------------------------------------------------
-
-class Canonicalizer {
+/// Optional steady-clock span accumulator (perf timing is opt-in).
+class ScopedNanos {
  public:
-  explicit Canonicalizer(const McConfig& cfg)
-      : cfg_(cfg), perms_(makePerms(cfg.numProcessors, cfg.symmetry)) {
-    for (const auto& perm : perms_) {
-      std::vector<NodeId> inv(perm.size());
-      for (NodeId i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
-      invPerms_.push_back(std::move(inv));
-    }
+  ScopedNanos(std::uint64_t& dst, bool enabled)
+      : dst_(dst), enabled_(enabled) {
+    if (enabled_) t0_ = std::chrono::steady_clock::now();
   }
-
-  /// Canonical key: the lexicographic minimum over all processor-id
-  /// permutations (just the identity without symmetry reduction).
-  std::string key(const World& w) {
-    std::string best = keyWithPerm(w, perms_[0], invPerms_[0]);
-    for (std::size_t i = 1; i < perms_.size(); ++i) {
-      std::string k = keyWithPerm(w, perms_[i], invPerms_[i]);
-      if (k < best) best = std::move(k);
+  ~ScopedNanos() {
+    if (enabled_) {
+      dst_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count());
     }
-    return best;
   }
 
  private:
-  [[nodiscard]] NodeId mapNode(NodeId n, const std::vector<NodeId>& perm) const {
-    return n < cfg_.numProcessors ? perm[n] : n;
-  }
-
-  std::string keyWithPerm(const World& w, const std::vector<NodeId>& perm,
-                          const std::vector<NodeId>& inv) {
-    txnMap_.clear();
-    out_.str(std::string());
-    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
-      const proto::DirEntry& e = w.dirs[0].entry(b);
-      out_ << 'D' << static_cast<int>(e.core.state) << ','
-           << mapNode(e.core.busyRequester, perm) << ','
-           << static_cast<int>(e.core.busyReq) << ",[";
-      std::vector<NodeId> cached;
-      cached.reserve(e.core.cached.size());
-      for (const NodeId n : e.core.cached) cached.push_back(mapNode(n, perm));
-      std::sort(cached.begin(), cached.end());
-      for (const NodeId n : cached) out_ << n << ' ';
-      out_ << ']';
-      if (cfg_.modelData) {
-        out_ << 'v';
-        if (e.mem.empty()) {
-          out_ << '-';
-        } else {
-          out_ << e.mem[0];
-        }
-      }
-      out_ << ';';
-    }
-    // Caches in canonical (permuted) id order.
-    for (NodeId i = 0; i < cfg_.numProcessors; ++i) {
-      const proto::CacheController& cache = w.caches[inv[i]];
-      for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
-        emitLine(cache.findLine(b), perm);
-      }
-    }
-    // Flight bag: order-independent — sorted by a view of each message in
-    // which txn ids already canonicalized by the dir/cache sections appear
-    // as their small marker and ids first seen in flight collapse to a
-    // placeholder.  Sorting on raw txn ids would leak the global
-    // allocation order (path- and scheduling-dependent) into the key,
-    // splitting identical states.  Two in-flight messages can tie only
-    // when they are content-identical up to such fresh ids; either order
-    // then yields the same final key (markers are assigned positionally,
-    // and one (requester, block) never has two concurrent transactions).
-    std::vector<std::pair<std::string, std::string>> msgs;  // {view, raw}
-    msgs.reserve(w.flight.size());
-    for (const Flight& f : w.flight) {
-      std::string raw = preKey(f, perm);
-      msgs.emplace_back(sortView(raw), std::move(raw));
-    }
-    std::sort(msgs.begin(), msgs.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& m : msgs) out_ << 'F' << remapInString(m.second) << ';';
-    return out_.str();
-  }
-
-  /// The id-blind sorting view of a message preKey (see above).
-  [[nodiscard]] std::string sortView(const std::string& s) const {
-    std::string out;
-    out.reserve(s.size());
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      if (s[i] == '<') {
-        const std::size_t end = s.find('>', i);
-        const TransactionId id = std::stoull(s.substr(i + 1, end - i - 1));
-        if (id == kNoTransaction) {
-          out += '~';
-        } else if (const auto it = txnMap_.find(id); it != txnMap_.end()) {
-          out += std::to_string(it->second);
-        } else {
-          out += '?';
-        }
-        i = end;
-      } else {
-        out += s[i];
-      }
-    }
-    return out;
-  }
-
-  /// Canonical message text with txn ids marked for later remapping.
-  std::string preKey(const Flight& f, const std::vector<NodeId>& perm) {
-    std::ostringstream os;
-    os << mapNode(f.dst, perm) << ',' << static_cast<int>(f.msg.type) << ','
-       << f.msg.block << ',' << mapNode(f.msg.src, perm) << ','
-       << mapNode(f.msg.requester, perm) << ','
-       << static_cast<int>(f.msg.nackKind) << ','
-       << static_cast<int>(f.msg.nackedReq) << ','
-       << f.msg.ignoreBufferedInv << ",[";
-    std::vector<NodeId> targets;
-    targets.reserve(f.msg.invTargets.size());
-    for (const NodeId n : f.msg.invTargets) targets.push_back(mapNode(n, perm));
-    std::sort(targets.begin(), targets.end());
-    for (const NodeId n : targets) os << n << ' ';
-    os << ']';
-    if (cfg_.modelData) {
-      os << 'v';
-      if (f.msg.data.empty()) {
-        os << '-';
-      } else {
-        os << f.msg.data[0];
-      }
-    }
-    os << ",t<" << f.msg.txn << ">,c<" << f.msg.closesTxn << '>';
-    return os.str();
-  }
-
-  /// Replace t<id>/c<id> markers with canonical small integers (assigned in
-  /// encounter order across the whole key).
-  std::string remapInString(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      if (s[i] == '<') {
-        const std::size_t end = s.find('>', i);
-        const TransactionId id = std::stoull(s.substr(i + 1, end - i - 1));
-        out += std::to_string(remap(id));
-        i = end;
-      } else {
-        out += s[i];
-      }
-    }
-    return out;
-  }
-
-  std::uint64_t remap(TransactionId id) {
-    if (id == kNoTransaction) return ~std::uint64_t{0};
-    const auto [it, inserted] = txnMap_.try_emplace(id, txnMap_.size());
-    return it->second;
-  }
-
-  void emitLine(const proto::Line* line, const std::vector<NodeId>& perm) {
-    if (line == nullptr) {
-      out_ << "L-;";
-      return;
-    }
-    out_ << 'L' << static_cast<int>(line->cstate)
-         << static_cast<int>(line->astate) << ",i" << remap(line->ignoreFwdTxn)
-         << ",d" << remap(line->dropInvTxn) << ',';
-    if (cfg_.modelData) {
-      out_ << 'v';
-      if (line->data.empty()) {
-        out_ << '-';
-      } else {
-        out_ << line->data[0];
-      }
-      // The ForwardStaleValue mutant sends epochStartData on forwards, so
-      // the projection must distinguish it or the abstraction leaks.
-      if (cfg_.proto.mutant == Mutant::ForwardStaleValue &&
-          !line->epochStartData.empty()) {
-        out_ << 'e' << line->epochStartData[0];
-      }
-      out_ << ',';
-    }
-    if (line->mshr) {
-      const proto::Mshr& m = *line->mshr;
-      out_ << 'M' << static_cast<int>(m.req) << m.replySeen << m.invListKnown
-           << ",[";
-      std::vector<NodeId> acks;
-      acks.reserve(m.acksPending.size());
-      for (const NodeId n : m.acksPending) acks.push_back(mapNode(n, perm));
-      std::sort(acks.begin(), acks.end());
-      for (const NodeId n : acks) out_ << n << ' ';
-      out_ << "],[";
-      std::vector<NodeId> early;
-      early.reserve(m.earlyAcks.size());
-      for (const NodeId n : m.earlyAcks) early.push_back(mapNode(n, perm));
-      std::sort(early.begin(), early.end());
-      for (const NodeId n : early) out_ << n << ' ';
-      out_ << "],p";
-      if (m.pendingFwd) {
-        out_ << static_cast<int>(m.pendingFwd->type) << '/'
-             << mapNode(m.pendingFwd->requester, perm);
-      } else {
-        out_ << '-';
-      }
-      if (cfg_.modelData) {
-        out_ << ",v";
-        if (m.data.empty()) {
-          out_ << '-';
-        } else {
-          out_ << m.data[0];
-        }
-      }
-      out_ << ",b[";
-      for (const proto::Message& bm : m.buffered) {
-        out_ << static_cast<int>(bm.type) << '/' << mapNode(bm.requester, perm)
-             << '/' << remap(bm.txn) << ' ';
-      }
-      out_ << ']';
-    } else {
-      out_ << "M-";
-    }
-    out_ << ';';
-  }
-
-  const McConfig& cfg_;
-  std::vector<std::vector<NodeId>> perms_;
-  std::vector<std::vector<NodeId>> invPerms_;
-  std::map<TransactionId, std::uint64_t> txnMap_;
-  std::ostringstream out_;
+  std::uint64_t& dst_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point t0_;
 };
 
 // -- the wave-parallel explorer ----------------------------------------------
@@ -297,32 +93,32 @@ class ParallelExplorer {
   McResult run();
 
  private:
-  /// A frontier entry: the concrete world plus its id in the visited set.
+  /// A frontier entry: the world as a lossless arena blob plus its id in
+  /// the visited set.  `flightCount` feeds the per-wave successor upper
+  /// bound without deserializing.
+  struct FrontierRef {
+    const std::byte* blob = nullptr;
+    std::uint32_t len = 0;
+    std::uint32_t id = 0;
+    std::uint32_t flightCount = 0;
+  };
+
+  /// A deserialized frontier state under expansion.
   struct Node {
     World w;
-    std::uint64_t id = 0;
+    std::uint32_t id = 0;
   };
 
-  /// Compact parent pointer: 16 bytes per visited state reconstruct any
-  /// path back to the root.
-  struct Edge {
-    std::uint64_t parent = 0;
-    Action action{};
-  };
-
-  /// One shard of the visited set.  The canonical key maps to a per-stripe
-  /// local index; the global StateId is localIndex * kStripes + stripe, so
-  /// ids are dense per stripe and the edge log doubles as the id table.
-  struct Stripe {
-    std::mutex mu;
-    std::unordered_map<std::string, std::uint32_t> ids;
-    std::vector<Edge> edges;
+  /// Where a visited state's canonical encoding lives (in encArena_).
+  struct EncRef {
+    const std::byte* ptr = nullptr;
+    std::uint32_t len = 0;
   };
 
   /// Seed of a counterexample: the leaf state plus (for violations thrown
   /// while generating successors) the action that triggered the throw.
   struct CexSeed {
-    std::uint64_t leaf = 0;
+    std::uint32_t leaf = 0;
     std::optional<Action> extra;
     std::string kind;
     std::string detail;
@@ -331,76 +127,171 @@ class ParallelExplorer {
   /// Chunk-local expansion output; merged at the wave barrier in chunk
   /// order so every result field is independent of worker scheduling.
   struct ChunkOut {
-    std::vector<Node> next;
+    std::vector<FrontierRef> next;
     std::vector<std::string> violations;
     std::uint64_t transitions = 0;
     std::uint64_t ampleStates = 0;
     bool deadlock = false;
     std::optional<CexSeed> cex;
+    McPerfCounters perf;
   };
 
-  static constexpr std::size_t kStripes = 64;
-  static constexpr std::uint64_t kNoParent = ~std::uint64_t{0};
+  /// Per-worker state: codecs, bump cursors into the shared arenas, and
+  /// reused scratch buffers.  Strictly single-threaded while checked out.
+  /// Contexts are pooled and reused across chunks and waves — a fresh
+  /// context per chunk would abandon the tail of its current arena block
+  /// every chunk, and for the persistent encoding arena that waste
+  /// accumulates for the whole run (~1 MiB per chunk).  Pooling bounds
+  /// the abandonment to at most one partial block per live context.
+  struct WorkerCtx {
+    WorkerCtx(const McConfig& cfg, proto::TxnCounter& txns, Arena& encArena,
+              bool timingOn)
+        : codec(cfg),
+          wcodec(cfg, txns),
+          legacy(cfg),
+          encRef(encArena),
+          nextRef(encArena),  // rebound to the wave's blob arena on checkout
+          timing(timingOn) {}
 
-  World makeInitial() {
-    World w;
-    w.dirs.emplace_back(cfg_.numProcessors, cfg_.proto, proto::nullSink(),
-                        txns_);
-    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
-      w.dirs[0].addBlock(b, BlockValue(cfg_.proto.wordsPerBlock, 0));
+    StateCodec codec;
+    WorldCodec wcodec;
+    LegacyCanonicalizer legacy;  ///< POR candidate ordering only
+    ArenaRef encRef;
+    ArenaRef nextRef;
+    std::uint64_t waveEpoch = ~std::uint64_t{0};
+    bool timing;
+    std::vector<std::byte> enc;   ///< canonical-encoding scratch
+    std::vector<std::byte> blob;  ///< world-blob scratch
+  };
+
+  /// Check a context out of the pool, rebinding its frontier-blob cursor
+  /// when the wave (and thus the target ping-pong arena) changed since its
+  /// last use.  A wave with C chunks touches at most min(C, jobs)
+  /// contexts, so the pool never exceeds the worker count.
+  std::unique_ptr<WorkerCtx> acquireCtx(std::uint64_t epoch,
+                                        Arena& nextArena) {
+    std::unique_ptr<WorkerCtx> ctx;
+    {
+      const std::lock_guard<std::mutex> lk(ctxMu_);
+      if (!ctxPool_.empty()) {
+        ctx = std::move(ctxPool_.back());
+        ctxPool_.pop_back();
+      }
     }
-    for (NodeId p = 0; p < cfg_.numProcessors; ++p) {
-      w.caches.emplace_back(p, cfg_.proto, proto::nullSink(), nullClient());
+    if (!ctx) {
+      ctx = std::make_unique<WorkerCtx>(cfg_, txns_, encArena_, cfg_.perf);
     }
-    return w;
+    if (ctx->waveEpoch != epoch) {
+      ctx->nextRef = ArenaRef(nextArena);
+      ctx->waveEpoch = epoch;
+    }
+    return ctx;
   }
 
-  std::uint64_t insert(std::string key, std::uint64_t parent, const Action& a,
-                       bool& inserted) {
-    const std::size_t sIdx = std::hash<std::string>{}(key) % kStripes;
-    Stripe& st = stripes_[sIdx];
-    const std::lock_guard<std::mutex> lk(st.mu);
-    const auto [it, fresh] =
-        st.ids.try_emplace(std::move(key),
-                           static_cast<std::uint32_t>(st.edges.size()));
-    inserted = fresh;
-    if (fresh) st.edges.push_back(Edge{parent, a});
-    return static_cast<std::uint64_t>(it->second) * kStripes + sIdx;
+  void releaseCtx(std::unique_ptr<WorkerCtx> ctx) {
+    const std::lock_guard<std::mutex> lk(ctxMu_);
+    ctxPool_.push_back(std::move(ctx));
   }
 
-  /// Was this key inserted in a wave *before* the current one?  The POR
-  /// proviso consults this frozen horizon instead of the live set so the
-  /// ample decision is a pure function of the (deterministic) per-wave
-  /// state sets, not of worker timing.
-  bool visitedBeforeWave(const std::string& key) {
-    const std::size_t sIdx = std::hash<std::string>{}(key) % kStripes;
-    Stripe& st = stripes_[sIdx];
-    const std::lock_guard<std::mutex> lk(st.mu);
-    const auto it = st.ids.find(key);
-    return it != st.ids.end() && it->second < watermark_[sIdx];
+  static constexpr std::uint32_t kNoParent = 0xFFFFFFFEu;
+
+  /// Grow the per-id arrays (single-threaded, wave boundary only) so
+  /// every id this wave can assign has a slot; workers then write their
+  /// freshly claimed slots without further synchronization.
+  void growIdArrays(std::size_t needed) {
+    if (needed <= encs_.size()) return;
+    const std::size_t target = std::max(needed, encs_.size() * 2);
+    encs_.reserve(target);
+    parents_.reserve(target);
+    actions_.reserve(target);
+    encs_.resize(needed);
+    parents_.resize(needed);
+    actions_.resize(needed);
   }
 
-  Edge edgeAt(std::uint64_t id) {
-    Stripe& st = stripes_[id % kStripes];
-    const std::lock_guard<std::mutex> lk(st.mu);
-    return st.edges[static_cast<std::size_t>(id / kStripes)];
+  [[nodiscard]] bool encEquals(std::uint32_t payload,
+                               const std::vector<std::byte>& enc) const {
+    const EncRef& e = encs_[payload];
+    return e.len == enc.size() &&
+           std::memcmp(e.ptr, enc.data(), e.len) == 0;
+  }
+
+  /// Insert a state already canonically encoded in `enc`; on winning,
+  /// store the encoding + parent edge and append the world's frontier
+  /// blob to `out.next`.
+  void recordEncoded(const World& s, std::uint32_t parent, const Action& a,
+                     WorkerCtx& ctx, ChunkOut& out) {
+    const std::uint64_t fp =
+        fingerprintHash(ctx.enc.data(), ctx.enc.size());
+    out.perf.insertCalls += 1;
+    FlatFingerprintSet::InsertResult res;
+    {
+      ScopedNanos t(out.perf.insertNanos, ctx.timing);
+      res = visited_.insert(
+          fp, [&](std::uint32_t payload) { return encEquals(payload, ctx.enc); },
+          [&]() {
+            const std::uint32_t id =
+                nextId_.fetch_add(1, std::memory_order_relaxed);
+            std::byte* p = ctx.encRef.alloc(ctx.enc.size());
+            std::memcpy(p, ctx.enc.data(), ctx.enc.size());
+            encs_[id] = EncRef{p, static_cast<std::uint32_t>(ctx.enc.size())};
+            parents_[id] = parent;
+            actions_[id] = packAction(a);
+            return id;
+          });
+    }
+    out.perf.noteProbes(res.probes);
+    if (!res.inserted) return;
+    out.perf.storedStates += 1;
+    out.perf.storedEncodingBytes += ctx.enc.size();
+    {
+      ScopedNanos t(out.perf.worldSaveNanos, ctx.timing);
+      ctx.wcodec.save(s, ctx.blob);
+    }
+    std::byte* bp = ctx.nextRef.alloc(ctx.blob.size());
+    std::memcpy(bp, ctx.blob.data(), ctx.blob.size());
+    out.next.push_back(FrontierRef{bp,
+                                   static_cast<std::uint32_t>(ctx.blob.size()),
+                                   res.payload,
+                                   static_cast<std::uint32_t>(s.flight.size())});
+  }
+
+  void record(const World& s, std::uint32_t parent, const Action& a,
+              WorkerCtx& ctx, ChunkOut& out) {
+    out.perf.encodeCalls += 1;
+    {
+      ScopedNanos t(out.perf.encodeNanos, ctx.timing);
+      ctx.codec.encode(s, ctx.enc);
+    }
+    recordEncoded(s, parent, a, ctx, out);
+  }
+
+  /// Was this canonical encoding inserted in a wave *before* the current
+  /// one?  The POR proviso consults this frozen horizon (`idWatermark_`:
+  /// ids are allocated monotonically, so "id < watermark" ⇔ "discovered
+  /// before this wave began") instead of the live set, keeping the ample
+  /// decision a pure function of the per-wave state sets, not of worker
+  /// timing.
+  [[nodiscard]] bool visitedBeforeWave(const std::vector<std::byte>& enc) {
+    const std::uint64_t fp = fingerprintHash(enc.data(), enc.size());
+    const auto found = visited_.find(
+        fp, [&](std::uint32_t payload) { return encEquals(payload, enc); });
+    return found.has_value() && *found < idWatermark_;
   }
 
   Schedule reconstructSchedule(const CexSeed& seed) {
     Schedule rev;
-    std::uint64_t cur = seed.leaf;
-    while (true) {
-      const Edge e = edgeAt(cur);
-      if (e.parent == kNoParent) break;
-      rev.push_back(e.action);
-      cur = e.parent;
+    std::uint32_t cur = seed.leaf;
+    while (parents_[cur] != kNoParent) {
+      rev.push_back(unpackAction(actions_[cur]));
+      cur = parents_[cur];
     }
     std::reverse(rev.begin(), rev.end());
     if (seed.extra) rev.push_back(*seed.extra);
     return rev;
   }
 
-  void noteCex(ChunkOut& out, std::uint64_t leaf, std::optional<Action> extra,
+  void noteCex(ChunkOut& out, std::uint32_t leaf, std::optional<Action> extra,
                std::string kind, std::string detail) {
     if (out.cex) return;
     out.cex = CexSeed{leaf, std::move(extra), std::move(kind),
@@ -517,7 +408,7 @@ class ParallelExplorer {
 
   /// Deliver one message into `s`; false if it raised a protocol violation
   /// (the violation is recorded and the state not expanded further).
-  bool deliver(World& s, const Flight& f, std::uint64_t parent,
+  bool deliver(World& s, const Flight& f, std::uint32_t parent,
                const Action& a, ChunkOut& out) {
     proto::Outbox ob;
     try {
@@ -541,13 +432,6 @@ class ParallelExplorer {
       entry.msg.src = src;
       s.flight.push_back(Flight{entry.dst, std::move(entry.msg)});
     }
-  }
-
-  void record(World&& s, std::uint64_t parent, const Action& a,
-              Canonicalizer& canon, ChunkOut& out) {
-    bool inserted = false;
-    const std::uint64_t id = insert(canon.key(s), parent, a, inserted);
-    if (inserted) out.next.push_back(Node{std::move(s), id});
   }
 
   /// The control projection of one cache used by the POR safety test:
@@ -591,13 +475,16 @@ class ParallelExplorer {
   /// Ample-set attempt: find a "safe" delivery — destined to a cache, the
   /// only in-flight message for that (cache, block), raising no error,
   /// emitting nothing, and leaving the cache's control projection
-  /// untouched — and expand only it.  Candidates are ranked by canonical
-  /// successor key (so the choice is a function of the canonical state,
-  /// not of the representative's flight order) and a candidate whose
-  /// successor was already visited in an earlier wave is skipped (the
-  /// proviso that defeats the ignoring problem); with no eligible
-  /// candidate the caller falls back to full expansion.
-  bool expandAmple(const Node& n, Canonicalizer& canon, ChunkOut& out) {
+  /// untouched — and expand only it.  Candidates are ranked by the
+  /// *legacy string* canonical successor key: equality classes alone
+  /// would not pin down which candidate wins, and the old engine's POR
+  /// counts depend on its exact representative choice, so the string
+  /// order is kept here (and only here — POR runs already trade
+  /// throughput for fewer states).  A candidate whose successor was
+  /// already visited in an earlier wave is skipped (the proviso that
+  /// defeats the ignoring problem); with no eligible candidate the caller
+  /// falls back to full expansion.
+  bool expandAmple(const Node& n, WorkerCtx& ctx, ChunkOut& out) {
     const World& w = n.w;
     struct Cand {
       std::string key;
@@ -630,13 +517,18 @@ class ParallelExplorer {
           controlProjection(s.caches[f.dst])) {
         continue;
       }
-      cands.push_back(Cand{canon.key(s), std::move(s), i});
+      cands.push_back(Cand{ctx.legacy.key(s), std::move(s), i});
     }
     if (cands.empty()) return false;
     std::sort(cands.begin(), cands.end(),
               [](const Cand& a, const Cand& b) { return a.key < b.key; });
     for (Cand& c : cands) {
-      if (visitedBeforeWave(c.key)) continue;
+      out.perf.encodeCalls += 1;
+      {
+        ScopedNanos t(out.perf.encodeNanos, ctx.timing);
+        ctx.codec.encode(c.succ, ctx.enc);
+      }
+      if (visitedBeforeWave(ctx.enc)) continue;
       const Flight& f = w.flight[c.idx];
       Action a;
       a.kind = Action::Kind::Deliver;
@@ -645,16 +537,14 @@ class ParallelExplorer {
       a.msgType = f.msg.type;
       a.block = f.msg.block;
       out.transitions += 1;
-      bool inserted = false;
-      const std::uint64_t id = insert(std::move(c.key), n.id, a, inserted);
-      if (inserted) out.next.push_back(Node{std::move(c.succ), id});
+      recordEncoded(c.succ, n.id, a, ctx, out);
       return true;
     }
     return false;
   }
 
   void issue(const World& w, NodeId p, BlockId b, ReqType req,
-             std::uint64_t parent, Canonicalizer& canon, ChunkOut& out) {
+             std::uint32_t parent, WorkerCtx& ctx, ChunkOut& out) {
     World s = w;
     proto::Outbox ob;
     s.caches[p].issueRequest(b, req, cfg_.numProcessors, ob);
@@ -665,11 +555,11 @@ class ParallelExplorer {
     a.block = b;
     a.req = req;
     out.transitions += 1;
-    record(std::move(s), parent, a, canon, out);
+    record(s, parent, a, ctx, out);
   }
 
-  void expandState(const Node& n, Canonicalizer& canon, ChunkOut& out) {
-    if (cfg_.por && expandAmple(n, canon, out)) {
+  void expandState(const Node& n, WorkerCtx& ctx, ChunkOut& out) {
+    if (cfg_.por && expandAmple(n, ctx, out)) {
       out.ampleStates += 1;
       return;
     }
@@ -687,7 +577,7 @@ class ParallelExplorer {
       a.block = f.msg.block;
       out.transitions += 1;
       if (deliver(s, f, n.id, a, out)) {
-        record(std::move(s), n.id, a, canon, out);
+        record(s, n.id, a, ctx, out);
       }
     }
     // (b) Any processor issues any legal request / local action.
@@ -697,10 +587,10 @@ class ParallelExplorer {
         if (cache.requestBlocked(b)) continue;
         const CacheState cs = cache.state(b);
         if (cs == CacheState::Invalid) {
-          issue(w, p, b, ReqType::GetShared, n.id, canon, out);
-          issue(w, p, b, ReqType::GetExclusive, n.id, canon, out);
+          issue(w, p, b, ReqType::GetShared, n.id, ctx, out);
+          issue(w, p, b, ReqType::GetExclusive, n.id, ctx, out);
         } else if (cs == CacheState::ReadOnly) {
-          issue(w, p, b, ReqType::Upgrade, n.id, canon, out);
+          issue(w, p, b, ReqType::Upgrade, n.id, ctx, out);
           if (cfg_.allowEvictions && cfg_.proto.putSharedEnabled) {
             World s = w;
             s.caches[p].putShared(b);
@@ -709,7 +599,7 @@ class ParallelExplorer {
             a.proc = p;
             a.block = b;
             out.transitions += 1;
-            record(std::move(s), n.id, a, canon, out);
+            record(s, n.id, a, ctx, out);
           }
         } else if (cfg_.allowEvictions) {
           World s = w;
@@ -721,7 +611,7 @@ class ParallelExplorer {
           a.proc = p;
           a.block = b;
           out.transitions += 1;
-          record(std::move(s), n.id, a, canon, out);
+          record(s, n.id, a, ctx, out);
         }
       }
     }
@@ -743,41 +633,87 @@ class ParallelExplorer {
           a.proc = p;
           a.block = b;
           out.transitions += 1;
-          record(std::move(s), n.id, a, canon, out);
+          record(s, n.id, a, ctx, out);
         }
       }
     }
   }
 
-  void expandRange(const std::vector<Node>& frontier, std::size_t begin,
-                   std::size_t end, ChunkOut& out) {
-    Canonicalizer canon(cfg_);
-    for (std::size_t i = begin; i < end; ++i) {
-      const Node& n = frontier[i];
-      const bool violating = checkState(n, out);
-      if (!violating) expandState(n, canon, out);
+  void expandRange(const std::vector<FrontierRef>& frontier, std::size_t begin,
+                   std::size_t end, std::uint64_t epoch, Arena& nextArena,
+                   ChunkOut& out) {
+    std::unique_ptr<WorkerCtx> ctxOwner = acquireCtx(epoch, nextArena);
+    WorkerCtx& ctx = *ctxOwner;
+    {
+      ScopedNanos whole(out.perf.expandNanos, ctx.timing);
+      for (std::size_t i = begin; i < end; ++i) {
+        const FrontierRef& ref = frontier[i];
+        Node n;
+        {
+          ScopedNanos t(out.perf.worldLoadNanos, ctx.timing);
+          n.w = ctx.wcodec.load(ref.blob, ref.len);
+        }
+        n.id = ref.id;
+        const bool violating = checkState(n, out);
+        if (!violating) expandState(n, ctx, out);
+      }
     }
+    releaseCtx(std::move(ctxOwner));
+  }
+
+  /// Bytes currently committed to the structures the explorer owns — the
+  /// quantity `--mem-limit-mb` bounds.  (Transient per-chunk worlds and
+  /// scratch are not tracked; they are small and wave-independent.)
+  [[nodiscard]] std::uint64_t trackedBytes(
+      const std::vector<FrontierRef>& frontier) const {
+    return visited_.bytes() + encArena_.bytesReserved() +
+           waveArenas_[0].bytesReserved() + waveArenas_[1].bytesReserved() +
+           encs_.capacity() * sizeof(EncRef) +
+           parents_.capacity() * sizeof(std::uint32_t) +
+           actions_.capacity() * sizeof(std::uint64_t) +
+           frontier.capacity() * sizeof(FrontierRef);
   }
 
   McConfig cfg_;
-  std::array<Stripe, kStripes> stripes_;
-  std::array<std::uint32_t, kStripes> watermark_{};
   proto::TxnCounter txns_;
+  std::mutex ctxMu_;
+  std::vector<std::unique_ptr<WorkerCtx>> ctxPool_;
+  FlatFingerprintSet visited_;
+  Arena encArena_;        ///< canonical encodings of visited states
+  Arena waveArenas_[2];   ///< ping-pong frontier-blob arenas
+  std::atomic<std::uint32_t> nextId_{0};
+  std::uint32_t idWatermark_ = 0;  ///< POR proviso horizon (wave start)
+  std::vector<EncRef> encs_;
+  std::vector<std::uint32_t> parents_;
+  std::vector<std::uint64_t> actions_;
   McResult result_;
 };
 
 McResult ParallelExplorer::run() {
-  Canonicalizer rootCanon(cfg_);
-  World init = makeInitial();
-  bool inserted = false;
-  const std::uint64_t rootId =
-      insert(rootCanon.key(init), kNoParent, Action{}, inserted);
-  std::vector<Node> frontier;
-  frontier.push_back(Node{std::move(init), rootId});
-
   const unsigned jobs = std::max(1u, cfg_.jobs);
   ThreadPool pool(jobs);
   std::optional<CexSeed> cexSeed;
+
+  // Extra successors one expanded state can contribute beyond its
+  // deliveries: two issues per (processor, block), one eviction-ish local
+  // action folded into the same bound, plus a store under modelData.
+  const std::uint64_t issueBound =
+      static_cast<std::uint64_t>(cfg_.numProcessors) * cfg_.numBlocks *
+      (2 + (cfg_.modelData ? 1 : 0));
+
+  // Seed the root (wave arena 0 holds the first frontier's blobs).
+  std::size_t cur = 0;
+  std::vector<FrontierRef> frontier;
+  {
+    growIdArrays(16);
+    ChunkOut rootOut;
+    std::unique_ptr<WorkerCtx> ctx = acquireCtx(0, waveArenas_[0]);
+    const World init = makeInitialWorld(cfg_, txns_);
+    record(init, kNoParent, Action{}, *ctx, rootOut);
+    releaseCtx(std::move(ctx));
+    result_.perf.merge(rootOut.perf);
+    frontier = std::move(rootOut.next);
+  }
 
   while (!frontier.empty()) {
     result_.frontierPeak =
@@ -790,38 +726,64 @@ McResult ParallelExplorer::run() {
     }
     if (expandCount == 0) break;
 
-    // Freeze the POR proviso horizon at the wave boundary.
-    for (std::size_t s = 0; s < kStripes; ++s) {
-      watermark_[s] = static_cast<std::uint32_t>(stripes_[s].edges.size());
+    // Memory-limit verdict — decided only at wave boundaries, so counts
+    // stay exact and jobs-independent for every completed wave.
+    if (cfg_.memLimitMb != 0 &&
+        trackedBytes(frontier) > cfg_.memLimitMb * 1024 * 1024) {
+      result_.memLimitHit = true;
+      break;
     }
 
-    const std::size_t chunkSize =
-        std::max<std::size_t>(std::size_t{1},
-                              expandCount / (std::size_t{jobs} * 4) + 1);
+    // Pre-size the visited table and the id arrays for this wave's
+    // successor upper bound: neither may grow mid-wave (the flat set must
+    // not rehash under concurrent inserts; workers index the id arrays
+    // without locks).
+    std::uint64_t waveBound = 0;
+    for (std::size_t i = 0; i < expandCount; ++i) {
+      waveBound += frontier[i].flightCount + issueBound;
+    }
+    visited_.reserveFor(static_cast<std::size_t>(waveBound));
+    const std::uint32_t baseId = nextId_.load(std::memory_order_relaxed);
+    growIdArrays(static_cast<std::size_t>(baseId) +
+                 static_cast<std::size_t>(waveBound));
+
+    // Freeze the POR proviso horizon at the wave boundary.
+    idWatermark_ = baseId;
+
+    // Adaptive chunking: large chunks on small frontiers so oversubscribed
+    // hosts don't pay merge cost for nothing, bounded below at 64 states.
+    const std::size_t chunkSize = std::max<std::size_t>(
+        expandCount / (std::size_t{8} * jobs), std::size_t{64});
     const std::size_t nChunks = (expandCount + chunkSize - 1) / chunkSize;
+    Arena& nextArena = waveArenas_[1 - cur];
+    const std::uint64_t epoch = result_.wavesCompleted + 1;
     std::vector<ChunkOut> outs(nChunks);
     for (std::size_t c = 0; c < nChunks; ++c) {
       const std::size_t begin = c * chunkSize;
       const std::size_t end = std::min(expandCount, begin + chunkSize);
-      pool.submit([this, &frontier, &outs, c, begin, end] {
-        expandRange(frontier, begin, end, outs[c]);
+      pool.submit([this, &frontier, &outs, &nextArena, epoch, c, begin, end] {
+        expandRange(frontier, begin, end, epoch, nextArena, outs[c]);
       });
     }
     pool.wait();
 
     result_.statesExplored += expandCount;
-    std::vector<Node> next;
+    std::vector<FrontierRef> next;
     std::vector<std::string> waveViolations;
     for (ChunkOut& o : outs) {
       result_.transitions += o.transitions;
       result_.ampleStates += o.ampleStates;
       result_.deadlockFound = result_.deadlockFound || o.deadlock;
+      result_.perf.merge(o.perf);
       for (std::string& v : o.violations) {
         waveViolations.push_back(std::move(v));
       }
       if (!cexSeed && o.cex) cexSeed = std::move(o.cex);
-      for (Node& nd : o.next) next.push_back(std::move(nd));
+      for (const FrontierRef& ref : o.next) next.push_back(ref);
     }
+    result_.frontierBytesPeak = std::max<std::uint64_t>(
+        result_.frontierBytesPeak,
+        waveArenas_[0].bytesReserved() + waveArenas_[1].bytesReserved());
     std::sort(waveViolations.begin(), waveViolations.end());
     waveViolations.erase(
         std::unique(waveViolations.begin(), waveViolations.end()),
@@ -840,6 +802,10 @@ McResult ParallelExplorer::run() {
     }
     if (cfg_.maxDepth != 0 && result_.wavesCompleted >= cfg_.maxDepth) break;
     frontier = std::move(next);
+    // The expanded wave's blobs are dead; recycle its arena for the wave
+    // after next.
+    waveArenas_[cur].reset();
+    cur = 1 - cur;
   }
 
   if (cexSeed) {
@@ -849,6 +815,11 @@ McResult ParallelExplorer::run() {
     cex.schedule = reconstructSchedule(*cexSeed);
     result_.counterexample = std::move(cex);
   }
+  result_.visitedBytes =
+      visited_.bytes() + encArena_.bytesReserved() +
+      encs_.capacity() * sizeof(EncRef) +
+      parents_.capacity() * sizeof(std::uint32_t) +
+      actions_.capacity() * sizeof(std::uint64_t);
   return result_;
 }
 

@@ -23,16 +23,24 @@
 //     style).  With `modelData`, word-0 data values and a bounded store
 //     action are modeled instead of projected, plus a per-state value
 //     coherence check — this is what lets MC refute value-only mutants.
-//   * Exploration is a wave-synchronous parallel BFS: the visited set is
-//     sharded across 64 striped hash sets, each wave's frontier is chunked
-//     across the work-stealing `lcdc::ThreadPool`, and all stop decisions
-//     (violation found, deadlock, state cap) happen at wave boundaries, so
-//     `statesExplored` / `transitions` / verdicts are identical for any
-//     `jobs` value.
-//   * Every visited state keeps a compact parent edge (8-byte parent id +
-//     the action taken), so any violation or deadlock reconstructs into a
-//     concrete schedule; `replay.hpp` re-executes that schedule through
-//     `sim::System` with the streaming Lamport checkers attached.
+//   * Exploration is a wave-synchronous parallel BFS over *binary* state
+//     encodings (DESIGN.md §9): canonical states are bit-packed by
+//     `StateCodec`, deduplicated in one flat open-addressing fingerprint
+//     set (`common/flat_set.hpp`, CAS insertion, full-encoding compare on
+//     fingerprint hits), and frontier worlds live as lossless varint
+//     blobs (`WorldCodec`) in ping-pong bump arenas.  Each wave's
+//     frontier is chunked across the work-stealing `lcdc::ThreadPool`,
+//     the visited table grows only at wave boundaries, and all stop
+//     decisions (violation found, deadlock, state cap, memory limit)
+//     happen at wave boundaries, so `statesExplored` / `transitions` /
+//     verdicts are identical for any `jobs` value — and byte-identical
+//     to the original string-key engine (`legacy_key.hpp` remains as the
+//     differential oracle).
+//   * Every visited state keeps a compact parent edge (4-byte parent id +
+//     the action packed into 8 bytes), so any violation or deadlock
+//     reconstructs into a concrete schedule; `replay.hpp` re-executes
+//     that schedule through `sim::System` with the streaming Lamport
+//     checkers attached.
 //   * Safety checks per state: the single-writer/multiple-reader invariant,
 //     protocol-invariant (Appendix B) violations surfacing as exceptions,
 //     definite deadlocks (no message in flight yet requests outstanding),
@@ -51,6 +59,7 @@
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "mc/perf.hpp"
 #include "proto/messages.hpp"
 
 namespace lcdc::mc {
@@ -92,6 +101,15 @@ struct McConfig {
   /// D form a well-defined sub-space, so equal-depth comparisons measure
   /// reduction factors on configurations too large to explore fully.
   std::uint64_t maxDepth = 0;
+  /// Stop gracefully (MemLimit verdict, `McResult::memLimitHit`) at the
+  /// next wave boundary once the explorer's tracked structures — visited
+  /// slabs, encoding/frontier arenas, edge arrays — exceed this many MiB.
+  /// 0 = unlimited.  Checked only between waves, so a run that stops here
+  /// still reports exact, jobs-independent counts for the waves it did.
+  std::uint64_t memLimitMb = 0;
+  /// Collect nanosecond-level timing in `McResult::perf` (byte counters
+  /// and the probe histogram are always collected).
+  bool perf = false;
 };
 
 /// One scheduled step of an exploration path.  `Deliver` indexes into the
@@ -131,10 +149,20 @@ struct McResult {
   /// Fully expanded BFS waves (the depth the exploration reached).
   std::uint64_t wavesCompleted = 0;
   bool hitStateLimit = false;
+  /// Exploration stopped at a wave boundary because `memLimitMb` was
+  /// exceeded (the MemLimit verdict; counts up to that wave are exact).
+  bool memLimitHit = false;
   bool deadlockFound = false;
   std::vector<std::string> violations;
   /// First failing path found (wave order), when any check failed.
   std::optional<Counterexample> counterexample;
+  /// Encode/insert/expand instrumentation (timing only with cfg.perf).
+  McPerfCounters perf;
+  /// End-of-run footprint of the visited structures: flat-set slabs +
+  /// canonical-encoding arena + parent/action/encoding-ref arrays.
+  std::uint64_t visitedBytes = 0;
+  /// Peak bytes reserved by the two ping-pong frontier-blob arenas.
+  std::uint64_t frontierBytesPeak = 0;
 
   [[nodiscard]] bool ok() const {
     return violations.empty() && !deadlockFound;

@@ -1,0 +1,431 @@
+#include "mc/state_codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/expect.hpp"
+
+namespace lcdc::mc {
+
+namespace {
+
+/// Width needed to store values 0..maxValue.
+unsigned bitsFor(std::uint64_t maxValue) {
+  unsigned w = 1;
+  while ((std::uint64_t{1} << w) <= maxValue) ++w;
+  return w;
+}
+
+constexpr unsigned kDirStateW = 3;
+constexpr unsigned kReqW = 2;
+constexpr unsigned kCStateW = 2;
+constexpr unsigned kAStateW = 2;
+constexpr unsigned kMsgTypeW = 4;
+constexpr unsigned kNackW = 4;
+constexpr unsigned kTxnW = 8;
+constexpr unsigned kValW = 8;
+constexpr unsigned kBufCountW = 8;
+constexpr unsigned kFlightCountW = 16;
+
+/// modelData value code: 0 = absent, else word-0 value + 1.  Values are
+/// bounded (stores bump a mod-4 counter), so 8 bits are ample.
+std::uint16_t valCode(const BlockValue& v) {
+  if (v.empty()) return 0;
+  LCDC_EXPECT(v[0] <= 254, "modelData value out of 8-bit code range");
+  return static_cast<std::uint16_t>(v[0] + 1);
+}
+
+}  // namespace
+
+// -- bit-stream primitives ---------------------------------------------------
+
+class StateCodec::BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void put(std::uint64_t v, unsigned w) {
+    if (w > 32) {
+      put(v & 0xFFFFFFFFu, 32);
+      put(v >> 32, w - 32);
+      return;
+    }
+    acc_ |= (v & ((std::uint64_t{1} << w) - 1)) << nbits_;
+    nbits_ += w;
+    while (nbits_ >= 8) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  /// Flush the partial byte (zero-padded) so the next write starts on a
+  /// byte boundary — used to keep flight-view records memcmp-able.
+  void alignByte() {
+    if (nbits_ != 0) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+class StateCodec::BitReader {
+ public:
+  BitReader(const std::byte* data, std::size_t len) : data_(data), len_(len) {}
+
+  std::uint64_t get(unsigned w) {
+    if (w > 32) {
+      const std::uint64_t lo = get(32);
+      return lo | (get(w - 32) << 32);
+    }
+    while (nbits_ < w) {
+      LCDC_EXPECT(pos_ < len_, "canonical decode ran past the buffer");
+      acc_ |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(
+                  data_[pos_++]))
+              << nbits_;
+      nbits_ += 8;
+    }
+    const std::uint64_t v = acc_ & ((std::uint64_t{1} << w) - 1);
+    acc_ >>= w;
+    nbits_ -= w;
+    return v;
+  }
+
+ private:
+  const std::byte* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+// -- codec -------------------------------------------------------------------
+
+StateCodec::StateCodec(const McConfig& cfg)
+    : cfg_(cfg),
+      perms_(makeNodePermutations(cfg.numProcessors, cfg.symmetry)) {
+  for (const auto& perm : perms_) {
+    std::vector<NodeId> inv(perm.size());
+    for (NodeId i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
+    invPerms_.push_back(std::move(inv));
+  }
+  noneNode_ = cfg.numProcessors + 1;
+  nodeW_ = bitsFor(noneNode_);
+  blockW_ = bitsFor(cfg.numBlocks > 1 ? cfg.numBlocks - 1 : 1);
+  maskW_ = cfg.numProcessors;
+  LCDC_EXPECT(maskW_ <= 32, "processor mask exceeds 32 bits");
+  msgBits_ = 3 * nodeW_ + kMsgTypeW + blockW_ + kNackW + kReqW + 1 + maskW_ +
+             (cfg.modelData ? kValW : 0) + 2 * kTxnW;
+}
+
+std::uint32_t StateCodec::mapNode(NodeId n,
+                                  const std::vector<NodeId>& perm) const {
+  if (n == kNoNode) return noneNode_;
+  return n < cfg_.numProcessors ? perm[n] : n;
+}
+
+std::uint16_t StateCodec::txnCodeAssign(TransactionId id) {
+  if (id == kNoTransaction) return 0;
+  for (std::size_t i = 0; i < txnSlots_.size(); ++i) {
+    if (txnSlots_[i] == id) return static_cast<std::uint16_t>(i + 1);
+  }
+  txnSlots_.push_back(id);
+  LCDC_EXPECT(txnSlots_.size() <= 253, "too many live txns for 8-bit codes");
+  return static_cast<std::uint16_t>(txnSlots_.size());
+}
+
+std::uint16_t StateCodec::txnViewCode(TransactionId id) const {
+  if (id == kNoTransaction) return 0;
+  for (std::size_t i = 0; i < txnSlots_.size(); ++i) {
+    if (txnSlots_[i] == id) return static_cast<std::uint16_t>(i + 2);
+  }
+  return 1;  // fresh ids collapse to one code so sorting is id-blind
+}
+
+void StateCodec::writeMsgFields(BitWriter& bw, const Flight& f,
+                                const std::vector<NodeId>& perm,
+                                std::uint16_t txnCode,
+                                std::uint16_t closesCode) const {
+  bw.put(mapNode(f.dst, perm), nodeW_);
+  bw.put(static_cast<std::uint8_t>(f.msg.type), kMsgTypeW);
+  bw.put(f.msg.block, blockW_);
+  bw.put(mapNode(f.msg.src, perm), nodeW_);
+  bw.put(mapNode(f.msg.requester, perm), nodeW_);
+  bw.put(static_cast<std::uint8_t>(f.msg.nackKind), kNackW);
+  bw.put(static_cast<std::uint8_t>(f.msg.nackedReq), kReqW);
+  bw.put(f.msg.ignoreBufferedInv ? 1 : 0, 1);
+  std::uint32_t invMask = 0;
+  for (const NodeId n : f.msg.invTargets) {
+    LCDC_EXPECT(n < cfg_.numProcessors, "inv target out of processor range");
+    invMask |= std::uint32_t{1} << perm[n];
+  }
+  bw.put(invMask, maskW_);
+  if (cfg_.modelData) bw.put(valCode(f.msg.data), kValW);
+  bw.put(txnCode, kTxnW);
+  bw.put(closesCode, kTxnW);
+}
+
+void StateCodec::encodeWithPerm(const World& w,
+                                const std::vector<NodeId>& perm,
+                                const std::vector<NodeId>& inv,
+                                std::vector<std::byte>& out) {
+  txnSlots_.clear();
+  out.clear();
+  BitWriter bw(out);
+
+  // Directory section (no txn ids live here).
+  for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+    const proto::DirEntry& e = w.dirs[0].entry(b);
+    bw.put(static_cast<std::uint8_t>(e.core.state), kDirStateW);
+    bw.put(mapNode(e.core.busyRequester, perm), nodeW_);
+    bw.put(static_cast<std::uint8_t>(e.core.busyReq), kReqW);
+    std::uint32_t cachedMask = 0;
+    for (const NodeId n : e.core.cached) {
+      LCDC_EXPECT(n < cfg_.numProcessors, "cached node out of range");
+      cachedMask |= std::uint32_t{1} << perm[n];
+    }
+    bw.put(cachedMask, maskW_);
+    if (cfg_.modelData) bw.put(valCode(e.mem), kValW);
+  }
+
+  // Caches in canonical (permuted) id order; txn markers are assigned in
+  // this traversal order, exactly as the string key assigned them.
+  for (NodeId i = 0; i < cfg_.numProcessors; ++i) {
+    const proto::CacheController& cache = w.caches[inv[i]];
+    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+      const proto::Line* line = cache.findLine(b);
+      if (line == nullptr) {
+        bw.put(0, 1);
+        continue;
+      }
+      bw.put(1, 1);
+      bw.put(static_cast<std::uint8_t>(line->cstate), kCStateW);
+      bw.put(static_cast<std::uint8_t>(line->astate), kAStateW);
+      bw.put(txnCodeAssign(line->ignoreFwdTxn), kTxnW);
+      bw.put(txnCodeAssign(line->dropInvTxn), kTxnW);
+      if (cfg_.modelData) {
+        bw.put(valCode(line->data), kValW);
+        // The ForwardStaleValue mutant sends epochStartData on forwards,
+        // so the projection must distinguish it or the abstraction leaks.
+        if (cfg_.proto.mutant == Mutant::ForwardStaleValue) {
+          bw.put(valCode(line->epochStartData), kValW);
+        }
+      }
+      if (!line->mshr) {
+        bw.put(0, 1);
+        continue;
+      }
+      bw.put(1, 1);
+      const proto::Mshr& m = *line->mshr;
+      bw.put(static_cast<std::uint8_t>(m.req), kReqW);
+      bw.put(m.replySeen ? 1 : 0, 1);
+      bw.put(m.invListKnown ? 1 : 0, 1);
+      std::uint32_t acksMask = 0;
+      for (const NodeId n : m.acksPending) {
+        LCDC_EXPECT(n < cfg_.numProcessors, "ack-pending node out of range");
+        acksMask |= std::uint32_t{1} << perm[n];
+      }
+      bw.put(acksMask, maskW_);
+      std::uint32_t earlyMask = 0;
+      for (const NodeId n : m.earlyAcks) {
+        LCDC_EXPECT(n < cfg_.numProcessors, "early-ack node out of range");
+        earlyMask |= std::uint32_t{1} << perm[n];
+      }
+      bw.put(earlyMask, maskW_);
+      if (m.pendingFwd) {
+        bw.put(1, 1);
+        bw.put(static_cast<std::uint8_t>(m.pendingFwd->type), kMsgTypeW);
+        bw.put(mapNode(m.pendingFwd->requester, perm), nodeW_);
+      } else {
+        bw.put(0, 1);
+      }
+      if (cfg_.modelData) bw.put(valCode(m.data), kValW);
+      LCDC_EXPECT(m.buffered.size() <= 255, "buffered queue exceeds 8 bits");
+      bw.put(m.buffered.size(), kBufCountW);
+      for (const proto::Message& bm : m.buffered) {
+        bw.put(static_cast<std::uint8_t>(bm.type), kMsgTypeW);
+        bw.put(mapNode(bm.requester, perm), nodeW_);
+        bw.put(txnCodeAssign(bm.txn), kTxnW);
+      }
+    }
+  }
+
+  // Flight bag: sort by an id-blind fixed-width view (already-assigned txn
+  // ids show their marker, fresh ids collapse), then emit in that order
+  // while assigning fresh markers — the binary twin of the string key's
+  // sortView/remap pass.  Ties are content-identical up to fresh ids, so
+  // either order yields the same final bytes.
+  LCDC_EXPECT(w.flight.size() <= 65535, "flight bag exceeds 16-bit count");
+  const std::size_t msgBytes = (msgBits_ + 7) / 8;
+  viewScratch_.clear();
+  {
+    BitWriter vw(viewScratch_);
+    for (const Flight& f : w.flight) {
+      writeMsgFields(vw, f, perm, txnViewCode(f.msg.txn),
+                     txnViewCode(f.msg.closesTxn));
+      vw.alignByte();
+    }
+  }
+  order_.resize(w.flight.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  const std::byte* views = viewScratch_.data();
+  std::sort(order_.begin(), order_.end(),
+            [views, msgBytes](std::uint32_t a, std::uint32_t b) {
+              return std::memcmp(views + a * msgBytes, views + b * msgBytes,
+                                 msgBytes) < 0;
+            });
+  bw.put(w.flight.size(), kFlightCountW);
+  for (const std::uint32_t i : order_) {
+    const Flight& f = w.flight[i];
+    writeMsgFields(bw, f, perm, txnCodeAssign(f.msg.txn),
+                   txnCodeAssign(f.msg.closesTxn));
+  }
+  bw.alignByte();
+}
+
+void StateCodec::encode(const World& w, std::vector<std::byte>& out) {
+  encodeWithPerm(w, perms_[0], invPerms_[0], out);
+  for (std::size_t i = 1; i < perms_.size(); ++i) {
+    encodeWithPerm(w, perms_[i], invPerms_[i], cur_);
+    LCDC_EXPECT(cur_.size() == out.size(),
+                "permuted encodings must have equal length");
+    if (std::memcmp(cur_.data(), out.data(), out.size()) < 0) {
+      out.swap(cur_);
+    }
+  }
+}
+
+DecodedState StateCodec::decode(const std::byte* data, std::size_t len) const {
+  BitReader br(data, len);
+  DecodedState d;
+  d.dirs.resize(cfg_.numBlocks);
+  for (auto& e : d.dirs) {
+    e.state = static_cast<std::uint8_t>(br.get(kDirStateW));
+    e.busyRequester = static_cast<std::uint32_t>(br.get(nodeW_));
+    e.busyReq = static_cast<std::uint8_t>(br.get(kReqW));
+    e.cachedMask = static_cast<std::uint32_t>(br.get(maskW_));
+    if (cfg_.modelData) e.memVal = static_cast<std::uint16_t>(br.get(kValW));
+  }
+  d.lines.resize(static_cast<std::size_t>(cfg_.numProcessors) *
+                 cfg_.numBlocks);
+  for (auto& line : d.lines) {
+    line.present = br.get(1) != 0;
+    if (!line.present) continue;
+    line.cstate = static_cast<std::uint8_t>(br.get(kCStateW));
+    line.astate = static_cast<std::uint8_t>(br.get(kAStateW));
+    line.ignoreFwdTxn = static_cast<std::uint16_t>(br.get(kTxnW));
+    line.dropInvTxn = static_cast<std::uint16_t>(br.get(kTxnW));
+    if (cfg_.modelData) {
+      line.dataVal = static_cast<std::uint16_t>(br.get(kValW));
+      if (cfg_.proto.mutant == Mutant::ForwardStaleValue) {
+        line.epochVal = static_cast<std::uint16_t>(br.get(kValW));
+      }
+    }
+    line.hasMshr = br.get(1) != 0;
+    if (!line.hasMshr) continue;
+    auto& m = line.mshr;
+    m.req = static_cast<std::uint8_t>(br.get(kReqW));
+    m.replySeen = br.get(1) != 0;
+    m.invListKnown = br.get(1) != 0;
+    m.acksMask = static_cast<std::uint32_t>(br.get(maskW_));
+    m.earlyMask = static_cast<std::uint32_t>(br.get(maskW_));
+    m.hasPendingFwd = br.get(1) != 0;
+    if (m.hasPendingFwd) {
+      m.pendingFwdType = static_cast<std::uint8_t>(br.get(kMsgTypeW));
+      m.pendingFwdRequester = static_cast<std::uint32_t>(br.get(nodeW_));
+    }
+    if (cfg_.modelData) m.dataVal = static_cast<std::uint16_t>(br.get(kValW));
+    m.buffered.resize(br.get(kBufCountW));
+    for (auto& bm : m.buffered) {
+      bm.type = static_cast<std::uint8_t>(br.get(kMsgTypeW));
+      bm.requester = static_cast<std::uint32_t>(br.get(nodeW_));
+      bm.txn = static_cast<std::uint16_t>(br.get(kTxnW));
+    }
+  }
+  d.flight.resize(br.get(kFlightCountW));
+  for (auto& msg : d.flight) {
+    msg.dst = static_cast<std::uint32_t>(br.get(nodeW_));
+    msg.type = static_cast<std::uint8_t>(br.get(kMsgTypeW));
+    msg.block = static_cast<std::uint32_t>(br.get(blockW_));
+    msg.src = static_cast<std::uint32_t>(br.get(nodeW_));
+    msg.requester = static_cast<std::uint32_t>(br.get(nodeW_));
+    msg.nackKind = static_cast<std::uint8_t>(br.get(kNackW));
+    msg.nackedReq = static_cast<std::uint8_t>(br.get(kReqW));
+    msg.ignoreBufferedInv = br.get(1) != 0;
+    msg.invMask = static_cast<std::uint32_t>(br.get(maskW_));
+    if (cfg_.modelData) msg.dataVal = static_cast<std::uint16_t>(br.get(kValW));
+    msg.txn = static_cast<std::uint16_t>(br.get(kTxnW));
+    msg.closesTxn = static_cast<std::uint16_t>(br.get(kTxnW));
+  }
+  return d;
+}
+
+void StateCodec::encodeDecoded(const DecodedState& d,
+                               std::vector<std::byte>& out) const {
+  out.clear();
+  BitWriter bw(out);
+  for (const auto& e : d.dirs) {
+    bw.put(e.state, kDirStateW);
+    bw.put(e.busyRequester, nodeW_);
+    bw.put(e.busyReq, kReqW);
+    bw.put(e.cachedMask, maskW_);
+    if (cfg_.modelData) bw.put(e.memVal, kValW);
+  }
+  for (const auto& line : d.lines) {
+    bw.put(line.present ? 1 : 0, 1);
+    if (!line.present) continue;
+    bw.put(line.cstate, kCStateW);
+    bw.put(line.astate, kAStateW);
+    bw.put(line.ignoreFwdTxn, kTxnW);
+    bw.put(line.dropInvTxn, kTxnW);
+    if (cfg_.modelData) {
+      bw.put(line.dataVal, kValW);
+      if (cfg_.proto.mutant == Mutant::ForwardStaleValue) {
+        bw.put(line.epochVal, kValW);
+      }
+    }
+    bw.put(line.hasMshr ? 1 : 0, 1);
+    if (!line.hasMshr) continue;
+    const auto& m = line.mshr;
+    bw.put(m.req, kReqW);
+    bw.put(m.replySeen ? 1 : 0, 1);
+    bw.put(m.invListKnown ? 1 : 0, 1);
+    bw.put(m.acksMask, maskW_);
+    bw.put(m.earlyMask, maskW_);
+    bw.put(m.hasPendingFwd ? 1 : 0, 1);
+    if (m.hasPendingFwd) {
+      bw.put(m.pendingFwdType, kMsgTypeW);
+      bw.put(m.pendingFwdRequester, nodeW_);
+    }
+    if (cfg_.modelData) bw.put(m.dataVal, kValW);
+    bw.put(m.buffered.size(), kBufCountW);
+    for (const auto& bm : m.buffered) {
+      bw.put(bm.type, kMsgTypeW);
+      bw.put(bm.requester, nodeW_);
+      bw.put(bm.txn, kTxnW);
+    }
+  }
+  bw.put(d.flight.size(), kFlightCountW);
+  for (const auto& msg : d.flight) {
+    bw.put(msg.dst, nodeW_);
+    bw.put(msg.type, kMsgTypeW);
+    bw.put(msg.block, blockW_);
+    bw.put(msg.src, nodeW_);
+    bw.put(msg.requester, nodeW_);
+    bw.put(msg.nackKind, kNackW);
+    bw.put(msg.nackedReq, kReqW);
+    bw.put(msg.ignoreBufferedInv ? 1 : 0, 1);
+    bw.put(msg.invMask, maskW_);
+    if (cfg_.modelData) bw.put(msg.dataVal, kValW);
+    bw.put(msg.txn, kTxnW);
+    bw.put(msg.closesTxn, kTxnW);
+  }
+  bw.alignByte();
+}
+
+}  // namespace lcdc::mc

@@ -1,0 +1,49 @@
+#include "mc/world.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lcdc::mc {
+
+namespace {
+
+class NullClient final : public proto::CacheClient {
+ public:
+  void onComplete(BlockId, ReqType) override {}
+  void onNacked(BlockId, ReqType, NackKind) override {}
+  void onLineUnblocked(BlockId) override {}
+};
+
+}  // namespace
+
+proto::CacheClient& nullCacheClient() {
+  static NullClient c;
+  return c;
+}
+
+World makeInitialWorld(const McConfig& cfg, proto::TxnCounter& txns) {
+  World w;
+  w.dirs.emplace_back(cfg.numProcessors, cfg.proto, proto::nullSink(), txns);
+  for (BlockId b = 0; b < cfg.numBlocks; ++b) {
+    w.dirs[0].addBlock(b, BlockValue(cfg.proto.wordsPerBlock, 0));
+  }
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    w.caches.emplace_back(p, cfg.proto, proto::nullSink(), nullCacheClient());
+  }
+  return w;
+}
+
+std::vector<std::vector<NodeId>> makeNodePermutations(NodeId procs,
+                                                      bool symmetry) {
+  std::vector<NodeId> ident(procs);
+  std::iota(ident.begin(), ident.end(), NodeId{0});
+  if (!symmetry || procs > 6) return {ident};
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> perm = ident;
+  do {
+    out.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return out;
+}
+
+}  // namespace lcdc::mc

@@ -1,0 +1,48 @@
+// The model checker's state vocabulary, shared by the explorer, the two
+// codecs (canonical binary key / lossless frontier blob) and the tests.
+//
+// A `World` is a full protocol state: every controller as a plain value
+// plus the multiset of in-flight messages.  Controllers come from
+// `src/proto` unchanged — the checker verifies exactly the code the
+// simulator runs.
+#pragma once
+
+#include <vector>
+
+#include "mc/model_checker.hpp"
+#include "proto/cache.hpp"
+#include "proto/directory.hpp"
+
+namespace lcdc::mc {
+
+/// One in-flight message with its destination (the network "bag").
+struct Flight {
+  NodeId dst = kNoNode;
+  proto::Message msg;
+};
+
+/// A full world state.  Controllers are plain value types, so copying the
+/// world is a deep copy of the protocol state.
+struct World {
+  std::vector<proto::CacheController> caches;
+  std::vector<proto::DirectoryController> dirs;  // one in this checker
+  std::vector<Flight> flight;
+};
+
+/// Processors never see callbacks in the model checker: there is no
+/// program, only nondeterministic request intents.
+[[nodiscard]] proto::CacheClient& nullCacheClient();
+
+/// The exploration root: one directory slice at node id `numProcessors`
+/// owning every block (initial value 0), plus one empty cache per
+/// processor.  All copied worlds alias the shared `txns` counter.
+[[nodiscard]] World makeInitialWorld(const McConfig& cfg,
+                                     proto::TxnCounter& txns);
+
+/// All processor-id permutations when symmetry reduction is on (identity
+/// first).  Capped at 6 processors — beyond that the P! canonicalization
+/// cost dwarfs what the reduction saves, so symmetry degrades to identity.
+[[nodiscard]] std::vector<std::vector<NodeId>> makeNodePermutations(
+    NodeId procs, bool symmetry);
+
+}  // namespace lcdc::mc

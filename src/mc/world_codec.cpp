@@ -1,0 +1,291 @@
+#include "mc/world_codec.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace lcdc::mc {
+
+namespace {
+
+// -- varint (LEB128) primitives ----------------------------------------------
+
+void putU64(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+struct Reader {
+  const std::byte* data;
+  std::size_t len;
+  std::size_t pos = 0;
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+      LCDC_EXPECT(pos < len, "world blob truncated");
+      const auto b = std::to_integer<std::uint8_t>(data[pos++]);
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(u64()); }
+  std::uint8_t u8() { return static_cast<std::uint8_t>(u64()); }
+  bool b() { return u64() != 0; }
+};
+
+void putWords(std::vector<std::byte>& out, const BlockValue& v) {
+  putU64(out, v.size());
+  for (const Word w : v) putU64(out, w);
+}
+
+BlockValue getWords(Reader& r) {
+  BlockValue v(r.u64());
+  for (Word& w : v) w = r.u64();
+  return v;
+}
+
+void putNodes(std::vector<std::byte>& out, const std::vector<NodeId>& v) {
+  putU64(out, v.size());
+  for (const NodeId n : v) putU64(out, n);
+}
+
+std::vector<NodeId> getNodes(Reader& r) {
+  std::vector<NodeId> v(r.u64());
+  for (NodeId& n : v) n = r.u32();
+  return v;
+}
+
+void putStamps(std::vector<std::byte>& out,
+               const std::vector<proto::TsStamp>& v) {
+  putU64(out, v.size());
+  for (const proto::TsStamp& s : v) {
+    putU64(out, s.node);
+    putU64(out, s.ts);
+  }
+}
+
+std::vector<proto::TsStamp> getStamps(Reader& r) {
+  std::vector<proto::TsStamp> v(r.u64());
+  for (proto::TsStamp& s : v) {
+    s.node = r.u32();
+    s.ts = r.u64();
+  }
+  return v;
+}
+
+void putMessage(std::vector<std::byte>& out, const proto::Message& m) {
+  putU64(out, static_cast<std::uint8_t>(m.type));
+  putU64(out, m.block);
+  putU64(out, m.src);
+  putU64(out, m.requester);
+  putU64(out, m.txn);
+  putU64(out, m.serial);
+  putWords(out, m.data);
+  putNodes(out, m.invTargets);
+  putU64(out, m.ignoreBufferedInv ? 1 : 0);
+  putU64(out, m.closesTxn);
+  putU64(out, m.closesSerial);
+  putU64(out, static_cast<std::uint8_t>(m.nackKind));
+  putU64(out, static_cast<std::uint8_t>(m.nackedReq));
+  putStamps(out, m.stamps);
+}
+
+proto::Message getMessage(Reader& r) {
+  proto::Message m;
+  m.type = static_cast<proto::MsgType>(r.u8());
+  m.block = r.u32();
+  m.src = r.u32();
+  m.requester = r.u32();
+  m.txn = r.u64();
+  m.serial = r.u64();
+  m.data = getWords(r);
+  m.invTargets = getNodes(r);
+  m.ignoreBufferedInv = r.b();
+  m.closesTxn = r.u64();
+  m.closesSerial = r.u64();
+  m.nackKind = static_cast<NackKind>(r.u8());
+  m.nackedReq = static_cast<ReqType>(r.u8());
+  m.stamps = getStamps(r);
+  return m;
+}
+
+void putMshr(std::vector<std::byte>& out, const proto::Mshr& m) {
+  putU64(out, static_cast<std::uint8_t>(m.req));
+  putU64(out, m.replySeen ? 1 : 0);
+  putU64(out, m.invListKnown ? 1 : 0);
+  putNodes(out, m.acksPending);
+  putNodes(out, m.earlyAcks);
+  putWords(out, m.data);
+  putU64(out, m.txn);
+  putU64(out, m.serial);
+  putStamps(out, m.stamps);
+  putU64(out, m.earlyStamp);
+  putU64(out, m.pendingFwd ? 1 : 0);
+  if (m.pendingFwd) putMessage(out, *m.pendingFwd);
+  putU64(out, m.buffered.size());
+  for (const proto::Message& bm : m.buffered) putMessage(out, bm);
+}
+
+proto::Mshr getMshr(Reader& r) {
+  proto::Mshr m;
+  m.req = static_cast<ReqType>(r.u8());
+  m.replySeen = r.b();
+  m.invListKnown = r.b();
+  m.acksPending = getNodes(r);
+  m.earlyAcks = getNodes(r);
+  m.data = getWords(r);
+  m.txn = r.u64();
+  m.serial = r.u64();
+  m.stamps = getStamps(r);
+  m.earlyStamp = r.u64();
+  if (r.b()) m.pendingFwd = getMessage(r);
+  const std::size_t nBuf = r.u64();
+  m.buffered.resize(nBuf);
+  for (proto::Message& bm : m.buffered) bm = getMessage(r);
+  return m;
+}
+
+void putLine(std::vector<std::byte>& out, const proto::Line& line) {
+  putU64(out, static_cast<std::uint8_t>(line.cstate));
+  putU64(out, static_cast<std::uint8_t>(line.astate));
+  putWords(out, line.data);
+  putU64(out, line.mshr ? 1 : 0);
+  if (line.mshr) putMshr(out, *line.mshr);
+  putU64(out, line.ignoreFwdTxn);
+  putU64(out, line.dropInvTxn);
+  putU64(out, line.epochTxn);
+  putU64(out, line.epochSerial);
+  putU64(out, line.epochTs);
+  putWords(out, line.epochStartData);
+}
+
+proto::Line getLine(Reader& r) {
+  proto::Line line;
+  line.cstate = static_cast<CacheState>(r.u8());
+  line.astate = static_cast<AState>(r.u8());
+  line.data = getWords(r);
+  if (r.b()) line.mshr = getMshr(r);
+  line.ignoreFwdTxn = r.u64();
+  line.dropInvTxn = r.u64();
+  line.epochTxn = r.u64();
+  line.epochSerial = r.u64();
+  line.epochTs = r.u64();
+  line.epochStartData = getWords(r);
+  return line;
+}
+
+void putDirEntry(std::vector<std::byte>& out, const proto::DirEntry& e) {
+  putU64(out, static_cast<std::uint8_t>(e.core.state));
+  putNodes(out, e.core.cached);
+  putU64(out, e.core.busyRequester);
+  putU64(out, static_cast<std::uint8_t>(e.core.busyReq));
+  putWords(out, e.mem);
+  putU64(out, e.clock);
+  putU64(out, e.serialCount);
+  putU64(out, e.busyTxn.id);
+  putU64(out, e.busyTxn.serial);
+  putU64(out, static_cast<std::uint8_t>(e.busyTxn.kind));
+  putU64(out, e.busyTxn.block);
+  putU64(out, e.busyTxn.requester);
+  putU64(out, e.busyHomeTs);
+  putStamps(out, e.busyStamps);
+}
+
+proto::DirEntry getDirEntry(Reader& r) {
+  proto::DirEntry e;
+  e.core.state = static_cast<DirState>(r.u8());
+  e.core.cached = getNodes(r);
+  e.core.busyRequester = r.u32();
+  e.core.busyReq = static_cast<ReqType>(r.u8());
+  e.mem = getWords(r);
+  e.clock = r.u64();
+  e.serialCount = r.u64();
+  e.busyTxn.id = r.u64();
+  e.busyTxn.serial = r.u64();
+  e.busyTxn.kind = static_cast<TxnKind>(r.u8());
+  e.busyTxn.block = r.u32();
+  e.busyTxn.requester = r.u32();
+  e.busyHomeTs = r.u64();
+  e.busyStamps = getStamps(r);
+  return e;
+}
+
+}  // namespace
+
+void WorldCodec::save(const World& w, std::vector<std::byte>& out) const {
+  out.clear();
+  // Caches (count fixed by configuration).  Lines are emitted sorted by
+  // block id so a world's blob does not depend on hash-map iteration
+  // order (tidy for debugging; nothing compares blobs).
+  for (const proto::CacheController& cache : w.caches) {
+    putU64(out, cache.clockRaw());
+    const auto& lines = cache.linesRaw();
+    putU64(out, lines.size());
+    std::vector<BlockId> blocks;
+    blocks.reserve(lines.size());
+    for (const auto& [block, line] : lines) blocks.push_back(block);
+    std::sort(blocks.begin(), blocks.end());
+    for (const BlockId b : blocks) {
+      putU64(out, b);
+      putLine(out, lines.at(b));
+    }
+  }
+  // The single directory slice.
+  const auto& entries = w.dirs[0].entriesRaw();
+  putU64(out, entries.size());
+  std::vector<BlockId> blocks;
+  blocks.reserve(entries.size());
+  for (const auto& [block, e] : entries) blocks.push_back(block);
+  std::sort(blocks.begin(), blocks.end());
+  for (const BlockId b : blocks) {
+    putU64(out, b);
+    putDirEntry(out, entries.at(b));
+  }
+  // Flight bag, in order (order is part of the world: actions index it).
+  putU64(out, w.flight.size());
+  for (const Flight& f : w.flight) {
+    putU64(out, f.dst);
+    putMessage(out, f.msg);
+  }
+}
+
+World WorldCodec::load(const std::byte* data, std::size_t len) const {
+  Reader r{data, len};
+  World w;
+  for (NodeId p = 0; p < cfg_.numProcessors; ++p) {
+    w.caches.emplace_back(p, cfg_.proto, proto::nullSink(), nullCacheClient());
+    proto::CacheController& cache = w.caches.back();
+    cache.clockRaw() = r.u64();
+    const std::size_t nLines = r.u64();
+    for (std::size_t i = 0; i < nLines; ++i) {
+      const BlockId b = r.u32();
+      cache.linesRaw().emplace(b, getLine(r));
+    }
+  }
+  w.dirs.emplace_back(cfg_.numProcessors, cfg_.proto, proto::nullSink(),
+                      *txns_);
+  proto::DirectoryController& dir = w.dirs[0];
+  const std::size_t nEntries = r.u64();
+  for (std::size_t i = 0; i < nEntries; ++i) {
+    const BlockId b = r.u32();
+    dir.entriesRaw().emplace(b, getDirEntry(r));
+  }
+  const std::size_t nFlight = r.u64();
+  w.flight.reserve(nFlight);
+  for (std::size_t i = 0; i < nFlight; ++i) {
+    Flight f;
+    f.dst = r.u32();
+    f.msg = getMessage(r);
+    w.flight.push_back(std::move(f));
+  }
+  LCDC_EXPECT(r.pos == len, "world blob has trailing bytes");
+  return w;
+}
+
+}  // namespace lcdc::mc

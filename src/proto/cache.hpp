@@ -186,6 +186,20 @@ class CacheController {
   /// Blocks currently held with the given state (eviction candidates).
   [[nodiscard]] std::vector<BlockId> blocksInState(CacheState s) const;
 
+  // -- checkpoint access ----------------------------------------------------
+  // Raw state for full-fidelity serialization (the model checker stores
+  // frontier worlds as byte blobs).  Not for protocol logic: mutating
+  // through these bypasses every invariant the transition functions keep.
+
+  [[nodiscard]] GlobalTime& clockRaw() { return clock_; }
+  [[nodiscard]] GlobalTime clockRaw() const { return clock_; }
+  [[nodiscard]] std::unordered_map<BlockId, Line>& linesRaw() {
+    return lines_;
+  }
+  [[nodiscard]] const std::unordered_map<BlockId, Line>& linesRaw() const {
+    return lines_;
+  }
+
  private:
   Line& lineMut(BlockId block);
 

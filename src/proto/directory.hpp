@@ -123,6 +123,18 @@ class DirectoryController {
   /// True when every owned entry is non-busy (quiescence check).
   [[nodiscard]] bool quiescent() const;
 
+  // -- checkpoint access ----------------------------------------------------
+  // Raw entry table for full-fidelity serialization (model checker
+  // frontier blobs).  Not for protocol logic.
+
+  [[nodiscard]] std::unordered_map<BlockId, DirEntry>& entriesRaw() {
+    return entries_;
+  }
+  [[nodiscard]] const std::unordered_map<BlockId, DirEntry>& entriesRaw()
+      const {
+    return entries_;
+  }
+
  private:
   DirEntry& entryMut(BlockId block);
 

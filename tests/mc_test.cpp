@@ -303,5 +303,141 @@ TEST(Counterexample, PristineProtocolYieldsNone) {
   EXPECT_FALSE(r.counterexample.has_value());
 }
 
+// -- golden counts (binary engine == string engine) ---------------------------
+//
+// Exact state/transition/frontier/wave counts recorded from the original
+// string-key engine.  The binary encoding pipeline must reproduce them
+// byte-identically — any drift means the canonical equivalence classes
+// changed.
+
+struct GoldenCase {
+  NodeId procs;
+  BlockId blocks;
+  bool symmetry;
+  bool por;
+  bool modelData;
+  std::uint64_t maxDepth;
+  std::uint64_t states;
+  std::uint64_t transitions;
+  std::uint64_t frontierPeak;
+  std::uint64_t waves;
+};
+
+TEST(GoldenCounts, MatchTheStringEngine) {
+  const GoldenCase cases[] = {
+      // procs blocks sym  por  data depth states transitions peak waves
+      {2, 1, false, false, false, 0, 1998, 4988, 208, 27},
+      {2, 1, true, false, false, 0, 1013, 2529, 105, 27},
+      {2, 1, false, true, false, 0, 1998, 4988, 208, 27},
+      {2, 1, true, true, false, 0, 1013, 2529, 105, 27},
+      {2, 1, false, false, true, 0, 12189, 33236, 981, 31},
+      {2, 1, true, true, true, 0, 6149, 16752, 492, 31},
+      {3, 1, false, false, false, 12, 10508, 41811, 3909, 12},
+      {3, 1, true, false, false, 12, 1814, 7229, 664, 12},
+      {3, 1, false, true, false, 12, 10508, 41661, 3909, 12},
+      {3, 1, true, true, false, 12, 1814, 7204, 664, 12},
+      {2, 2, false, false, false, 10, 11034, 58992, 4980, 10},
+      {2, 2, true, true, false, 10, 5530, 29570, 2490, 10},
+      {3, 2, true, true, false, 8, 4833, 41424, 2858, 8},
+  };
+  for (const GoldenCase& g : cases) {
+    mc::McConfig cfg;
+    cfg.numProcessors = g.procs;
+    cfg.numBlocks = g.blocks;
+    cfg.symmetry = g.symmetry;
+    cfg.por = g.por;
+    cfg.modelData = g.modelData;
+    cfg.maxDepth = g.maxDepth;
+    const mc::McResult r = mc::explore(cfg);
+    const std::string label =
+        std::to_string(g.procs) + "x" + std::to_string(g.blocks) +
+        (g.symmetry ? " sym" : "") + (g.por ? " por" : "") +
+        (g.modelData ? " data" : "") +
+        (g.maxDepth != 0 ? " depth=" + std::to_string(g.maxDepth) : "");
+    EXPECT_EQ(r.statesExplored, g.states) << label;
+    EXPECT_EQ(r.transitions, g.transitions) << label;
+    EXPECT_EQ(r.frontierPeak, g.frontierPeak) << label;
+    EXPECT_EQ(r.wavesCompleted, g.waves) << label;
+    EXPECT_TRUE(r.ok()) << label;
+  }
+}
+
+// -- memory limit -------------------------------------------------------------
+
+TEST(MemLimit, StopsGracefullyAtAWaveBoundary) {
+  // The wave at which the limit trips depends on the run's actual memory
+  // footprint (arena slack, container capacities), which varies with jobs
+  // and scheduling — but the STOP is always wave-aligned: whatever wave
+  // count a mem-limited run reports, its counts must be byte-identical to
+  // a --max-depth run cut at that same wave count.
+  const auto checkWaveAligned = [](unsigned jobs) {
+    mc::McConfig cfg;
+    cfg.numProcessors = 3;
+    cfg.numBlocks = 1;
+    cfg.jobs = jobs;
+    cfg.memLimitMb = 4;  // far below what full 3x1 needs
+    const mc::McResult r = mc::explore(cfg);
+    EXPECT_TRUE(r.memLimitHit);
+    EXPECT_TRUE(r.ok()) << "a mem-limited clean run is not a violation";
+    EXPECT_FALSE(r.hitStateLimit);
+    EXPECT_GT(r.wavesCompleted, 0u) << "must stop between waves, not before";
+    EXPECT_GT(r.statesExplored, 0u);
+
+    mc::McConfig depthCfg = cfg;
+    depthCfg.memLimitMb = 0;
+    depthCfg.maxDepth = r.wavesCompleted;
+    const mc::McResult rd = mc::explore(depthCfg);
+    EXPECT_FALSE(rd.memLimitHit);
+    EXPECT_EQ(r.wavesCompleted, rd.wavesCompleted) << "jobs=" << jobs;
+    EXPECT_EQ(r.statesExplored, rd.statesExplored) << "jobs=" << jobs;
+    EXPECT_EQ(r.transitions, rd.transitions) << "jobs=" << jobs;
+    EXPECT_EQ(r.violations.size(), rd.violations.size());
+  };
+  checkWaveAligned(1);
+  checkWaveAligned(2);
+}
+
+TEST(MemLimit, GenerousLimitDoesNotTrigger) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  cfg.memLimitMb = 4096;
+  const mc::McResult r = mc::explore(cfg);
+  EXPECT_FALSE(r.memLimitHit);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.statesExplored, 1998u);
+}
+
+// -- perf instrumentation -----------------------------------------------------
+
+TEST(Perf, CountersArePopulatedAndTimingIsOptIn) {
+  mc::McConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.numBlocks = 1;
+  const mc::McResult off = mc::explore(cfg);
+  // Byte counters are always on.
+  EXPECT_EQ(off.perf.storedStates, off.statesExplored);
+  EXPECT_EQ(off.perf.encodeCalls, off.transitions + 1) << "root + successors";
+  EXPECT_EQ(off.perf.insertCalls, off.transitions + 1);
+  EXPECT_GT(off.perf.storedEncodingBytes, 0u);
+  EXPECT_GT(off.visitedBytes, 0u);
+  EXPECT_GT(off.frontierBytesPeak, 0u);
+  std::uint64_t probes = 0;
+  for (const std::uint64_t b : off.perf.probeHist) probes += b;
+  EXPECT_EQ(probes, off.perf.insertCalls) << "every insert lands in a bucket";
+  // Timing is zero unless requested.
+  EXPECT_EQ(off.perf.encodeNanos, 0u);
+  EXPECT_EQ(off.perf.expandNanos, 0u);
+
+  mc::McConfig on = cfg;
+  on.perf = true;
+  const mc::McResult timed = mc::explore(on);
+  EXPECT_EQ(timed.perf.storedStates, off.perf.storedStates);
+  EXPECT_EQ(timed.perf.storedEncodingBytes, off.perf.storedEncodingBytes)
+      << "stored encoding bytes are deterministic";
+  EXPECT_GT(timed.perf.expandNanos, 0u);
+  EXPECT_GT(timed.perf.encodeNanos, 0u);
+}
+
 }  // namespace
 }  // namespace lcdc

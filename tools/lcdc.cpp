@@ -55,6 +55,9 @@ constexpr int kExitSimFailed = 2;
 constexpr int kExitCampaignFailed = 3;
 constexpr int kExitUsage = 4;
 constexpr int kExitIo = 5;
+/// `lcdc mc --mem-limit-mb` stopped at a wave boundary before finishing
+/// (and found no violation up to that point).
+constexpr int kExitMemLimit = 6;
 
 /// Malformed invocation: unknown command/option, missing or unparsable
 /// value.  Distinct from SimError so scripts can tell "you called it
@@ -284,6 +287,36 @@ int cmdVerify(const Args& args) {
   return reportAndExit(verify::checkAll(trace, cfg), args.has("quiet"));
 }
 
+/// The `--perf` block.  Byte counters and the probe histogram are exact;
+/// the nanosecond lines are wall-clock measurements and scheduling-
+/// dependent, so nothing here should be diffed between runs.
+void printMcPerf(const mc::McResult& r) {
+  const mc::McPerfCounters& p = r.perf;
+  const auto per = [](std::uint64_t total, std::uint64_t n) {
+    return n == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n);
+  };
+  std::cout << "perf: encodes " << p.encodeCalls << ", inserts "
+            << p.insertCalls << ", stored " << p.storedStates << " ("
+            << per(p.storedEncodingBytes, p.storedStates)
+            << " enc B/state)\n"
+            << "perf: visited bytes " << r.visitedBytes << " ("
+            << per(r.visitedBytes, p.storedStates)
+            << " B/state), frontier-arena peak " << r.frontierBytesPeak
+            << " B\n"
+            << "perf: probe histogram [0,1,2,3-4,5-8,>8]:";
+  for (const std::uint64_t b : p.probeHist) std::cout << ' ' << b;
+  std::cout << '\n';
+  if (p.expandNanos != 0) {
+    std::cout << "perf: encode " << per(p.encodeNanos, p.encodeCalls)
+              << " ns/call, insert " << per(p.insertNanos, p.insertCalls)
+              << " ns/call, world save "
+              << per(p.worldSaveNanos, p.storedStates) << " ns/state, load "
+              << per(p.worldLoadNanos, r.statesExplored)
+              << " ns/state, expand total " << p.expandNanos / 1'000'000
+              << " ms\n";
+  }
+}
+
 int cmdMc(const Args& args) {
   mc::McConfig cfg;
   cfg.numProcessors = static_cast<NodeId>(args.num("procs", 2));
@@ -298,14 +331,18 @@ int cmdMc(const Args& args) {
   cfg.allowEvictions = !args.has("no-evictions");
   cfg.proto.putSharedEnabled = !args.has("no-putshared");
   cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
+  cfg.memLimitMb = args.num("mem-limit-mb", 0);
+  cfg.perf = args.has("perf");
   const mc::McResult r = mc::explore(cfg);
   std::cout << "states: " << r.statesExplored
             << (r.hitStateLimit ? " (limit hit)" : "")
+            << (r.memLimitHit ? " (mem limit hit)" : "")
             << ", transitions: " << r.transitions
             << ", peak frontier: " << r.frontierPeak
             << ", waves: " << r.wavesCompleted;
   if (cfg.por) std::cout << ", ample states: " << r.ampleStates;
   std::cout << '\n';
+  if (cfg.perf) printMcPerf(r);
   if (r.deadlockFound) std::cout << "DEADLOCK state reachable\n";
   for (const auto& v : r.violations) std::cout << "VIOLATION: " << v << '\n';
   if (r.counterexample) {
@@ -334,7 +371,9 @@ int cmdMc(const Args& args) {
   } else if (args.has("replay")) {
     std::cout << "replay: nothing to replay (no counterexample)\n";
   }
-  return r.ok() && !r.hitStateLimit ? kExitOk : kExitViolations;
+  if (!r.ok() || r.hitStateLimit) return kExitViolations;
+  if (r.memLimitHit) return kExitMemLimit;
+  return kExitOk;
 }
 
 int cmdCampaign(const Args& args) {
@@ -386,6 +425,13 @@ int cmdCampaign(const Args& args) {
                     : 0.0)
             << " seeds/s, tasks stolen: " << r.pool.tasksStolen << "/"
             << r.pool.tasksExecuted << '\n';
+  if (r.mcStage.ran) {
+    std::cout << "mc stage: " << r.mcSeconds << " s, "
+              << (r.mcSeconds > 0
+                      ? static_cast<double>(r.mcStage.states) / r.mcSeconds
+                      : 0.0)
+              << " states/s\n";
+  }
   if (!args.has("quiet")) {
     for (const auto& f : r.failures) {
       if (!f.tracePath.empty()) {
@@ -413,9 +459,10 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
         {"no-putshared", "quiet", "streaming", "no-trace"}}},
       {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
       {"mc",
-       {{"procs", "blocks", "max-states", "max-depth", "jobs", "mutant"},
+       {{"procs", "blocks", "max-states", "max-depth", "jobs", "mutant",
+         "mem-limit-mb"},
         {"no-evictions", "no-putshared", "symmetry", "por", "model-data",
-         "replay"}}},
+         "replay", "perf"}}},
       {"campaign",
        {{"seeds", "jobs", "master-seed", "workload", "mutant", "out",
          "max-events", "max-minimized", "minimize-attempts", "mc-procs",
@@ -448,6 +495,10 @@ void usage(std::ostream& os) {
       "            --model-data (track word values; value-coherence check)\n"
       "            --replay (re-execute counterexample in the simulator\n"
       "                      through the streaming Lamport checkers)\n"
+      "            --mem-limit-mb M (stop gracefully at a wave boundary\n"
+      "                              once tracked memory exceeds M MiB)\n"
+      "            --perf (encode/insert counters, probe histogram,\n"
+      "                    bytes/state; timings are wall-clock)\n"
       "            --no-evictions --mutant NAME\n"
       "  campaign  parallel seed-fuzzing campaign over the checker suite\n"
       "            --seeds N --jobs J --master-seed S\n"
@@ -460,7 +511,8 @@ void usage(std::ostream& os) {
       "                        the same variant first)\n"
       "            --mc-procs N --mc-blocks B --mc-max-states M\n\n"
       "exit codes: 0 ok, 1 verification violations, 2 simulation failed,\n"
-      "            3 campaign failures, 4 usage error, 5 I/O error\n";
+      "            3 campaign failures, 4 usage error, 5 I/O error,\n"
+      "            6 mc stopped at --mem-limit-mb\n";
 }
 
 }  // namespace
