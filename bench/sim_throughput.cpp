@@ -1,0 +1,234 @@
+// S13 — steady-state throughput of the simulate-and-verify loop.
+//
+// The campaign's unit of work is "seed one System, run it to quiescence,
+// verify the event stream online" (Figure 1's target system driven under
+// the Section 3.2 checkers).  This bench measures that loop the way the
+// campaign consumes it: a per-worker System and checker set reused across
+// sub-runs via System::reset, with the whole event hot path — message
+// fields, network queue, envelope storage — required to stay off the heap
+// at steady state.
+//
+// Heap traffic is counted exactly, by overriding global operator new in
+// this translation unit; "steady state" is every repetition after the
+// first (the warm-up rep grows pools, slabs and small-vector spill space
+// to their high-water marks).
+//
+// Modes:
+//   (default)              throughput + allocation table over a workload mix
+//   --fresh                construct a new System per rep (the seed engine's
+//                          behaviour; the A/B for EXPERIMENTS.md S13)
+//   --hashes               print the seed-equivalence fingerprint matrix
+//                          (tests/seed_equiv_test.cpp pins these values)
+//   --floor-events-per-sec F   exit 1 if steady-state events/s < F  (CI)
+//   --max-allocs-per-event A   exit 1 if steady-state allocs/event > A (CI)
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <new>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "run_fingerprint.hpp"
+#include "sim/perf.hpp"
+#include "sim/system.hpp"
+#include "verify/stream.hpp"
+#include "workload/generators.hpp"
+
+// -- exact heap-allocation accounting ----------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> gAllocs{0};
+}
+
+void* operator new(std::size_t n) {
+  gAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace lcdc;
+
+struct Options {
+  std::uint64_t ops = 20'000;
+  std::uint64_t reps = 5;
+  std::uint64_t hashSeeds = 20;
+  bool hashes = false;
+  bool fresh = false;
+  double floorEventsPerSec = 0;
+  double maxAllocsPerEvent = -1;
+};
+
+SystemConfig benchConfig(std::uint64_t seed) {
+  SystemConfig sys;
+  sys.numProcessors = 8;
+  sys.numDirectories = 4;
+  sys.numBlocks = 64;
+  sys.cacheCapacity = 4;
+  sys.minLatency = 1;
+  sys.maxLatency = 40;
+  sys.seed = seed;
+  return sys;
+}
+
+struct RepResult {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t opsBound = 0;
+  double seconds = 0;
+  net::CalendarStats queue;
+};
+
+/// One measured repetition against a caller-prepared System.
+RepResult measureRun(sim::System& system,
+                     const std::vector<workload::Program>& progs) {
+  for (NodeId p = 0; p < system.config().numProcessors; ++p) {
+    system.setProgram(p, progs[p]);
+  }
+  const std::uint64_t a0 = gAllocs.load(std::memory_order_relaxed);
+  bench::Stopwatch timer;
+  const sim::RunResult r = system.run();
+  RepResult rep;
+  rep.seconds = timer.seconds();
+  rep.allocs = gAllocs.load(std::memory_order_relaxed) - a0;
+  rep.events = r.eventsProcessed;
+  rep.opsBound = r.opsBound;
+  rep.queue = system.network().queueStats();
+  if (!r.ok()) {
+    std::cerr << "bench run did not quiesce: " << toString(r.outcome) << '\n';
+    std::exit(2);
+  }
+  return rep;
+}
+
+int runThroughput(const Options& opt) {
+  const workload::Kind kinds[] = {workload::Kind::Hot, workload::Kind::Uniform,
+                                  workload::Kind::Migratory};
+  bench::Table table({"workload", "rep", "events", "seconds", "events/s",
+                      "allocs", "allocs/event"});
+  double steadyEvents = 0, steadySeconds = 0, steadyAllocs = 0;
+  sim::SimPerfCounters steady;
+
+  for (const workload::Kind kind : kinds) {
+    const SystemConfig sys = benchConfig(0xBE1ULL);
+    workload::WorkloadConfig w;
+    w.numProcessors = sys.numProcessors;
+    w.numBlocks = sys.numBlocks;
+    w.wordsPerBlock = sys.proto.wordsPerBlock;
+    w.opsPerProcessor = opt.ops;
+    w.storePercent = 35;
+    w.evictPercent = 6;
+    w.seed = 0xB0B1ULL;
+    const auto progs = workload::make(kind, w);
+
+    verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(sys));
+    proto::TeeSink tee{&checkers};
+    std::optional<sim::System> reused;
+    if (!opt.fresh) reused.emplace(sys, tee);
+
+    for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
+      RepResult r;
+      if (opt.fresh) {
+        // The seed engine's life cycle: everything rebuilt per sub-run.
+        verify::StreamCheckerSet fresh(verify::VerifyConfig::fromSystem(sys));
+        proto::TeeSink freshTee{&fresh};
+        sim::System system(sys, freshTee);
+        r = measureRun(system, progs);
+        fresh.finish();
+      } else {
+        reused->reset(sys.seed);
+        checkers.reset(verify::VerifyConfig::fromSystem(sys));
+        r = measureRun(*reused, progs);
+        checkers.finish();
+      }
+      const double evs =
+          r.seconds > 0 ? static_cast<double>(r.events) / r.seconds : 0;
+      const double ape =
+          r.events > 0 ? static_cast<double>(r.allocs) /
+                             static_cast<double>(r.events)
+                       : 0;
+      table.row(workload::toString(kind), rep == 0 ? "warm-up" :
+                std::to_string(rep), r.events, r.seconds, evs, r.allocs, ape);
+      if (rep > 0) {
+        steadyEvents += static_cast<double>(r.events);
+        steadySeconds += r.seconds;
+        steadyAllocs += static_cast<double>(r.allocs);
+        steady.note(r.events, r.opsBound,
+                    static_cast<std::uint64_t>(r.seconds * 1e9), r.queue);
+      }
+    }
+  }
+  table.print();
+  steady.print(std::cout);
+
+  const double eventsPerSec =
+      steadySeconds > 0 ? steadyEvents / steadySeconds : 0;
+  const double allocsPerEvent =
+      steadyEvents > 0 ? steadyAllocs / steadyEvents : 0;
+  std::cout << "steady state (" << (opt.fresh ? "fresh" : "reused")
+            << " systems, reps after warm-up): " << eventsPerSec
+            << " events/s, " << allocsPerEvent << " allocs/event\n";
+
+  if (opt.floorEventsPerSec > 0 && eventsPerSec < opt.floorEventsPerSec) {
+    std::cerr << "FAIL: events/s " << eventsPerSec << " below floor "
+              << opt.floorEventsPerSec << '\n';
+    return 1;
+  }
+  if (opt.maxAllocsPerEvent >= 0 && allocsPerEvent > opt.maxAllocsPerEvent) {
+    std::cerr << "FAIL: allocs/event " << allocsPerEvent << " above ceiling "
+              << opt.maxAllocsPerEvent << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int printHashes(const Options& opt) {
+  for (const auto& cell : lcdc::testing::fingerprintMatrix()) {
+    std::cout << workload::toString(cell.kind) << ' '
+              << (cell.mode == net::Network::Mode::Fifo ? "fifo" : "random")
+              << " 0x" << std::hex
+              << lcdc::testing::cellFingerprint(cell, opt.hashSeeds)
+              << std::dec << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto val = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << a << " requires a value\n";
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (a == "--ops") opt.ops = std::stoull(val());
+    else if (a == "--reps") opt.reps = std::stoull(val());
+    else if (a == "--seeds") opt.hashSeeds = std::stoull(val());
+    else if (a == "--hashes") opt.hashes = true;
+    else if (a == "--fresh") opt.fresh = true;
+    else if (a == "--floor-events-per-sec") {
+      opt.floorEventsPerSec = std::stod(val());
+    } else if (a == "--max-allocs-per-event") {
+      opt.maxAllocsPerEvent = std::stod(val());
+    } else {
+      std::cerr << "unknown option " << a << '\n';
+      return 64;
+    }
+  }
+  if (opt.hashes) return printHashes(opt);
+  return runThroughput(opt);
+}

@@ -36,6 +36,13 @@ workload::Kind pickKind(Rng& rng) {
 }  // namespace
 
 CaseSpec deriveCase(const CampaignConfig& cfg, std::uint64_t index) {
+  CaseSpec spec;
+  deriveCaseInto(cfg, index, spec);
+  return spec;
+}
+
+void deriveCaseInto(const CampaignConfig& cfg, std::uint64_t index,
+                    CaseSpec& out) {
   // All shape decisions flow from the derived child seed — never from
   // thread identity or global state — so case `index` is reproducible in
   // isolation (the minimizer and the CLI's repro instructions rely on it).
@@ -73,15 +80,16 @@ CaseSpec deriveCase(const CampaignConfig& cfg, std::uint64_t index) {
   w.seed = rng();
 
   const workload::Kind kind = cfg.workload ? *cfg.workload : pickKind(rng);
-  auto programs = workload::make(kind, w);
+  workload::makeInto(kind, w, out.programs);
   bool prefetch = false;
   if (rng.chance(20, 100)) {
     prefetch = true;
-    programs = workload::addPrefetchHints(
-        std::move(programs), /*lookahead=*/8,
+    out.programs = workload::addPrefetchHints(
+        std::move(out.programs), /*lookahead=*/8,
         static_cast<std::uint32_t>(rng.uniform(10, 30)), rng());
   }
 
+  out.sys = sys;
   std::ostringstream desc;
   desc << workload::toString(kind) << " procs=" << sys.numProcessors
        << " dirs=" << sys.numDirectories << " blocks=" << sys.numBlocks
@@ -91,7 +99,7 @@ CaseSpec deriveCase(const CampaignConfig& cfg, std::uint64_t index) {
        << " ev%=" << w.evictPercent
        << " ps=" << (sys.proto.putSharedEnabled ? 1 : 0)
        << " sb=" << sys.storeBufferDepth << " pf=" << (prefetch ? 1 : 0);
-  return CaseSpec{sys, std::move(programs), desc.str()};
+  out.description = desc.str();
 }
 
 namespace {
@@ -104,29 +112,94 @@ std::string outcomeSignature(const sim::RunResult& result) {
   }
 }
 
+/// Per-worker persistent engine: one System + one streaming checker set
+/// per thread, rewound between sub-runs (System::reset /
+/// StreamCheckerSet::reset) instead of reconstructed, so arena slabs,
+/// pool free lists and container capacity are paid for once per thread
+/// and the steady-state loop stays off the heap.  Reset-then-run is
+/// byte-identical to construct-then-run (reset_reuse_test pins the
+/// fingerprints), so outcomes stay a pure function of (masterSeed, index)
+/// and the report stays byte-identical for any --jobs.
+struct WorkerEngine {
+  proto::TeeSink tee;  ///< re-wired per sub-run; Systems bind to it once
+  std::optional<verify::StreamCheckerSet> checkers;
+  std::optional<sim::System> system;
+  SystemConfig shape;  ///< the configuration `system` was built with
+};
+
+WorkerEngine& workerEngine() {
+  thread_local WorkerEngine engine;
+  return engine;
+}
+
+/// True when the configurations differ at most in seed — the distance
+/// System::reset can rewind across without reconstruction.
+bool resettableTo(const SystemConfig& a, const SystemConfig& b) {
+  return a.numProcessors == b.numProcessors &&
+         a.numDirectories == b.numDirectories &&
+         a.numBlocks == b.numBlocks && a.cacheCapacity == b.cacheCapacity &&
+         a.minLatency == b.minLatency && a.maxLatency == b.maxLatency &&
+         a.retryDelay == b.retryDelay &&
+         a.storeBufferDepth == b.storeBufferDepth &&
+         a.proto.wordsPerBlock == b.proto.wordsPerBlock &&
+         a.proto.putSharedEnabled == b.proto.putSharedEnabled &&
+         a.proto.mutant == b.proto.mutant;
+}
+
+sim::System& acquireSystem(WorkerEngine& eng, const SystemConfig& sys) {
+  if (eng.system && resettableTo(eng.shape, sys)) {
+    eng.system->reset(sys.seed);
+  } else {
+    eng.system.emplace(sys, eng.tee);
+    eng.shape = sys;
+  }
+  return *eng.system;
+}
+
+/// Run the prepared system and fill the timing/queue counters.
+sim::RunResult timedRun(sim::System& system, std::uint64_t maxEvents,
+                        CaseOutcome& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::RunResult result = system.run(maxEvents);
+  const auto nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  out.perf.note(result.eventsProcessed, result.opsBound, nanos,
+                system.network().queueStats());
+  return result;
+}
+
 /// The streaming path: the checkers and the coverage tally observe the run
 /// online through a TeeSink; nothing is recorded unless the caller asked
 /// for a trace.  Per-run memory is the checkers' bounded state, not the
 /// event count.
 CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
                              trace::Trace* traceOut) {
+  WorkerEngine& eng = workerEngine();
   CoverageObserver cov;
-  verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(spec.sys));
-  proto::TeeSink tee;
+  const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(spec.sys);
+  if (eng.checkers) {
+    eng.checkers->reset(vc);
+  } else {
+    eng.checkers.emplace(vc);
+  }
+  verify::StreamCheckerSet& checkers = *eng.checkers;
+  eng.tee.clear();
   if (traceOut) {
     traceOut->clear();
-    tee.attach(*traceOut);
+    eng.tee.attach(*traceOut);
   }
-  tee.attach(cov);
-  tee.attach(checkers);
+  eng.tee.attach(cov);
+  eng.tee.attach(checkers);
 
   CaseOutcome out;
   try {
-    sim::System system(spec.sys, tee);
+    sim::System& system = acquireSystem(eng, spec.sys);
     for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
       system.setProgram(p, spec.programs[p]);
     }
-    const sim::RunResult result = system.run(maxEvents);
+    const sim::RunResult result = timedRun(system, maxEvents, out);
     out.opsBound = result.opsBound;
     out.txnsSerialized = cov.txnsSerialized();
     out.coverage = cov.coverage();
@@ -137,7 +210,10 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
     }
   } catch (const ProtocolError& e) {
     // An Appendix-B "impossible case" invariant fired inside the protocol
-    // core.  The events observed so far still contribute coverage.
+    // core.  The events observed so far still contribute coverage; the
+    // next sub-run's reset rewinds the half-finished machine (every
+    // component reset is unconditional, so a mid-flight abort leaves
+    // nothing behind).
     out.txnsSerialized = cov.txnsSerialized();
     out.coverage = cov.coverage();
     out.signature = "invariant";
@@ -161,17 +237,20 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
 /// paths cannot disagree.
 CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
                             trace::Trace* traceOut) {
+  WorkerEngine& eng = workerEngine();
   trace::Trace localTrace;
   trace::Trace& trace = traceOut ? *traceOut : localTrace;
   trace.clear();
+  eng.tee.clear();
+  eng.tee.attach(trace);
 
   CaseOutcome out;
   try {
-    sim::System system(spec.sys, trace);
+    sim::System& system = acquireSystem(eng, spec.sys);
     for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
       system.setProgram(p, spec.programs[p]);
     }
-    const sim::RunResult result = system.run(maxEvents);
+    const sim::RunResult result = timedRun(system, maxEvents, out);
     out.opsBound = result.opsBound;
     out.txnsSerialized = trace.serializations().size();
     out.coverage.record(trace);
@@ -295,7 +374,11 @@ CampaignResult run(const CampaignConfig& cfg) {
     const std::uint64_t waveEnd = std::min(cfg.seeds, next + waveSize);
     for (std::uint64_t i = next; i < waveEnd; ++i) {
       pool.submit([&cfg, &outcomes, i] {
-        outcomes[i] = runCase(deriveCase(cfg, i), cfg.maxEventsPerRun,
+        // One retained spec per worker: program buffers and description
+        // are reused across the thousands of cases this thread derives.
+        thread_local CaseSpec spec;
+        deriveCaseInto(cfg, i, spec);
+        outcomes[i] = runCase(spec, cfg.maxEventsPerRun,
                               /*traceOut=*/nullptr, cfg.streaming);
       });
     }
@@ -305,6 +388,7 @@ CampaignResult run(const CampaignConfig& cfg) {
       result.coverage.merge(o.coverage);
       result.opsBound += o.opsBound;
       result.txnsSerialized += o.txnsSerialized;
+      result.perf.merge(o.perf);
       for (const auto& [check, n] : o.checkerFirings) {
         result.checkerFirings[check] += n;
       }

@@ -31,6 +31,7 @@
 #include "campaign/coverage.hpp"
 #include "common/config.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/perf.hpp"
 #include "workload/generators.hpp"
 
 namespace lcdc::trace {
@@ -93,6 +94,14 @@ struct CaseSpec {
 [[nodiscard]] CaseSpec deriveCase(const CampaignConfig& cfg,
                                   std::uint64_t index);
 
+/// `deriveCase` into a retained spec: program step buffers and the
+/// description string are reused (workload::makeInto), so a worker that
+/// derives thousands of cases into one thread-local CaseSpec pays for
+/// generation once per sub-run and for allocation only at its high-water
+/// program size.  Produces exactly what deriveCase returns.
+void deriveCaseInto(const CampaignConfig& cfg, std::uint64_t index,
+                    CaseSpec& out);
+
 /// Outcome of executing + verifying one case.
 struct CaseOutcome {
   /// Failure signature: "" when clean, else "checker:<name>",
@@ -104,6 +113,9 @@ struct CaseOutcome {
   std::uint64_t opsBound = 0;
   std::uint64_t txnsSerialized = 0;
   std::map<std::string, std::uint64_t> checkerFirings;
+  /// Hot-loop counters for this sub-run (wall-clock + queue ops).  Never
+  /// read by the deterministic report; surfaced in the timing block.
+  sim::SimPerfCounters perf;
 
   [[nodiscard]] bool clean() const { return signature.empty(); }
 };
@@ -167,6 +179,7 @@ struct CampaignResult {
   std::map<std::string, std::uint64_t> checkerFirings;
   // Non-deterministic extras, deliberately excluded from report():
   PoolStats pool;
+  sim::SimPerfCounters perf;  ///< aggregated over every sub-run
   double seconds = 0;
   /// Wall-clock of the optional mc stage (0 when it did not run).
   double mcSeconds = 0;

@@ -36,6 +36,13 @@ class OpStamper {
 
   [[nodiscard]] GlobalTime lastGlobal() const { return lastGlobal_; }
 
+  /// Return to the freshly constructed state (same pid).
+  void reset() {
+    lastGlobal_ = 0;
+    lastLocal_ = 0;
+    hasOp_ = false;
+  }
+
  private:
   NodeId pid_;
   GlobalTime lastGlobal_ = 0;

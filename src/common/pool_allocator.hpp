@@ -1,0 +1,151 @@
+// A recycling node pool for the simulate-and-verify hot path.
+//
+// The streaming checkers keep their per-transaction state in node-based
+// containers (std::map of pending transactions, hash maps of live ones,
+// deques of merge-window operations).  Transactions are born and retired
+// millions of times per run, so the node insert/erase cycle is the last
+// heap churn left once messages and envelopes are pooled.  PoolResource
+// gives those containers malloc-free steady state without changing their
+// semantics at all: nodes are carved from Arena slabs on first use and
+// recycled through per-size free lists forever after.
+//
+// Design:
+//   * A handful of size classes, created lazily by the first allocation of
+//     each (rounded) size.  A container family only ever allocates a few
+//     distinct node sizes, so a small fixed table suffices.
+//   * Requests that are too large (hash-bucket arrays) or that arrive when
+//     the table is full fall through to operator new.  Provenance cannot
+//     mix: deallocate() only consults existing classes, and a class for
+//     size S exists exactly when some allocation of size S was pooled —
+//     in which case every allocation of size S was pooled.
+//   * Single-threaded by design, like the checkers that own it: one
+//     resource per checker (or per worker), never shared across threads.
+//
+// PoolAllocator<T> adapts a PoolResource to the standard allocator
+// interface; containers constructed with allocators sharing one resource
+// recycle each other's nodes.  clear()-ing a pooled container returns its
+// nodes to the resource, so a reused checker re-runs with zero heap
+// traffic once its high-water footprint is reached.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "common/arena.hpp"
+#include "common/expect.hpp"
+
+namespace lcdc::common {
+
+class PoolResource {
+ public:
+  /// Slabs default to 64 KiB: big enough to amortize the Arena mutex,
+  /// small enough that per-checker pools stay cheap.
+  explicit PoolResource(std::size_t slabBytes = std::size_t{1} << 16)
+      : arena_(slabBytes), cursor_(arena_) {}
+
+  PoolResource(const PoolResource&) = delete;
+  PoolResource& operator=(const PoolResource&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    bytes = roundUp(bytes);
+    if (bytes > kMaxPooledBytes) return ::operator new(bytes);
+    SizeClass* c = findOrCreate(bytes);
+    if (c == nullptr) return ::operator new(bytes);
+    if (c->free != nullptr) {
+      FreeNode* n = c->free;
+      c->free = n->next;
+      return n;
+    }
+    carved_ += bytes;
+    return cursor_.alloc(bytes);
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    bytes = roundUp(bytes);
+    if (bytes <= kMaxPooledBytes) {
+      // Lookup only — a class for this size exists iff the matching
+      // allocate() was served from the pool (see header comment).
+      for (std::size_t i = 0; i < classCount_; ++i) {
+        if (classes_[i].bytes == bytes) {
+          auto* n = static_cast<FreeNode*>(p);
+          n->next = classes_[i].free;
+          classes_[i].free = n;
+          return;
+        }
+      }
+    }
+    ::operator delete(p);
+  }
+
+  /// Bytes ever carved from slabs (the pool's high-water footprint).
+  [[nodiscard]] std::size_t bytesCarved() const { return carved_; }
+  [[nodiscard]] std::size_t bytesReserved() const {
+    return arena_.bytesReserved();
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct SizeClass {
+    std::size_t bytes = 0;
+    FreeNode* free = nullptr;
+  };
+
+  static constexpr std::size_t kAlign = 16;  // >= any node type here
+  static constexpr std::size_t kMaxPooledBytes = 1024;
+  static constexpr std::size_t kClasses = 16;
+
+  static std::size_t roundUp(std::size_t bytes) {
+    return (bytes + (kAlign - 1)) & ~(kAlign - 1);
+  }
+
+  SizeClass* findOrCreate(std::size_t bytes) {
+    for (std::size_t i = 0; i < classCount_; ++i) {
+      if (classes_[i].bytes == bytes) return &classes_[i];
+    }
+    if (classCount_ == kClasses) return nullptr;
+    classes_[classCount_].bytes = bytes;
+    return &classes_[classCount_++];
+  }
+
+  Arena arena_;
+  ArenaRef cursor_;
+  SizeClass classes_[kClasses];
+  std::size_t classCount_ = 0;
+  std::size_t carved_ = 0;
+};
+
+template <class T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(PoolResource* pool) noexcept : pool_(pool) {}
+  template <class U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept
+      : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_->deallocate(p, n * sizeof(T));
+  }
+
+  [[nodiscard]] PoolResource* pool() const noexcept { return pool_; }
+
+  template <class U>
+  friend bool operator==(const PoolAllocator& a, const PoolAllocator<U>& b) {
+    return a.pool_ == b.pool();
+  }
+  template <class U>
+  friend bool operator!=(const PoolAllocator& a, const PoolAllocator<U>& b) {
+    return !(a == b);
+  }
+
+ private:
+  PoolResource* pool_;
+};
+
+}  // namespace lcdc::common

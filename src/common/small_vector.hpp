@@ -1,0 +1,284 @@
+// A vector with inline storage for its first N elements.
+//
+// The simulator's hot path moves protocol messages between controllers,
+// outboxes and network envelopes millions of times per run.  A `Message`
+// whose variable-length fields (invalidation targets, Lamport stamps, the
+// block payload) live in `std::vector` costs up to three heap round-trips
+// per copy; with SmallVector the common case — every field within its
+// inline capacity — is a flat member-wise copy and a `Message` travels
+// with zero heap traffic.
+//
+// Semantics follow std::vector where implemented: contiguous storage,
+// amortized-doubling growth past the inline capacity, element order
+// preserved by insert/erase.  Differences: no allocator parameter, and
+// moving an inline-stored vector moves elements (O(size)) instead of
+// stealing a buffer — for the small sizes this type is built for that is
+// still cheaper than one allocation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lcdc::common {
+
+template <class T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be at least one element");
+
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reference = T&;
+  using const_reference = const T&;
+
+  SmallVector() noexcept : data_(inlineData()), size_(0), capacity_(N) {}
+
+  explicit SmallVector(size_type n) : SmallVector() { resize(n); }
+
+  SmallVector(size_type n, const T& value) : SmallVector() {
+    assign(n, value);
+  }
+
+  SmallVector(std::initializer_list<T> init) : SmallVector() {
+    reserve(init.size());
+    for (const T& v : init) emplace_back(v);
+  }
+
+  template <class It,
+            class = typename std::iterator_traits<It>::iterator_category>
+  SmallVector(It first, It last) : SmallVector() {
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  SmallVector(const SmallVector& other) : SmallVector() {
+    reserve(other.size_);
+    for (size_type i = 0; i < other.size_; ++i) emplace_back(other.data_[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    stealOrMove(std::move(other));
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      releaseHeap();
+      stealOrMove(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    clear();
+    reserve(init.size());
+    for (const T& v : init) emplace_back(v);
+    return *this;
+  }
+
+  ~SmallVector() {
+    clear();
+    releaseHeap();
+  }
+
+  // -- element access ---------------------------------------------------------
+
+  [[nodiscard]] reference operator[](size_type i) { return data_[i]; }
+  [[nodiscard]] const_reference operator[](size_type i) const {
+    return data_[i];
+  }
+  [[nodiscard]] reference front() { return data_[0]; }
+  [[nodiscard]] const_reference front() const { return data_[0]; }
+  [[nodiscard]] reference back() { return data_[size_ - 1]; }
+  [[nodiscard]] const_reference back() const { return data_[size_ - 1]; }
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator cbegin() const noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator cend() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] size_type size() const noexcept { return size_; }
+  [[nodiscard]] size_type capacity() const noexcept { return capacity_; }
+  /// True while the elements still live in the inline buffer.
+  [[nodiscard]] bool inlined() const noexcept { return data_ == inlineData(); }
+
+  // -- modifiers --------------------------------------------------------------
+
+  void reserve(size_type n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void clear() noexcept {
+    destroyRange(0, size_);
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <class... Args>
+  reference emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(size_ + 1);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void resize(size_type n) {
+    if (n < size_) {
+      destroyRange(n, size_);
+      size_ = n;
+      return;
+    }
+    reserve(n);
+    while (size_ < n) emplace_back();
+  }
+
+  void resize(size_type n, const T& value) {
+    if (n < size_) {
+      destroyRange(n, size_);
+      size_ = n;
+      return;
+    }
+    reserve(n);
+    while (size_ < n) emplace_back(value);
+  }
+
+  void assign(size_type n, const T& value) {
+    clear();
+    reserve(n);
+    while (size_ < n) emplace_back(value);
+  }
+
+  template <class It,
+            class = typename std::iterator_traits<It>::iterator_category>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  iterator insert(const_iterator pos, const T& value) {
+    const size_type at = static_cast<size_type>(pos - data_);
+    if (size_ == capacity_) grow(size_ + 1);
+    if (at == size_) {
+      emplace_back(value);
+    } else {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      for (size_type i = size_ - 1; i > at; --i) {
+        data_[i] = std::move(data_[i - 1]);
+      }
+      data_[at] = value;
+      ++size_;
+    }
+    return data_ + at;
+  }
+
+  iterator erase(const_iterator pos) {
+    const size_type at = static_cast<size_type>(pos - data_);
+    for (size_type i = at + 1; i < size_; ++i) {
+      data_[i - 1] = std::move(data_[i]);
+    }
+    pop_back();
+    return data_ + at;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  [[nodiscard]] T* inlineData() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_));
+  }
+  [[nodiscard]] const T* inlineData() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void destroyRange(size_type from, size_type to) noexcept {
+    for (size_type i = from; i < to; ++i) data_[i].~T();
+  }
+
+  /// Free the heap buffer (elements must already be destroyed) and return
+  /// to the inline buffer.
+  void releaseHeap() noexcept {
+    if (!inlined()) {
+      ::operator delete(static_cast<void*>(data_));
+      data_ = inlineData();
+      capacity_ = N;
+    }
+  }
+
+  void grow(size_type need) {
+    size_type cap = capacity_ * 2;
+    if (cap < need) cap = need;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (size_type i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!inlined()) ::operator delete(static_cast<void*>(data_));
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  /// Move-construct from `other`: steal its heap buffer when it has one,
+  /// move elements when it is inline.  `other` is left empty and inline.
+  void stealOrMove(SmallVector&& other) noexcept {
+    if (other.inlined()) {
+      for (size_type i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_;
+  size_type size_;
+  size_type capacity_;
+};
+
+/// std::vector interop for tests and serialization round-trips (C++20
+/// rewrites this into the reversed comparison and != as well).
+template <class T, std::size_t N, class A>
+[[nodiscard]] bool operator==(const SmallVector<T, N>& a,
+                              const std::vector<T, A>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace lcdc::common

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vector.hpp"
+
 namespace lcdc {
 
 /// Identity of a node (processing node or directory node).  Directory
@@ -102,9 +104,10 @@ enum class NackKind : std::uint8_t {
 enum class OpKind : std::uint8_t { Load, Store };
 
 /// A block's data payload: a fixed number of words chosen by the system
-/// configuration.  Kept as a plain vector for value semantics; the protocol
-/// core moves these rather than copying where possible.
-using BlockValue = std::vector<Word>;
+/// configuration.  Value semantics; the inline capacity covers the default
+/// wordsPerBlock so copying a payload costs no heap traffic on the
+/// simulator's hot path (larger configurations spill transparently).
+using BlockValue = common::SmallVector<Word, 4>;
 
 [[nodiscard]] std::string toString(ReqType t);
 [[nodiscard]] std::string toString(CacheState s);

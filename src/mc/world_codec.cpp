@@ -50,19 +50,18 @@ BlockValue getWords(Reader& r) {
   return v;
 }
 
-void putNodes(std::vector<std::byte>& out, const std::vector<NodeId>& v) {
+void putNodes(std::vector<std::byte>& out, const proto::NodeList& v) {
   putU64(out, v.size());
   for (const NodeId n : v) putU64(out, n);
 }
 
-std::vector<NodeId> getNodes(Reader& r) {
-  std::vector<NodeId> v(r.u64());
+proto::NodeList getNodes(Reader& r) {
+  proto::NodeList v(r.u64());
   for (NodeId& n : v) n = r.u32();
   return v;
 }
 
-void putStamps(std::vector<std::byte>& out,
-               const std::vector<proto::TsStamp>& v) {
+void putStamps(std::vector<std::byte>& out, const proto::StampList& v) {
   putU64(out, v.size());
   for (const proto::TsStamp& s : v) {
     putU64(out, s.node);
@@ -70,8 +69,8 @@ void putStamps(std::vector<std::byte>& out,
   }
 }
 
-std::vector<proto::TsStamp> getStamps(Reader& r) {
-  std::vector<proto::TsStamp> v(r.u64());
+proto::StampList getStamps(Reader& r) {
+  proto::StampList v(r.u64());
   for (proto::TsStamp& s : v) {
     s.node = r.u32();
     s.ts = r.u64();
@@ -267,6 +266,7 @@ World WorldCodec::load(const std::byte* data, std::size_t len) const {
       const BlockId b = r.u32();
       cache.linesRaw().emplace(b, getLine(r));
     }
+    cache.recountLinesHeld();
   }
   w.dirs.emplace_back(cfg_.numProcessors, cfg_.proto, proto::nullSink(),
                       *txns_);

@@ -1,0 +1,285 @@
+// A bucketed calendar queue for in-flight envelopes.
+//
+// The timed network modes need exactly one operation mix: push an envelope
+// with a delivery tick at most `maxLatency` ahead of the current time, and
+// pop envelopes in (deliverAt, seq) order.  A binary heap does this in
+// O(log n) with a full Envelope move per sift step; the calendar queue does
+// it in O(1) expected per operation and never moves an envelope after
+// insertion:
+//
+//  * Envelopes live in slab-allocated pool nodes (common/arena.hpp blocks)
+//    that are recycled through a free list — after the pool reaches its
+//    high-water mark the queue performs no heap allocation at all.
+//  * A power-of-two timing wheel of singly-linked buckets covers the ticks
+//    `[cursor, cursor + wheelSize)`.  The wheel is sized from `maxLatency`
+//    so in-window pushes (the overwhelming majority) are a list append.
+//  * Pushes beyond the window — possible when retry timers advance
+//    simulated time far past the last delivery — go to a small min-heap of
+//    node indices (the "overflow"); pop compares the wheel head against the
+//    overflow top under the same (deliverAt, seq) key.
+//
+// Determinism argument (DESIGN.md §10): the pop order is *identical* to
+// std::priority_queue<Envelope, ..., Later>'s.  Within one delivery tick a
+// wheel bucket holds envelopes in insertion order, and sequence numbers are
+// assigned monotonically, so FIFO order within a bucket is seq order; the
+// window invariant (cursor never passes the smallest queued tick) means a
+// bucket never mixes two ticks; and mixed wheel/overflow ties are broken by
+// comparing the full (deliverAt, seq) key.  A per-slot occupancy bitmap
+// makes the next-bucket scan a couple of word operations.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/expect.hpp"
+#include "common/types.hpp"
+#include "net/envelope.hpp"
+
+namespace lcdc::net {
+
+/// Operation counters for SimPerfCounters (always-on; they are a handful of
+/// increments per event).
+struct CalendarStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t overflowPushes = 0;  ///< pushes beyond the wheel window
+  std::uint64_t overflowPops = 0;
+  std::uint64_t maxDepth = 0;     ///< high-water in-flight envelopes
+  std::uint64_t poolNodes = 0;    ///< pool high-water (slab-carved nodes)
+};
+
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(Tick maxLatency) {
+    // Window = a few times the latency bound, so only time jumps larger
+    // than the bound itself (timer-driven idle periods) hit the overflow.
+    std::size_t want = 64;
+    const Tick span = 4 * (maxLatency + 2);
+    while (want < span && want < (std::size_t{1} << 16)) want <<= 1;
+    mask_ = static_cast<Tick>(want - 1);
+    slots_.assign(want, Slot{});
+    bitmap_.assign(want / 64, 0);
+    overflow_.reserve(16);
+  }
+
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  ~CalendarQueue() {
+    // Pool nodes are constructed once per slab and recycled; destroy them
+    // all here (the arena only releases the raw bytes).
+    for (Node* slab : slabs_) {
+      for (std::uint32_t i = 0; i < kSlabNodes; ++i) slab[i].~Node();
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const CalendarStats& stats() const { return stats_; }
+
+  void push(Envelope&& env) {
+    LCDC_EXPECT(env.deliverAt >= cursor_,
+                "calendar push before the delivery cursor");
+    const std::uint32_t idx = allocNode();
+    Node& n = node(idx);
+    n.env = std::move(env);
+    n.next = kNil;
+    if (n.env.deliverAt - cursor_ <= mask_) {
+      Slot& s = slots_[static_cast<std::size_t>(n.env.deliverAt & mask_)];
+      if (s.tail == kNil) {
+        s.head = idx;
+        markSlot(n.env.deliverAt & mask_);
+      } else {
+        node(s.tail).next = idx;
+      }
+      s.tail = idx;
+      ++wheelCount_;
+    } else {
+      overflow_.push_back(idx);
+      std::push_heap(overflow_.begin(), overflow_.end(), laterByIndex());
+      stats_.overflowPushes += 1;
+    }
+    ++size_;
+    stats_.pushes += 1;
+    if (size_ > stats_.maxDepth) stats_.maxDepth = size_;
+  }
+
+  /// Delivery tick of the next envelope in (deliverAt, seq) order.
+  [[nodiscard]] Tick nextDeliveryTime() const {
+    if (size_ == 0) return kNever;
+    const std::uint32_t w = wheelHead();
+    if (w == kNil) return node(overflow_.front()).env.deliverAt;
+    if (overflow_.empty()) return node(w).env.deliverAt;
+    const Node& a = node(w);
+    const Node& b = node(overflow_.front());
+    return a.env.deliverAt <= b.env.deliverAt ? a.env.deliverAt
+                                              : b.env.deliverAt;
+  }
+
+  /// Remove and return the next envelope in (deliverAt, seq) order.
+  Envelope pop() {
+    LCDC_EXPECT(size_ > 0, "pop on empty calendar queue");
+    const std::uint32_t w = wheelHead();
+    bool fromWheel = w != kNil;
+    if (fromWheel && !overflow_.empty()) {
+      const Node& a = node(w);
+      const Node& b = node(overflow_.front());
+      // Exact priority_queue order: earlier tick wins, seq breaks ties.
+      fromWheel = a.env.deliverAt < b.env.deliverAt ||
+                  (a.env.deliverAt == b.env.deliverAt && a.env.seq < b.env.seq);
+    }
+    std::uint32_t idx;
+    if (fromWheel) {
+      Slot& s = slots_[static_cast<std::size_t>(node(w).env.deliverAt & mask_)];
+      idx = s.head;
+      s.head = node(idx).next;
+      if (s.head == kNil) {
+        s.tail = kNil;
+        clearSlot(node(idx).env.deliverAt & mask_);
+      }
+      --wheelCount_;
+    } else {
+      std::pop_heap(overflow_.begin(), overflow_.end(), laterByIndex());
+      idx = overflow_.back();
+      overflow_.pop_back();
+      stats_.overflowPops += 1;
+    }
+    Node& n = node(idx);
+    cursor_ = n.env.deliverAt;
+    Envelope out = std::move(n.env);
+    freeNode(idx);
+    --size_;
+    stats_.pops += 1;
+    return out;
+  }
+
+  /// Empty the queue but keep every slab and the heap's capacity, so the
+  /// next run reuses the high-water footprint without re-allocating.
+  void clear() {
+    while (size_ > 0) (void)pop();
+    cursor_ = 0;
+  }
+
+  /// Zero the operation counters (pool high-water is kept: the nodes are
+  /// still carved and will be reused by the next run).
+  void resetStats() {
+    const std::uint64_t pool = stats_.poolNodes;
+    stats_ = CalendarStats{};
+    stats_.poolNodes = pool;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kSlabNodes = 256;  // nodes per arena slab
+
+  struct Node {
+    Envelope env;
+    std::uint32_t next = kNil;
+  };
+  struct Slot {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  [[nodiscard]] Node& node(std::uint32_t idx) {
+    return slabs_[idx / kSlabNodes][idx % kSlabNodes];
+  }
+  [[nodiscard]] const Node& node(std::uint32_t idx) const {
+    return slabs_[idx / kSlabNodes][idx % kSlabNodes];
+  }
+
+  /// Comparator for the overflow heap: "later" ordering over node indices,
+  /// making std::push_heap/pop_heap yield the earliest (deliverAt, seq).
+  struct LaterByIndex {
+    const CalendarQueue* q;
+    bool operator()(std::uint32_t a, std::uint32_t b) const {
+      const Envelope& ea = q->node(a).env;
+      const Envelope& eb = q->node(b).env;
+      if (ea.deliverAt != eb.deliverAt) return ea.deliverAt > eb.deliverAt;
+      return ea.seq > eb.seq;
+    }
+  };
+  [[nodiscard]] LaterByIndex laterByIndex() const {
+    return LaterByIndex{this};
+  }
+
+  std::uint32_t allocNode() {
+    if (freeHead_ != kNil) {
+      const std::uint32_t idx = freeHead_;
+      freeHead_ = node(idx).next;
+      return idx;
+    }
+    // Carve a fresh slab; nodes are constructed once and recycled forever.
+    std::size_t usable = 0;
+    auto* raw = arena_.grabBlock(kSlabNodes * sizeof(Node), usable);
+    Node* nodes = reinterpret_cast<Node*>(raw);
+    for (std::uint32_t i = 0; i < kSlabNodes; ++i) {
+      ::new (static_cast<void*>(nodes + i)) Node();
+    }
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(slabs_.size()) * kSlabNodes;
+    slabs_.push_back(nodes);
+    stats_.poolNodes += kSlabNodes;
+    // Link all but the first node into the free list.
+    for (std::uint32_t i = kSlabNodes - 1; i >= 1; --i) {
+      nodes[i].next = freeHead_;
+      freeHead_ = base + i;
+    }
+    return base;
+  }
+
+  void freeNode(std::uint32_t idx) {
+    node(idx).next = freeHead_;
+    freeHead_ = idx;
+  }
+
+  void markSlot(Tick slot) {
+    bitmap_[static_cast<std::size_t>(slot >> 6)] |=
+        std::uint64_t{1} << (slot & 63);
+  }
+  void clearSlot(Tick slot) {
+    bitmap_[static_cast<std::size_t>(slot >> 6)] &=
+        ~(std::uint64_t{1} << (slot & 63));
+  }
+
+  /// Head node of the earliest non-empty wheel bucket (kNil when the wheel
+  /// is empty).  Because every wheel tick lies in [cursor, cursor + wheel
+  /// size), the first occupied slot at or cyclically after the cursor's
+  /// slot is the minimum tick.
+  [[nodiscard]] std::uint32_t wheelHead() const {
+    if (wheelCount_ == 0) return kNil;
+    const std::size_t words = bitmap_.size();
+    const std::size_t start = static_cast<std::size_t>(cursor_ & mask_);
+    std::size_t word = start >> 6;
+    // First word: mask off bits below the cursor's position.
+    std::uint64_t bits = bitmap_[word] & (~std::uint64_t{0} << (start & 63));
+    for (std::size_t n = 0; n <= words; ++n) {
+      if (bits != 0) {
+        const std::size_t slot =
+            (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        return slots_[slot].head;
+      }
+      word = (word + 1) % words;
+      bits = bitmap_[word];
+    }
+    return kNil;  // unreachable while wheelCount_ > 0
+  }
+
+  Tick mask_ = 0;          ///< wheelSize - 1 (wheelSize is a power of two)
+  Tick cursor_ = 0;        ///< every queued tick is >= cursor_
+  std::size_t size_ = 0;
+  std::size_t wheelCount_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> bitmap_;
+  std::vector<std::uint32_t> overflow_;  ///< min-heap of node indices
+  std::uint32_t freeHead_ = kNil;
+  Arena arena_{kSlabNodes * sizeof(Node)};
+  std::vector<Node*> slabs_;
+  CalendarStats stats_;
+};
+
+}  // namespace lcdc::net

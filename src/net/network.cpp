@@ -6,13 +6,27 @@
 
 namespace lcdc::net {
 
-NetStats::NetStats() : sentByType(16, 0) {}
+NetStats::NetStats()
+    : sentByType(proto::kNumMsgTypes, 0),
+      deliveredByType(proto::kNumMsgTypes, 0) {}
 
 Network::Network(Mode mode, Rng rng, Tick minLatency, Tick maxLatency)
     : mode_(mode), rng_(rng), minLatency_(minLatency),
-      maxLatency_(maxLatency) {
+      maxLatency_(maxLatency), timed_(maxLatency) {
   LCDC_EXPECT(minLatency_ <= maxLatency_, "latency bounds inverted");
   LCDC_EXPECT(minLatency_ >= 1, "zero latency would allow same-tick loops");
+}
+
+void Network::reset(Rng rng) {
+  rng_ = rng;
+  nextSeq_ = 1;
+  timed_.clear();
+  timed_.resetStats();
+  manual_.clear();
+  stats_.sent = 0;
+  stats_.delivered = 0;
+  std::fill(stats_.sentByType.begin(), stats_.sentByType.end(), 0);
+  std::fill(stats_.deliveredByType.begin(), stats_.deliveredByType.end(), 0);
 }
 
 MsgSeq Network::send(NodeId src, NodeId dst, Tick now, proto::Message msg) {
@@ -49,15 +63,22 @@ std::size_t Network::inFlight() const {
 
 Tick Network::nextDeliveryTime() const {
   LCDC_EXPECT(mode_ != Mode::Manual, "nextDeliveryTime in Manual mode");
-  return timed_.empty() ? kNever : timed_.top().deliverAt;
+  return timed_.nextDeliveryTime();
+}
+
+void Network::countDelivered(const Envelope& env) {
+  stats_.delivered += 1;
+  const auto typeIdx = static_cast<std::size_t>(env.msg.type);
+  if (typeIdx < stats_.deliveredByType.size()) {
+    stats_.deliveredByType[typeIdx] += 1;
+  }
 }
 
 Envelope Network::popNext() {
   LCDC_EXPECT(mode_ != Mode::Manual, "popNext in Manual mode");
   LCDC_EXPECT(!timed_.empty(), "popNext on empty network");
-  Envelope env = timed_.top();
-  timed_.pop();
-  stats_.delivered += 1;
+  Envelope env = timed_.pop();
+  countDelivered(env);
   return env;
 }
 
@@ -71,18 +92,23 @@ Envelope Network::deliverIndex(std::size_t i) {
   LCDC_EXPECT(i < manual_.size(), "deliverIndex out of range");
   Envelope env = std::move(manual_[i]);
   manual_.erase(manual_.begin() + static_cast<std::ptrdiff_t>(i));
-  stats_.delivered += 1;
+  countDelivered(env);
   return env;
 }
 
 Envelope Network::deliverSeq(MsgSeq seq) {
   LCDC_EXPECT(mode_ == Mode::Manual, "deliverSeq outside Manual mode");
-  const auto it = std::find_if(manual_.begin(), manual_.end(),
-                               [seq](const Envelope& e) { return e.seq == seq; });
-  LCDC_EXPECT(it != manual_.end(), "deliverSeq: unknown sequence number");
+  // Sequence numbers are assigned monotonically and erases keep relative
+  // order, so the pending bag is always sorted by seq: the seq -> index
+  // mapping is a binary search, with no side table to maintain.
+  const auto it = std::lower_bound(
+      manual_.begin(), manual_.end(), seq,
+      [](const Envelope& e, MsgSeq s) { return e.seq < s; });
+  LCDC_EXPECT(it != manual_.end() && it->seq == seq,
+              "deliverSeq: unknown sequence number");
   Envelope env = std::move(*it);
   manual_.erase(it);
-  stats_.delivered += 1;
+  countDelivered(env);
   return env;
 }
 

@@ -19,38 +19,22 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/calendar_queue.hpp"
+#include "net/envelope.hpp"
 #include "proto/messages.hpp"
 
 namespace lcdc::net {
-
-/// Simulated time, in abstract ticks.
-using Tick = std::uint64_t;
-
-/// Monotone per-network sequence number; breaks delivery-time ties so runs
-/// are fully deterministic.
-using MsgSeq = std::uint64_t;
-
-inline constexpr Tick kNever = ~Tick{0};
-
-/// A message in flight.
-struct Envelope {
-  MsgSeq seq = 0;
-  NodeId dst = kNoNode;
-  Tick sentAt = 0;
-  Tick deliverAt = 0;  ///< unused in Manual mode
-  proto::Message msg;
-};
 
 /// Per-message-type traffic counters.
 struct NetStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::vector<std::uint64_t> sentByType;  ///< indexed by MsgType
+  std::vector<std::uint64_t> sentByType;       ///< indexed by MsgType
+  std::vector<std::uint64_t> deliveredByType;  ///< indexed by MsgType
 
   NetStats();
 };
@@ -95,21 +79,25 @@ class Network {
 
   [[nodiscard]] Mode mode() const { return mode_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
+  /// Calendar-queue operation counters (timed modes), for SimPerfCounters.
+  [[nodiscard]] const CalendarStats& queueStats() const {
+    return timed_.stats();
+  }
+
+  /// Return to the just-constructed state with a fresh random stream, but
+  /// keep the envelope pool's slabs and every container's capacity — the
+  /// campaign resets one Network per worker thousands of times.
+  void reset(Rng rng);
 
  private:
-  struct Later {
-    bool operator()(const Envelope& a, const Envelope& b) const {
-      if (a.deliverAt != b.deliverAt) return a.deliverAt > b.deliverAt;
-      return a.seq > b.seq;
-    }
-  };
+  void countDelivered(const Envelope& env);
 
   Mode mode_;
   Rng rng_;
   Tick minLatency_;
   Tick maxLatency_;
   MsgSeq nextSeq_ = 1;
-  std::priority_queue<Envelope, std::vector<Envelope>, Later> timed_;
+  CalendarQueue timed_;
   std::deque<Envelope> manual_;
   NetStats stats_;
 };

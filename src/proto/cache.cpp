@@ -16,13 +16,13 @@ std::string describe(const Message& m, NodeId self) {
   return os.str();
 }
 
-GlobalTime maxStamp(const std::vector<TsStamp>& stamps) {
+GlobalTime maxStamp(const StampList& stamps) {
   GlobalTime best = 0;
   for (const auto& s : stamps) best = std::max(best, s.ts);
   return best;
 }
 
-bool contains(const std::vector<NodeId>& v, NodeId n) {
+bool contains(const NodeList& v, NodeId n) {
   return std::find(v.begin(), v.end(), n) != v.end();
 }
 
@@ -33,7 +33,7 @@ bool contains(const std::vector<NodeId>& v, NodeId n) {
 /// forwarded request as an implicit acknowledgment.  Without it, the
 /// requester has already acknowledged normally (the ack is in flight), and
 /// the forward must simply be buffered.
-bool hasStampFrom(const std::vector<TsStamp>& stamps, NodeId node) {
+bool hasStampFrom(const StampList& stamps, NodeId node) {
   return std::any_of(stamps.begin(), stamps.end(),
                      [node](const TsStamp& s) { return s.node == node; });
 }
@@ -56,12 +56,49 @@ const Line* CacheController::findLine(BlockId block) const {
   return it == lines_.end() ? nullptr : &it->second;
 }
 
-std::size_t CacheController::linesHeld() const {
-  std::size_t n = 0;
+std::size_t CacheController::linesHeld() const { return held_; }
+
+void CacheController::recountLinesHeld() {
+  held_ = 0;
+  heldRO_.clear();
+  heldRW_.clear();
   for (const auto& [b, line] : lines_) {
-    if (line.cstate != CacheState::Invalid) ++n;
+    if (line.cstate == CacheState::Invalid) continue;
+    ++held_;
+    if (auto* set = stateSet(line.cstate)) setInsert(*set, b);
   }
-  return n;
+}
+
+void CacheController::reset() {
+  clock_ = 0;
+  for (auto& [b, line] : lines_) {
+    line.cstate = CacheState::Invalid;
+    line.astate = AState::I;
+    line.data.clear();
+    line.mshr.reset();
+    line.ignoreFwdTxn = kNoTransaction;
+    line.dropInvTxn = kNoTransaction;
+    line.epochTxn = kNoTransaction;
+    line.epochSerial = 0;
+    line.epochTs = 0;
+    line.epochStartData.clear();
+  }
+  held_ = 0;
+  heldRO_.clear();
+  heldRW_.clear();
+  stats_ = CacheStats{};
+}
+
+void CacheController::setInsert(common::SmallVector<BlockId, 8>& v,
+                                BlockId b) {
+  const auto it = std::lower_bound(v.begin(), v.end(), b);
+  if (it == v.end() || *it != b) v.insert(it, b);
+}
+
+void CacheController::setErase(common::SmallVector<BlockId, 8>& v,
+                               BlockId b) {
+  const auto it = std::lower_bound(v.begin(), v.end(), b);
+  if (it != v.end() && *it == b) v.erase(it);
 }
 
 bool CacheController::quiescent() const {
@@ -72,8 +109,27 @@ bool CacheController::quiescent() const {
   });
 }
 
-std::vector<BlockId> CacheController::blocksInState(CacheState s) const {
-  std::vector<BlockId> out;
+common::SmallVector<BlockId, 8> CacheController::blocksInState(
+    CacheState s) const {
+  common::SmallVector<BlockId, 8> out;
+  // The per-state sets are already sorted, so filtering them preserves
+  // the sorted order the map scan used to produce.
+  const common::SmallVector<BlockId, 8>* held =
+      s == CacheState::ReadOnly    ? &heldRO_
+      : s == CacheState::ReadWrite ? &heldRW_
+                                   : nullptr;
+  if (held != nullptr) {
+    for (const BlockId b : *held) {
+      const auto it = lines_.find(b);
+      if (it == lines_.end()) continue;
+      const Line& line = it->second;
+      if (!line.mshr && line.ignoreFwdTxn == kNoTransaction &&
+          line.dropInvTxn == kNoTransaction) {
+        out.push_back(b);
+      }
+    }
+    return out;
+  }
   for (const auto& [b, line] : lines_) {
     if (line.cstate == s && !line.mshr && line.ignoreFwdTxn == kNoTransaction &&
         line.dropInvTxn == kNoTransaction) {
@@ -100,7 +156,7 @@ GlobalTime CacheController::stampDowngrade(Line& line, BlockId block,
 
 GlobalTime CacheController::stampUpgrade(Line& line, BlockId block,
                                          TransactionId txn, SerialIdx serial,
-                                         const std::vector<TsStamp>& stamps,
+                                         const StampList& stamps,
                                          AState newA) {
   const AState oldA = line.astate;
   clock_ = 1 + std::max(clock_, maxStamp(stamps));
@@ -207,7 +263,7 @@ void CacheController::writeback(BlockId block, NodeId home, Outbox& out) {
   m.stamps.push_back(TsStamp{self_, clock_});
 
   // Binding stops now: the block is relinquished (DESIGN.md).
-  line.cstate = CacheState::Invalid;
+  setCState(line, block, CacheState::Invalid);
   line.data.clear();
   line.mshr = std::move(ms);
   stats_.writebacks += 1;
@@ -221,7 +277,7 @@ void CacheController::putShared(BlockId block) {
   LCDC_EXPECT(line.cstate == CacheState::ReadOnly,
               "putShared of a non-read-only line");
   LCDC_EXPECT(config_.putSharedEnabled, "putShared with the extension off");
-  line.cstate = CacheState::Invalid;
+  setCState(line, block, CacheState::Invalid);
   line.data.clear();
   // The A-state deliberately stays A_S: the home still believes we share
   // the block (Section 3.1: "the A-state is not just a synonym for the
@@ -269,7 +325,7 @@ void CacheController::completeShared(const Message& m, BlockId block,
 
   const GlobalTime ts =
       stampUpgrade(line, block, m.txn, m.serial, ms.stamps, AState::S);
-  line.cstate = CacheState::ReadOnly;
+  setCState(line, block, CacheState::ReadOnly);
   line.data = m.data;
   line.epochTxn = m.txn;
   line.epochSerial = m.serial;
@@ -467,7 +523,7 @@ void CacheController::tryCompleteExclusive(BlockId block, Line& line,
     line.data = std::move(done.data);
   }
   // For Upgrade, the node "receives a value from itself" (Section 2.4).
-  line.cstate = CacheState::ReadWrite;
+  setCState(line, block, CacheState::ReadWrite);
   line.epochTxn = done.txn;
   line.epochSerial = done.serial;
   line.epochTs = ts;
@@ -591,7 +647,7 @@ void CacheController::applyInv(const Message& m, BlockId block, Line& line,
                                Outbox& out) {
   const GlobalTime ts =
       stampDowngrade(line, block, m.txn, m.serial, AState::I);
-  line.cstate = CacheState::Invalid;
+  setCState(line, block, CacheState::Invalid);
   line.data.clear();
   stats_.invalidationsApplied += 1;
   Message ack;
@@ -669,7 +725,7 @@ void CacheController::serviceFwd(const Message& m, BlockId block, Line& line,
     const GlobalTime ts = stampDowngrade(line, block, m.txn, m.serial,
                                          AState::S);
     reply.stamps.push_back(TsStamp{self_, ts});
-    line.cstate = CacheState::ReadOnly;
+    setCState(line, block, CacheState::ReadOnly);
     // We stay a reader: subsequent loads belong to the *shared* epoch this
     // transaction opens at us (Claim 4), not to the exclusive epoch that
     // just ended.
@@ -687,7 +743,7 @@ void CacheController::serviceFwd(const Message& m, BlockId block, Line& line,
     const GlobalTime ts = stampDowngrade(line, block, m.txn, m.serial,
                                          AState::I);
     reply.stamps.push_back(TsStamp{self_, ts});
-    line.cstate = CacheState::Invalid;
+    setCState(line, block, CacheState::Invalid);
     line.data.clear();
     update.type = MsgType::UpdateX;
   }
@@ -696,7 +752,7 @@ void CacheController::serviceFwd(const Message& m, BlockId block, Line& line,
 }
 
 void CacheController::drainBuffered(BlockId block,
-                                    std::vector<Message> buffered,
+                                    common::SmallVector<Message, 2> buffered,
                                     Outbox& out) {
   for (const Message& m : buffered) {
     // The line may have changed as earlier buffered messages applied;

@@ -76,16 +76,16 @@ struct Mshr {
   /// For GetX/Upgrade: do we know the invalidation-target list yet?
   bool invListKnown = false;
   /// Sharers whose InvAck is still outstanding.
-  std::vector<NodeId> acksPending;
+  NodeList acksPending;
   /// InvAcks that arrived before the home's reply told us the target list.
-  std::vector<NodeId> earlyAcks;
+  NodeList earlyAcks;
   /// Payload carried by the reply (GetS/GetX data).
   BlockValue data;
   /// Transaction identity, learned from the reply.
   TransactionId txn = kNoTransaction;
   SerialIdx serial = 0;
   /// Stamps collected for the upgrade computation.
-  std::vector<TsStamp> stamps;
+  StampList stamps;
   /// Pre-assigned downgrade stamp: the writeback stamp (for Writeback
   /// MSHRs) or the pre-close stamp (re-request after Put-Shared); 0 if none.
   GlobalTime earlyStamp = 0;
@@ -93,7 +93,8 @@ struct Mshr {
   /// request completes, answering with ignoreBufferedInv set.
   std::optional<Message> pendingFwd;
   /// Messages buffered while this request is outstanding (arrival order).
-  std::vector<Message> buffered;
+  /// Usually zero or one deep; bursts under heavy contention spill.
+  common::SmallVector<Message, 2> buffered;
 };
 
 /// One cache line.
@@ -184,7 +185,9 @@ class CacheController {
   /// True when no request is outstanding anywhere (quiescence check).
   [[nodiscard]] bool quiescent() const;
   /// Blocks currently held with the given state (eviction candidates).
-  [[nodiscard]] std::vector<BlockId> blocksInState(CacheState s) const;
+  /// Sorted, so the result is independent of hash-map iteration order.
+  [[nodiscard]] common::SmallVector<BlockId, 8> blocksInState(
+      CacheState s) const;
 
   // -- checkpoint access ----------------------------------------------------
   // Raw state for full-fidelity serialization (the model checker stores
@@ -199,14 +202,45 @@ class CacheController {
   [[nodiscard]] const std::unordered_map<BlockId, Line>& linesRaw() const {
     return lines_;
   }
+  /// Rebuild the held-lines count after restoring lines through linesRaw().
+  void recountLinesHeld();
+
+  /// Return to the freshly constructed state, in place: every line reverts
+  /// to Invalid/A_I with no MSHR, but map nodes and value-buffer capacity
+  /// are kept so a reused controller re-runs without heap traffic.
+  void reset();
 
  private:
   Line& lineMut(BlockId block);
 
+  /// Every cstate write goes through here so linesHeld() and the sorted
+  /// per-state block sets (eviction candidates) stay O(1)-ish instead of
+  /// rescanning the whole line map.
+  void setCState(Line& line, BlockId block, CacheState s) {
+    if (line.cstate == s) return;
+    if (line.cstate == CacheState::Invalid) {
+      held_ += 1;
+    } else if (s == CacheState::Invalid) {
+      held_ -= 1;
+    }
+    if (auto* from = stateSet(line.cstate)) setErase(*from, block);
+    if (auto* to = stateSet(s)) setInsert(*to, block);
+    line.cstate = s;
+  }
+
+  common::SmallVector<BlockId, 8>* stateSet(CacheState s) {
+    if (s == CacheState::ReadOnly) return &heldRO_;
+    if (s == CacheState::ReadWrite) return &heldRW_;
+    return nullptr;
+  }
+
+  static void setInsert(common::SmallVector<BlockId, 8>& v, BlockId b);
+  static void setErase(common::SmallVector<BlockId, 8>& v, BlockId b);
+
   GlobalTime stampDowngrade(Line& line, BlockId block, TransactionId txn,
                             SerialIdx serial, AState newA);
   GlobalTime stampUpgrade(Line& line, BlockId block, TransactionId txn,
-                          SerialIdx serial, const std::vector<TsStamp>& stamps,
+                          SerialIdx serial, const StampList& stamps,
                           AState newA);
 
   void onDataShared(const Message& m, Line& line, Outbox& out);
@@ -235,7 +269,8 @@ class CacheController {
   /// Complete a GetS with the given data-bearing reply.
   void completeShared(const Message& m, BlockId block, Line& line, Outbox& out);
   /// Apply messages that were buffered behind a completed transaction.
-  void drainBuffered(BlockId block, std::vector<Message> buffered, Outbox& out);
+  void drainBuffered(BlockId block, common::SmallVector<Message, 2> buffered,
+                     Outbox& out);
   /// Section 2.5 deadlock detection: treat `fwd` as an implicit ack.
   void resolveDeadlock(const Message& fwd, BlockId block, Line& line);
   /// Handle the ignoreBufferedInv marker on deadlock-resolution data.
@@ -247,6 +282,9 @@ class CacheController {
   CacheClient* client_;
   GlobalTime clock_ = 0;
   std::unordered_map<BlockId, Line> lines_;
+  std::size_t held_ = 0;  // lines with cstate != Invalid
+  common::SmallVector<BlockId, 8> heldRO_;  // sorted blocks in ReadOnly
+  common::SmallVector<BlockId, 8> heldRW_;  // sorted blocks in ReadWrite
   CacheStats stats_;
 };
 

@@ -16,7 +16,7 @@ std::string describe(const Message& m, NodeId self) {
   return os.str();
 }
 
-GlobalTime maxStamp(const std::vector<TsStamp>& stamps) {
+GlobalTime maxStamp(const StampList& stamps) {
   GlobalTime best = 0;
   for (const auto& s : stamps) best = std::max(best, s.ts);
   return best;
@@ -81,6 +81,28 @@ bool DirectoryController::quiescent() const {
   });
 }
 
+void DirectoryController::reset() {
+  for (auto& [b, e] : entries_) {
+    e.core.state = DirState::Idle;
+    e.core.cached.clear();
+    e.core.busyRequester = kNoNode;
+    e.core.busyReq = ReqType{};
+    e.mem.assign(config_.wordsPerBlock, 0);
+    e.clock = 0;
+    e.serialCount = 0;
+    e.busyTxn = TxnInfo{};
+    e.busyHomeTs = 0;
+    e.busyStamps.clear();
+  }
+  // Zero the per-kind counters in place rather than clear(): these maps
+  // are node-based, so clear+reinsert would cost one allocation per kind
+  // per run.  A zero-valued entry is indistinguishable from an absent one
+  // to every consumer (they look up kinds, never iterate raw).
+  for (auto& [k, v] : stats_.txnByKind) v = 0;
+  for (auto& [k, v] : stats_.nackByKind) v = 0;
+  stats_.requests = 0;
+}
+
 void DirectoryController::handle(const Message& m, Outbox& out) {
   DirEntry& e = entryMut(m.block);
   switch (m.type) {
@@ -117,7 +139,7 @@ GlobalTime DirectoryController::stampDowngrade(DirEntry& e, const TxnInfo& txn,
 }
 
 GlobalTime DirectoryController::stampUpgrade(DirEntry& e, const TxnInfo& txn,
-                                             const std::vector<TsStamp>& carried,
+                                             const StampList& carried,
                                              AState oldA, AState newA) {
   e.clock = 1 + std::max(e.clock, maxStamp(carried));
   sink_->onStamp(self_, txn.id, txn.serial, txn.block, StampRole::Upgrade,
@@ -140,17 +162,17 @@ void DirectoryController::nack(const Message& m, NackKind kind, Outbox& out) {
   out.send(m.src, std::move(reply));
 }
 
-void DirectoryController::cachedInsert(std::vector<NodeId>& cached, NodeId n) {
+void DirectoryController::cachedInsert(NodeList& cached, NodeId n) {
   const auto it = std::lower_bound(cached.begin(), cached.end(), n);
   if (it == cached.end() || *it != n) cached.insert(it, n);
 }
 
-void DirectoryController::cachedErase(std::vector<NodeId>& cached, NodeId n) {
+void DirectoryController::cachedErase(NodeList& cached, NodeId n) {
   const auto it = std::lower_bound(cached.begin(), cached.end(), n);
   if (it != cached.end() && *it == n) cached.erase(it);
 }
 
-bool DirectoryController::cachedContains(const std::vector<NodeId>& cached,
+bool DirectoryController::cachedContains(const NodeList& cached,
                                          NodeId n) {
   return std::binary_search(cached.begin(), cached.end(), n);
 }
@@ -297,8 +319,8 @@ void DirectoryController::onGetX(const Message& m, DirEntry& e, Outbox& out) {
       // CACHED is excluded: self-invalidation is meaningless (DESIGN.md).
       const TxnInfo txn = serialize(e, m.block, TxnKind::GetX_Shared, m.src);
       const GlobalTime ts = stampDowngrade(e, txn, AState::S, AState::I);
-      std::vector<NodeId> targets = core.cached;
-      std::erase(targets, m.src);
+      NodeList targets = core.cached;
+      cachedErase(targets, m.src);
       for (const NodeId sharer : targets) {
         Message inv;
         inv.type = MsgType::Inv;
@@ -374,8 +396,8 @@ void DirectoryController::onUpgrade(const Message& m, DirEntry& e, Outbox& out) 
                   "upgrader not recorded as a sharer");
       const TxnInfo txn = serialize(e, m.block, TxnKind::Upg_Shared, m.src);
       const GlobalTime ts = stampDowngrade(e, txn, AState::S, AState::I);
-      std::vector<NodeId> targets = core.cached;
-      std::erase(targets, m.src);
+      NodeList targets = core.cached;
+      cachedErase(targets, m.src);
       for (const NodeId sharer : targets) {
         Message inv;
         inv.type = MsgType::Inv;

@@ -26,13 +26,16 @@
 
 namespace lcdc::proto {
 
-/// Outgoing-message buffer filled by the transition functions.
+/// Outgoing-message buffer filled by the transition functions.  The inline
+/// capacity covers the widest single transition (a home reply plus one
+/// invalidation per other sharer), so dispatching an event allocates
+/// nothing.
 struct Outbox {
   struct Entry {
     NodeId dst;
     Message msg;
   };
-  std::vector<Entry> msgs;
+  common::SmallVector<Entry, 8> msgs;
 
   void send(NodeId dst, Message msg) {
     msgs.push_back(Entry{dst, std::move(msg)});
@@ -57,7 +60,7 @@ struct TxnCounter {
 struct DirEntryCore {
   DirState state = DirState::Idle;
   /// CACHED: sorted set of node ids (Section 2.2 semantics per state).
-  std::vector<NodeId> cached;
+  NodeList cached;
   /// While Busy-*: the requester whose transaction is in progress.
   NodeId busyRequester = kNoNode;
   /// While Busy-*: the request that opened the busy period.
@@ -82,7 +85,7 @@ struct DirEntry {
   GlobalTime busyHomeTs = 0;
   /// While Busy-*: stamps to relay to the upgrader when the transaction
   /// completes through the home (presently unused beyond the fwd itself).
-  std::vector<TsStamp> busyStamps;
+  StampList busyStamps;
 };
 
 /// The A-state of a directory entry: Idle=A_X, Shared=A_S, Exclusive=A_I
@@ -123,6 +126,10 @@ class DirectoryController {
   /// True when every owned entry is non-busy (quiescence check).
   [[nodiscard]] bool quiescent() const;
 
+  /// Return every owned entry to its addBlock() state (Idle, memory all
+  /// zeroes, clock 0), in place — entry nodes and buffers are kept.
+  void reset();
+
   // -- checkpoint access ----------------------------------------------------
   // Raw entry table for full-fidelity serialization (model checker
   // frontier blobs).  Not for protocol logic.
@@ -153,14 +160,13 @@ class DirectoryController {
                             AState newA);
   /// Home assigns an upgrade stamp (1 + max of own clock and carried stamps).
   GlobalTime stampUpgrade(DirEntry& e, const TxnInfo& txn,
-                          const std::vector<TsStamp>& carried, AState oldA,
-                          AState newA);
+                          const StampList& carried, AState oldA, AState newA);
 
   void nack(const Message& m, NackKind kind, Outbox& out);
 
-  static void cachedInsert(std::vector<NodeId>& cached, NodeId n);
-  static void cachedErase(std::vector<NodeId>& cached, NodeId n);
-  static bool cachedContains(const std::vector<NodeId>& cached, NodeId n);
+  static void cachedInsert(NodeList& cached, NodeId n);
+  static void cachedErase(NodeList& cached, NodeId n);
+  static bool cachedContains(const NodeList& cached, NodeId n);
 
   NodeId self_;
   ProtoConfig config_;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vector.hpp"
 #include "common/timestamp.hpp"
 #include "common/types.hpp"
 
@@ -53,6 +54,10 @@ enum class MsgType : std::uint8_t {
   UpdateX,     ///< owner -> home: ownership-transfer update (txn 7)
 };
 
+/// Number of MsgType enumerators — sizes the per-type traffic histograms.
+inline constexpr std::size_t kNumMsgTypes =
+    static_cast<std::size_t>(MsgType::UpdateX) + 1;
+
 [[nodiscard]] std::string toString(MsgType t);
 
 /// One Lamport stamp attached by an affected node.  `node` identifies who
@@ -61,6 +66,16 @@ struct TsStamp {
   NodeId node = kNoNode;
   GlobalTime ts = 0;
 };
+
+/// Node-id lists carried by messages (invalidation targets, CACHED sets,
+/// pending-ack sets).  Bounded by the processor count; the inline capacity
+/// covers every configuration the campaign derives, so list copies stay off
+/// the heap.
+using NodeList = common::SmallVector<NodeId, 8>;
+
+/// Lamport stamps relayed towards an upgrader: at most one per affected
+/// node, so the same bound applies.
+using StampList = common::SmallVector<TsStamp, 8>;
 
 /// A protocol message.  One struct covers the whole vocabulary; unused
 /// fields stay empty.  Keeping a single value type makes the network, the
@@ -89,7 +104,7 @@ struct Message {
   /// count; we send the list so the requester can implement the Section 2.5
   /// deadlock detection — "a forwarded request from the very node from which
   /// it is to receive an acknowledgment".)
-  std::vector<NodeId> invTargets;
+  NodeList invTargets;
 
   /// For OwnerData produced by the deadlock-detection path: tells the
   /// requester to discard (without acknowledging) the invalidation that is
@@ -109,7 +124,7 @@ struct Message {
   /// Lamport stamps of the transaction assigned by affected nodes, relayed
   /// towards the upgrader.  A forwarded request carries the home's stamp;
   /// the owner's reply then carries both the home's and the owner's.
-  std::vector<TsStamp> stamps;
+  StampList stamps;
 };
 
 }  // namespace lcdc::proto

@@ -67,6 +67,8 @@ class TeeSink final : public EventSink {
   TeeSink(std::initializer_list<EventSink*> sinks) : sinks_(sinks) {}
 
   void attach(EventSink& sink) { sinks_.push_back(&sink); }
+  /// Detach everything (persistent tees re-wire their sinks per run).
+  void clear() { sinks_.clear(); }
   [[nodiscard]] std::size_t attached() const { return sinks_.size(); }
 
   void onRunBegin(const SystemConfig& config) override {

@@ -11,9 +11,34 @@ Processor::Processor(NodeId id, const SystemConfig& config,
     : id_(id), config_(config), sink_(&sink),
       cache_(id, config.proto, sink, *this), stamper_(id), rng_(rng) {}
 
-void Processor::setProgram(workload::Program program) {
+void Processor::setProgram(const workload::Program& program) {
+  // Element-wise assignment reuses the steps vector's capacity, unlike
+  // copy-construct-then-move (which would allocate a fresh buffer every
+  // sub-run — the old campaign hot-loop leak).
+  program_.steps.assign(program.steps.begin(), program.steps.end());
+  pc_ = 0;
+}
+
+void Processor::setProgram(workload::Program&& program) {
   program_ = std::move(program);
   pc_ = 0;
+}
+
+void Processor::reset(Rng rng) {
+  cache_.reset();
+  stamper_.reset();
+  rng_ = rng;
+  pc_ = 0;
+  stats_ = ProcStats{};
+  // Zero in place: a 0 entry behaves exactly like an absent one (no wait,
+  // no streak), and keeping the nodes means a reused processor re-runs
+  // the same program without hash-map churn.
+  for (auto& [b, t] : notBefore_) t = 0;
+  for (auto& [b, n] : nackStreak_) n = 0;
+  wantRetry_ = false;
+  nackedBlock_.reset();
+  pendingDelay_ = 0;
+  storeBuffer_.clear();
 }
 
 void Processor::deliver(const proto::Message& m, proto::Outbox& out) {
@@ -268,8 +293,12 @@ void Processor::maybeCapacityEvict(BlockId incoming, proto::Outbox& out) {
   // to writing back a read-write line.  The victim must not be the block we
   // are about to request and must not have an outstanding transaction.
   auto pick = [&](CacheState s) -> std::optional<BlockId> {
-    std::vector<BlockId> candidates = cache_.blocksInState(s);
-    std::erase(candidates, incoming);
+    auto candidates = cache_.blocksInState(s);
+    if (const auto it =
+            std::find(candidates.begin(), candidates.end(), incoming);
+        it != candidates.end()) {
+      candidates.erase(it);
+    }
     if (candidates.empty()) return std::nullopt;
     return candidates[rng_.uniform(0, candidates.size() - 1)];
   };

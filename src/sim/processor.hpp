@@ -51,7 +51,15 @@ class Processor final : public proto::CacheClient {
   Processor(NodeId id, const SystemConfig& config, proto::EventSink& sink,
             Rng rng);
 
-  void setProgram(workload::Program program);
+  /// Copy-assigns into the retained program buffer: a reused processor
+  /// re-running programs of similar length allocates nothing here.
+  void setProgram(const workload::Program& program);
+  void setProgram(workload::Program&& program);
+
+  /// Return to the freshly constructed state with a new RNG stream, in
+  /// place: caches, pacing state, and the store buffer revert, but every
+  /// container keeps its capacity so a reused processor runs alloc-free.
+  void reset(Rng rng);
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] bool done() const {

@@ -33,6 +33,24 @@ System::System(const SystemConfig& config, proto::EventSink& sink,
   }
 }
 
+void System::reset(std::uint64_t seed) {
+  // Mirror the constructor's RNG derivations exactly: the master stream
+  // seeds from `seed`, the network from seed ^ "network", and each
+  // processor forks from the master in id order — so a reset-then-run is
+  // byte-identical to constructing a fresh System with this seed.
+  config_.seed = seed;
+  rng_ = Rng(seed);
+  net_.reset(Rng(seed ^ 0x6E657477'6F726BULL));
+  txns_.next.store(1, std::memory_order_relaxed);
+  for (auto& p : procs_) p->reset(rng_.fork());
+  for (auto& d : dirs_) d->reset();
+  while (!timers_.empty()) timers_.pop();
+  // A run aborted by a thrown invariant can leave messages in the scratch
+  // outbox; drop them so the next run starts clean.
+  outbox_.clear();
+  now_ = 0;
+}
+
 Processor& System::processor(NodeId i) {
   LCDC_EXPECT(i < procs_.size(), "processor index out of range");
   return *procs_[i];
@@ -43,7 +61,11 @@ proto::DirectoryController& System::directory(std::size_t idx) {
   return *dirs_[idx];
 }
 
-void System::setProgram(NodeId proc, workload::Program program) {
+void System::setProgram(NodeId proc, const workload::Program& program) {
+  processor(proc).setProgram(program);
+}
+
+void System::setProgram(NodeId proc, workload::Program&& program) {
   processor(proc).setProgram(std::move(program));
 }
 
@@ -60,14 +82,14 @@ void System::flush(NodeId src, proto::Outbox& out) {
 
 void System::progress(NodeId proc) {
   Processor& p = *procs_[proc];
-  proto::Outbox out;
+  proto::Outbox& out = outbox_;
   const net::Tick wake = p.tryProgress(now_, out);
   flush(proc, out);
   if (wake != net::kNever) timers_.push(Timer{wake, proc});
 }
 
 void System::dispatch(const net::Envelope& env) {
-  proto::Outbox out;
+  proto::Outbox& out = outbox_;
   if (env.dst < config_.numProcessors) {
     procs_[env.dst]->deliver(env.msg, out);
     flush(env.dst, out);
@@ -181,14 +203,14 @@ bool System::deliverManualFirst(
 void System::kick(NodeId proc) { progress(proc); }
 
 void System::injectRequest(NodeId proc, BlockId block, ReqType req) {
-  proto::Outbox out;
+  proto::Outbox& out = outbox_;
   processor(proc).cache().issueRequest(block, req, home(block), out);
   flush(proc, out);
 }
 
 void System::injectEvict(NodeId proc, BlockId block) {
   proto::CacheController& cache = processor(proc).cache();
-  proto::Outbox out;
+  proto::Outbox& out = outbox_;
   const CacheState cs = cache.state(block);
   if (cs == CacheState::ReadWrite) {
     cache.writeback(block, home(block), out);

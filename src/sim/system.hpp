@@ -44,7 +44,19 @@ class System {
   [[nodiscard]] NodeId home(BlockId b) const { return homeOf(b, config_); }
   [[nodiscard]] net::Tick now() const { return now_; }
 
-  void setProgram(NodeId proc, workload::Program program);
+  /// Lvalue programs are copy-assigned into the processor's retained
+  /// buffer (no allocation at steady state); rvalues are moved.
+  void setProgram(NodeId proc, const workload::Program& program);
+  void setProgram(NodeId proc, workload::Program&& program);
+
+  /// Rewind the whole system to the freshly constructed state under a new
+  /// seed, in place: same topology and network mode, every component back
+  /// at time zero with re-derived RNG streams (identical to constructing
+  /// System with `seed`), but all container capacity, pool slabs, and
+  /// envelope free lists retained.  Campaign workers reuse one System per
+  /// thread across thousands of sub-runs this way; a reset-then-run is
+  /// byte-identical to a construct-then-run with the same seed.
+  void reset(std::uint64_t seed);
 
   /// Kick every processor once (issue the first round of requests).
   void start();
@@ -113,6 +125,9 @@ class System {
   std::vector<std::unique_ptr<proto::DirectoryController>> dirs_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   net::Tick now_ = 0;
+  /// Scratch outbox reused across every dispatch/progress so spill
+  /// capacity (bursts wider than the inline entries) is paid for once.
+  proto::Outbox outbox_;
 };
 
 }  // namespace lcdc::sim

@@ -90,6 +90,7 @@ void StreamChecker::addViolation(std::string check, std::string detail) {
 void StreamProgramOrder::onOperation(const OpRecord& op) {
   report_.opsChecked += 1;
   if (!cfg_.tso) {
+    if (sc_.size() <= op.proc) sc_.resize(op.proc + 1);
     ScState& st = sc_[op.proc];
     if (st.has) {
       const OpRecord& prev = st.last;
@@ -116,6 +117,7 @@ void StreamProgramOrder::onOperation(const OpRecord& op) {
   // FIFO, and every program-earlier op has been observed by the time a
   // store retires — so the program-order-earlier op set of each arriving
   // op is fully known on arrival.
+  while (tso_.size() <= op.proc) tso_.emplace_back(&pool_);
   TsoState& t = tso_[op.proc];
   if (op.kind == OpKind::Store) {
     // Fold the loads that are program-order-earlier than this store.
@@ -154,11 +156,22 @@ void StreamProgramOrder::onOperation(const OpRecord& op) {
   t.pendingLoads.push_back(op);
 }
 
+void StreamProgramOrder::reset(const VerifyConfig& cfg) {
+  StreamChecker::reset(cfg);
+  for (ScState& st : sc_) st.has = false;
+  for (TsoState& t : tso_) {
+    t.maxLoad.reset();
+    t.maxStore.reset();
+    t.maxLoadBelow.reset();
+    t.pendingLoads.clear();
+  }
+}
+
 std::size_t StreamProgramOrder::memoryFootprint() const {
   std::size_t bytes = sizeof(*this);
-  bytes += sc_.size() * (sizeof(NodeId) + sizeof(ScState) + 48);
-  for (const auto& [proc, t] : tso_) {
-    bytes += sizeof(NodeId) + sizeof(TsoState) + 48;
+  bytes += sc_.size() * sizeof(ScState);
+  for (const TsoState& t : tso_) {
+    bytes += sizeof(TsoState);
     bytes += t.pendingLoads.size() * sizeof(OpRecord);
   }
   return bytes;
@@ -170,7 +183,10 @@ std::size_t StreamProgramOrder::memoryFootprint() const {
 void StreamClaim2::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
                            BlockId block, StampRole role, GlobalTime ts,
                            AState oldA, AState newA) {
-  Last& prev = last_[{node, block}];
+  if (last_.size() <= node) last_.resize(node + 1);
+  std::vector<Last>& row = last_[node];
+  if (row.size() <= block) row.resize(block + 1);
+  Last& prev = row[block];
   if (prev.has) {
     if (serial <= prev.serial) {
       std::ostringstream os;
@@ -193,16 +209,38 @@ void StreamClaim2::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
   prev.ts = ts;
 }
 
+void StreamClaim2::reset(const VerifyConfig& cfg) {
+  StreamChecker::reset(cfg);
+  for (std::vector<Last>& row : last_) {
+    for (Last& l : row) l.has = false;
+  }
+}
+
 std::size_t StreamClaim2::memoryFootprint() const {
-  return sizeof(*this) +
-         last_.size() * (sizeof(std::pair<NodeId, BlockId>) + sizeof(Last) + 48);
+  std::size_t bytes = sizeof(*this);
+  for (const std::vector<Last>& row : last_) {
+    bytes += sizeof(row) + row.size() * sizeof(Last);
+  }
+  return bytes;
 }
 
 // ---------------------------------------------------------------------------
 // Claim 3
 // ---------------------------------------------------------------------------
+StreamClaim3::StreamClaim3(const VerifyConfig& cfg)
+    : StreamChecker(cfg),
+      live_(0, std::hash<TransactionId>{}, std::equal_to<TransactionId>{},
+            common::PoolAllocator<
+                std::pair<const TransactionId, std::pair<BlockId, SerialIdx>>>(
+                &pool_)) {}
+
+StreamClaim3::BlockState& StreamClaim3::blockAt(BlockId block) {
+  while (blocks_.size() <= block) blocks_.emplace_back(&pool_);
+  return blocks_[block];
+}
+
 void StreamClaim3::onSerialize(const proto::TxnInfo& txn) {
-  BlockState& bs = blocks_[txn.block];
+  BlockState& bs = blockAt(txn.block);
   bs.maxSerial = std::max(bs.maxSerial, txn.serial);
   bs.pending.insert_or_assign(txn.serial, Pending{txn, {}});
   live_[txn.id] = {txn.block, txn.serial};
@@ -212,7 +250,7 @@ void StreamClaim3::onSerialize(const proto::TxnInfo& txn) {
 void StreamClaim3::onTxnConverted(TransactionId id, TxnKind newKind) {
   const auto it = live_.find(id);
   if (it == live_.end()) return;
-  BlockState& bs = blocks_[it->second.first];
+  BlockState& bs = blockAt(it->second.first);
   const auto pit = bs.pending.find(it->second.second);
   if (pit != bs.pending.end()) pit->second.txn.kind = newKind;
 }
@@ -222,7 +260,7 @@ void StreamClaim3::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
                            AState oldA, AState newA) {
   const auto it = live_.find(txn);
   if (it == live_.end()) return;  // stamp for an already-finalized txn
-  BlockState& bs = blocks_[it->second.first];
+  BlockState& bs = blockAt(it->second.first);
   const auto pit = bs.pending.find(it->second.second);
   if (pit == bs.pending.end()) return;
   Agg& a = pit->second.agg;
@@ -313,7 +351,7 @@ void StreamClaim3::finalize(BlockState& bs, const Pending& p) {
 void StreamClaim3::finish() {
   if (finished_) return;
   finished_ = true;
-  for (auto& [block, bs] : blocks_) {
+  for (BlockState& bs : blocks_) {
     while (!bs.pending.empty()) {
       const auto it = bs.pending.begin();
       finalize(bs, it->second);
@@ -323,10 +361,21 @@ void StreamClaim3::finish() {
   }
 }
 
+void StreamClaim3::reset(const VerifyConfig& cfg) {
+  StreamChecker::reset(cfg);
+  for (BlockState& bs : blocks_) {
+    bs.maxSerial = 0;
+    bs.maxUpgrade = 0;
+    bs.maxExclUpgrade = 0;
+    bs.pending.clear();
+  }
+  live_.clear();
+}
+
 std::size_t StreamClaim3::memoryFootprint() const {
   std::size_t bytes = sizeof(*this);
-  for (const auto& [block, bs] : blocks_) {
-    bytes += sizeof(BlockId) + sizeof(BlockState) + 48;
+  for (const BlockState& bs : blocks_) {
+    bytes += sizeof(BlockState);
     bytes += bs.pending.size() * (sizeof(SerialIdx) + sizeof(Pending) + 48);
   }
   bytes += live_.size() *
@@ -337,6 +386,21 @@ std::size_t StreamClaim3::memoryFootprint() const {
 // ---------------------------------------------------------------------------
 // Lemmas 1 and 2 (+ Claim 4)
 // ---------------------------------------------------------------------------
+StreamEpochs::Line& StreamEpochs::lineAt(NodeId node, BlockId block) {
+  while (lines_.size() <= node) lines_.emplace_back();
+  std::deque<Line>& row = lines_[node];
+  while (row.size() <= block) row.emplace_back(&pool_);
+  return row[block];
+}
+
+PoolDeque<clk::Epoch>& StreamEpochs::closedAt(BlockId block) {
+  while (closedByBlock_.size() <= block) {
+    closedByBlock_.emplace_back(common::PoolAllocator<clk::Epoch>(&pool_));
+    closedMaxEnd_.push_back(0);
+  }
+  return closedByBlock_[block];
+}
+
 bool StreamEpochs::lemma1Relevant(const clk::Epoch& e) const {
   // Processor S/X epochs and directory X (Idle: memory is the valid copy)
   // epochs; directory A_S "epochs" carry no operations and their
@@ -374,18 +438,23 @@ void StreamEpochs::closeCurrent(Line& line, GlobalTime end) {
   // later-closing epoch closes against the block's closed-epoch history
   // (the earlier-closing partner is already there).
   if (lemma1Relevant(e)) {
-    auto& hist = closedByBlock_[e.block];
-    for (const clk::Epoch& other : hist) {
-      if (other.node == e.node) continue;
-      if (!epochsOverlap(e, other)) continue;
-      if (e.state != AState::X && other.state != AState::X) continue;
-      const bool eLater = e.start >= other.start;
-      const clk::Epoch& later = eLater ? e : other;
-      const clk::Epoch& earlier = eLater ? other : e;
-      addViolation("lemma1", "overlapping epochs: " + epochToString(later) +
-                                 " vs " + epochToString(earlier));
+    auto& hist = closedAt(e.block);
+    // Everything in the history ends at or before closedMaxEnd_, so an
+    // epoch starting at or after it cannot overlap anything there.
+    if (e.start < closedMaxEnd_[e.block]) {
+      for (const clk::Epoch& other : hist) {
+        if (other.node == e.node) continue;
+        if (!epochsOverlap(e, other)) continue;
+        if (e.state != AState::X && other.state != AState::X) continue;
+        const bool eLater = e.start >= other.start;
+        const clk::Epoch& later = eLater ? e : other;
+        const clk::Epoch& earlier = eLater ? other : e;
+        addViolation("lemma1", "overlapping epochs: " + epochToString(later) +
+                                   " vs " + epochToString(earlier));
+      }
     }
     hist.push_back(e);
+    closedMaxEnd_[e.block] = std::max(closedMaxEnd_[e.block], e.end);
     if (hist.size() > kBlockHistoryCap) hist.pop_front();
   }
   line.history.push_back(e);
@@ -396,9 +465,10 @@ void StreamEpochs::closeCurrent(Line& line, GlobalTime end) {
 void StreamEpochs::onStamp(NodeId node, TransactionId txn, SerialIdx serial,
                            BlockId block, StampRole role, GlobalTime ts,
                            AState oldA, AState newA) {
+  if (lastStampTs_.size() <= node) lastStampTs_.resize(node + 1, 0);
   GlobalTime& lastTs = lastStampTs_[node];
   if (ts > lastTs) lastTs = ts;
-  Line& line = lines_[{node, block}];
+  Line& line = lineAt(node, block);
   if (!line.sawStamp) {
     line.sawStamp = true;
     if (node >= cfg_.numProcessors) {
@@ -427,12 +497,12 @@ void StreamEpochs::onOperation(const OpRecord& op) {
     }
     return;
   }
-  Line& line = lines_[{op.proc, op.block}];
+  Line& line = lineAt(op.proc, op.block);
   // Latest epoch of the bound transaction at this line: the current epoch
   // first, then the closed history newest-to-oldest.
   if (line.hasCurrent && line.current.txn == op.boundTxn) {
-    const auto lit = lastStampTs_.find(op.proc);
-    const GlobalTime nodeClock = lit == lastStampTs_.end() ? 0 : lit->second;
+    const GlobalTime nodeClock =
+        op.proc < lastStampTs_.size() ? lastStampTs_[op.proc] : 0;
     if (op.ts.global >= line.current.start && op.ts.global > nodeClock &&
         line.parked.size() < kParkedOpsCap) {
       // The epoch's end is still unknown and the node clock has not yet
@@ -459,52 +529,90 @@ void StreamEpochs::onOperation(const OpRecord& op) {
 void StreamEpochs::finish() {
   if (finished_) return;
   finished_ = true;
-  for (auto& [key, line] : lines_) {
-    if (!line.hasCurrent) continue;
-    const clk::Epoch e = line.current;  // end stays open
-    for (const OpRecord& op : line.parked) checkAgainstEpoch(op, e, false);
-    line.parked.clear();
-    if (lemma1Relevant(e)) {
-      auto& hist = closedByBlock_[e.block];
-      for (const clk::Epoch& other : hist) {
-        if (other.node == e.node) continue;
-        if (!epochsOverlap(e, other)) continue;
-        if (e.state != AState::X && other.state != AState::X) continue;
-        const bool eLater = e.start >= other.start;
-        addViolation("lemma1",
-                     "overlapping epochs: " +
-                         epochToString(eLater ? e : other) + " vs " +
-                         epochToString(eLater ? other : e));
+  for (std::deque<Line>& row : lines_) {
+    for (Line& line : row) {
+      if (!line.hasCurrent) continue;
+      const clk::Epoch e = line.current;  // end stays open
+      for (const OpRecord& op : line.parked) checkAgainstEpoch(op, e, false);
+      line.parked.clear();
+      if (lemma1Relevant(e)) {
+        auto& hist = closedAt(e.block);
+        if (e.start < closedMaxEnd_[e.block]) {
+          for (const clk::Epoch& other : hist) {
+            if (other.node == e.node) continue;
+            if (!epochsOverlap(e, other)) continue;
+            if (e.state != AState::X && other.state != AState::X) continue;
+            const bool eLater = e.start >= other.start;
+            addViolation("lemma1",
+                         "overlapping epochs: " +
+                             epochToString(eLater ? e : other) + " vs " +
+                             epochToString(eLater ? other : e));
+          }
+        }
+        hist.push_back(e);
+        closedMaxEnd_[e.block] = std::max(closedMaxEnd_[e.block], e.end);
+        if (hist.size() > kBlockHistoryCap) hist.pop_front();
       }
-      hist.push_back(e);
-      if (hist.size() > kBlockHistoryCap) hist.pop_front();
+      line.hasCurrent = false;
     }
-    line.hasCurrent = false;
   }
+}
+
+void StreamEpochs::reset(const VerifyConfig& cfg) {
+  StreamChecker::reset(cfg);
+  for (std::deque<Line>& row : lines_) {
+    for (Line& line : row) {
+      line.sawStamp = false;
+      line.hasCurrent = false;
+      line.parked.clear();
+      line.history.clear();
+    }
+  }
+  for (PoolDeque<clk::Epoch>& hist : closedByBlock_) hist.clear();
+  std::fill(closedMaxEnd_.begin(), closedMaxEnd_.end(), 0);
+  std::fill(lastStampTs_.begin(), lastStampTs_.end(), 0);
 }
 
 std::size_t StreamEpochs::memoryFootprint() const {
   std::size_t bytes = sizeof(*this);
-  for (const auto& [key, line] : lines_) {
-    bytes += sizeof(key) + sizeof(Line) + 48;
-    bytes += line.parked.size() * sizeof(OpRecord);
-    bytes += line.history.size() * sizeof(clk::Epoch);
+  for (const std::deque<Line>& row : lines_) {
+    for (const Line& line : row) {
+      bytes += sizeof(Line);
+      bytes += line.parked.size() * sizeof(OpRecord);
+      bytes += line.history.size() * sizeof(clk::Epoch);
+    }
   }
-  for (const auto& [block, hist] : closedByBlock_) {
-    bytes += sizeof(BlockId) + 48 + hist.size() * sizeof(clk::Epoch);
+  for (const PoolDeque<clk::Epoch>& hist : closedByBlock_) {
+    bytes += hist.size() * sizeof(clk::Epoch);
   }
-  bytes += lastStampTs_.size() * (sizeof(NodeId) + sizeof(GlobalTime) + 16);
+  bytes += lastStampTs_.size() * sizeof(GlobalTime);
   return bytes;
 }
 
 // ---------------------------------------------------------------------------
 // Main Theorem replay (+ total order, + TSO forwarding)
 // ---------------------------------------------------------------------------
-namespace {
-std::uint64_t wordKey(BlockId b, WordIdx w) {
-  return (static_cast<std::uint64_t>(b) << 16) | w;
+StreamSequentialConsistency::ProcStream& StreamSequentialConsistency::procAt(
+    NodeId proc) {
+  while (procs_.size() <= proc) procs_.emplace_back(&pool_);
+  return procs_[proc];
 }
-}  // namespace
+
+StreamSequentialConsistency::StoreCell&
+StreamSequentialConsistency::storeCellAt(BlockId block, WordIdx word) {
+  if (lastStore_.size() <= block) lastStore_.resize(block + 1);
+  std::vector<StoreCell>& row = lastStore_[block];
+  if (row.size() <= word) row.resize(word + 1);
+  return row[word];
+}
+
+const StreamSequentialConsistency::StoreCell*
+StreamSequentialConsistency::findStoreCell(BlockId block, WordIdx word) const {
+  if (block >= lastStore_.size()) return nullptr;
+  const std::vector<StoreCell>& row = lastStore_[block];
+  if (word >= row.size() || !row[word].has) return nullptr;
+  return &row[word];
+}
 
 void StreamSequentialConsistency::judgeForwarded(const OpRecord& load,
                                                  const OpRecord* source) {
@@ -531,10 +639,12 @@ void StreamSequentialConsistency::onOperation(const OpRecord& op) {
       // Judged once the processor's store stream retires past the load's
       // program position (or at finish): only then is "the youngest
       // program-order-earlier store" final.
-      fwd_[{op.proc, op.block, op.word}].pending.push_back(op);
+      fwd_.try_emplace({op.proc, op.block, op.word}, &pool_)
+          .first->second.pending.push_back(op);
     }
   } else if (op.kind == OpKind::Store && cfg_.tso) {
-    FwdState& f = fwd_[{op.proc, op.block, op.word}];
+    FwdState& f =
+        fwd_.try_emplace({op.proc, op.block, op.word}, &pool_).first->second;
     while (!f.pending.empty() && f.pending.front().progIdx < op.progIdx) {
       judgeForwarded(f.pending.front(), f.hasStore ? &f.lastStore : nullptr);
       f.pending.pop_front();
@@ -545,7 +655,8 @@ void StreamSequentialConsistency::onOperation(const OpRecord& op) {
 
   // Everything — forwarded loads included, for the total-order scan —
   // enters the merge window and retires in global Lamport order.
-  ProcStream& s = procs_[op.proc];
+  ProcStream& s = procAt(op.proc);
+  s.heard = true;
   s.lastArrival = op.ts;
   s.pending.push_back(op);
   ++buffered_;
@@ -553,10 +664,32 @@ void StreamSequentialConsistency::onOperation(const OpRecord& op) {
 }
 
 void StreamSequentialConsistency::drain(bool atEnd) {
+  if (!allHeard_) {
+    // Heard-ness is monotone, so this settles permanently once true.
+    bool all = procs_.size() >= cfg_.numProcessors;
+    for (NodeId p = 0; all && p < cfg_.numProcessors; ++p) {
+      all = procs_[p].heard;
+    }
+    allHeard_ = all;
+  }
   for (;;) {
     ProcStream* best = nullptr;
-    for (auto& [id, s] : procs_) {
-      if (s.pending.empty()) continue;
+    bool anyEmpty = false;
+    Timestamp minEmptyArrival{};
+    const std::size_t n = procs_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      ProcStream& s = procs_[i];
+      if (s.pending.empty()) {
+        // Only real processors gate the merge (matching the safety rule
+        // below); a rogue high-id stream never blocks it.
+        if (i < cfg_.numProcessors) {
+          if (!anyEmpty || s.lastArrival < minEmptyArrival) {
+            minEmptyArrival = s.lastArrival;
+          }
+          anyEmpty = true;
+        }
+        continue;
+      }
       if (best == nullptr || s.pending.front().ts < best->pending.front().ts) {
         best = &s;
       }
@@ -567,18 +700,8 @@ void StreamSequentialConsistency::drain(bool atEnd) {
       // past it: a queue head above it, or a newest arrival at/above it
       // (per-processor timestamps are monotone, so everything that
       // processor emits later is above its newest arrival).
-      const Timestamp& head = best->pending.front().ts;
-      bool safe = true;
-      for (NodeId p = 0; p < cfg_.numProcessors && safe; ++p) {
-        const auto it = procs_.find(p);
-        if (it == procs_.end()) {
-          safe = false;  // never heard from p; it could still emit below head
-        } else if (it->second.pending.empty() &&
-                   it->second.lastArrival < head) {
-          safe = false;
-        }
-      }
-      if (!safe) return;
+      if (!allHeard_) return;
+      if (anyEmpty && minEmptyArrival < best->pending.front().ts) return;
     }
     retire(best->pending.front());
     best->pending.pop_front();
@@ -606,20 +729,21 @@ void StreamSequentialConsistency::retire(const OpRecord& op) {
 
   if (op.forwarded) return;  // judged against its own store stream instead
 
-  const std::uint64_t k = wordKey(op.block, op.word);
   if (op.kind == OpKind::Store) {
-    lastStore_.insert_or_assign(k, op);
+    StoreCell& cell = storeCellAt(op.block, op.word);
+    cell.has = true;
+    cell.op = op;
     return;
   }
-  const auto it = lastStore_.find(k);
-  const Word expected = it == lastStore_.end() ? 0 : it->second.value;
+  const StoreCell* cell = findStoreCell(op.block, op.word);
+  const Word expected = cell == nullptr ? 0 : cell->op.value;
   if (op.value != expected) {
     std::ostringstream os;
     os << "load returns " << op.value << " but the most recent store in "
        << "Lamport order "
-       << (it == lastStore_.end()
+       << (cell == nullptr
                ? std::string("is absent (expected the initial value 0)")
-               : "is " + opToString(it->second));
+               : "is " + opToString(cell->op));
     os << "; load: " << opToString(op);
     addViolation(cfg_.tso ? "tso-memory-order" : "sequential-consistency",
                  os.str());
@@ -641,13 +765,34 @@ void StreamSequentialConsistency::finish() {
   }
 }
 
+void StreamSequentialConsistency::reset(const VerifyConfig& cfg) {
+  StreamChecker::reset(cfg);
+  for (ProcStream& s : procs_) {
+    s.heard = false;
+    s.lastArrival = Timestamp{};
+    s.pending.clear();
+  }
+  buffered_ = 0;
+  allHeard_ = false;
+  hasRetired_ = false;
+  for (std::vector<StoreCell>& row : lastStore_) {
+    for (StoreCell& cell : row) cell.has = false;
+  }
+  for (auto& [key, f] : fwd_) {
+    f.hasStore = false;
+    f.pending.clear();
+  }
+}
+
 std::size_t StreamSequentialConsistency::memoryFootprint() const {
   std::size_t bytes = sizeof(*this);
-  for (const auto& [id, s] : procs_) {
-    bytes += sizeof(NodeId) + sizeof(ProcStream) + 48;
+  for (const ProcStream& s : procs_) {
+    bytes += sizeof(ProcStream);
     bytes += s.pending.size() * sizeof(OpRecord);
   }
-  bytes += lastStore_.size() * (sizeof(std::uint64_t) + sizeof(OpRecord) + 16);
+  for (const std::vector<StoreCell>& row : lastStore_) {
+    bytes += row.size() * sizeof(StoreCell);
+  }
   for (const auto& [key, f] : fwd_) {
     bytes += sizeof(key) + sizeof(FwdState) + 48;
     bytes += f.pending.size() * sizeof(OpRecord);
@@ -658,10 +803,41 @@ std::size_t StreamSequentialConsistency::memoryFootprint() const {
 // ---------------------------------------------------------------------------
 // Lemma 3 at every value transfer
 // ---------------------------------------------------------------------------
+StreamValueChain::StreamValueChain(const VerifyConfig& cfg)
+    : StreamChecker(cfg),
+      live_(0, std::hash<TransactionId>{}, std::equal_to<TransactionId>{},
+            common::PoolAllocator<std::pair<const TransactionId, LiveTxn>>(
+                &pool_)),
+      liveFifo_(common::PoolAllocator<TransactionId>(&pool_)) {}
+
+std::vector<StreamValueChain::StoreAt>& StreamValueChain::storesAt(
+    BlockId block, WordIdx word) {
+  if (stores_.size() <= block) stores_.resize(block + 1);
+  std::vector<std::vector<StoreAt>>& row = stores_[block];
+  if (row.size() <= word) row.resize(word + 1);
+  return row[word];
+}
+
+std::vector<StreamValueChain::StoreAt>* StreamValueChain::findStores(
+    BlockId block, WordIdx word) {
+  if (block >= stores_.size()) return nullptr;
+  std::vector<std::vector<StoreAt>>& row = stores_[block];
+  if (word >= row.size()) return nullptr;
+  return &row[word];
+}
+
+PoolMultiset<GlobalTime>& StreamValueChain::floorsAt(BlockId block) {
+  while (floors_.size() <= block) {
+    floors_.emplace_back(std::less<GlobalTime>{},
+                         common::PoolAllocator<GlobalTime>(&pool_));
+  }
+  return floors_[block];
+}
+
 void StreamValueChain::trackLive(TransactionId txn, BlockId block,
                                  GlobalTime floor, bool upgraded) {
   live_.insert_or_assign(txn, LiveTxn{block, floor, upgraded});
-  floors_[block].insert(floor);
+  floorsAt(block).insert(floor);
   liveFifo_.push_back(txn);
   while (liveFifo_.size() > kLiveTxnCap) {
     dropLive(liveFifo_.front());
@@ -672,17 +848,16 @@ void StreamValueChain::trackLive(TransactionId txn, BlockId block,
 void StreamValueChain::dropLive(TransactionId txn) {
   const auto it = live_.find(txn);
   if (it == live_.end()) return;
-  const auto fit = floors_.find(it->second.block);
-  if (fit != floors_.end()) {
-    const auto vit = fit->second.find(it->second.floor);
-    if (vit != fit->second.end()) fit->second.erase(vit);
-    if (fit->second.empty()) floors_.erase(fit);
+  if (it->second.block < floors_.size()) {
+    auto& fs = floors_[it->second.block];
+    const auto vit = fs.find(it->second.floor);
+    if (vit != fs.end()) fs.erase(vit);
   }
   live_.erase(it);
 }
 
 void StreamValueChain::moveFloor(LiveTxn& t, GlobalTime ts) {
-  auto& fs = floors_[t.block];
+  auto& fs = floorsAt(t.block);
   const auto vit = fs.find(t.floor);
   if (vit != fs.end()) fs.erase(vit);
   fs.insert(ts);
@@ -707,6 +882,7 @@ void StreamValueChain::onStamp(NodeId node, TransactionId txn,
     }
     return;
   }
+  while (upgrades_.size() <= node) upgrades_.emplace_back(&pool_);
   NodeUpgrades& u = upgrades_[node];
   const auto it = u.ts.find(txn);
   if (it != u.ts.end()) {
@@ -731,7 +907,7 @@ void StreamValueChain::onStamp(NodeId node, TransactionId txn,
 
 void StreamValueChain::onOperation(const OpRecord& op) {
   if (op.kind != OpKind::Store) return;
-  auto& v = stores_[{op.block, op.word}];
+  auto& v = storesAt(op.block, op.word);
   const StoreAt s{op.ts.global, op.ts.local, op.ts.pid, op.value};
   const auto pos = std::upper_bound(
       v.begin(), v.end(), s, [](const StoreAt& a, const StoreAt& b) {
@@ -745,14 +921,14 @@ void StreamValueChain::onOperation(const OpRecord& op) {
 void StreamValueChain::onValueReceived(NodeId node, TransactionId txn,
                                        BlockId block,
                                        const BlockValue& value) {
-  const auto uit = upgrades_.find(node);
-  if (uit == upgrades_.end()) return;
-  const auto tit = uit->second.ts.find(txn);
-  if (tit == uit->second.ts.end()) return;  // downgrade-side receipt (home)
+  if (node >= upgrades_.size()) return;
+  NodeUpgrades& u = upgrades_[node];
+  const auto tit = u.ts.find(txn);
+  if (tit == u.ts.end()) return;  // downgrade-side receipt (home)
   const GlobalTime t1 = tit->second;
   // Consumed: a transaction has exactly one judgeable value receipt, so it
   // stops holding the prune floor down.
-  uit->second.ts.erase(tit);
+  u.ts.erase(tit);
   dropLive(txn);
 
   // Every future judgeable receipt on this block starts at or above the
@@ -761,23 +937,22 @@ void StreamValueChain::onValueReceived(NodeId node, TransactionId txn,
   // epoch starts already live (Claim 3(b) for the exclusive side; for the
   // shared side any store under an older start would sit in an exclusive
   // epoch overlapping the new one, which Lemma 1 forbids).
-  const auto fit = floors_.find(block);
-  const GlobalTime pruneFloor = fit == floors_.end() || fit->second.empty()
-                                    ? clk::kOpenEpoch
-                                    : *fit->second.begin();
+  const GlobalTime pruneFloor =
+      block >= floors_.size() || floors_[block].empty()
+          ? clk::kOpenEpoch
+          : *floors_[block].begin();
 
   report_.txnsChecked += 1;
   for (WordIdx w = 0; w < value.size(); ++w) {
-    const auto sit = stores_.find({block, w});
+    std::vector<StoreAt>* v = findStores(block, w);
     Word expected = 0;
-    if (sit != stores_.end()) {
-      const auto& v = sit->second;
+    if (v != nullptr) {
       // Most recent store strictly before t1 (stores of the receiving
       // epoch itself have global >= t1).
       const auto firstAt = std::lower_bound(
-          v.begin(), v.end(), t1,
+          v->begin(), v->end(), t1,
           [](const StoreAt& s, GlobalTime t) { return s.global < t; });
-      if (firstAt != v.begin()) expected = (firstAt - 1)->value;
+      if (firstAt != v->begin()) expected = (firstAt - 1)->value;
     }
     if (value[w] != expected) {
       std::ostringstream os;
@@ -790,30 +965,45 @@ void StreamValueChain::onValueReceived(NodeId node, TransactionId txn,
     // Prune to the youngest store below the floor (plus everything above
     // it) — bounded history without ever dropping a store a future
     // receipt could still name.
-    if (sit != stores_.end()) {
-      auto& v = sit->second;
+    if (v != nullptr) {
       const auto keepFrom = std::lower_bound(
-          v.begin(), v.end(), pruneFloor,
+          v->begin(), v->end(), pruneFloor,
           [](const StoreAt& s, GlobalTime t) { return s.global < t; });
-      if (keepFrom - v.begin() > 1) v.erase(v.begin(), keepFrom - 1);
+      if (keepFrom - v->begin() > 1) v->erase(v->begin(), keepFrom - 1);
     }
   }
 }
 
+void StreamValueChain::reset(const VerifyConfig& cfg) {
+  StreamChecker::reset(cfg);
+  for (std::vector<std::vector<StoreAt>>& row : stores_) {
+    for (std::vector<StoreAt>& v : row) v.clear();
+  }
+  for (NodeUpgrades& u : upgrades_) {
+    u.ts.clear();
+    u.fifo.clear();
+  }
+  live_.clear();
+  liveFifo_.clear();
+  for (PoolMultiset<GlobalTime>& fs : floors_) fs.clear();
+}
+
 std::size_t StreamValueChain::memoryFootprint() const {
   std::size_t bytes = sizeof(*this);
-  for (const auto& [key, v] : stores_) {
-    bytes += sizeof(key) + 48 + v.size() * sizeof(StoreAt);
+  for (const std::vector<std::vector<StoreAt>>& row : stores_) {
+    for (const std::vector<StoreAt>& v : row) {
+      bytes += sizeof(v) + v.size() * sizeof(StoreAt);
+    }
   }
-  for (const auto& [node, u] : upgrades_) {
-    bytes += sizeof(NodeId) + 48;
+  for (const NodeUpgrades& u : upgrades_) {
+    bytes += sizeof(NodeUpgrades);
     bytes += u.ts.size() * (sizeof(TransactionId) + sizeof(GlobalTime) + 48);
     bytes += u.fifo.size() * sizeof(TransactionId);
   }
   bytes += live_.size() * (sizeof(TransactionId) + sizeof(LiveTxn) + 16);
   bytes += liveFifo_.size() * sizeof(TransactionId);
-  for (const auto& [block, fs] : floors_) {
-    bytes += sizeof(BlockId) + 48 + fs.size() * (sizeof(GlobalTime) + 48);
+  for (const PoolMultiset<GlobalTime>& fs : floors_) {
+    bytes += fs.size() * (sizeof(GlobalTime) + 48);
   }
   return bytes;
 }
@@ -839,6 +1029,19 @@ void StreamCheckerSet::finish() {
   epochs_.finish();
   sc_.finish();
   valueChain_.finish();
+}
+
+void StreamCheckerSet::reset(const VerifyConfig& cfg) {
+  cfg_ = cfg;
+  programOrder_.reset(cfg);
+  claim2_.reset(cfg);
+  claim3_.reset(cfg);
+  epochs_.reset(cfg);
+  sc_.reset(cfg);
+  valueChain_.reset(cfg);
+  opsSeen_ = 0;
+  txnsSeen_ = 0;
+  finished_ = false;
 }
 
 CheckReport StreamCheckerSet::report() const {

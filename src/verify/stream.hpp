@@ -28,6 +28,14 @@
 //   SC replay     O(blocks * words + processors + reorder window)
 //   Value chain   O(blocks * words * prune cap + live-txn window)
 // None of these grows with execution length — the point of the redesign.
+//
+// Hot-path memory (DESIGN.md §10): node and processor ids index flat
+// arrays (identical iteration order to the std::map keying they replace,
+// so violation order is unchanged), and the per-transaction node
+// containers — pending windows, live-transaction maps, merge queues —
+// draw from a per-checker common::PoolResource.  reset() clears every
+// structure in place, so a reused checker set re-runs with zero heap
+// allocations once its high-water footprint is reached.
 #pragma once
 
 #include <cstdint>
@@ -42,12 +50,27 @@
 #include <vector>
 
 #include "clock/lamport.hpp"
+#include "common/pool_allocator.hpp"
 #include "common/timestamp.hpp"
 #include "common/types.hpp"
 #include "proto/observer.hpp"
 #include "verify/checkers.hpp"
 
 namespace lcdc::verify {
+
+template <class T>
+using PoolDeque = std::deque<T, common::PoolAllocator<T>>;
+template <class K, class V>
+using PoolMap =
+    std::map<K, V, std::less<K>,
+             common::PoolAllocator<std::pair<const K, V>>>;
+template <class K, class V>
+using PoolUMap =
+    std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                       common::PoolAllocator<std::pair<const K, V>>>;
+template <class T>
+using PoolMultiset =
+    std::multiset<T, std::less<T>, common::PoolAllocator<T>>;
 
 /// Base of every streaming checker: an observer that accumulates a
 /// CheckReport.  finish() flushes state that can only be judged at
@@ -60,6 +83,18 @@ class StreamChecker : public proto::ObserverAdapter {
   virtual void finish() { finished_ = true; }
   [[nodiscard]] const CheckReport& report() const { return report_; }
 
+  /// Rearm for a fresh stream: clears the report and all checker state in
+  /// place, retaining container capacity and pooled nodes so the next run
+  /// allocates nothing once the high-water footprint is reached.
+  virtual void reset(const VerifyConfig& cfg) {
+    cfg_ = cfg;
+    report_.violations.clear();
+    report_.opsChecked = 0;
+    report_.txnsChecked = 0;
+    report_.epochsBuilt = 0;
+    finished_ = false;
+  }
+
   /// Approximate bytes of live checker state — the bench's evidence that
   /// streaming verification is O(blocks + processors), not O(events).
   [[nodiscard]] virtual std::size_t memoryFootprint() const = 0;
@@ -70,6 +105,9 @@ class StreamChecker : public proto::ObserverAdapter {
   VerifyConfig cfg_;
   CheckReport report_;
   bool finished_ = false;
+  /// Node pool shared by this checker's containers; outlives them all
+  /// (destroyed last, constructed first).
+  common::PoolResource pool_;
 };
 
 /// "The Lamport ordering of LDs and STs within any processor is
@@ -80,6 +118,7 @@ class StreamProgramOrder final : public StreamChecker {
  public:
   using StreamChecker::StreamChecker;
   void onOperation(const proto::OpRecord& op) override;
+  void reset(const VerifyConfig& cfg) override;
   [[nodiscard]] std::size_t memoryFootprint() const override;
 
  private:
@@ -91,13 +130,15 @@ class StreamProgramOrder final : public StreamChecker {
   /// bind (and are observed) in program order; stores retire FIFO, and
   /// every program-earlier op is observed before a store retires.
   struct TsoState {
+    explicit TsoState(common::PoolResource* pool)
+        : pendingLoads(common::PoolAllocator<proto::OpRecord>(pool)) {}
     std::optional<proto::OpRecord> maxLoad;       ///< max-ts arrived load
     std::optional<proto::OpRecord> maxStore;      ///< max-ts arrived store
     std::optional<proto::OpRecord> maxLoadBelow;  ///< max-ts store-consumed load
-    std::deque<proto::OpRecord> pendingLoads;     ///< arrived, no later store yet
+    PoolDeque<proto::OpRecord> pendingLoads;  ///< arrived, no later store yet
   };
-  std::map<NodeId, ScState> sc_;
-  std::map<NodeId, TsoState> tso_;
+  std::vector<ScState> sc_;   ///< indexed by processor id
+  std::deque<TsoState> tso_;  ///< indexed by processor id
 };
 
 /// Claim 2: per (node, block), A-state changes occur in real time in
@@ -108,6 +149,7 @@ class StreamClaim2 final : public StreamChecker {
   void onStamp(NodeId node, TransactionId txn, SerialIdx serial, BlockId block,
                proto::StampRole role, GlobalTime ts, AState oldA,
                AState newA) override;
+  void reset(const VerifyConfig& cfg) override;
   [[nodiscard]] std::size_t memoryFootprint() const override;
 
  private:
@@ -117,7 +159,7 @@ class StreamClaim2 final : public StreamChecker {
     SerialIdx serial = 0;
     GlobalTime ts = 0;
   };
-  std::map<std::pair<NodeId, BlockId>, Last> last_;
+  std::vector<std::vector<Last>> last_;  ///< [node][block]
 };
 
 /// Claim 3 (a)/(b) plus the Section 3.1 structural facts.  Downgrade
@@ -127,13 +169,14 @@ class StreamClaim2 final : public StreamChecker {
 /// have settled — or at finish().
 class StreamClaim3 final : public StreamChecker {
  public:
-  using StreamChecker::StreamChecker;
+  explicit StreamClaim3(const VerifyConfig& cfg);
   void onSerialize(const proto::TxnInfo& txn) override;
   void onTxnConverted(TransactionId id, TxnKind newKind) override;
   void onStamp(NodeId node, TransactionId txn, SerialIdx serial, BlockId block,
                proto::StampRole role, GlobalTime ts, AState oldA,
                AState newA) override;
   void finish() override;
+  void reset(const VerifyConfig& cfg) override;
   [[nodiscard]] std::size_t memoryFootprint() const override;
 
  private:
@@ -148,17 +191,22 @@ class StreamClaim3 final : public StreamChecker {
     Agg agg;
   };
   struct BlockState {
+    explicit BlockState(common::PoolResource* pool)
+        : pending(std::less<SerialIdx>{},
+                  common::PoolAllocator<std::pair<const SerialIdx, Pending>>(
+                      pool)) {}
     SerialIdx maxSerial = 0;
     GlobalTime maxUpgrade = 0;      ///< over every finalized transaction
     GlobalTime maxExclUpgrade = 0;  ///< over finalized exclusive transactions
-    std::map<SerialIdx, Pending> pending;
+    PoolMap<SerialIdx, Pending> pending;
   };
 
+  BlockState& blockAt(BlockId block);
   void tryFinalize(BlockState& bs);
   void finalize(BlockState& bs, const Pending& p);
 
-  std::map<BlockId, BlockState> blocks_;
-  std::unordered_map<TransactionId, std::pair<BlockId, SerialIdx>> live_;
+  std::deque<BlockState> blocks_;  ///< indexed by block id
+  PoolUMap<TransactionId, std::pair<BlockId, SerialIdx>> live_;
 };
 
 /// Lemmas 1 and 2 (+ Claim 4): per-line epochs are built incrementally
@@ -175,25 +223,34 @@ class StreamEpochs final : public StreamChecker {
                AState newA) override;
   void onOperation(const proto::OpRecord& op) override;
   void finish() override;
+  void reset(const VerifyConfig& cfg) override;
   [[nodiscard]] std::size_t memoryFootprint() const override;
 
  private:
   struct Line {
+    explicit Line(common::PoolResource* pool)
+        : history(common::PoolAllocator<clk::Epoch>(pool)) {}
     bool sawStamp = false;
     bool hasCurrent = false;
     clk::Epoch current;
     std::vector<proto::OpRecord> parked;  ///< deferred end-of-epoch checks
-    std::deque<clk::Epoch> history;       ///< closed epochs, newest at back
+    PoolDeque<clk::Epoch> history;        ///< closed epochs, newest at back
   };
 
+  Line& lineAt(NodeId node, BlockId block);
+  PoolDeque<clk::Epoch>& closedAt(BlockId block);
   [[nodiscard]] bool lemma1Relevant(const clk::Epoch& e) const;
   void closeCurrent(Line& line, GlobalTime end);
   void checkAgainstEpoch(const proto::OpRecord& op, const clk::Epoch& e,
                          bool endKnown);
 
-  std::map<std::pair<NodeId, BlockId>, Line> lines_;
-  std::map<BlockId, std::deque<clk::Epoch>> closedByBlock_;  ///< lemma 1 history
-  std::unordered_map<NodeId, GlobalTime> lastStampTs_;
+  std::deque<std::deque<Line>> lines_;            ///< [node][block]
+  std::deque<PoolDeque<clk::Epoch>> closedByBlock_;  ///< lemma 1, by block
+  /// Max `end` ever pushed to closedByBlock_[b] — a conservative bound
+  /// (cap evictions never lower it), so a new epoch starting at or after
+  /// it cannot overlap anything in the history and skips the scan.
+  std::vector<GlobalTime> closedMaxEnd_;
+  std::vector<GlobalTime> lastStampTs_;           ///< indexed by node id
 };
 
 /// Main Theorem replay + the total-order sanity check + TSO forwarding.
@@ -214,29 +271,47 @@ class StreamSequentialConsistency final : public StreamChecker {
   using StreamChecker::StreamChecker;
   void onOperation(const proto::OpRecord& op) override;
   void finish() override;
+  void reset(const VerifyConfig& cfg) override;
   [[nodiscard]] std::size_t memoryFootprint() const override;
 
  private:
   struct ProcStream {
+    explicit ProcStream(common::PoolResource* pool)
+        : pending(common::PoolAllocator<proto::OpRecord>(pool)) {}
+    bool heard = false;     ///< emitted at least one op this stream
     Timestamp lastArrival;  ///< newest ts seen; future ops are above it
-    std::deque<proto::OpRecord> pending;  ///< arrived, not yet merge-released
+    PoolDeque<proto::OpRecord> pending;  ///< arrived, not yet merge-released
+  };
+  struct StoreCell {
+    bool has = false;
+    proto::OpRecord op;
   };
   struct FwdState {
+    explicit FwdState(common::PoolResource* pool)
+        : pending(common::PoolAllocator<proto::OpRecord>(pool)) {}
     bool hasStore = false;
-    proto::OpRecord lastStore;              ///< youngest retired store
-    std::deque<proto::OpRecord> pending;    ///< forwarded loads awaiting retire
+    proto::OpRecord lastStore;           ///< youngest retired store
+    PoolDeque<proto::OpRecord> pending;  ///< forwarded loads awaiting retire
   };
 
+  ProcStream& procAt(NodeId proc);
+  StoreCell& storeCellAt(BlockId block, WordIdx word);
+  [[nodiscard]] const StoreCell* findStoreCell(BlockId block,
+                                               WordIdx word) const;
   void judgeForwarded(const proto::OpRecord& load,
                       const proto::OpRecord* source);
   void drain(bool atEnd);
   void retire(const proto::OpRecord& op);
 
-  std::map<NodeId, ProcStream> procs_;
-  std::size_t buffered_ = 0;  ///< total ops across the merge queues
+  std::deque<ProcStream> procs_;  ///< indexed by processor id
+  std::size_t buffered_ = 0;      ///< total ops across the merge queues
+  /// Sticky: every processor in [0, numProcessors) has been heard from.
+  /// Monotone within a stream, so once true the per-proc heard checks in
+  /// drain() are settled forever.
+  bool allHeard_ = false;
   bool hasRetired_ = false;
   proto::OpRecord lastRetired_;  ///< previous op in merged (Lamport) order
-  std::unordered_map<std::uint64_t, proto::OpRecord> lastStore_;
+  std::vector<std::vector<StoreCell>> lastStore_;  ///< [block][word]
   std::map<std::tuple<NodeId, BlockId, WordIdx>, FwdState> fwd_;
 };
 
@@ -255,7 +330,7 @@ class StreamSequentialConsistency final : public StreamChecker {
 /// pruned to the youngest store below that minimum.
 class StreamValueChain final : public StreamChecker {
  public:
-  using StreamChecker::StreamChecker;
+  explicit StreamValueChain(const VerifyConfig& cfg);
   void onSerialize(const proto::TxnInfo& txn) override;
   void onStamp(NodeId node, TransactionId txn, SerialIdx serial, BlockId block,
                proto::StampRole role, GlobalTime ts, AState oldA,
@@ -263,6 +338,7 @@ class StreamValueChain final : public StreamChecker {
   void onOperation(const proto::OpRecord& op) override;
   void onValueReceived(NodeId node, TransactionId txn, BlockId block,
                        const BlockValue& value) override;
+  void reset(const VerifyConfig& cfg) override;
   [[nodiscard]] std::size_t memoryFootprint() const override;
 
  private:
@@ -273,8 +349,13 @@ class StreamValueChain final : public StreamChecker {
     Word value = 0;
   };
   struct NodeUpgrades {
-    std::map<TransactionId, GlobalTime> ts;
-    std::deque<TransactionId> fifo;  ///< eviction order, bounded
+    explicit NodeUpgrades(common::PoolResource* pool)
+        : ts(std::less<TransactionId>{},
+             common::PoolAllocator<std::pair<const TransactionId, GlobalTime>>(
+                 pool)),
+          fifo(common::PoolAllocator<TransactionId>(pool)) {}
+    PoolMap<TransactionId, GlobalTime> ts;
+    PoolDeque<TransactionId> fifo;  ///< eviction order, bounded
   };
   struct LiveTxn {
     BlockId block = 0;
@@ -282,16 +363,19 @@ class StreamValueChain final : public StreamChecker {
     bool upgraded = false;
   };
 
+  std::vector<StoreAt>& storesAt(BlockId block, WordIdx word);
+  [[nodiscard]] std::vector<StoreAt>* findStores(BlockId block, WordIdx word);
+  PoolMultiset<GlobalTime>& floorsAt(BlockId block);
   void trackLive(TransactionId txn, BlockId block, GlobalTime floor,
                  bool upgraded);
   void dropLive(TransactionId txn);
   void moveFloor(LiveTxn& t, GlobalTime ts);
 
-  std::map<std::pair<BlockId, WordIdx>, std::vector<StoreAt>> stores_;
-  std::map<NodeId, NodeUpgrades> upgrades_;
-  std::unordered_map<TransactionId, LiveTxn> live_;
-  std::deque<TransactionId> liveFifo_;  ///< eviction order, bounded
-  std::map<BlockId, std::multiset<GlobalTime>> floors_;
+  std::vector<std::vector<std::vector<StoreAt>>> stores_;  ///< [block][word]
+  std::deque<NodeUpgrades> upgrades_;                      ///< by node id
+  PoolUMap<TransactionId, LiveTxn> live_;
+  PoolDeque<TransactionId> liveFifo_;  ///< eviction order, bounded
+  std::deque<PoolMultiset<GlobalTime>> floors_;  ///< by block id
 };
 
 /// The full Section 3 suite as one pipeline stage: fans events out to the
@@ -306,6 +390,9 @@ class StreamCheckerSet final : public proto::Observer {
   /// Flush every core.  Idempotent; report() calls it implicitly never —
   /// callers decide when the stream has ended.
   void finish();
+  /// Rearm every core for a fresh stream, retaining pooled capacity — the
+  /// campaign's per-worker reuse path (System::reset's counterpart).
+  void reset(const VerifyConfig& cfg);
   [[nodiscard]] CheckReport report() const;
   [[nodiscard]] std::size_t memoryFootprint() const;
   [[nodiscard]] const VerifyConfig& config() const { return cfg_; }

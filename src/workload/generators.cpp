@@ -34,12 +34,17 @@ Step randomStep(const WorkloadConfig& cfg, ProcGen& g, NodeId proc,
   return load(block, word);
 }
 
-}  // namespace
+/// Size `out` for the processor count, clearing each program's steps while
+/// keeping their capacity — the buffer-reuse half of makeInto's contract.
+void prepare(std::vector<Program>& out, NodeId procs) {
+  out.resize(procs);
+  for (Program& p : out) p.steps.clear();
+}
 
-std::vector<Program> uniformRandom(const WorkloadConfig& cfg) {
+void uniformRandomInto(const WorkloadConfig& cfg, std::vector<Program>& programs) {
   LCDC_EXPECT(cfg.numBlocks >= 1 && cfg.wordsPerBlock >= 1, "empty memory");
   auto gens = makeGens(cfg);
-  std::vector<Program> programs(cfg.numProcessors);
+  prepare(programs, cfg.numProcessors);
   for (NodeId p = 0; p < cfg.numProcessors; ++p) {
     ProcGen& g = gens[p];
     programs[p].steps.reserve(cfg.opsPerProcessor);
@@ -49,15 +54,14 @@ std::vector<Program> uniformRandom(const WorkloadConfig& cfg) {
       programs[p].steps.push_back(randomStep(cfg, g, p, block));
     }
   }
-  return programs;
 }
 
-std::vector<Program> hotBlock(const WorkloadConfig& cfg,
-                              std::uint32_t hotPercent, BlockId hotBlocks) {
+void hotBlockInto(const WorkloadConfig& cfg, std::uint32_t hotPercent,
+                  BlockId hotBlocks, std::vector<Program>& programs) {
   LCDC_EXPECT(hotBlocks >= 1 && hotBlocks <= cfg.numBlocks,
               "hotBlocks out of range");
   auto gens = makeGens(cfg);
-  std::vector<Program> programs(cfg.numProcessors);
+  prepare(programs, cfg.numProcessors);
   for (NodeId p = 0; p < cfg.numProcessors; ++p) {
     ProcGen& g = gens[p];
     for (std::uint64_t i = 0; i < cfg.opsPerProcessor; ++i) {
@@ -68,12 +72,12 @@ std::vector<Program> hotBlock(const WorkloadConfig& cfg,
       programs[p].steps.push_back(randomStep(cfg, g, p, block));
     }
   }
-  return programs;
 }
 
-std::vector<Program> producerConsumer(const WorkloadConfig& cfg) {
+void producerConsumerInto(const WorkloadConfig& cfg,
+                          std::vector<Program>& programs) {
   auto gens = makeGens(cfg);
-  std::vector<Program> programs(cfg.numProcessors);
+  prepare(programs, cfg.numProcessors);
   const BlockId region = std::min<BlockId>(cfg.numBlocks, 8);
   const std::uint64_t rounds =
       std::max<std::uint64_t>(1, cfg.opsPerProcessor / (region * 2));
@@ -94,12 +98,11 @@ std::vector<Program> producerConsumer(const WorkloadConfig& cfg) {
       }
     }
   }
-  return programs;
 }
 
-std::vector<Program> migratory(const WorkloadConfig& cfg) {
+void migratoryInto(const WorkloadConfig& cfg, std::vector<Program>& programs) {
   auto gens = makeGens(cfg);
-  std::vector<Program> programs(cfg.numProcessors);
+  prepare(programs, cfg.numProcessors);
   const BlockId region = std::min<BlockId>(cfg.numBlocks, 16);
   const std::uint64_t rounds =
       std::max<std::uint64_t>(1, cfg.opsPerProcessor / 4);
@@ -115,15 +118,15 @@ std::vector<Program> migratory(const WorkloadConfig& cfg) {
           store(b, w, makeStoreValue(p, g.storeSeq++)));
     }
   }
-  return programs;
 }
 
-std::vector<Program> falseSharing(const WorkloadConfig& cfg) {
+void falseSharingInto(const WorkloadConfig& cfg,
+                      std::vector<Program>& programs) {
   LCDC_EXPECT(cfg.wordsPerBlock >= cfg.numProcessors ||
                   cfg.wordsPerBlock >= 1,
               "false sharing needs at least one word");
   auto gens = makeGens(cfg);
-  std::vector<Program> programs(cfg.numProcessors);
+  prepare(programs, cfg.numProcessors);
   const BlockId region = std::min<BlockId>(cfg.numBlocks, 4);
   for (NodeId p = 0; p < cfg.numProcessors; ++p) {
     ProcGen& g = gens[p];
@@ -138,6 +141,59 @@ std::vector<Program> falseSharing(const WorkloadConfig& cfg) {
       }
     }
   }
+}
+
+void readMostlyInto(const WorkloadConfig& cfg, std::vector<Program>& programs) {
+  WorkloadConfig tweaked = cfg;
+  tweaked.storePercent = 5;
+  auto gens = makeGens(tweaked);
+  prepare(programs, cfg.numProcessors);
+  const BlockId region = std::min<BlockId>(cfg.numBlocks, 16);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    ProcGen& g = gens[p];
+    for (std::uint64_t i = 0; i < cfg.opsPerProcessor; ++i) {
+      const BlockId b = static_cast<BlockId>(g.rng.uniform(0, region - 1));
+      programs[p].steps.push_back(randomStep(tweaked, g, p, b));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Program> uniformRandom(const WorkloadConfig& cfg) {
+  std::vector<Program> programs;
+  uniformRandomInto(cfg, programs);
+  return programs;
+}
+
+std::vector<Program> hotBlock(const WorkloadConfig& cfg,
+                              std::uint32_t hotPercent, BlockId hotBlocks) {
+  std::vector<Program> programs;
+  hotBlockInto(cfg, hotPercent, hotBlocks, programs);
+  return programs;
+}
+
+std::vector<Program> producerConsumer(const WorkloadConfig& cfg) {
+  std::vector<Program> programs;
+  producerConsumerInto(cfg, programs);
+  return programs;
+}
+
+std::vector<Program> migratory(const WorkloadConfig& cfg) {
+  std::vector<Program> programs;
+  migratoryInto(cfg, programs);
+  return programs;
+}
+
+std::vector<Program> falseSharing(const WorkloadConfig& cfg) {
+  std::vector<Program> programs;
+  falseSharingInto(cfg, programs);
+  return programs;
+}
+
+std::vector<Program> readMostly(const WorkloadConfig& cfg) {
+  std::vector<Program> programs;
+  readMostlyInto(cfg, programs);
   return programs;
 }
 
@@ -170,22 +226,6 @@ std::vector<Program> addPrefetchHints(std::vector<Program> programs,
   return programs;
 }
 
-std::vector<Program> readMostly(const WorkloadConfig& cfg) {
-  WorkloadConfig tweaked = cfg;
-  tweaked.storePercent = 5;
-  auto gens = makeGens(tweaked);
-  std::vector<Program> programs(cfg.numProcessors);
-  const BlockId region = std::min<BlockId>(cfg.numBlocks, 16);
-  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
-    ProcGen& g = gens[p];
-    for (std::uint64_t i = 0; i < cfg.opsPerProcessor; ++i) {
-      const BlockId b = static_cast<BlockId>(g.rng.uniform(0, region - 1));
-      programs[p].steps.push_back(randomStep(tweaked, g, p, b));
-    }
-  }
-  return programs;
-}
-
 const char* toString(Kind k) {
   switch (k) {
     case Kind::Uniform: return "uniform";
@@ -209,13 +249,20 @@ Kind kindFromName(const std::string& name) {
 }
 
 std::vector<Program> make(Kind kind, const WorkloadConfig& cfg) {
+  std::vector<Program> programs;
+  makeInto(kind, cfg, programs);
+  return programs;
+}
+
+void makeInto(Kind kind, const WorkloadConfig& cfg,
+              std::vector<Program>& out) {
   switch (kind) {
-    case Kind::Uniform: return uniformRandom(cfg);
-    case Kind::Hot: return hotBlock(cfg);
-    case Kind::ProdCons: return producerConsumer(cfg);
-    case Kind::Migratory: return migratory(cfg);
-    case Kind::FalseShare: return falseSharing(cfg);
-    case Kind::ReadMostly: return readMostly(cfg);
+    case Kind::Uniform: return uniformRandomInto(cfg, out);
+    case Kind::Hot: return hotBlockInto(cfg, 85, 2, out);
+    case Kind::ProdCons: return producerConsumerInto(cfg, out);
+    case Kind::Migratory: return migratoryInto(cfg, out);
+    case Kind::FalseShare: return falseSharingInto(cfg, out);
+    case Kind::ReadMostly: return readMostlyInto(cfg, out);
   }
   throw SimError("unknown workload kind");
 }

@@ -91,6 +91,14 @@ inline constexpr std::uint8_t kNumKinds = 6;
 /// Dispatch to the family's generator (default extra parameters).
 [[nodiscard]] std::vector<Program> make(Kind kind, const WorkloadConfig& cfg);
 
+/// `make`, generating into the caller's buffers: `out` is resized to the
+/// processor count and each program's step storage is reused (cleared, not
+/// reallocated).  Campaign workers derive thousands of cases per thread;
+/// generating into one retained CaseSpec keeps the per-sub-run cost at the
+/// steps themselves instead of a fresh vector tree each time.  The emitted
+/// programs are identical to `make`'s.
+void makeInto(Kind kind, const WorkloadConfig& cfg, std::vector<Program>& out);
+
 /// Derive child seed `index` from a master seed: one splitmix64 stream per
 /// master, mixed with the index, so sub-campaign seeds collide neither with
 /// each other nor with the master across campaign sizes.

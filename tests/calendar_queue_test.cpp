@@ -1,0 +1,190 @@
+// The calendar queue's one correctness obligation: its pop order is
+// *identical* to std::priority_queue<Envelope, ..., Later>'s — earliest
+// deliverAt first, sequence number breaking ties (DESIGN.md §10).  These
+// tests pin that equivalence against a live priority_queue oracle under
+// randomized interleavings (including time jumps past the wheel window,
+// which exercise the overflow heap and wheel rollover), plus the edge
+// cases a property sweep can miss.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "net/calendar_queue.hpp"
+
+namespace lcdc::net {
+namespace {
+
+Envelope env(MsgSeq seq, Tick at) {
+  Envelope e;
+  e.seq = seq;
+  e.dst = 1;
+  e.sentAt = 0;
+  e.deliverAt = at;
+  e.msg.block = static_cast<BlockId>(seq % 1024);
+  return e;
+}
+
+/// The seed engine's heap ordering: the earliest (deliverAt, seq) on top.
+struct Later {
+  bool operator()(const Envelope& a, const Envelope& b) const {
+    if (a.deliverAt != b.deliverAt) return a.deliverAt > b.deliverAt;
+    return a.seq > b.seq;
+  }
+};
+using Oracle = std::priority_queue<Envelope, std::vector<Envelope>, Later>;
+
+TEST(CalendarQueue, EmptyQueueBasics) {
+  CalendarQueue q(10);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.nextDeliveryTime(), kNever);
+  EXPECT_THROW((void)q.pop(), ProtocolError);
+}
+
+TEST(CalendarQueue, PushBeforeCursorIsRejected) {
+  CalendarQueue q(10);
+  q.push(env(0, 50));
+  (void)q.pop();  // cursor is now 50
+  EXPECT_THROW(q.push(env(1, 49)), ProtocolError);
+  q.push(env(2, 50));  // equal to the cursor is fine
+  EXPECT_EQ(q.pop().seq, 2u);
+}
+
+TEST(CalendarQueue, SeqBreaksTiesWithinOneTick) {
+  CalendarQueue q(10);
+  for (MsgSeq s = 0; s < 20; ++s) q.push(env(s, 7));
+  for (MsgSeq s = 0; s < 20; ++s) {
+    const Envelope e = q.pop();
+    EXPECT_EQ(e.seq, s);
+    EXPECT_EQ(e.deliverAt, 7u);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// A time jump larger than the wheel window parks envelopes in the overflow
+// heap; once the cursor catches up, later pushes for the *same* tick land
+// on the wheel.  The mixed tie must still pop in seq order (overflow
+// first here, because those envelopes have the smaller seqs).
+TEST(CalendarQueue, WheelAndOverflowTieBreaksBySeq) {
+  CalendarQueue q(4);  // tiny wheel: window is 64 ticks
+  const Tick far = 1000;
+  q.push(env(0, far));  // beyond the window: overflow
+  q.push(env(1, far));
+  EXPECT_EQ(q.stats().overflowPushes, 2u);
+  q.push(env(2, 990));  // also overflow; pops first, dragging the cursor up
+  EXPECT_EQ(q.pop().seq, 2u);
+  q.push(env(3, far));  // cursor is 990 now: tick 1000 is on the wheel
+  q.push(env(4, far));
+  for (MsgSeq s = 0; s <= 1; ++s) EXPECT_EQ(q.pop().seq, s);  // overflow
+  for (MsgSeq s = 3; s <= 4; ++s) EXPECT_EQ(q.pop().seq, s);  // wheel
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().overflowPops, 3u);
+}
+
+// The wheel covers [cursor, cursor + window); a monotonically advancing
+// tick stream wraps it many times.  Exact agreement with the oracle across
+// thousands of wraps is the rollover test.
+TEST(CalendarQueue, RolloverAcrossManyWheelWraps) {
+  CalendarQueue q(8);  // window 64: every 64 ticks of progress is a wrap
+  Oracle o;
+  Rng rng(0xCA1E);
+  Tick now = 0;
+  MsgSeq seq = 0;
+  for (int step = 0; step < 50'000; ++step) {
+    if (o.empty() || rng.chance(1, 2)) {
+      const Envelope e = env(seq++, now + rng.uniform(0, 8));
+      o.push(e);
+      q.push(Envelope(e));
+    } else {
+      const Envelope want = o.top();
+      o.pop();
+      const Envelope got = q.pop();
+      ASSERT_EQ(got.deliverAt, want.deliverAt);
+      ASSERT_EQ(got.seq, want.seq);
+      now = got.deliverAt;
+    }
+  }
+}
+
+// Full property sweep: random interleavings of pushes and pops, with
+// occasional idle-period jumps well past the wheel window (the retry-timer
+// pattern that feeds the overflow heap).  Every pop and every
+// nextDeliveryTime must agree with the oracle exactly.
+TEST(CalendarQueue, MatchesPriorityQueueOracle) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 0xFEEDull}) {
+    CalendarQueue q(40);
+    Oracle o;
+    Rng rng(seed);
+    Tick now = 0;
+    MsgSeq seq = 0;
+    for (int step = 0; step < 30'000; ++step) {
+      if (o.empty() || rng.chance(11, 20)) {
+        // ~3% of pushes jump far beyond the window (overflow path); ties
+        // are common because latencies draw from a small range.
+        const Tick jump = rng.chance(3, 100) ? 700 + rng.uniform(0, 3000)
+                                             : rng.uniform(0, 40);
+        const Envelope e = env(seq++, now + jump);
+        o.push(e);
+        q.push(Envelope(e));
+      } else {
+        ASSERT_EQ(q.nextDeliveryTime(), o.top().deliverAt);
+        const Envelope want = o.top();
+        o.pop();
+        const Envelope got = q.pop();
+        ASSERT_EQ(got.deliverAt, want.deliverAt);
+        ASSERT_EQ(got.seq, want.seq);
+        ASSERT_EQ(got.msg.block, want.msg.block);
+        now = got.deliverAt;
+      }
+      ASSERT_EQ(q.size(), o.size());
+    }
+    while (!o.empty()) {
+      const Envelope want = o.top();
+      o.pop();
+      const Envelope got = q.pop();
+      ASSERT_EQ(got.deliverAt, want.deliverAt);
+      ASSERT_EQ(got.seq, want.seq);
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextDeliveryTime(), kNever);
+    EXPECT_GT(q.stats().overflowPushes, 0u) << "sweep never hit the overflow";
+  }
+}
+
+TEST(CalendarQueue, ClearKeepsThePoolAndRewindsTheCursor) {
+  CalendarQueue q(10);
+  for (MsgSeq s = 0; s < 600; ++s) q.push(env(s, 100 + s / 8));
+  const std::uint64_t pool = q.stats().poolNodes;
+  EXPECT_GE(pool, 600u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().poolNodes, pool) << "clear() must keep the slabs";
+  // The cursor rewound to zero: tick 0 pushes are legal again, and a
+  // refill up to the old high-water carves no new slab.
+  for (MsgSeq s = 0; s < 600; ++s) q.push(env(s, s / 8));
+  EXPECT_EQ(q.stats().poolNodes, pool);
+  Tick prev = 0;
+  while (!q.empty()) {
+    const Tick t = q.pop().deliverAt;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CalendarQueue, ResetStatsKeepsThePoolHighWater) {
+  CalendarQueue q(10);
+  for (MsgSeq s = 0; s < 10; ++s) q.push(env(s, 5));
+  while (!q.empty()) (void)q.pop();
+  const std::uint64_t pool = q.stats().poolNodes;
+  q.resetStats();
+  EXPECT_EQ(q.stats().pushes, 0u);
+  EXPECT_EQ(q.stats().pops, 0u);
+  EXPECT_EQ(q.stats().maxDepth, 0u);
+  EXPECT_EQ(q.stats().poolNodes, pool);
+}
+
+}  // namespace
+}  // namespace lcdc::net

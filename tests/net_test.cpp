@@ -95,6 +95,48 @@ TEST(Network, ManualModePicksArbitraryOrder) {
   EXPECT_TRUE(net.empty());
 }
 
+// deliverSeq locates the envelope by binary search over the seq-sorted
+// pending deque.  Pin it against the obvious oracle — a linear scan plus
+// deliverIndex on a twin network — through a long randomized mix of sends
+// and deliveries: every delivered envelope and the entire remaining
+// pending sequence must match at each step (the identical-trace
+// guarantee MC replay relies on).
+TEST(Network, DeliverSeqMatchesLinearScanOracle) {
+  Network fast(Network::Mode::Manual, Rng(9), 1, 1);
+  Network oracle(Network::Mode::Manual, Rng(9), 1, 1);
+  Rng rng(0xD5);
+  std::uint32_t sent = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (fast.pending().empty() || rng.chance(1, 2)) {
+      const BlockId b = sent++;
+      const proto::Message m = msg(proto::MsgType::GetS, b);
+      (void)fast.send(0, 1, 0, m);
+      (void)oracle.send(0, 1, 0, m);
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform(0, fast.pending().size() - 1));
+      const MsgSeq seq = fast.pending()[pick].seq;
+      const Envelope got = fast.deliverSeq(seq);
+      std::size_t idx = oracle.pending().size();
+      for (std::size_t i = 0; i < oracle.pending().size(); ++i) {
+        if (oracle.pending()[i].seq == seq) {
+          idx = i;
+          break;
+        }
+      }
+      ASSERT_LT(idx, oracle.pending().size()) << "oracle lost seq " << seq;
+      const Envelope want = oracle.deliverIndex(idx);
+      ASSERT_EQ(got.seq, want.seq);
+      ASSERT_EQ(got.msg.block, want.msg.block);
+      ASSERT_EQ(fast.pending().size(), oracle.pending().size());
+      for (std::size_t i = 0; i < fast.pending().size(); ++i) {
+        ASSERT_EQ(fast.pending()[i].seq, oracle.pending()[i].seq);
+      }
+    }
+  }
+  EXPECT_THROW((void)fast.deliverSeq(~MsgSeq{0}), ProtocolError);
+}
+
 TEST(Network, ModeMisuseIsRejected) {
   Network manual(Network::Mode::Manual, Rng(7), 1, 1);
   EXPECT_THROW((void)manual.nextDeliveryTime(), ProtocolError);

@@ -1,0 +1,114 @@
+// PoolResource/PoolAllocator: the recycling node pool behind the pooled
+// streaming checkers.  The contract under test: same-size allocations are
+// recycled through free lists (the high-water footprint is carved once),
+// oversized requests fall through to operator new without mixing
+// provenance, and standard node-based containers run on it unchanged.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/pool_allocator.hpp"
+
+namespace lcdc::common {
+namespace {
+
+TEST(PoolResource, RecyclesSameSizeAllocations) {
+  PoolResource pool;
+  void* a = pool.allocate(24);
+  void* b = pool.allocate(24);
+  EXPECT_NE(a, b);
+  const std::size_t carved = pool.bytesCarved();
+  pool.deallocate(a, 24);
+  pool.deallocate(b, 24);
+  // LIFO free list: the most recently freed node comes back first.
+  EXPECT_EQ(pool.allocate(24), b);
+  EXPECT_EQ(pool.allocate(24), a);
+  EXPECT_EQ(pool.bytesCarved(), carved) << "recycling must not carve";
+}
+
+TEST(PoolResource, SizesShareAClassOnlyAfterRounding) {
+  PoolResource pool;
+  // 17..32 all round to the same 16-byte-aligned class.
+  void* a = pool.allocate(17);
+  pool.deallocate(a, 17);
+  EXPECT_EQ(pool.allocate(32), a);
+  // A genuinely different size draws from a different class.
+  void* b = pool.allocate(64);
+  EXPECT_NE(b, a);
+  pool.deallocate(b, 64);
+}
+
+TEST(PoolResource, CarvedBytesPlateauAtTheHighWater) {
+  PoolResource pool;
+  std::vector<void*> live;
+  for (int i = 0; i < 500; ++i) live.push_back(pool.allocate(48));
+  const std::size_t highWater = pool.bytesCarved();
+  for (void* p : live) pool.deallocate(p, 48);
+  live.clear();
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 500; ++i) live.push_back(pool.allocate(48));
+    for (void* p : live) pool.deallocate(p, 48);
+    live.clear();
+  }
+  EXPECT_EQ(pool.bytesCarved(), highWater)
+      << "steady-state reuse must not grow the pool";
+}
+
+TEST(PoolResource, OversizedRequestsFallThroughToTheHeap) {
+  PoolResource pool;
+  const std::size_t before = pool.bytesCarved();
+  void* big = pool.allocate(64 * 1024);  // hash-bucket-array territory
+  EXPECT_NE(big, nullptr);
+  EXPECT_EQ(pool.bytesCarved(), before) << "oversized must bypass the pool";
+  static_cast<std::uint8_t*>(big)[0] = 1;  // must be writable
+  pool.deallocate(big, 64 * 1024);
+}
+
+TEST(PoolAllocator, NodeContainersReachAllocFreeSteadyState) {
+  PoolResource pool;
+  std::map<int, std::uint64_t, std::less<>,
+           PoolAllocator<std::pair<const int, std::uint64_t>>>
+      m{PoolAllocator<std::pair<const int, std::uint64_t>>(&pool)};
+  for (int i = 0; i < 300; ++i) m[i] = static_cast<std::uint64_t>(i);
+  m.clear();
+  const std::size_t highWater = pool.bytesCarved();
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 300; ++i) m[i] = static_cast<std::uint64_t>(i * i);
+    EXPECT_EQ(m.size(), 300u);
+    m.clear();
+  }
+  EXPECT_EQ(pool.bytesCarved(), highWater)
+      << "a reused pooled map must recycle its own nodes";
+}
+
+TEST(PoolAllocator, ContainersSharingAResourceRecycleEachOthersNodes) {
+  PoolResource pool;
+  using Alloc = PoolAllocator<int>;
+  {
+    std::list<int, Alloc> first{Alloc(&pool)};
+    for (int i = 0; i < 100; ++i) first.push_back(i);
+  }  // all 100 nodes return to the pool
+  const std::size_t carved = pool.bytesCarved();
+  std::list<int, Alloc> second{Alloc(&pool)};
+  for (int i = 0; i < 100; ++i) second.push_back(i);
+  EXPECT_EQ(pool.bytesCarved(), carved)
+      << "same node size from a sibling container must be recycled";
+}
+
+TEST(PoolAllocator, EqualityFollowsTheResource) {
+  PoolResource a;
+  PoolResource b;
+  PoolAllocator<int> pa(&a);
+  PoolAllocator<long> paLong(&a);
+  PoolAllocator<int> pb(&b);
+  EXPECT_TRUE(pa == paLong);
+  EXPECT_FALSE(pa == pb);
+  EXPECT_TRUE(pa != pb);
+}
+
+}  // namespace
+}  // namespace lcdc::common

@@ -1,0 +1,76 @@
+// Engine-reuse equivalence: System::reset(seed) + StreamCheckerSet::reset
+// followed by a run must be byte-identical to constructing a fresh System
+// and checker set with the same seed — the contract the campaign's
+// per-thread WorkerEngine reuse (campaign.cpp) rests on.  One persistent
+// engine replays a chain of sub-runs with differing seeds, programs and
+// per-seed shapes drawn from the seed-equivalence matrix, and every
+// artifact fingerprint (trace text, run result, network counters, checker
+// verdict) must match its freshly-constructed twin.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "run_fingerprint.hpp"
+
+namespace lcdc {
+namespace {
+
+using lcdc::testing::MatrixCell;
+
+class ResetReuseCell : public ::testing::TestWithParam<MatrixCell> {};
+
+TEST_P(ResetReuseCell, ResetThenRunEqualsConstructThenRun) {
+  const MatrixCell cell = GetParam();
+
+  // The persistent engine.  The matrix varies topology with the seed, so
+  // pick one seed's shape and chain every sub-run that shares it — the
+  // campaign reuses a System only across identically-shaped specs too.
+  const SystemConfig shape = lcdc::testing::matrixConfig(2);
+  trace::Trace trace;
+  verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(shape));
+  proto::TeeSink tee{&trace, &checkers};
+  std::optional<sim::System> reused;
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SystemConfig sys = shape;
+    sys.seed = 0x5EEDULL ^ (seed * 0x9E3779B97F4A7C15ULL);
+    const workload::WorkloadConfig w =
+        lcdc::testing::matrixWorkload(sys, seed);
+    const auto progs = workload::make(cell.kind, w);
+
+    const std::uint64_t fresh =
+        lcdc::testing::runFingerprint(sys, progs, cell.mode);
+
+    if (!reused) {
+      reused.emplace(sys, tee, cell.mode);
+    } else {
+      reused->reset(sys.seed);
+    }
+    trace.clear();
+    checkers.reset(verify::VerifyConfig::fromSystem(sys));
+    for (NodeId p = 0; p < sys.numProcessors; ++p) {
+      reused->setProgram(p, progs[p]);
+    }
+    const sim::RunResult r = reused->run();
+    checkers.finish();
+    const std::uint64_t replay = lcdc::testing::artifactFingerprint(
+        trace, r, reused->network().stats(), checkers.report());
+
+    EXPECT_EQ(replay, fresh)
+        << "sub-run " << seed << " of " << workload::toString(cell.kind)
+        << " diverged after reset";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, ResetReuseCell,
+    ::testing::ValuesIn(lcdc::testing::fingerprintMatrix()),
+    [](const ::testing::TestParamInfo<MatrixCell>& pinfo) {
+      std::string name = workload::toString(pinfo.param.kind);
+      name += pinfo.param.mode == net::Network::Mode::Fifo ? "Fifo" : "Rand";
+      return name;
+    });
+
+}  // namespace
+}  // namespace lcdc

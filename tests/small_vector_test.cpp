@@ -1,0 +1,188 @@
+// SmallVector: inline-capacity behavior, spill to heap, and std::vector
+// parity on the operations the hot path uses.  This suite is part of the
+// ASan job's coverage of the new pooling/inline-storage code.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/small_vector.hpp"
+
+namespace lcdc {
+namespace {
+
+using common::SmallVector;
+
+TEST(SmallVector, StartsEmptyAndInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_TRUE(v.inlined());
+}
+
+TEST(SmallVector, PushWithinInlineCapacityDoesNotSpill) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inlined());
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsPastInlineCapacityAndKeepsElements) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.inlined());
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, CountAndFillConstructors) {
+  SmallVector<int, 4> zeroed(3);
+  ASSERT_EQ(zeroed.size(), 3u);
+  for (const int x : zeroed) EXPECT_EQ(x, 0);
+
+  SmallVector<int, 4> filled(6, 7);
+  ASSERT_EQ(filled.size(), 6u);
+  EXPECT_FALSE(filled.inlined());
+  for (const int x : filled) EXPECT_EQ(x, 7);
+}
+
+TEST(SmallVector, InitializerListAndEquality) {
+  SmallVector<int, 4> a{1, 2, 3};
+  SmallVector<int, 4> b{1, 2, 3};
+  SmallVector<int, 4> c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a = {9, 8};
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 9);
+  EXPECT_EQ(a[1], 8);
+}
+
+TEST(SmallVector, CopyPreservesAndDetaches) {
+  SmallVector<std::string, 2> v{"alpha", "beta", "gamma"};
+  SmallVector<std::string, 2> copy = v;
+  EXPECT_EQ(copy, v);
+  copy[0] = "changed";
+  EXPECT_EQ(v[0], "alpha");
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const int* heap = v.data();
+  SmallVector<int, 2> moved = std::move(v);
+  EXPECT_EQ(moved.data(), heap);  // stolen, not copied
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inlined());
+  ASSERT_EQ(moved.size(), 50u);
+  EXPECT_EQ(moved[49], 49);
+}
+
+TEST(SmallVector, MoveOfInlineVectorMovesElements) {
+  SmallVector<std::unique_ptr<int>, 4> v;
+  v.emplace_back(std::make_unique<int>(42));
+  SmallVector<std::unique_ptr<int>, 4> moved = std::move(v);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(*moved[0], 42);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, MoveAssignmentReleasesOldContents) {
+  SmallVector<std::string, 2> a{"x", "y", "z"};
+  SmallVector<std::string, 2> b{"only"};
+  a = std::move(b);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], "only");
+}
+
+TEST(SmallVector, SelfMoveAndSelfCopyAreSafe) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v = v;
+  ASSERT_EQ(v.size(), 3u);
+  auto& alias = v;
+  v = std::move(alias);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SmallVector, ResizeGrowsValueInitializedAndShrinksDestroying) {
+  SmallVector<int, 2> v{5};
+  v.resize(4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[3], 0);
+  v.resize(1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 5);
+  v.resize(3, 9);
+  EXPECT_EQ(v[2], 9);
+}
+
+TEST(SmallVector, ClearKeepsCapacity) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 40; ++i) v.push_back(i);
+  const auto cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);  // spill storage retained for reuse
+}
+
+TEST(SmallVector, SortedInsertAndEraseMatchVector) {
+  SmallVector<int, 4> sv;
+  std::vector<int> oracle;
+  const int vals[] = {7, 3, 9, 1, 5, 8, 2, 6, 4, 0};
+  for (const int x : vals) {
+    sv.insert(std::lower_bound(sv.begin(), sv.end(), x), x);
+    oracle.insert(std::lower_bound(oracle.begin(), oracle.end(), x), x);
+    ASSERT_TRUE(std::equal(sv.begin(), sv.end(), oracle.begin(), oracle.end()));
+  }
+  for (const int x : {5, 0, 9}) {
+    sv.erase(std::lower_bound(sv.begin(), sv.end(), x));
+    oracle.erase(std::lower_bound(oracle.begin(), oracle.end(), x));
+    ASSERT_TRUE(std::equal(sv.begin(), sv.end(), oracle.begin(), oracle.end()));
+  }
+}
+
+TEST(SmallVector, AssignRangeReplacesContents) {
+  const std::vector<int> src{4, 5, 6, 7, 8};
+  SmallVector<int, 2> v{1, 2};
+  v.assign(src.begin(), src.end());
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 8);
+}
+
+TEST(SmallVector, IterationRangeConstructedFromRange) {
+  const std::vector<int> src{1, 2, 3};
+  SmallVector<int, 8> v(src.begin(), src.end());
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(SmallVector, NonTrivialElementsDestroyedExactlyOnce) {
+  static int live = 0;
+  struct Probe {
+    Probe() { ++live; }
+    Probe(const Probe&) { ++live; }
+    Probe(Probe&&) noexcept { ++live; }
+    Probe& operator=(const Probe&) = default;
+    Probe& operator=(Probe&&) noexcept = default;
+    ~Probe() { --live; }
+  };
+  {
+    SmallVector<Probe, 2> v;
+    for (int i = 0; i < 10; ++i) v.emplace_back();
+    v.resize(3);
+    v.pop_back();
+    SmallVector<Probe, 2> other = std::move(v);
+    other.erase(other.begin());
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace lcdc

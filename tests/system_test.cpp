@@ -169,6 +169,44 @@ TEST(System, FinalMemoryMatchesLamportReplay) {
   }
 }
 
+// Per-type traffic conservation: Section 2.1's reliable-delivery guarantee,
+// auditable per message type.  At quiescence the per-type sent and
+// delivered histograms must agree exactly (and sum to the aggregate
+// counters) — a dropped or duplicated Inv/Ack would unbalance its row
+// even if the totals happened to cancel.
+TEST(System, SentEqualsDeliveredPerTypeAtQuiesce) {
+  SystemConfig cfg;
+  cfg.numProcessors = 5;
+  cfg.numDirectories = 2;
+  cfg.numBlocks = 8;
+  cfg.cacheCapacity = 2;
+  cfg.seed = 11;
+  auto w = test::workloadFor(cfg, 500, 12);
+  w.storePercent = 40;
+  w.evictPercent = 8;
+  const auto programs = workload::hotBlock(w, 60, 3);
+  trace::Trace trace;
+  sim::System system(cfg, trace);
+  for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+    system.setProgram(p, programs[p]);
+  }
+  ASSERT_TRUE(system.run().ok());
+
+  const net::NetStats& ns = system.network().stats();
+  ASSERT_EQ(ns.sentByType.size(), ns.deliveredByType.size());
+  std::uint64_t sentSum = 0;
+  std::uint64_t deliveredSum = 0;
+  for (std::size_t i = 0; i < ns.sentByType.size(); ++i) {
+    EXPECT_EQ(ns.sentByType[i], ns.deliveredByType[i])
+        << "type " << i << " sent/delivered imbalance at quiescence";
+    sentSum += ns.sentByType[i];
+    deliveredSum += ns.deliveredByType[i];
+  }
+  EXPECT_EQ(sentSum, ns.sent);
+  EXPECT_EQ(deliveredSum, ns.delivered);
+  EXPECT_GT(ns.sent, 0u);
+}
+
 TEST(System, ManualModeAdvancesTimeForRetries) {
   // In Manual mode a NACKed processor waits out its retry delay via
   // advanceTime.

@@ -24,6 +24,7 @@
 //   4  usage error (unknown command/option, malformed value)
 //   5  I/O or trace-format error
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -38,6 +39,7 @@
 #include "mc/model_checker.hpp"
 #include "mc/replay.hpp"
 #include "proto/observer.hpp"
+#include "sim/perf.hpp"
 #include "sim/system.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace.hpp"
@@ -205,6 +207,10 @@ int cmdRun(const Args& args) {
   std::uint64_t opsBound = 0;
   std::string outcome;
   bool runOk = false;
+  // --perf: wall-clock + hot-loop counters, printed after the deterministic
+  // output (like `lcdc mc --perf`, nothing here is diffable between runs).
+  const bool perf = args.has("perf");
+  std::optional<sim::SimPerfCounters> perfCounters;
 
   const std::string protocol = args.str("protocol", "directory");
   if (protocol != "directory" && protocol != "bus") {
@@ -251,7 +257,17 @@ int cmdRun(const Args& args) {
     }
     sim::System sys(cfg, tee);
     for (NodeId p = 0; p < procs; ++p) sys.setProgram(p, programs[p]);
+    const auto t0 = std::chrono::steady_clock::now();
     const sim::RunResult r = sys.run();
+    if (perf) {
+      const auto nanos = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      perfCounters.emplace();
+      perfCounters->note(r.eventsProcessed, r.opsBound, nanos,
+                         sys.network().queueStats());
+    }
     outcome = toString(r.outcome);
     opsBound = r.opsBound;
     runOk = r.ok();
@@ -260,6 +276,10 @@ int cmdRun(const Args& args) {
   std::cout << "simulation: " << outcome << " — " << opsBound
             << " operations, " << stats.stats().serializations
             << " transactions\n";
+  if (perfCounters) perfCounters->print(std::cout);
+  if (perf && !perfCounters) {
+    std::cout << "sim perf: (--perf is directory-protocol only)\n";
+  }
   if (const auto it = args.kv.find("trace"); it != args.kv.end()) {
     trace::saveFile(trace, it->second);
     std::cout << "trace written to " << it->second << '\n';
@@ -425,6 +445,7 @@ int cmdCampaign(const Args& args) {
                     : 0.0)
             << " seeds/s, tasks stolen: " << r.pool.tasksStolen << "/"
             << r.pool.tasksExecuted << '\n';
+  r.perf.print(std::cout);
   if (r.mcStage.ran) {
     std::cout << "mc stage: " << r.mcSeconds << " s, "
               << (r.mcSeconds > 0
@@ -456,7 +477,7 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
          "protocol", "capacity", "mutant", "store-pct", "evict-pct",
          "prefetch", "store-buffer", "model", "min-latency", "max-latency",
          "snoop-delay", "trace"},
-        {"no-putshared", "quiet", "streaming", "no-trace"}}},
+        {"no-putshared", "quiet", "streaming", "no-trace", "perf"}}},
       {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
       {"mc",
        {{"procs", "blocks", "max-states", "max-depth", "jobs", "mutant",
@@ -485,6 +506,7 @@ void usage(std::ostream& os) {
       "            --store-buffer DEPTH (TSO mode)  --model sc|tso\n"
       "            --min-latency T --max-latency T --trace FILE --quiet\n"
       "            --streaming (verify online) --no-trace (O(1) memory)\n"
+      "            --perf (events/s + network-queue counters; wall-clock)\n"
       "  verify    re-check a dumped trace\n"
       "            --trace FILE --procs N --model sc|tso [--partial]\n"
       "  mc        exhaustive model checking (small configs!)\n"
