@@ -1,0 +1,136 @@
+#include "dsm/certifier.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "trace/codec.hpp"
+#include "verify/checkers.hpp"
+
+namespace lcdc::dsm {
+
+CertifierEngine::CertifierEngine(std::uint32_t nodes)
+    : nodes_(nodes), streams_(nodes) {
+  LCDC_EXPECT(nodes_ >= 1, "certifier needs at least one stream");
+}
+
+CertifierEngine::~CertifierEngine() = default;
+
+void CertifierEngine::attachExtra(proto::EventSink& sink) {
+  LCDC_EXPECT(!configured(), "attachExtra must precede the first hello");
+  extras_.push_back(&sink);
+}
+
+void CertifierEngine::onHello(const HelloFrame& h) {
+  LCDC_EXPECT(h.version == kWireVersion, "wire version mismatch");
+  LCDC_EXPECT(h.nodes == nodes_, "hello announces a different topology");
+  if (configured()) {
+    LCDC_EXPECT(h.config.numProcessors == config_.numProcessors &&
+                    h.config.numBlocks == config_.numBlocks &&
+                    h.config.proto.wordsPerBlock == config_.proto.wordsPerBlock &&
+                    h.config.storeBufferDepth == config_.storeBufferDepth,
+                "hello announces a different system configuration");
+    return;
+  }
+  config_ = h.config;
+  checkers_ = std::make_unique<verify::StreamCheckerSet>(
+      verify::VerifyConfig::fromSystem(config_));
+  tee_.clear();
+  tee_.attach(*checkers_);
+  for (proto::EventSink* s : extras_) tee_.attach(*s);
+  tee_.onRunBegin(config_);
+}
+
+void CertifierEngine::dispatch(const EventFrame& f) {
+  ++stats_.eventsMerged;
+  trace::applyEvent(f.event, tee_);
+  if ((stats_.eventsMerged & 0xFFF) == 0) {
+    stats_.checkerBytes_ =
+        std::max(stats_.checkerBytes_, checkers_->memoryFootprint());
+  }
+}
+
+void CertifierEngine::release() {
+  if (!configured()) return;
+  for (;;) {
+    std::size_t best = streams_.size();
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (streams_[i].q.empty()) continue;
+      if (best == streams_.size()) {
+        best = i;
+        continue;
+      }
+      const EventFrame& a = streams_[i].q.front();
+      const EventFrame& b = streams_[best].q.front();
+      // (clock, node, seq) — node index breaks clock ties deterministically.
+      if (a.clock < b.clock) best = i;
+    }
+    if (best == streams_.size()) return;
+    const EventFrame& head = streams_[best].q.front();
+    for (std::size_t j = 0; j < streams_.size(); ++j) {
+      if (j == best) continue;
+      const Stream& s = streams_[j];
+      if (!s.finished && s.q.empty() && s.watermark < head.clock) {
+        return;  // stream j might still produce an earlier event
+      }
+    }
+    dispatch(head);
+    streams_[best].q.pop_front();
+  }
+}
+
+std::size_t CertifierEngine::lag() const {
+  std::size_t n = 0;
+  for (const Stream& s : streams_) n += s.q.size();
+  return n;
+}
+
+void CertifierEngine::onEvent(std::uint32_t node, const EventFrame& f) {
+  LCDC_EXPECT(node < nodes_, "event from unknown node");
+  Stream& s = streams_[node];
+  LCDC_EXPECT(!s.finished, "event after FIN");
+  LCDC_EXPECT(f.seq == s.nextSeq, "event stream gap (lost frames)");
+  s.nextSeq += 1;
+  LCDC_EXPECT(f.clock > s.watermark, "event clock not monotone");
+  s.watermark = f.clock;
+  s.q.push_back(f);
+  stats_.peakLag = std::max(stats_.peakLag, lag());
+  release();
+}
+
+void CertifierEngine::onHeartbeat(std::uint32_t node, const HeartbeatFrame& f) {
+  LCDC_EXPECT(node < nodes_, "heartbeat from unknown node");
+  Stream& s = streams_[node];
+  if (f.clock > s.watermark) s.watermark = f.clock;
+  ++stats_.heartbeats;
+  release();
+}
+
+void CertifierEngine::onFin(std::uint32_t node, const FinFrame& f) {
+  LCDC_EXPECT(node < nodes_, "FIN from unknown node");
+  Stream& s = streams_[node];
+  LCDC_EXPECT(!s.finished, "duplicate FIN");
+  LCDC_EXPECT(f.events == s.nextSeq,
+              "FIN event count disagrees with received events (lost frames)");
+  s.finished = true;
+  if (f.clock > s.watermark) s.watermark = f.clock;
+  finCount_ += 1;
+  release();
+}
+
+verify::CheckReport CertifierEngine::finish(std::uint64_t opsBound) {
+  LCDC_EXPECT(configured(), "certifier never received a hello");
+  LCDC_EXPECT(allFinished(), "finish before every stream sent FIN");
+  release();
+  LCDC_EXPECT(lag() == 0, "merge queues not drained after all FINs");
+  checkers_->finish();
+  RunResult result;
+  result.outcome = RunResult::Outcome::Quiescent;
+  result.eventsProcessed = stats_.eventsMerged;
+  result.opsBound = opsBound;
+  tee_.onRunEnd(result);
+  stats_.checkerBytes_ =
+      std::max(stats_.checkerBytes_, checkers_->memoryFootprint());
+  return checkers_->report();
+}
+
+}  // namespace lcdc::dsm

@@ -1,0 +1,99 @@
+// The certifier: merges per-node event streams into one causally
+// consistent stream and runs the full streaming checker suite over it,
+// live.
+//
+// Each node's EVENT frames arrive in (clock, seq) order on that node's
+// connection, but across connections arrival order is arbitrary.  The
+// certifier runs a k-way merge keyed by (clock, node, seq): a queued head
+// is released only when every other unfinished stream either has a queued
+// event to compare against or has advanced its clock watermark past the
+// head (heartbeats and FIN raise the watermark while a node is silent).
+// Per-node clocks are strictly monotone and max-merged across messages,
+// so the merged order is consistent with causality — in particular a
+// transaction's home-side serialization always precedes the remote stamps
+// it caused, which is the delivery contract verify::StreamCheckerSet
+// needs.
+//
+// The engine is transport-agnostic and single-threaded: the TCP runtime
+// feeds it from the certifier thread's poll loop, the loopback runtime
+// from the round-robin scheduler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "dsm/wire.hpp"
+#include "proto/observer.hpp"
+#include "verify/stream.hpp"
+
+namespace lcdc::dsm {
+
+/// Certifier-side counters for the stats block.
+struct CertifierStats {
+  std::uint64_t eventsMerged = 0;
+  std::uint64_t heartbeats = 0;
+  /// Peak number of events buffered across the merge queues — the
+  /// "checker lag" metric: how far certification trailed the fastest
+  /// node at its worst.
+  std::size_t peakLag = 0;
+  [[nodiscard]] std::size_t checkerBytes() const { return checkerBytes_; }
+  std::size_t checkerBytes_ = 0;
+};
+
+class CertifierEngine {
+ public:
+  explicit CertifierEngine(std::uint32_t nodes);
+  ~CertifierEngine();
+
+  /// Extra sinks (e.g. a trace::Trace archiving the merged stream) see
+  /// every merged event after the checkers.  Borrowed; attach before the
+  /// first hello.
+  void attachExtra(proto::EventSink& sink);
+
+  /// First HELLO configures the checker suite from the announced
+  /// SystemConfig; later HELLOs must agree.
+  void onHello(const HelloFrame& h);
+  void onEvent(std::uint32_t node, const EventFrame& f);
+  void onHeartbeat(std::uint32_t node, const HeartbeatFrame& f);
+  void onFin(std::uint32_t node, const FinFrame& f);
+
+  [[nodiscard]] bool configured() const { return checkers_ != nullptr; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] bool allFinished() const { return finCount_ == nodes_; }
+  [[nodiscard]] std::size_t lag() const;
+  [[nodiscard]] const CertifierStats& stats() const { return stats_; }
+
+  /// End of certification: flush the merge queues (requires every stream
+  /// FINished — enforced), finish the checkers, return the verdict.
+  /// `opsBound` feeds the synthesized RunResult handed to onRunEnd
+  /// observers.
+  verify::CheckReport finish(std::uint64_t opsBound);
+
+ private:
+  struct Stream {
+    std::deque<EventFrame> q;
+    std::uint64_t watermark = 0;  ///< future events have clock > this
+    std::uint64_t nextSeq = 0;    ///< gap detection
+    bool finished = false;
+  };
+
+  void release();  ///< merge-release every provably-safe head
+  void dispatch(const EventFrame& f);
+
+  std::uint32_t nodes_;
+  std::vector<Stream> streams_;
+  std::uint32_t finCount_ = 0;
+
+  SystemConfig config_{};
+  std::unique_ptr<verify::StreamCheckerSet> checkers_;
+  proto::TeeSink tee_;  ///< checkers + extras, in that order
+  std::vector<proto::EventSink*> extras_;
+
+  CertifierStats stats_;
+};
+
+}  // namespace lcdc::dsm

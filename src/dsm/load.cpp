@@ -1,0 +1,237 @@
+#include "dsm/load.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <poll.h>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "dsm/transport.hpp"
+#include "dsm/wire.hpp"
+
+namespace lcdc::dsm {
+
+namespace {
+
+/// One node's client-side session state.
+struct NodeSession {
+  std::uint32_t node = 0;
+  std::unique_ptr<Conn> conn;
+  std::vector<ProgramFrame> chunks;
+  std::size_t sent = 0;
+  std::uint64_t done = 0;
+  std::uint64_t finalOps = 0;
+  bool finished = false;
+  std::deque<std::uint64_t> sendMs;  ///< send times of outstanding chunks
+};
+
+/// Drive a set of node sessions to completion; RTTs append to `rtts`.
+void driveSessions(std::vector<NodeSession*>& sessions, std::uint32_t window,
+                   std::vector<double>& rtts) {
+  std::vector<pollfd> pfds;
+  std::vector<Frame> frames;
+
+  const auto pushChunks = [&](NodeSession& s) {
+    while (s.sent < s.chunks.size() && s.sendMs.size() < window) {
+      s.conn->queue(Frame{s.chunks[s.sent]});
+      s.sendMs.push_back(monotonicMs());
+      s.sent += 1;
+    }
+  };
+  for (NodeSession* s : sessions) pushChunks(*s);
+
+  for (;;) {
+    bool allDone = true;
+    bool wantWrite = false;
+    for (NodeSession* s : sessions) {
+      if (!s->finished) allDone = false;
+      if (s->conn->wantWrite()) {
+        wantWrite = true;
+        if (!s->conn->writePending()) {
+          throw SimError("node connection failed during load");
+        }
+      }
+    }
+    if (allDone) return;
+
+    pfds.clear();
+    for (NodeSession* s : sessions) {
+      pfds.push_back(pollfd{s->conn->fd(), POLLIN, 0});
+    }
+    (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                 wantWrite ? 0 : 10);
+
+    for (NodeSession* s : sessions) {
+      if (s->finished) continue;
+      frames.clear();
+      if (!s->conn->readFrames(frames)) {
+        throw SimError("serve closed the connection mid-session (node " +
+                       std::to_string(s->node) + ")");
+      }
+      for (const Frame& f : frames) {
+        if (std::holds_alternative<HelloFrame>(f)) continue;  // late reply
+        const auto* d = std::get_if<ChunkDoneFrame>(&f);
+        LCDC_EXPECT(d != nullptr, "unexpected frame kind from serve");
+        LCDC_EXPECT(!s->sendMs.empty(), "CHUNK_DONE without outstanding chunk");
+        rtts.push_back(
+            static_cast<double>(monotonicMs() - s->sendMs.front()));
+        s->sendMs.pop_front();
+        s->done += 1;
+        s->finalOps = d->opsBound;
+        if (d->chunk + 1 == s->chunks.size()) s->finished = true;
+        pushChunks(*s);
+      }
+    }
+  }
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - std::floor(idx);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+/// Blocking HELLO exchange on a fresh client connection.
+HelloFrame awaitHello(Conn& conn) {
+  std::vector<Frame> frames;
+  const std::uint64_t t0 = monotonicMs();
+  for (;;) {
+    if (conn.wantWrite() && !conn.writePending()) {
+      throw SimError("connection failed during the hello exchange");
+    }
+    if (!conn.readFrames(frames)) {
+      throw SimError("serve closed the connection during the hello exchange");
+    }
+    for (Frame& f : frames) {
+      if (auto* h = std::get_if<HelloFrame>(&f)) {
+        LCDC_EXPECT(h->version == kWireVersion, "wire version mismatch");
+        return *h;
+      }
+    }
+    LCDC_EXPECT(monotonicMs() - t0 < 10'000, "no hello reply from the serve");
+    pollfd p{conn.fd(), POLLIN, 0};
+    (void)::poll(&p, 1, 10);
+  }
+}
+
+}  // namespace
+
+LoadResult runLoad(const LoadConfig& cfg) {
+  LCDC_EXPECT(cfg.totalOps >= 1, "load needs at least one operation");
+  const std::uint64_t t0 = monotonicMs();
+  LoadResult r;
+
+  // Probe node 0 for the topology and configuration.
+  const auto nodePort = [&](std::uint32_t i) {
+    if (!cfg.nodePorts.empty()) {
+      LCDC_EXPECT(i < cfg.nodePorts.size(),
+                  "serve announced more nodes than --node-ports given");
+      return cfg.nodePorts[i];
+    }
+    return static_cast<std::uint16_t>(cfg.port + 1 + i);
+  };
+  std::vector<NodeSession> sessions;
+  HelloFrame clientHello;
+  clientHello.role = Role::Client;
+  clientHello.sender = 0;
+
+  const DialResult probe = dial(nodePort(0), 100, 10);
+  r.dialRetries += probe.retries;
+  sessions.emplace_back();
+  sessions[0].conn = std::make_unique<Conn>(probe.fd);
+  sessions[0].conn->queue(Frame{clientHello});
+  const HelloFrame serveHello = awaitHello(*sessions[0].conn);
+  const std::uint32_t n = serveHello.nodes;
+  LCDC_EXPECT(n >= 1, "serve announced no nodes");
+  r.nodes = n;
+
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const DialResult d = dial(nodePort(i), 100, 10);
+    r.dialRetries += d.retries;
+    sessions.emplace_back();
+    sessions[i].node = i;
+    sessions[i].conn = std::make_unique<Conn>(d.fd);
+    HelloFrame h = clientHello;
+    h.sender = i % std::max<std::uint32_t>(1, cfg.clients);
+    sessions[i].conn->queue(Frame{h});
+  }
+
+  // Generate every node's program from the serve's announced shape — the
+  // same deterministic generators the simulator runs.
+  workload::WorkloadConfig wcfg;
+  wcfg.seed = cfg.seed;
+  wcfg.numProcessors = n;
+  wcfg.numBlocks = serveHello.config.numBlocks;
+  wcfg.wordsPerBlock = serveHello.config.proto.wordsPerBlock;
+  wcfg.opsPerProcessor = std::max<std::uint64_t>(1, cfg.totalOps / n);
+  const std::vector<workload::Program> programs =
+      workload::make(cfg.kind, wcfg);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::size_t at = 0;
+    std::uint64_t idx = 0;
+    const workload::Program& prog = programs[i];
+    do {
+      ProgramFrame f;
+      f.chunk = idx++;
+      const std::size_t len = std::min<std::size_t>(
+          std::max<std::uint32_t>(1, cfg.chunkSteps), prog.steps.size() - at);
+      f.steps.assign(prog.steps.begin() + static_cast<std::ptrdiff_t>(at),
+                     prog.steps.begin() + static_cast<std::ptrdiff_t>(at + len));
+      at += len;
+      f.last = at >= prog.steps.size();
+      sessions[i].chunks.push_back(std::move(f));
+    } while (at < prog.steps.size());
+  }
+
+  // Partition nodes across client threads and drive them to completion.
+  const std::uint32_t effClients =
+      std::min(std::max<std::uint32_t>(1, cfg.clients), n);
+  const std::uint32_t window = std::max<std::uint32_t>(1, cfg.window);
+  std::vector<std::vector<double>> rtts(effClients);
+  std::vector<std::string> errors(effClients);
+  std::vector<std::thread> threads;
+  for (std::uint32_t c = 0; c < effClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        std::vector<NodeSession*> mine;
+        for (std::uint32_t i = c; i < n; i += effClients) {
+          mine.push_back(&sessions[i]);
+        }
+        driveSessions(mine, window, rtts[c]);
+      } catch (const std::exception& e) {
+        errors[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& e : errors) {
+    if (!e.empty()) throw SimError("load client failed: " + e);
+  }
+
+  std::vector<double> allRtts;
+  for (std::vector<double>& v : rtts) {
+    allRtts.insert(allRtts.end(), v.begin(), v.end());
+    r.chunksDone += v.size();
+  }
+  for (const NodeSession& s : sessions) r.opsBound += s.finalOps;
+  r.seconds = static_cast<double>(monotonicMs() - t0) / 1000.0;
+  r.opsPerSec = r.seconds > 0
+                    ? static_cast<double>(r.opsBound) / r.seconds
+                    : 0;
+  r.p50Ms = percentile(allRtts, 0.50);
+  r.p99Ms = percentile(allRtts, 0.99);
+  return r;
+}
+
+}  // namespace lcdc::dsm

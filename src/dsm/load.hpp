@@ -1,0 +1,54 @@
+// `lcdc load`: the TCP load driver for a running `lcdc serve`.
+//
+// The driver probes node 0 for the serve topology and configuration
+// (HELLO exchange), generates every node's program deterministically from
+// the workload seed — the exact generators the simulator uses — and
+// streams them to the nodes in windowed chunks, measuring chunk
+// completion round-trips.  The serve side certifies; the load side only
+// measures: ops/s and latency come from here, the verdict from the
+// certifier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/generators.hpp"
+
+namespace lcdc::dsm {
+
+struct LoadConfig {
+  /// Base (certifier) port of the target serve; node i is at port+1+i.
+  std::uint16_t port = 0;
+  /// Explicit node ports, overriding the port+1+i derivation — for serves
+  /// bound to ephemeral ports (in-process tests pass ServePorts::node).
+  std::vector<std::uint16_t> nodePorts;
+  /// Total operations across all nodes (split evenly).
+  std::uint64_t totalOps = 100'000;
+  /// Client threads; each drives the nodes with id % clients == its index
+  /// (capped at the node count).
+  std::uint32_t clients = 1;
+  workload::Kind kind = workload::Kind::Uniform;
+  std::uint64_t seed = 1;
+  std::uint32_t chunkSteps = 1024;
+  /// Outstanding chunks per node (pipeline depth).
+  std::uint32_t window = 2;
+};
+
+struct LoadResult {
+  std::uint32_t nodes = 0;       ///< topology learned from the serve
+  std::uint64_t opsBound = 0;    ///< sum of the nodes' final bound counts
+  std::uint64_t chunksDone = 0;
+  std::uint64_t dialRetries = 0;
+  double seconds = 0;
+  double opsPerSec = 0;
+  /// Chunk completion round-trip percentiles (pipeline latency: send of
+  /// the chunk to its CHUNK_DONE, queueing included).
+  double p50Ms = 0;
+  double p99Ms = 0;
+};
+
+/// Run one load session against the serve at `cfg.port`.  Throws SimError
+/// when the serve is unreachable or a connection fails mid-session.
+[[nodiscard]] LoadResult runLoad(const LoadConfig& cfg);
+
+}  // namespace lcdc::dsm

@@ -1,0 +1,224 @@
+#include "dsm/node.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+#include "proto/observer.hpp"
+
+namespace lcdc::dsm {
+
+// Every protocol event becomes an EventFrame for the certifier, tagged
+// with the node's transport clock at emission.  Orders are left 0: the
+// *certifier* assigns real-time observation order as it merges, which is
+// the order the streaming checkers' Claim 2 reasoning is about.
+class NodeEngine::WireSink final : public proto::Observer {
+ public:
+  explicit WireSink(NodeEngine& owner) : owner_(&owner) {}
+
+  void onRunBegin(const SystemConfig&) override {}
+  void onRunEnd(const RunResult&) override {}
+  void onSerialize(const proto::TxnInfo& txn) override {
+    owner_->emitEvent(trace::SerializeRecord{txn, 0});
+  }
+  void onTxnConverted(TransactionId id, TxnKind newKind) override {
+    owner_->emitEvent(trace::ConvertRecord{id, newKind, 0});
+  }
+  void onStamp(NodeId node, TransactionId txn, SerialIdx serial, BlockId block,
+               proto::StampRole role, GlobalTime ts, AState oldA,
+               AState newA) override {
+    owner_->emitEvent(
+        trace::StampRecord{node, txn, serial, block, role, ts, oldA, newA, 0});
+  }
+  void onValueReceived(NodeId node, TransactionId txn, BlockId block,
+                       const BlockValue& value) override {
+    owner_->emitEvent(trace::ValueRecord{node, txn, block, value, 0});
+  }
+  void onOperation(const proto::OpRecord& op) override {
+    // Chunk-relative -> whole-session program index (see progBase_).
+    proto::OpRecord global = op;
+    global.progIdx += owner_->progBase_;
+    owner_->emitEvent(global);
+  }
+  void onNack(NodeId requester, BlockId block, NackKind kind) override {
+    owner_->emitEvent(trace::NackRecord{requester, block, kind, 0});
+  }
+  void onPutShared(NodeId node, BlockId block) override {
+    owner_->emitEvent(trace::PutSharedRecord{node, block, 0});
+  }
+  void onDeadlockResolved(NodeId node, BlockId block,
+                          NodeId impliedAcker) override {
+    owner_->emitEvent(trace::DeadlockRecord{node, block, impliedAcker, 0});
+  }
+
+ private:
+  NodeEngine* owner_;
+};
+
+NodeEngine::NodeEngine(NodeId node, const SystemConfig& cfg, FrameShip& ship,
+                       std::uint64_t heartbeatEveryPumps)
+    : node_(node),
+      cfg_(cfg),
+      ship_(&ship),
+      heartbeatEvery_(heartbeatEveryPumps) {
+  LCDC_EXPECT(cfg_.numProcessors == cfg_.numDirectories,
+              "dsm nodes co-locate one processor with one home shard");
+  LCDC_EXPECT(node_ < cfg_.numProcessors, "dsm node id out of range");
+  LCDC_EXPECT(heartbeatEvery_ >= 1, "heartbeat interval must be positive");
+
+  // Partition the transaction-id space by node so shards allocate globally
+  // unique ids without coordination (2^40 transactions per shard dwarfs
+  // any load session).
+  txns_.next.store(1 + (static_cast<TransactionId>(node_) << 40),
+                   std::memory_order_relaxed);
+
+  sink_ = std::make_unique<WireSink>(*this);
+  proc_ = std::make_unique<sim::Processor>(
+      node_, cfg_, *sink_, Rng(cfg_.seed ^ (0x70726F63ULL + node_)));
+  dir_ = std::make_unique<proto::DirectoryController>(
+      cfg_.numProcessors + node_, cfg_.proto, *sink_, txns_);
+  for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+    if (b % cfg_.numDirectories == node_) {
+      dir_->addBlock(b, BlockValue(cfg_.proto.wordsPerBlock, 0));
+    }
+  }
+}
+
+NodeEngine::~NodeEngine() = default;
+
+void NodeEngine::emitEvent(const trace::EventRecord& e) {
+  ++clock_;
+  EventFrame f;
+  f.clock = clock_;
+  f.seq = seq_++;
+  f.event = e;
+  ++stats_.eventsEmitted;
+  ship_->ship(Endpoint{Endpoint::Kind::Certifier, 0}, Frame{std::move(f)});
+}
+
+void NodeEngine::flushOutbox(NodeId logicalSrc) {
+  for (auto& entry : outbox_.msgs) {
+    entry.msg.src = logicalSrc;  // the network layer's job in the simulator
+    const NodeId host = physOf(entry.dst);
+    if (host == node_) {
+      work_.push_back(std::move(entry));
+    } else {
+      ++clock_;
+      ++stats_.msgsSent;
+      MsgFrame m;
+      m.clock = clock_;
+      m.dst = entry.dst;
+      m.msg = std::move(entry.msg);
+      ship_->ship(Endpoint{Endpoint::Kind::Peer, host}, Frame{std::move(m)});
+    }
+  }
+  outbox_.clear();
+}
+
+void NodeEngine::drainWork() {
+  while (!work_.empty()) {
+    proto::Outbox::Entry entry = std::move(work_.front());
+    work_.pop_front();
+    if (entry.dst < cfg_.numProcessors) {
+      proc_->deliver(entry.msg, outbox_);
+      flushOutbox(entry.dst);
+      // Completion callbacks may have unblocked the program; let the
+      // processor issue its next request right away (mirrors the
+      // simulator's dispatch -> progress sequencing).
+      (void)proc_->tryProgress(tick_, outbox_);
+      flushOutbox(entry.dst);
+    } else {
+      dir_->handle(entry.msg, outbox_);
+      flushOutbox(entry.dst);
+    }
+  }
+}
+
+void NodeEngine::onFrame(const Frame& f) {
+  if (const auto* m = std::get_if<MsgFrame>(&f)) {
+    clock_ = std::max(clock_, m->clock) + 1;
+    ++stats_.msgsReceived;
+    LCDC_EXPECT(physOf(m->dst) == node_, "MSG frame routed to wrong node");
+    work_.push_back(proto::Outbox::Entry{m->dst, m->msg});
+    drainWork();
+    noteChunkDoneIfReady();
+  } else if (const auto* p = std::get_if<ProgramFrame>(&f)) {
+    chunkQueue_.push_back(*p);
+    startNextChunk();
+  } else {
+    throw SimError("unexpected frame kind at dsm node");
+  }
+}
+
+void NodeEngine::startNextChunk() {
+  if (haveChunk_ || chunkQueue_.empty()) return;
+  ProgramFrame p = std::move(chunkQueue_.front());
+  chunkQueue_.pop_front();
+  progBase_ += currentChunkSteps_;
+  currentChunkSteps_ = p.steps.size();
+  currentChunk_ = p.chunk;
+  chunkIsLast_ = p.last;
+  chunkStartPump_ = pumps_;
+  haveChunk_ = true;
+  proc_->setProgram(workload::Program{std::move(p.steps)});
+}
+
+void NodeEngine::noteChunkDoneIfReady() {
+  while (haveChunk_ && proc_->done()) {
+    haveChunk_ = false;
+    ++stats_.chunksDone;
+    stats_.opsBound = proc_->opsBound();
+    stats_.chunkPumpLatency.push_back(pumps_ - chunkStartPump_);
+    if (chunkIsLast_) loadDone_ = true;
+    ChunkDoneFrame done;
+    done.chunk = currentChunk_;
+    done.opsBound = proc_->opsBound();
+    ship_->ship(Endpoint{Endpoint::Kind::Client, 0}, Frame{done});
+    startNextChunk();
+    if (haveChunk_) {
+      (void)proc_->tryProgress(tick_, outbox_);
+      flushOutbox(node_);
+      drainWork();
+    }
+  }
+}
+
+void NodeEngine::pump() {
+  ++pumps_;
+  ++tick_;
+  startNextChunk();
+  (void)proc_->tryProgress(tick_, outbox_);
+  flushOutbox(node_);
+  drainWork();
+  noteChunkDoneIfReady();
+
+  if (!finished_ && pumps_ % heartbeatEvery_ == 0) {
+    if (seq_ == lastEventSeqAtHeartbeat_) {
+      // Idle since the last beat: advance the certifier's merge watermark
+      // (every future event carries clock > clock_).
+      ++stats_.heartbeats;
+      ship_->ship(Endpoint{Endpoint::Kind::Certifier, 0},
+                  Frame{HeartbeatFrame{clock_}});
+    }
+    lastEventSeqAtHeartbeat_ = seq_;
+  }
+}
+
+void NodeEngine::abandonQueuedChunks() {
+  chunkQueue_.clear();
+  // The chunk in flight still runs to completion so the event stream
+  // drains to a checker-complete state.
+}
+
+bool NodeEngine::quiet() const {
+  return !haveChunk_ && chunkQueue_.empty() && work_.empty() &&
+         proc_->done() && proc_->cache().quiescent() && dir_->quiescent();
+}
+
+void NodeEngine::finishEvents() {
+  LCDC_EXPECT(!finished_, "finishEvents called twice");
+  finished_ = true;
+  ship_->ship(Endpoint{Endpoint::Kind::Certifier, 0},
+              Frame{FinFrame{clock_, seq_}});
+}
+
+}  // namespace lcdc::dsm

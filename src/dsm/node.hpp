@@ -1,0 +1,159 @@
+// One DSM node: the transport-agnostic engine behind `lcdc serve`.
+//
+// Node i hosts the two roles of the paper's co-located configuration:
+// processing node i (a sim::Processor driving the cache-side protocol)
+// and home shard N+i (a proto::DirectoryController owning every block b
+// with b % N == i).  Both are the *same* pure transition systems the
+// simulator and model checker drive; the engine only adds what a real
+// distributed runtime needs — frame routing, a transport-level Lamport
+// clock, program-chunk execution for load clients, and the event stream
+// to the certifier.
+//
+// The engine performs no I/O itself: incoming frames are pushed through
+// onFrame(), outgoing frames leave through the FrameShip interface, and
+// pump() advances one scheduling quantum.  The TCP runtime calls these
+// from a per-node thread's poll loop; the deterministic loopback runtime
+// calls them from a single-threaded round-robin scheduler — same engine,
+// byte-identical frames.
+//
+// Transport Lamport clock (wire.hpp): ++ on every emitted event and sent
+// message; max-merge + 1 on every received message.  Because a node's
+// events and sends interleave on one monotone clock, any cross-node
+// effect carries a strictly larger clock than its cause — the certifier's
+// (clock, node, seq) merge therefore linearizes the per-node event
+// streams consistently with causality, which is exactly what the
+// streaming checkers assume (e.g. a home's onSerialize always precedes
+// the remote onStamp events of the same transaction).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "dsm/wire.hpp"
+#include "proto/directory.hpp"
+#include "sim/processor.hpp"
+#include "trace/codec.hpp"
+
+namespace lcdc::dsm {
+
+/// Logical destination of an outgoing frame; the runtime maps it to a
+/// connection (TCP) or an inbox (loopback).
+struct Endpoint {
+  enum class Kind : std::uint8_t { Peer, Certifier, Client };
+  Kind kind = Kind::Peer;
+  std::uint32_t id = 0;  ///< peer node id (Kind::Peer only)
+};
+
+/// Frame egress interface implemented by each runtime.
+class FrameShip {
+ public:
+  virtual ~FrameShip() = default;
+  virtual void ship(const Endpoint& to, const Frame& frame) = 0;
+};
+
+/// Per-node runtime counters (the deterministic part of the stats block).
+struct NodeStats {
+  std::uint64_t opsBound = 0;
+  std::uint64_t chunksDone = 0;
+  std::uint64_t msgsSent = 0;      ///< MSG frames shipped to peers
+  std::uint64_t msgsReceived = 0;  ///< MSG frames delivered from peers
+  std::uint64_t eventsEmitted = 0;
+  std::uint64_t heartbeats = 0;
+  /// Chunk execution latencies in pump quanta (wall-clock latency is the
+  /// runtime's to measure; this one is deterministic in loopback mode).
+  std::vector<std::uint64_t> chunkPumpLatency;
+};
+
+class NodeEngine {
+ public:
+  /// `cfg` must be the co-located shape: numProcessors == numDirectories
+  /// == the node count; node ids 0..N-1 are processors, N+i is node i's
+  /// home shard.
+  NodeEngine(NodeId node, const SystemConfig& cfg, FrameShip& ship,
+             std::uint64_t heartbeatEveryPumps = 16);
+  ~NodeEngine();
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+
+  /// Handle one decoded frame (Msg from a peer, Program from a client).
+  void onFrame(const Frame& f);
+
+  /// One scheduling quantum: advance the node's tick, let the processor
+  /// progress (bind ops, issue/retry requests), roll chunks over, and
+  /// heartbeat the certifier when due.
+  void pump();
+
+  /// Stop accepting queued program chunks (graceful-shutdown path: the
+  /// chunk being executed still completes so the protocol drains to a
+  /// complete event stream).
+  void abandonQueuedChunks();
+
+  /// The final chunk (ProgramFrame::last) has fully executed.
+  [[nodiscard]] bool loadDone() const { return loadDone_; }
+
+  /// Locally drained: nothing queued, processor idle, every owned
+  /// directory entry non-busy.  (In-flight frames are the runtime's to
+  /// account for — see the serve supervisor's sent==received check.)
+  [[nodiscard]] bool quiet() const;
+
+  /// Ship the event stream's FIN.  Call exactly once, after quiescence.
+  void finishEvents();
+
+ private:
+  /// proto::Observer that wraps every protocol event into an EventFrame
+  /// tagged with the node's transport clock.
+  class WireSink;
+
+  void emitEvent(const trace::EventRecord& e);
+  /// Route the scratch outbox: local destinations loop back through the
+  /// work queue, remote ones ship as MSG frames.  `logicalSrc` stamps
+  /// Message::src (the network layer's job in the simulator).
+  void flushOutbox(NodeId logicalSrc);
+  void drainWork();
+  void startNextChunk();
+  void noteChunkDoneIfReady();
+
+  [[nodiscard]] NodeId physOf(NodeId logical) const {
+    return logical < cfg_.numProcessors ? logical
+                                        : logical - cfg_.numProcessors;
+  }
+
+  NodeId node_;
+  SystemConfig cfg_;
+  FrameShip* ship_;
+  std::uint64_t heartbeatEvery_;
+
+  std::unique_ptr<WireSink> sink_;
+  proto::TxnCounter txns_;
+  std::unique_ptr<sim::Processor> proc_;
+  std::unique_ptr<proto::DirectoryController> dir_;
+  proto::Outbox outbox_;
+  std::deque<proto::Outbox::Entry> work_;
+
+  std::uint64_t clock_ = 0;  ///< transport Lamport clock
+  std::uint64_t seq_ = 0;    ///< event stream sequence number
+  net::Tick tick_ = 0;       ///< local tick (retry pacing)
+  std::uint64_t pumps_ = 0;
+  std::uint64_t lastEventSeqAtHeartbeat_ = 0;
+
+  std::deque<ProgramFrame> chunkQueue_;
+  /// Steps in all *completed* chunks: chunk-relative OpRecord::progIdx is
+  /// rebased by this so the certifier sees one contiguous program order
+  /// per processor (the program-order checker requires monotone indices).
+  std::uint64_t progBase_ = 0;
+  std::uint64_t currentChunkSteps_ = 0;
+  bool haveChunk_ = false;
+  bool chunkIsLast_ = false;
+  std::uint64_t currentChunk_ = 0;
+  std::uint64_t chunkStartPump_ = 0;
+  bool loadDone_ = false;
+  bool finished_ = false;
+
+  NodeStats stats_;
+};
+
+}  // namespace lcdc::dsm

@@ -1,0 +1,197 @@
+#include "dsm/wire.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace lcdc::dsm {
+
+namespace {
+
+namespace codec = trace::codec;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,
+  Msg = 2,
+  Event = 3,
+  Heartbeat = 4,
+  Fin = 5,
+  Program = 6,
+  ChunkDone = 7,
+};
+
+void putSteps(std::vector<std::byte>& out,
+              const std::vector<workload::Step>& steps) {
+  codec::putU64(out, steps.size());
+  for (const workload::Step& s : steps) {
+    codec::putU64(out, static_cast<std::uint8_t>(s.kind));
+    codec::putU64(out, s.block);
+    codec::putU64(out, s.word);
+    codec::putU64(out, s.storeValue);
+  }
+}
+
+std::vector<workload::Step> getSteps(codec::Reader& r) {
+  std::vector<workload::Step> steps(r.u64());
+  for (workload::Step& s : steps) {
+    s.kind = static_cast<workload::StepKind>(r.u8());
+    s.block = r.u32();
+    s.word = r.u32();
+    s.storeValue = r.u64();
+  }
+  return steps;
+}
+
+void encodePayload(const Frame& f, std::vector<std::byte>& out) {
+  if (const auto* h = std::get_if<HelloFrame>(&f)) {
+    out.push_back(static_cast<std::byte>(FrameType::Hello));
+    codec::putU64(out, h->version);
+    codec::putU64(out, static_cast<std::uint8_t>(h->role));
+    codec::putU64(out, h->sender);
+    codec::putU64(out, h->nodes);
+    codec::putConfig(out, h->config);
+  } else if (const auto* m = std::get_if<MsgFrame>(&f)) {
+    out.push_back(static_cast<std::byte>(FrameType::Msg));
+    codec::putU64(out, m->clock);
+    codec::putU64(out, m->dst);
+    codec::putMessage(out, m->msg);
+  } else if (const auto* e = std::get_if<EventFrame>(&f)) {
+    out.push_back(static_cast<std::byte>(FrameType::Event));
+    codec::putU64(out, e->clock);
+    codec::putU64(out, e->seq);
+    codec::putEvent(out, e->event);
+  } else if (const auto* hb = std::get_if<HeartbeatFrame>(&f)) {
+    out.push_back(static_cast<std::byte>(FrameType::Heartbeat));
+    codec::putU64(out, hb->clock);
+  } else if (const auto* fin = std::get_if<FinFrame>(&f)) {
+    out.push_back(static_cast<std::byte>(FrameType::Fin));
+    codec::putU64(out, fin->clock);
+    codec::putU64(out, fin->events);
+  } else if (const auto* p = std::get_if<ProgramFrame>(&f)) {
+    out.push_back(static_cast<std::byte>(FrameType::Program));
+    codec::putU64(out, p->chunk);
+    codec::putU64(out, p->last ? 1 : 0);
+    putSteps(out, p->steps);
+  } else {
+    const auto& c = std::get<ChunkDoneFrame>(f);
+    out.push_back(static_cast<std::byte>(FrameType::ChunkDone));
+    codec::putU64(out, c.chunk);
+    codec::putU64(out, c.opsBound);
+  }
+}
+
+Frame decodePayload(const std::byte* data, std::size_t len) {
+  if (len < 1) throw SimError("wire frame with empty payload");
+  codec::Reader r{data + 1, len - 1};
+  Frame f;
+  switch (static_cast<FrameType>(std::to_integer<std::uint8_t>(data[0]))) {
+    case FrameType::Hello: {
+      HelloFrame h;
+      h.version = r.u64();
+      h.role = static_cast<Role>(r.u8());
+      h.sender = r.u32();
+      h.nodes = r.u32();
+      h.config = codec::getConfig(r);
+      f = h;
+      break;
+    }
+    case FrameType::Msg: {
+      MsgFrame m;
+      m.clock = r.u64();
+      m.dst = r.u32();
+      m.msg = codec::getMessage(r);
+      f = std::move(m);
+      break;
+    }
+    case FrameType::Event: {
+      EventFrame e;
+      e.clock = r.u64();
+      e.seq = r.u64();
+      e.event = codec::getEvent(r);
+      f = std::move(e);
+      break;
+    }
+    case FrameType::Heartbeat: {
+      HeartbeatFrame hb;
+      hb.clock = r.u64();
+      f = hb;
+      break;
+    }
+    case FrameType::Fin: {
+      FinFrame fin;
+      fin.clock = r.u64();
+      fin.events = r.u64();
+      f = fin;
+      break;
+    }
+    case FrameType::Program: {
+      ProgramFrame p;
+      p.chunk = r.u64();
+      p.last = r.b();
+      p.steps = getSteps(r);
+      f = std::move(p);
+      break;
+    }
+    case FrameType::ChunkDone: {
+      ChunkDoneFrame c;
+      c.chunk = r.u64();
+      c.opsBound = r.u64();
+      f = c;
+      break;
+    }
+    default:
+      throw SimError("unknown wire frame type " +
+                     std::to_string(std::to_integer<std::uint8_t>(data[0])));
+  }
+  if (!r.done()) throw SimError("wire frame has trailing bytes");
+  return f;
+}
+
+}  // namespace
+
+void encodeFrame(const Frame& f, std::vector<std::byte>& out) {
+  const std::size_t lenPos = out.size();
+  out.resize(out.size() + 4);  // length prefix back-patched below
+  const std::size_t payloadStart = out.size();
+  encodePayload(f, out);
+  const std::size_t payload = out.size() - payloadStart;
+  LCDC_EXPECT(payload <= FrameDecoder::kMaxFrameBytes,
+              "wire frame exceeds the size limit");
+  const auto len = static_cast<std::uint32_t>(payload);
+  out[lenPos + 0] = static_cast<std::byte>(len & 0xFF);
+  out[lenPos + 1] = static_cast<std::byte>((len >> 8) & 0xFF);
+  out[lenPos + 2] = static_cast<std::byte>((len >> 16) & 0xFF);
+  out[lenPos + 3] = static_cast<std::byte>((len >> 24) & 0xFF);
+}
+
+void FrameDecoder::feed(const std::byte* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so the buffer stays
+  // bounded by the live tail instead of the whole connection history.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  const std::uint32_t len =
+      std::to_integer<std::uint32_t>(buf_[pos_]) |
+      (std::to_integer<std::uint32_t>(buf_[pos_ + 1]) << 8) |
+      (std::to_integer<std::uint32_t>(buf_[pos_ + 2]) << 16) |
+      (std::to_integer<std::uint32_t>(buf_[pos_ + 3]) << 24);
+  // A hostile or corrupt peer controls this length word, so an oversized
+  // frame is a connection-fatal input error, not a programmer invariant.
+  if (len > kMaxFrameBytes) {
+    throw SimError("wire frame exceeds the size limit");
+  }
+  if (buf_.size() - pos_ - 4 < len) return std::nullopt;
+  Frame f = decodePayload(buf_.data() + pos_ + 4, len);
+  pos_ += 4 + len;
+  return f;
+}
+
+}  // namespace lcdc::dsm

@@ -1,0 +1,130 @@
+// The dsm wire format: versioned, length-prefixed frames carrying the
+// directory protocol between nodes and the event stream to the certifier.
+//
+// Every frame is [u32 little-endian payload length][payload]; payload
+// byte 0 is the frame type, the rest is varint-encoded through the shared
+// trace codec (trace/codec.hpp) — the same byte-level vocabulary the
+// model checker's world blobs and archived binary traces use, so
+// proto::Message and the EventSink records have exactly one encoding.
+//
+// Version negotiation: every connection opens with a HELLO carrying
+// kWireVersion; a receiver rejects mismatched versions by closing the
+// connection (the dialer's retry/backoff surfaces the failure).  The
+// frame-type space is append-only; unknown types are a hard decode error,
+// so any vocabulary change bumps kWireVersion.
+//
+// Lamport clocks on the wire: each node runs a transport-level Lamport
+// clock (ticked on every emitted event and sent message, max-merged on
+// receipt).  MSG and EVENT frames carry it; the certifier k-way-merges
+// per-node event streams by (clock, node, seq), which linearizes the
+// streams consistently with causality — the property the online checkers
+// need (a transaction's home serialization is always merged before any
+// remote stamp it caused).  HEARTBEAT frames advance a silent node's
+// merge watermark so one idle node cannot stall certification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/config.hpp"
+#include "proto/messages.hpp"
+#include "trace/codec.hpp"
+#include "workload/program.hpp"
+
+namespace lcdc::dsm {
+
+inline constexpr std::uint64_t kWireVersion = 1;
+
+/// Who is opening a connection (HELLO), from the dialer's perspective.
+enum class Role : std::uint8_t {
+  Peer = 0,    ///< a node dialing a peer node (protocol messages)
+  Events = 1,  ///< a node dialing the certifier (event stream)
+  Client = 2,  ///< a load client dialing a node (programs / completions)
+};
+
+struct HelloFrame {
+  std::uint64_t version = kWireVersion;
+  Role role = Role::Peer;
+  /// Dialing node's id (nodes); client index (clients); certifier: unused.
+  std::uint32_t sender = 0;
+  /// Topology size, so both ends agree on the processor/home id split.
+  std::uint32_t nodes = 0;
+  /// The serving configuration.  Nodes announce it; the certifier derives
+  /// its VerifyConfig from the first HELLO, and load clients build their
+  /// workload from the acceptor's reply.
+  SystemConfig config;
+};
+
+/// One directory-protocol message, node to node.  `dst` is the *logical*
+/// protocol id (processor p < N, home shard N+p); the transport routes it
+/// to the hosting node.
+struct MsgFrame {
+  std::uint64_t clock = 0;
+  NodeId dst = kNoNode;
+  proto::Message msg;
+};
+
+/// One protocol event for the certifier, tagged with the emitting node's
+/// transport clock and a per-node sequence number (gap detection).
+struct EventFrame {
+  std::uint64_t clock = 0;
+  std::uint64_t seq = 0;
+  trace::EventRecord event;
+};
+
+/// Clock watermark from an idle node: every future event from the sender
+/// has clock strictly greater than this.
+struct HeartbeatFrame {
+  std::uint64_t clock = 0;
+};
+
+/// End of an event stream: `events` is the total EVENT frames sent, so
+/// the certifier can assert nothing was lost.
+struct FinFrame {
+  std::uint64_t clock = 0;
+  std::uint64_t events = 0;
+};
+
+/// A chunk of a processor's program from a load client.  Chunks execute
+/// in order; `last` marks the final chunk of the load session.
+struct ProgramFrame {
+  std::uint64_t chunk = 0;
+  bool last = false;
+  std::vector<workload::Step> steps;
+};
+
+/// Node -> client: chunk fully executed (every LD/ST bound, store buffer
+/// drained).  `opsBound` is the node's cumulative bound-operation count.
+struct ChunkDoneFrame {
+  std::uint64_t chunk = 0;
+  std::uint64_t opsBound = 0;
+};
+
+using Frame = std::variant<HelloFrame, MsgFrame, EventFrame, HeartbeatFrame,
+                           FinFrame, ProgramFrame, ChunkDoneFrame>;
+
+/// Serialize `f` (length prefix included) appending to `out`.
+void encodeFrame(const Frame& f, std::vector<std::byte>& out);
+
+/// Incremental frame decoder over a byte stream.  feed() bytes as they
+/// arrive; next() yields complete frames (throws SimError on a malformed
+/// or oversized frame — wire corruption is always fatal for the
+/// connection).
+class FrameDecoder {
+ public:
+  /// Frames larger than this are rejected as corruption.
+  static constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;
+
+  void feed(const std::byte* data, std::size_t n);
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lcdc::dsm

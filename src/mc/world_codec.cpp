@@ -3,116 +3,27 @@
 #include <algorithm>
 
 #include "common/expect.hpp"
+#include "trace/codec.hpp"
 
 namespace lcdc::mc {
 
 namespace {
 
-// -- varint (LEB128) primitives ----------------------------------------------
-
-void putU64(std::vector<std::byte>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::byte>(v));
-}
-
-struct Reader {
-  const std::byte* data;
-  std::size_t len;
-  std::size_t pos = 0;
-
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    unsigned shift = 0;
-    for (;;) {
-      LCDC_EXPECT(pos < len, "world blob truncated");
-      const auto b = std::to_integer<std::uint8_t>(data[pos++]);
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if ((b & 0x80) == 0) return v;
-      shift += 7;
-    }
-  }
-  std::uint32_t u32() { return static_cast<std::uint32_t>(u64()); }
-  std::uint8_t u8() { return static_cast<std::uint8_t>(u64()); }
-  bool b() { return u64() != 0; }
-};
-
-void putWords(std::vector<std::byte>& out, const BlockValue& v) {
-  putU64(out, v.size());
-  for (const Word w : v) putU64(out, w);
-}
-
-BlockValue getWords(Reader& r) {
-  BlockValue v(r.u64());
-  for (Word& w : v) w = r.u64();
-  return v;
-}
-
-void putNodes(std::vector<std::byte>& out, const proto::NodeList& v) {
-  putU64(out, v.size());
-  for (const NodeId n : v) putU64(out, n);
-}
-
-proto::NodeList getNodes(Reader& r) {
-  proto::NodeList v(r.u64());
-  for (NodeId& n : v) n = r.u32();
-  return v;
-}
-
-void putStamps(std::vector<std::byte>& out, const proto::StampList& v) {
-  putU64(out, v.size());
-  for (const proto::TsStamp& s : v) {
-    putU64(out, s.node);
-    putU64(out, s.ts);
-  }
-}
-
-proto::StampList getStamps(Reader& r) {
-  proto::StampList v(r.u64());
-  for (proto::TsStamp& s : v) {
-    s.node = r.u32();
-    s.ts = r.u64();
-  }
-  return v;
-}
-
-void putMessage(std::vector<std::byte>& out, const proto::Message& m) {
-  putU64(out, static_cast<std::uint8_t>(m.type));
-  putU64(out, m.block);
-  putU64(out, m.src);
-  putU64(out, m.requester);
-  putU64(out, m.txn);
-  putU64(out, m.serial);
-  putWords(out, m.data);
-  putNodes(out, m.invTargets);
-  putU64(out, m.ignoreBufferedInv ? 1 : 0);
-  putU64(out, m.closesTxn);
-  putU64(out, m.closesSerial);
-  putU64(out, static_cast<std::uint8_t>(m.nackKind));
-  putU64(out, static_cast<std::uint8_t>(m.nackedReq));
-  putStamps(out, m.stamps);
-}
-
-proto::Message getMessage(Reader& r) {
-  proto::Message m;
-  m.type = static_cast<proto::MsgType>(r.u8());
-  m.block = r.u32();
-  m.src = r.u32();
-  m.requester = r.u32();
-  m.txn = r.u64();
-  m.serial = r.u64();
-  m.data = getWords(r);
-  m.invTargets = getNodes(r);
-  m.ignoreBufferedInv = r.b();
-  m.closesTxn = r.u64();
-  m.closesSerial = r.u64();
-  m.nackKind = static_cast<NackKind>(r.u8());
-  m.nackedReq = static_cast<ReqType>(r.u8());
-  m.stamps = getStamps(r);
-  return m;
-}
+// The varint primitives and Message/list encoders moved to the shared
+// trace codec (trace/codec.hpp) so world blobs, archived binary traces
+// and the dsm wire format share one byte-level vocabulary.  The
+// world-state composites (MSHR, cache line, directory entry) stay here:
+// they are model-checker snapshots, not protocol artifacts.
+using trace::codec::getMessage;
+using trace::codec::getNodes;
+using trace::codec::getStamps;
+using trace::codec::getWords;
+using trace::codec::putMessage;
+using trace::codec::putNodes;
+using trace::codec::putStamps;
+using trace::codec::putU64;
+using trace::codec::putWords;
+using Reader = trace::codec::Reader;
 
 void putMshr(std::vector<std::byte>& out, const proto::Mshr& m) {
   putU64(out, static_cast<std::uint8_t>(m.req));

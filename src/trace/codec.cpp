@@ -1,0 +1,451 @@
+#include "trace/codec.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace lcdc::trace {
+
+namespace codec {
+
+void putU64(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    // Malformed *input* (a corrupt blob, file or wire frame) is a runtime
+    // condition, not a protocol invariant: throw SimError, which transport
+    // layers treat as a fatal connection error.
+    if (pos >= len) {
+      throw SimError("blob truncated (varint runs past the end)");
+    }
+    const auto byte = std::to_integer<std::uint8_t>(data[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift >= 64) {
+      throw SimError("blob malformed (varint wider than 64 bits)");
+    }
+  }
+}
+
+void putWords(std::vector<std::byte>& out, const BlockValue& v) {
+  putU64(out, v.size());
+  for (const Word w : v) putU64(out, w);
+}
+
+BlockValue getWords(Reader& r) {
+  BlockValue v(r.u64());
+  for (Word& w : v) w = r.u64();
+  return v;
+}
+
+void putNodes(std::vector<std::byte>& out, const proto::NodeList& v) {
+  putU64(out, v.size());
+  for (const NodeId n : v) putU64(out, n);
+}
+
+proto::NodeList getNodes(Reader& r) {
+  proto::NodeList v(r.u64());
+  for (NodeId& n : v) n = r.u32();
+  return v;
+}
+
+void putStamps(std::vector<std::byte>& out, const proto::StampList& v) {
+  putU64(out, v.size());
+  for (const proto::TsStamp& s : v) {
+    putU64(out, s.node);
+    putU64(out, s.ts);
+  }
+}
+
+proto::StampList getStamps(Reader& r) {
+  proto::StampList v(r.u64());
+  for (proto::TsStamp& s : v) {
+    s.node = r.u32();
+    s.ts = r.u64();
+  }
+  return v;
+}
+
+void putMessage(std::vector<std::byte>& out, const proto::Message& m) {
+  putU64(out, static_cast<std::uint8_t>(m.type));
+  putU64(out, m.block);
+  putU64(out, m.src);
+  putU64(out, m.requester);
+  putU64(out, m.txn);
+  putU64(out, m.serial);
+  putWords(out, m.data);
+  putNodes(out, m.invTargets);
+  putU64(out, m.ignoreBufferedInv ? 1 : 0);
+  putU64(out, m.closesTxn);
+  putU64(out, m.closesSerial);
+  putU64(out, static_cast<std::uint8_t>(m.nackKind));
+  putU64(out, static_cast<std::uint8_t>(m.nackedReq));
+  putStamps(out, m.stamps);
+}
+
+proto::Message getMessage(Reader& r) {
+  proto::Message m;
+  m.type = static_cast<proto::MsgType>(r.u8());
+  m.block = r.u32();
+  m.src = r.u32();
+  m.requester = r.u32();
+  m.txn = r.u64();
+  m.serial = r.u64();
+  m.data = getWords(r);
+  m.invTargets = getNodes(r);
+  m.ignoreBufferedInv = r.b();
+  m.closesTxn = r.u64();
+  m.closesSerial = r.u64();
+  m.nackKind = static_cast<NackKind>(r.u8());
+  m.nackedReq = static_cast<ReqType>(r.u8());
+  m.stamps = getStamps(r);
+  return m;
+}
+
+void putConfig(std::vector<std::byte>& out, const SystemConfig& cfg) {
+  putU64(out, cfg.proto.wordsPerBlock);
+  putU64(out, cfg.proto.putSharedEnabled ? 1 : 0);
+  putU64(out, static_cast<std::uint8_t>(cfg.proto.mutant));
+  putU64(out, cfg.numProcessors);
+  putU64(out, cfg.numDirectories);
+  putU64(out, cfg.numBlocks);
+  putU64(out, cfg.cacheCapacity);
+  putU64(out, cfg.minLatency);
+  putU64(out, cfg.maxLatency);
+  putU64(out, cfg.retryDelay);
+  putU64(out, cfg.seed);
+  putU64(out, cfg.storeBufferDepth);
+}
+
+SystemConfig getConfig(Reader& r) {
+  SystemConfig cfg;
+  cfg.proto.wordsPerBlock = r.u32();
+  cfg.proto.putSharedEnabled = r.b();
+  cfg.proto.mutant = static_cast<Mutant>(r.u8());
+  cfg.numProcessors = r.u32();
+  cfg.numDirectories = r.u32();
+  cfg.numBlocks = r.u32();
+  cfg.cacheCapacity = r.u32();
+  cfg.minLatency = r.u64();
+  cfg.maxLatency = r.u64();
+  cfg.retryDelay = r.u64();
+  cfg.seed = r.u64();
+  cfg.storeBufferDepth = r.u32();
+  return cfg;
+}
+
+namespace {
+
+// Event tags.  Append-only: decoders reject unknown tags, so new event
+// kinds bump the containing format's version.
+enum class EventTag : std::uint8_t {
+  Serialize = 1,
+  Convert = 2,
+  Stamp = 3,
+  Value = 4,
+  Operation = 5,
+  Nack = 6,
+  PutShared = 7,
+  Deadlock = 8,
+};
+
+void putTxnInfo(std::vector<std::byte>& out, const proto::TxnInfo& t) {
+  putU64(out, t.id);
+  putU64(out, t.serial);
+  putU64(out, static_cast<std::uint8_t>(t.kind));
+  putU64(out, t.block);
+  putU64(out, t.requester);
+}
+
+proto::TxnInfo getTxnInfo(Reader& r) {
+  proto::TxnInfo t;
+  t.id = r.u64();
+  t.serial = r.u64();
+  t.kind = static_cast<TxnKind>(r.u8());
+  t.block = r.u32();
+  t.requester = r.u32();
+  return t;
+}
+
+}  // namespace
+
+void putEvent(std::vector<std::byte>& out, const EventRecord& e) {
+  if (const auto* s = std::get_if<SerializeRecord>(&e)) {
+    putU64(out, static_cast<std::uint8_t>(EventTag::Serialize));
+    putTxnInfo(out, s->txn);
+    putU64(out, s->order);
+  } else if (const auto* c = std::get_if<ConvertRecord>(&e)) {
+    putU64(out, static_cast<std::uint8_t>(EventTag::Convert));
+    putU64(out, c->id);
+    putU64(out, static_cast<std::uint8_t>(c->newKind));
+    putU64(out, c->order);
+  } else if (const auto* t = std::get_if<StampRecord>(&e)) {
+    putU64(out, static_cast<std::uint8_t>(EventTag::Stamp));
+    putU64(out, t->node);
+    putU64(out, t->txn);
+    putU64(out, t->serial);
+    putU64(out, t->block);
+    putU64(out, static_cast<std::uint8_t>(t->role));
+    putU64(out, t->ts);
+    putU64(out, static_cast<std::uint8_t>(t->oldA));
+    putU64(out, static_cast<std::uint8_t>(t->newA));
+    putU64(out, t->order);
+  } else if (const auto* v = std::get_if<ValueRecord>(&e)) {
+    putU64(out, static_cast<std::uint8_t>(EventTag::Value));
+    putU64(out, v->node);
+    putU64(out, v->txn);
+    putU64(out, v->block);
+    putWords(out, v->value);
+    putU64(out, v->order);
+  } else if (const auto* o = std::get_if<proto::OpRecord>(&e)) {
+    putU64(out, static_cast<std::uint8_t>(EventTag::Operation));
+    putU64(out, o->proc);
+    putU64(out, o->progIdx);
+    putU64(out, static_cast<std::uint8_t>(o->kind));
+    putU64(out, o->block);
+    putU64(out, o->word);
+    putU64(out, o->value);
+    putU64(out, o->boundTxn);
+    putU64(out, o->boundSerial);
+    putU64(out, o->ts.global);
+    putU64(out, o->ts.local);
+    putU64(out, o->ts.pid);
+    putU64(out, o->forwarded ? 1 : 0);
+    putU64(out, o->order);
+  } else if (const auto* n = std::get_if<NackRecord>(&e)) {
+    putU64(out, static_cast<std::uint8_t>(EventTag::Nack));
+    putU64(out, n->requester);
+    putU64(out, n->block);
+    putU64(out, static_cast<std::uint8_t>(n->kind));
+    putU64(out, n->order);
+  } else if (const auto* p = std::get_if<PutSharedRecord>(&e)) {
+    putU64(out, static_cast<std::uint8_t>(EventTag::PutShared));
+    putU64(out, p->node);
+    putU64(out, p->block);
+    putU64(out, p->order);
+  } else {
+    const auto& d = std::get<DeadlockRecord>(e);
+    putU64(out, static_cast<std::uint8_t>(EventTag::Deadlock));
+    putU64(out, d.node);
+    putU64(out, d.block);
+    putU64(out, d.impliedAcker);
+    putU64(out, d.order);
+  }
+}
+
+EventRecord getEvent(Reader& r) {
+  const auto tag = static_cast<EventTag>(r.u8());
+  switch (tag) {
+    case EventTag::Serialize: {
+      SerializeRecord s;
+      s.txn = getTxnInfo(r);
+      s.order = r.u64();
+      return s;
+    }
+    case EventTag::Convert: {
+      ConvertRecord c;
+      c.id = r.u64();
+      c.newKind = static_cast<TxnKind>(r.u8());
+      c.order = r.u64();
+      return c;
+    }
+    case EventTag::Stamp: {
+      StampRecord t;
+      t.node = r.u32();
+      t.txn = r.u64();
+      t.serial = r.u64();
+      t.block = r.u32();
+      t.role = static_cast<proto::StampRole>(r.u8());
+      t.ts = r.u64();
+      t.oldA = static_cast<AState>(r.u8());
+      t.newA = static_cast<AState>(r.u8());
+      t.order = r.u64();
+      return t;
+    }
+    case EventTag::Value: {
+      ValueRecord v;
+      v.node = r.u32();
+      v.txn = r.u64();
+      v.block = r.u32();
+      v.value = getWords(r);
+      v.order = r.u64();
+      return v;
+    }
+    case EventTag::Operation: {
+      proto::OpRecord o;
+      o.proc = r.u32();
+      o.progIdx = r.u64();
+      o.kind = static_cast<OpKind>(r.u8());
+      o.block = r.u32();
+      o.word = r.u32();
+      o.value = r.u64();
+      o.boundTxn = r.u64();
+      o.boundSerial = r.u64();
+      o.ts.global = r.u64();
+      o.ts.local = r.u64();
+      o.ts.pid = r.u32();
+      o.forwarded = r.b();
+      o.order = r.u64();
+      return o;
+    }
+    case EventTag::Nack: {
+      NackRecord n;
+      n.requester = r.u32();
+      n.block = r.u32();
+      n.kind = static_cast<NackKind>(r.u8());
+      n.order = r.u64();
+      return n;
+    }
+    case EventTag::PutShared: {
+      PutSharedRecord p;
+      p.node = r.u32();
+      p.block = r.u32();
+      p.order = r.u64();
+      return p;
+    }
+    case EventTag::Deadlock: {
+      DeadlockRecord d;
+      d.node = r.u32();
+      d.block = r.u32();
+      d.impliedAcker = r.u32();
+      d.order = r.u64();
+      return d;
+    }
+  }
+  throw SimError("unknown event tag " +
+                 std::to_string(static_cast<unsigned>(tag)));
+}
+
+}  // namespace codec
+
+void applyEvent(const EventRecord& e, proto::EventSink& sink) {
+  if (const auto* s = std::get_if<SerializeRecord>(&e)) {
+    sink.onSerialize(s->txn);
+  } else if (const auto* c = std::get_if<ConvertRecord>(&e)) {
+    sink.onTxnConverted(c->id, c->newKind);
+  } else if (const auto* t = std::get_if<StampRecord>(&e)) {
+    sink.onStamp(t->node, t->txn, t->serial, t->block, t->role, t->ts, t->oldA,
+                 t->newA);
+  } else if (const auto* v = std::get_if<ValueRecord>(&e)) {
+    sink.onValueReceived(v->node, v->txn, v->block, v->value);
+  } else if (const auto* o = std::get_if<proto::OpRecord>(&e)) {
+    sink.onOperation(*o);
+  } else if (const auto* n = std::get_if<NackRecord>(&e)) {
+    sink.onNack(n->requester, n->block, n->kind);
+  } else if (const auto* p = std::get_if<PutSharedRecord>(&e)) {
+    sink.onPutShared(p->node, p->block);
+  } else {
+    const auto& d = std::get<DeadlockRecord>(e);
+    sink.onDeadlockResolved(d.node, d.block, d.impliedAcker);
+  }
+}
+
+void saveBinary(const Trace& t, std::ostream& os) {
+  std::vector<std::byte> out;
+  codec::putU64(out, kBinaryTraceVersion);
+  // nextOrder mirrors the text header's 'H' line so empty/partial traces
+  // round-trip exactly.
+  EventOrder maxOrder = 0;
+  const auto bump = [&maxOrder](EventOrder o) {
+    if (o > maxOrder) maxOrder = o;
+  };
+  for (const auto& r : t.serializations()) bump(r.order);
+  for (const auto& r : t.stamps()) bump(r.order);
+  for (const auto& r : t.values()) bump(r.order);
+  for (const auto& r : t.operations()) bump(r.order);
+  for (const auto& r : t.nacks()) bump(r.order);
+  for (const auto& r : t.putShareds()) bump(r.order);
+  for (const auto& r : t.deadlockResolutions()) bump(r.order);
+  codec::putU64(out, maxOrder + 1);
+
+  const std::uint64_t count =
+      t.serializations().size() + t.stamps().size() + t.values().size() +
+      t.operations().size() + t.nacks().size() + t.putShareds().size() +
+      t.deadlockResolutions().size();
+  codec::putU64(out, count);
+  // Same per-vector order as the text format (S, T, V, O, N, P, D).
+  for (const auto& r : t.serializations()) codec::putEvent(out, r);
+  for (const auto& r : t.stamps()) codec::putEvent(out, r);
+  for (const auto& r : t.values()) codec::putEvent(out, r);
+  for (const auto& r : t.operations()) codec::putEvent(out, r);
+  for (const auto& r : t.nacks()) codec::putEvent(out, r);
+  for (const auto& r : t.putShareds()) codec::putEvent(out, r);
+  for (const auto& r : t.deadlockResolutions()) codec::putEvent(out, r);
+
+  os.write(reinterpret_cast<const char*>(kBinaryTraceMagic),
+           sizeof(kBinaryTraceMagic));
+  os.write(reinterpret_cast<const char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  if (!os) throw SimError("binary trace save failed (stream error)");
+}
+
+Trace loadBinary(std::istream& is) {
+  unsigned char magic[4] = {};
+  is.read(reinterpret_cast<char*>(magic), sizeof(magic));
+  if (is.gcount() != sizeof(magic) ||
+      !std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kBinaryTraceMagic))) {
+    throw SimError("not a binary trace (bad magic)");
+  }
+  std::vector<std::byte> bytes;
+  {
+    char chunk[4096];
+    while (is.read(chunk, sizeof(chunk)) || is.gcount() > 0) {
+      const auto n = static_cast<std::size_t>(is.gcount());
+      const auto* p = reinterpret_cast<const std::byte*>(chunk);
+      bytes.insert(bytes.end(), p, p + n);
+      if (!is) break;
+    }
+  }
+  codec::Reader r{bytes.data(), bytes.size()};
+  const std::uint64_t version = r.u64();
+  if (version != kBinaryTraceVersion) {
+    throw SimError("unsupported binary trace version " +
+                   std::to_string(version));
+  }
+  Trace t;
+  t.nextOrder_ = r.u64();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const EventRecord e = codec::getEvent(r);
+    if (const auto* s = std::get_if<SerializeRecord>(&e)) {
+      t.txnIndex_[s->txn.id] = t.serializations_.size();
+      t.serializations_.push_back(*s);
+    } else if (const auto* c = std::get_if<ConvertRecord>(&e)) {
+      // The recorder folds conversions into the serialization record, so
+      // archived traces never contain standalone Convert events; apply it
+      // the same way if one ever appears (forward compatibility).
+      if (const auto it = t.txnIndex_.find(c->id); it != t.txnIndex_.end()) {
+        t.serializations_[it->second].txn.kind = c->newKind;
+      }
+    } else if (const auto* st = std::get_if<StampRecord>(&e)) {
+      t.stamps_.push_back(*st);
+    } else if (const auto* v = std::get_if<ValueRecord>(&e)) {
+      t.values_.push_back(*v);
+    } else if (const auto* o = std::get_if<proto::OpRecord>(&e)) {
+      t.operations_.push_back(*o);
+    } else if (const auto* n = std::get_if<NackRecord>(&e)) {
+      t.nacks_.push_back(*n);
+    } else if (const auto* p = std::get_if<PutSharedRecord>(&e)) {
+      t.putShareds_.push_back(*p);
+    } else {
+      t.deadlockResolutions_.push_back(std::get<DeadlockRecord>(e));
+    }
+  }
+  if (!r.done()) throw SimError("binary trace has trailing bytes");
+  return t;
+}
+
+}  // namespace lcdc::trace

@@ -1,0 +1,121 @@
+// The shared binary codec: one varint (LEB128) vocabulary for every
+// serialized protocol artifact — model-checker world blobs, archived
+// binary traces, and the dsm wire format all encode proto::Message and
+// the EventSink record types through these primitives, so there is
+// exactly one byte-level definition of each (satellite of the `lcdc
+// serve` subsystem; previously the varint machinery lived private to
+// mc::WorldCodec).
+//
+// Encoding rules:
+//   * integers are LEB128 varints (7 payload bits per byte, little-endian
+//     groups, high bit = continuation);
+//   * lists are a varint count followed by the elements;
+//   * optionals are a 0/1 varint followed (when 1) by the value;
+//   * struct fields are emitted in declaration order with no tags — the
+//     format is versioned by its container (world blob, trace header,
+//     wire HELLO), not per field.
+//
+// Readers throw SimError on truncated or malformed input; they never read
+// past `len`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <variant>
+#include <vector>
+
+#include "common/config.hpp"
+#include "proto/events.hpp"
+#include "proto/messages.hpp"
+#include "trace/trace.hpp"
+
+namespace lcdc::trace {
+
+namespace codec {
+
+/// Append `v` to `out` as a LEB128 varint.
+void putU64(std::vector<std::byte>& out, std::uint64_t v);
+
+/// Bounded varint reader over a byte span.  Throws SimError("blob
+/// truncated...") when a read would pass `len`.
+struct Reader {
+  const std::byte* data = nullptr;
+  std::size_t len = 0;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(u64()); }
+  [[nodiscard]] std::uint8_t u8() { return static_cast<std::uint8_t>(u64()); }
+  [[nodiscard]] bool b() { return u64() != 0; }
+  [[nodiscard]] bool done() const { return pos == len; }
+};
+
+// -- container / protocol-type helpers ---------------------------------------
+
+void putWords(std::vector<std::byte>& out, const BlockValue& v);
+[[nodiscard]] BlockValue getWords(Reader& r);
+
+void putNodes(std::vector<std::byte>& out, const proto::NodeList& v);
+[[nodiscard]] proto::NodeList getNodes(Reader& r);
+
+void putStamps(std::vector<std::byte>& out, const proto::StampList& v);
+[[nodiscard]] proto::StampList getStamps(Reader& r);
+
+/// Full proto::Message, every field in declaration order.
+void putMessage(std::vector<std::byte>& out, const proto::Message& m);
+[[nodiscard]] proto::Message getMessage(Reader& r);
+
+/// SystemConfig (topology + protocol switches) — the dsm wire HELLO and
+/// offline tools use this to agree on a run's shape.
+void putConfig(std::vector<std::byte>& out, const SystemConfig& cfg);
+[[nodiscard]] SystemConfig getConfig(Reader& r);
+
+}  // namespace codec
+
+// -- the uniform event record ------------------------------------------------
+
+/// Kind-change record (EventSink::onTxnConverted).  The only protocol
+/// event without a dedicated Trace record type; defined here so the
+/// event stream can carry it uniformly.
+struct ConvertRecord {
+  TransactionId id = kNoTransaction;
+  TxnKind newKind{};
+  EventOrder order = 0;
+};
+
+/// One protocol event as a value: exactly the EventSink vocabulary.  The
+/// dsm wire ships these from each node to the certifier; the binary trace
+/// format archives them; applyEvent() replays them into any sink.
+using EventRecord =
+    std::variant<SerializeRecord, ConvertRecord, StampRecord, ValueRecord,
+                 proto::OpRecord, NackRecord, PutSharedRecord, DeadlockRecord>;
+
+namespace codec {
+
+/// Tagged event encoding: a one-byte tag, then the record's fields.
+void putEvent(std::vector<std::byte>& out, const EventRecord& e);
+[[nodiscard]] EventRecord getEvent(Reader& r);
+
+}  // namespace codec
+
+/// Replay one event into a sink, dispatching on the record type.
+void applyEvent(const EventRecord& e, proto::EventSink& sink);
+
+// -- binary trace archival ---------------------------------------------------
+
+/// Binary trace header: magic + format version.  loadFile() autodetects
+/// this against the text format's 'H ' header.
+inline constexpr unsigned char kBinaryTraceMagic[4] = {'L', 'C', 'T', 'B'};
+inline constexpr std::uint64_t kBinaryTraceVersion = 1;
+
+/// Write `t` in the binary format: magic, version, nextOrder, event count,
+/// then every record through codec::putEvent (same vocabulary as the dsm
+/// wire).  Round-trips exactly, orders included, like the text format.
+void saveBinary(const Trace& t, std::ostream& os);
+
+/// Read a trace written by saveBinary (the stream must start at the
+/// magic).  Throws SimError on version or format mismatch.
+[[nodiscard]] Trace loadBinary(std::istream& is);
+
+}  // namespace lcdc::trace

@@ -1,11 +1,13 @@
 #include "trace/serialize.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
 #include "common/expect.hpp"
+#include "trace/codec.hpp"
 
 namespace lcdc::trace {
 
@@ -186,10 +188,26 @@ void saveFileWithMeta(const Trace& t, const std::string& path,
   save(t, os);
 }
 
+void saveFileBinary(const Trace& t, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw SimError("cannot open trace file for writing: " + path);
+  saveBinary(t, os);
+}
+
 Trace loadFile(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw SimError("cannot open trace file: " + path);
-  return load(is);
+  // Autodetect: binary traces start with the codec magic, text traces
+  // with a '#' comment or an 'H' header line.
+  char probe[4] = {};
+  is.read(probe, sizeof(probe));
+  const bool binary =
+      is.gcount() == sizeof(probe) &&
+      std::equal(std::begin(probe), std::end(probe),
+                 reinterpret_cast<const char*>(kBinaryTraceMagic));
+  is.clear();
+  is.seekg(0);
+  return binary ? loadBinary(is) : load(is);
 }
 
 }  // namespace lcdc::trace

@@ -30,8 +30,12 @@ void save(const Trace& t, std::ostream& os);
 /// errors.
 [[nodiscard]] Trace load(std::istream& is);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers.  loadFile autodetects the format: files
+/// beginning with the codec.hpp binary-trace magic load through
+/// trace::loadBinary, anything else parses as the text format above —
+/// so `lcdc verify` re-checks traces archived either way.
 void saveFile(const Trace& t, const std::string& path);
+void saveFileBinary(const Trace& t, const std::string& path);
 [[nodiscard]] Trace loadFile(const std::string& path);
 
 /// Archive a counterexample: like saveFile, but prefixed with `# `-comment

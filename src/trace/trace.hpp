@@ -128,6 +128,7 @@ class Trace : public proto::EventSink {
 
  private:
   friend Trace load(std::istream& is);  // serialize.hpp round-trips verbatim
+  friend Trace loadBinary(std::istream& is);  // codec.hpp, same contract
 
   EventOrder nextOrder_ = 1;
   std::vector<SerializeRecord> serializations_;

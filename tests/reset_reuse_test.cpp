@@ -63,6 +63,72 @@ TEST_P(ResetReuseCell, ResetThenRunEqualsConstructThenRun) {
   }
 }
 
+// Observer-lifecycle extension: one persistent TeeSink + StreamCheckerSet
+// reused across cycles whose *topologies differ* (the matrix varies
+// processors, directories, capacity, TSO depth with the cycle) and one of
+// which injects a value-corrupting mutant — the reused pipeline's verdict,
+// violation for violation, must match a freshly constructed engine's.
+// This is the contract the dsm certifier and the campaign's worker reuse
+// both rest on: reset() really does forget the previous stream.
+TEST(ObserverLifecycle, PersistentTeeAcrossShapesAndMutants) {
+  trace::Trace trace;
+  proto::TeeSink tee;
+  std::optional<verify::StreamCheckerSet> checkers;
+
+  for (std::uint64_t cycle = 0; cycle < 8; ++cycle) {
+    SystemConfig sys = lcdc::testing::matrixConfig(cycle);
+    // Two mutant cycles mid-chain: their violating reports must not bleed
+    // into the clean cycles that follow.
+    const bool mutated = cycle == 2 || cycle == 5;
+    if (mutated) sys.proto.mutant = Mutant::ForwardStaleValue;
+    const workload::WorkloadConfig w =
+        lcdc::testing::matrixWorkload(sys, cycle);
+    const auto progs = workload::make(
+        mutated ? workload::Kind::Hot : workload::Kind::Uniform, w);
+    const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(sys);
+
+    // Freshly constructed engines.
+    trace::Trace freshTrace;
+    verify::StreamCheckerSet freshCheckers(vc);
+    proto::TeeSink freshTee{&freshTrace, &freshCheckers};
+    sim::System freshSys(sys, freshTee);
+    for (NodeId p = 0; p < sys.numProcessors; ++p) {
+      freshSys.setProgram(p, progs[p]);
+    }
+    const sim::RunResult freshRun = freshSys.run();
+    freshCheckers.finish();
+
+    // The persistent pipeline: TeeSink re-wired, checkers reset to the new
+    // (different!) shape, trace cleared.  The System itself is fresh — a
+    // topology change requires that — the observers are what persist.
+    tee.clear();
+    trace.clear();
+    if (!checkers) {
+      checkers.emplace(vc);
+    } else {
+      checkers->reset(vc);
+    }
+    tee.attach(trace);
+    tee.attach(*checkers);
+    sim::System reusedSys(sys, tee);
+    for (NodeId p = 0; p < sys.numProcessors; ++p) {
+      reusedSys.setProgram(p, progs[p]);
+    }
+    const sim::RunResult reusedRun = reusedSys.run();
+    checkers->finish();
+
+    EXPECT_EQ(reusedRun.outcome, freshRun.outcome) << "cycle " << cycle;
+    const verify::CheckReport& a = checkers->report();
+    const verify::CheckReport& b = freshCheckers.report();
+    EXPECT_EQ(a.summary(), b.summary()) << "cycle " << cycle;
+    ASSERT_EQ(a.violations.size(), b.violations.size()) << "cycle " << cycle;
+    for (std::size_t v = 0; v < a.violations.size(); ++v) {
+      EXPECT_EQ(a.violations[v].check, b.violations[v].check);
+      EXPECT_EQ(a.violations[v].detail, b.violations[v].detail);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCells, ResetReuseCell,
     ::testing::ValuesIn(lcdc::testing::fingerprintMatrix()),

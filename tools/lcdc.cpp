@@ -7,6 +7,11 @@
 //   lcdc campaign  fan out thousands of seeded runs across a thread pool,
 //                  aggregate transaction-case coverage and checker verdicts,
 //                  and delta-debug any failure into a minimal reproducer
+//   lcdc serve     host a message-passing DSM: one thread per node over TCP
+//                  loopback, event streams certified live by a streaming
+//                  Lamport-clock checker on a merge node
+//   lcdc load      drive a running serve with a generated workload and
+//                  measure throughput and chunk round-trip latency
 //
 // Examples:
 //   lcdc run --procs 8 --dirs 4 --blocks 64 --ops 5000 --workload hot
@@ -15,16 +20,19 @@
 //   lcdc mc --procs 3 --blocks 1
 //   lcdc campaign --seeds 1024 --jobs 8 --until-coverage
 //   lcdc campaign --seeds 256 --mutant no-busy-nack --minimize --out /tmp/cex
+//   lcdc serve --nodes 3 --port 7400
+//   lcdc load --port 7400 --ops 200000 --clients 3 --mix hot
 //
 // Exit codes (stable; campaign scripts and CI discriminate on them):
 //   0  success
 //   1  verification violations
-//   2  simulation did not reach quiescence / protocol invariant fired
+//   2  usage error (unknown command/option, malformed value)
 //   3  campaign detected failures
-//   4  usage error (unknown command/option, malformed value)
+//   4  simulation did not reach quiescence / protocol invariant fired
 //   5  I/O or trace-format error
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -36,6 +44,8 @@
 #include "bus/bus_system.hpp"
 #include "campaign/campaign.hpp"
 #include "common/expect.hpp"
+#include "dsm/load.hpp"
+#include "dsm/serve.hpp"
 #include "mc/model_checker.hpp"
 #include "mc/replay.hpp"
 #include "proto/observer.hpp"
@@ -53,17 +63,19 @@ using namespace lcdc;
 
 constexpr int kExitOk = 0;
 constexpr int kExitViolations = 1;
-constexpr int kExitSimFailed = 2;
+constexpr int kExitUsage = 2;
 constexpr int kExitCampaignFailed = 3;
-constexpr int kExitUsage = 4;
+constexpr int kExitSimFailed = 4;
 constexpr int kExitIo = 5;
 /// `lcdc mc --mem-limit-mb` stopped at a wave boundary before finishing
 /// (and found no violation up to that point).
 constexpr int kExitMemLimit = 6;
 
+constexpr const char* kVersion = "1.0.0";
+
 /// Malformed invocation: unknown command/option, missing or unparsable
 /// value.  Distinct from SimError so scripts can tell "you called it
-/// wrong" (exit 4) from "the input file is bad" (exit 5).
+/// wrong" (exit 2) from "the input file is bad" (exit 5).
 class UsageError : public std::runtime_error {
  public:
   explicit UsageError(const std::string& what) : std::runtime_error(what) {}
@@ -193,6 +205,11 @@ int cmdRun(const Args& args) {
   if (noTrace && args.kv.contains("trace")) {
     throw UsageError("--no-trace conflicts with --trace FILE");
   }
+  const std::string traceFormat = args.str("trace-format", "text");
+  if (traceFormat != "text" && traceFormat != "binary") {
+    throw UsageError("unknown trace format: " + traceFormat +
+                     " (text|binary)");
+  }
   const bool keepTrace = !streaming || args.kv.contains("trace");
 
   trace::Trace trace;
@@ -281,8 +298,13 @@ int cmdRun(const Args& args) {
     std::cout << "sim perf: (--perf is directory-protocol only)\n";
   }
   if (const auto it = args.kv.find("trace"); it != args.kv.end()) {
-    trace::saveFile(trace, it->second);
-    std::cout << "trace written to " << it->second << '\n';
+    if (traceFormat == "binary") {
+      trace::saveFileBinary(trace, it->second);
+    } else {
+      trace::saveFile(trace, it->second);
+    }
+    std::cout << "trace written to " << it->second << " (" << traceFormat
+              << ")\n";
   }
   if (!runOk) return kExitSimFailed;
   if (vc.tso) std::cout << "(verifying against TSO)\n";
@@ -470,13 +492,131 @@ int cmdCampaign(const Args& args) {
   return r.ok() ? kExitOk : kExitCampaignFailed;
 }
 
+/// SIGINT flag for `lcdc serve`: the handler only sets it; the serve
+/// supervisor polls it and runs the graceful drain-then-FIN shutdown.
+volatile std::sig_atomic_t gStopServe = 0;
+extern "C" void onServeSigint(int) { gStopServe = 1; }
+
+void printServeStats(const dsm::ServeResult& r, bool quiet) {
+  std::uint64_t msgs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t beats = 0;
+  for (const auto& ns : r.nodeStats) {
+    msgs += ns.msgsSent;
+    events += ns.eventsEmitted;
+    beats += ns.heartbeats;
+  }
+  std::cout << "serve stats: " << r.opsBound << " ops bound, "
+            << (r.seconds > 0
+                    ? static_cast<double>(r.opsBound) / r.seconds
+                    : 0.0)
+            << " ops/s, " << r.seconds << " s\n"
+            << "  nodes: " << msgs << " msgs shipped, " << events
+            << " events emitted, " << beats << " heartbeats, "
+            << r.dialRetries << " dial retries\n"
+            << "  certifier: " << r.certStats.eventsMerged
+            << " events merged, peak lag " << r.certStats.peakLag
+            << ", checker state " << r.certStats.checkerBytes() << " B\n";
+  if (!quiet) {
+    for (const auto& ns : r.nodeStats) {
+      std::cout << "  node " << (&ns - r.nodeStats.data()) << ": ops "
+                << ns.opsBound << ", chunks " << ns.chunksDone << ", msgs "
+                << ns.msgsSent << "/" << ns.msgsReceived << ", events "
+                << ns.eventsEmitted << '\n';
+    }
+  }
+  if (!r.drained) {
+    std::cout << "WARNING: shutdown drain timed out — streams were cut with "
+                 "work in flight; violations below may be artifacts\n";
+  }
+}
+
+int cmdServe(const Args& args) {
+  dsm::ServeConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(args.num("nodes", 3));
+  if (cfg.nodes == 0) throw UsageError("--nodes must be at least 1");
+  cfg.port = static_cast<std::uint16_t>(args.num("port", 7400));
+  cfg.once = args.has("once");
+  cfg.system.numBlocks = static_cast<BlockId>(args.num("blocks", 64));
+  cfg.system.proto.wordsPerBlock =
+      static_cast<WordIdx>(args.num("words", 4));
+  cfg.system.seed = args.num("seed", 1);
+  cfg.system.storeBufferDepth =
+      static_cast<std::uint32_t>(args.num("store-buffer", 0));
+  cfg.system.proto.mutant = parseMutant(args.str("mutant", "none"));
+  cfg.heartbeatEveryPumps = args.num("heartbeat-pumps", 16);
+  if (cfg.heartbeatEveryPumps == 0) {
+    throw UsageError("--heartbeat-pumps must be at least 1");
+  }
+  cfg.idleTimeoutMs = args.num("idle-timeout-ms", 30'000);
+  cfg.drainTimeoutMs = args.num("drain-timeout-ms", 10'000);
+
+  dsm::ServeResult r;
+  if (args.has("mem")) {
+    // Deterministic loopback: embedded load, single thread, no sockets.
+    dsm::MemLoadSpec load;
+    load.kind = parseWorkload(args.str("mix", "uniform"));
+    load.totalOps = args.num("ops", 10'000);
+    load.seed = args.num("load-seed", cfg.system.seed);
+    load.chunkSteps = static_cast<std::uint32_t>(args.num("chunk", 1024));
+    load.window = static_cast<std::uint32_t>(args.num("window", 2));
+    std::cout << "serve (mem loopback): " << cfg.nodes << " nodes, "
+              << load.totalOps << " ops, mix=" << args.str("mix", "uniform")
+              << ", seed " << load.seed << '\n';
+    r = dsm::serveMem(cfg, load);
+  } else {
+    if (cfg.port == 0) {
+      throw UsageError(
+          "--port 0 (ephemeral) is for in-process tests; pick a port");
+    }
+    std::signal(SIGINT, onServeSigint);
+    std::cout << "serve: " << cfg.nodes
+              << " nodes on 127.0.0.1, certifier on port " << cfg.port
+              << ", node i on port " << cfg.port << "+1+i"
+              << (cfg.once ? "; exiting after first load session"
+                           : "; Ctrl-C for graceful shutdown")
+              << std::endl;
+    r = dsm::serveTcp(cfg, &gStopServe, nullptr);
+  }
+  printServeStats(r, args.has("quiet"));
+  const int rc = reportAndExit(r.report, args.has("quiet"));
+  // An undrained shutdown means the serve could not reach quiescence —
+  // surface that even when the (possibly truncated) verdict is clean.
+  if (!r.drained && rc == kExitOk) return kExitSimFailed;
+  return rc;
+}
+
+int cmdLoad(const Args& args) {
+  dsm::LoadConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(args.num("port", 7400));
+  if (cfg.port == 0) throw UsageError("--port must be nonzero");
+  cfg.totalOps = args.num("ops", 100'000);
+  cfg.clients = static_cast<std::uint32_t>(args.num("clients", 1));
+  if (cfg.clients == 0) throw UsageError("--clients must be at least 1");
+  cfg.kind = parseWorkload(args.str("mix", "uniform"));
+  cfg.seed = args.num("seed", 1);
+  cfg.chunkSteps = static_cast<std::uint32_t>(args.num("chunk", 1024));
+  if (cfg.chunkSteps == 0) throw UsageError("--chunk must be at least 1");
+  cfg.window = static_cast<std::uint32_t>(args.num("window", 2));
+  if (cfg.window == 0) throw UsageError("--window must be at least 1");
+
+  const dsm::LoadResult r = dsm::runLoad(cfg);
+  std::cout << "load: " << r.opsBound << " ops over " << r.nodes
+            << " nodes in " << r.seconds << " s\n"
+            << "  throughput: " << r.opsPerSec << " ops/s\n"
+            << "  chunk RTT: p50 " << r.p50Ms << " ms, p99 " << r.p99Ms
+            << " ms (" << r.chunksDone << " chunks)\n"
+            << "  dial retries: " << r.dialRetries << '\n';
+  return kExitOk;
+}
+
 const std::map<std::string, OptionSpec>& optionSpecs() {
   static const std::map<std::string, OptionSpec> specs = {
       {"run",
        {{"procs", "dirs", "blocks", "ops", "words", "seed", "workload",
          "protocol", "capacity", "mutant", "store-pct", "evict-pct",
          "prefetch", "store-buffer", "model", "min-latency", "max-latency",
-         "snoop-delay", "trace"},
+         "snoop-delay", "trace", "trace-format"},
         {"no-putshared", "quiet", "streaming", "no-trace", "perf"}}},
       {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
       {"mc",
@@ -490,6 +630,13 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
          "mc-blocks", "mc-max-states"},
         {"until-coverage", "minimize", "quiet", "streaming",
          "no-streaming", "mc-stage"}}},
+      {"serve",
+       {{"nodes", "port", "blocks", "words", "seed", "store-buffer",
+         "mutant", "heartbeat-pumps", "idle-timeout-ms", "drain-timeout-ms",
+         "ops", "mix", "load-seed", "chunk", "window"},
+        {"once", "mem", "quiet"}}},
+      {"load",
+       {{"port", "ops", "clients", "mix", "seed", "chunk", "window"}, {}}},
   };
   return specs;
 }
@@ -505,6 +652,8 @@ void usage(std::ostream& os) {
       "            --mutant NAME  --store-pct P --evict-pct P --prefetch PCT\n"
       "            --store-buffer DEPTH (TSO mode)  --model sc|tso\n"
       "            --min-latency T --max-latency T --trace FILE --quiet\n"
+      "            --trace-format text|binary (binary: varint codec, ~5x\n"
+      "                                        smaller; loadFile autodetects)\n"
       "            --streaming (verify online) --no-trace (O(1) memory)\n"
       "            --perf (events/s + network-queue counters; wall-clock)\n"
       "  verify    re-check a dumped trace\n"
@@ -531,9 +680,24 @@ void usage(std::ostream& os) {
       "            --max-events E --quiet --no-streaming (batch-check A/B)\n"
       "            --mc-stage (exhaustively model-check a small config of\n"
       "                        the same variant first)\n"
-      "            --mc-procs N --mc-blocks B --mc-max-states M\n\n"
-      "exit codes: 0 ok, 1 verification violations, 2 simulation failed,\n"
-      "            3 campaign failures, 4 usage error, 5 I/O error,\n"
+      "            --mc-procs N --mc-blocks B --mc-max-states M\n"
+      "  serve     host a message-passing DSM with live online verification\n"
+      "            --nodes N --port P (certifier on P, node i on P+1+i)\n"
+      "            --once (exit after the first completed load session)\n"
+      "            --blocks B --words W --seed S --store-buffer DEPTH\n"
+      "            --mutant NAME (serve a buggy protocol; caught live)\n"
+      "            --heartbeat-pumps H --idle-timeout-ms T\n"
+      "            --drain-timeout-ms T (SIGINT graceful-drain budget)\n"
+      "            --mem (deterministic single-thread loopback, embedded\n"
+      "                   load: --ops K --mix NAME --load-seed S\n"
+      "                   --chunk STEPS --window W)\n"
+      "  load      drive a running serve and measure throughput/latency\n"
+      "            --port P --ops M (total, split across nodes)\n"
+      "            --clients C --mix uniform|hot|prodcons|migratory|...\n"
+      "            --seed S --chunk STEPS --window W\n\n"
+      "global: --version prints the tool and wire-format versions\n\n"
+      "exit codes: 0 ok, 1 verification violations, 2 usage error,\n"
+      "            3 campaign failures, 4 simulation failed, 5 I/O error,\n"
       "            6 mc stopped at --mem-limit-mb\n";
 }
 
@@ -549,6 +713,11 @@ int main(int argc, char** argv) {
     usage(std::cout);
     return kExitOk;
   }
+  if (cmd == "version" || cmd == "--version") {
+    std::cout << "lcdc " << kVersion << " (wire format v"
+              << static_cast<unsigned>(dsm::kWireVersion) << ")\n";
+    return kExitOk;
+  }
   const auto& specs = optionSpecs();
   const auto spec = specs.find(cmd);
   if (spec == specs.end()) {
@@ -561,6 +730,8 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmdRun(args);
     if (cmd == "verify") return cmdVerify(args);
     if (cmd == "mc") return cmdMc(args);
+    if (cmd == "serve") return cmdServe(args);
+    if (cmd == "load") return cmdLoad(args);
     return cmdCampaign(args);
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n(see 'lcdc help')\n";
