@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bench_util.hpp"
 #include "run_fingerprint.hpp"
 #include "sim/perf.hpp"
@@ -130,7 +131,7 @@ int runThroughput(const Options& opt) {
     w.seed = 0xB0B1ULL;
     const auto progs = workload::make(kind, w);
 
-    verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(sys));
+    verify::StreamCheckerSet checkers(proto::verifyConfigFor(sys));
     proto::TeeSink tee{&checkers};
     std::optional<sim::System> reused;
     if (!opt.fresh) reused.emplace(sys, tee);
@@ -139,14 +140,14 @@ int runThroughput(const Options& opt) {
       RepResult r;
       if (opt.fresh) {
         // The seed engine's life cycle: everything rebuilt per sub-run.
-        verify::StreamCheckerSet fresh(verify::VerifyConfig::fromSystem(sys));
+        verify::StreamCheckerSet fresh(proto::verifyConfigFor(sys));
         proto::TeeSink freshTee{&fresh};
         sim::System system(sys, freshTee);
         r = measureRun(system, progs);
         fresh.finish();
       } else {
         reused->reset(sys.seed);
-        checkers.reset(verify::VerifyConfig::fromSystem(sys));
+        checkers.reset(proto::verifyConfigFor(sys));
         r = measureRun(*reused, progs);
         checkers.finish();
       }

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "backend/backend.hpp"
 #include "bench_util.hpp"
 #include "proto/observer.hpp"
 #include "sim/system.hpp"
@@ -63,7 +64,7 @@ Measurement runBatch(std::uint64_t opsPerProc) {
   Measurement m;
   if (!sys.run().ok()) return m;
   const auto report =
-      verify::checkAll(trace, verify::VerifyConfig::fromSystem(cfg));
+      verify::checkAll(trace, proto::verifyConfigFor(cfg));
   m.ok = report.ok();
   m.seconds = clock.seconds();
   m.peakBytes = trace.memoryBytes();
@@ -76,7 +77,7 @@ Measurement runStreaming(std::uint64_t opsPerProc) {
   const SystemConfig cfg = benchConfig();
   const auto programs = benchPrograms(cfg, opsPerProc);
   const bench::Stopwatch clock;
-  verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(cfg));
+  verify::StreamCheckerSet checkers(proto::verifyConfigFor(cfg));
   verify::StatsObserver stats(&checkers);
   proto::TeeSink tee{&checkers, &stats};
   sim::System sys(cfg, tee);

@@ -5,12 +5,14 @@
 #include <iomanip>
 #include <sstream>
 
+#include "backend/backend.hpp"
 #include "campaign/minimize.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "mc/model_checker.hpp"
 #include "proto/observer.hpp"
 #include "sim/system.hpp"
+#include "tardis/tardis_system.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace.hpp"
 #include "verify/checkers.hpp"
@@ -30,6 +32,20 @@ workload::Kind pickKind(Rng& rng) {
   if (roll < 70) return workload::Kind::Uniform;
   if (roll < 80) return workload::Kind::FalseShare;
   if (roll < 90) return workload::Kind::ProdCons;
+  return workload::Kind::ReadMostly;
+}
+
+workload::Kind pickKindTardis(Rng& rng) {
+  // The tardis rotation leads with the lease-churn family (expiry/renewal
+  // is the protocol's interesting regime) and keeps the contended
+  // directory families for the exclusive-above-lease paths.
+  const std::uint64_t roll = rng.uniform(0, 99);
+  if (roll < 30) return workload::Kind::LeaseChurn;
+  if (roll < 50) return workload::Kind::Hot;
+  if (roll < 65) return workload::Kind::Migratory;
+  if (roll < 75) return workload::Kind::Uniform;
+  if (roll < 85) return workload::Kind::FalseShare;
+  if (roll < 95) return workload::Kind::ProdCons;
   return workload::Kind::ReadMostly;
 }
 
@@ -68,6 +84,15 @@ void deriveCaseInto(const CampaignConfig& cfg, std::uint64_t index,
       cfg.mutant == Mutant::NoDeadlockDetection || rng.chance(85, 100);
   sys.storeBufferDepth =
       rng.chance(15, 100) ? static_cast<std::uint32_t>(rng.uniform(2, 4)) : 0;
+  if (cfg.protocol == ProtocolKind::Tardis) {
+    sys.protocol = ProtocolKind::Tardis;
+    // Tardis has no store buffer (the draw above stays, keeping this one
+    // derivation path, but the depth is pinned to zero), and its lease
+    // length is part of the explored shape: small values force the
+    // expiry/renewal regime, large ones the invalidation-free steady state.
+    sys.storeBufferDepth = 0;
+    sys.proto.leaseLength = static_cast<std::uint32_t>(rng.uniform(2, 48));
+  }
   sys.seed = rng();
 
   workload::WorkloadConfig w;
@@ -79,7 +104,11 @@ void deriveCaseInto(const CampaignConfig& cfg, std::uint64_t index,
   w.evictPercent = static_cast<std::uint32_t>(rng.uniform(4, 16));
   w.seed = rng();
 
-  const workload::Kind kind = cfg.workload ? *cfg.workload : pickKind(rng);
+  const workload::Kind kind =
+      cfg.workload ? *cfg.workload
+                   : (cfg.protocol == ProtocolKind::Tardis
+                          ? pickKindTardis(rng)
+                          : pickKind(rng));
   workload::makeInto(kind, w, out.programs);
   bool prefetch = false;
   if (rng.chance(20, 100)) {
@@ -99,6 +128,9 @@ void deriveCaseInto(const CampaignConfig& cfg, std::uint64_t index,
        << " ev%=" << w.evictPercent
        << " ps=" << (sys.proto.putSharedEnabled ? 1 : 0)
        << " sb=" << sys.storeBufferDepth << " pf=" << (prefetch ? 1 : 0);
+  if (sys.protocol == ProtocolKind::Tardis) {
+    desc << " lease=" << sys.proto.leaseLength;
+  }
   out.description = desc.str();
 }
 
@@ -125,6 +157,8 @@ struct WorkerEngine {
   std::optional<verify::StreamCheckerSet> checkers;
   std::optional<sim::System> system;
   SystemConfig shape;  ///< the configuration `system` was built with
+  std::optional<tardis::TardisSystem> tardisSystem;
+  SystemConfig tardisShape;
 };
 
 WorkerEngine& workerEngine() {
@@ -143,24 +177,29 @@ bool resettableTo(const SystemConfig& a, const SystemConfig& b) {
          a.storeBufferDepth == b.storeBufferDepth &&
          a.proto.wordsPerBlock == b.proto.wordsPerBlock &&
          a.proto.putSharedEnabled == b.proto.putSharedEnabled &&
-         a.proto.mutant == b.proto.mutant;
+         a.proto.mutant == b.proto.mutant &&
+         a.proto.leaseLength == b.proto.leaseLength;
 }
 
-sim::System& acquireSystem(WorkerEngine& eng, const SystemConfig& sys) {
-  if (eng.system && resettableTo(eng.shape, sys)) {
-    eng.system->reset(sys.seed);
+/// Acquire a retained per-worker system (sim::System or
+/// tardis::TardisSystem — both expose the same reset/run surface).
+template <class Sys>
+Sys& acquireSystem(std::optional<Sys>& slot, SystemConfig& shape,
+                   proto::TeeSink& tee, const SystemConfig& sys) {
+  if (slot && resettableTo(shape, sys)) {
+    slot->reset(sys.seed);
   } else {
-    eng.system.emplace(sys, eng.tee);
-    eng.shape = sys;
+    slot.emplace(sys, tee);
+    shape = sys;
   }
-  return *eng.system;
+  return *slot;
 }
 
 /// Run the prepared system and fill the timing/queue counters.
-sim::RunResult timedRun(sim::System& system, std::uint64_t maxEvents,
-                        CaseOutcome& out) {
+template <class Sys>
+RunResult timedRun(Sys& system, std::uint64_t maxEvents, CaseOutcome& out) {
   const auto t0 = std::chrono::steady_clock::now();
-  const sim::RunResult result = system.run(maxEvents);
+  const RunResult result = system.run(maxEvents);
   const auto nanos = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -168,6 +207,38 @@ sim::RunResult timedRun(sim::System& system, std::uint64_t maxEvents,
   out.perf.note(result.eventsProcessed, result.opsBound, nanos,
                 system.network().queueStats());
   return result;
+}
+
+/// Set programs, run, and harvest the backend-specific counters.  The two
+/// runCase paths share this so streaming and recorded outcomes cannot
+/// diverge in anything but how the events are observed.
+RunResult executeCase(WorkerEngine& eng, const CaseSpec& spec,
+                      std::uint64_t maxEvents, CaseOutcome& out) {
+  if (spec.sys.protocol == ProtocolKind::Tardis) {
+    tardis::TardisSystem& system =
+        acquireSystem(eng.tardisSystem, eng.tardisShape, eng.tee, spec.sys);
+    for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
+      system.setProgram(p, spec.programs[p]);
+    }
+    return timedRun(system, maxEvents, out);
+  }
+  sim::System& system =
+      acquireSystem(eng.system, eng.shape, eng.tee, spec.sys);
+  for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
+    system.setProgram(p, spec.programs[p]);
+  }
+  return timedRun(system, maxEvents, out);
+}
+
+/// Fold the run's lease statistics into the outcome's coverage.  Called
+/// after the coverage tally is assigned (it would be overwritten earlier),
+/// including on the invariant-abort path, where the half-run's counters
+/// are still meaningful.
+void harvestLeaseStats(const WorkerEngine& eng, const CaseSpec& spec,
+                       CaseOutcome& out) {
+  if (spec.sys.protocol != ProtocolKind::Tardis || !eng.tardisSystem) return;
+  out.coverage.leaseRenewals += eng.tardisSystem->stats().leaseRenewals;
+  out.coverage.leaseExpiries += eng.tardisSystem->stats().leaseExpiries;
 }
 
 /// The streaming path: the checkers and the coverage tally observe the run
@@ -178,7 +249,7 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
                              trace::Trace* traceOut) {
   WorkerEngine& eng = workerEngine();
   CoverageObserver cov;
-  const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(spec.sys);
+  const verify::VerifyConfig vc = proto::verifyConfigFor(spec.sys);
   if (eng.checkers) {
     eng.checkers->reset(vc);
   } else {
@@ -195,14 +266,11 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
 
   CaseOutcome out;
   try {
-    sim::System& system = acquireSystem(eng, spec.sys);
-    for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
-      system.setProgram(p, spec.programs[p]);
-    }
-    const sim::RunResult result = timedRun(system, maxEvents, out);
+    const RunResult result = executeCase(eng, spec, maxEvents, out);
     out.opsBound = result.opsBound;
     out.txnsSerialized = cov.txnsSerialized();
     out.coverage = cov.coverage();
+    harvestLeaseStats(eng, spec, out);
     if (!result.ok()) {
       out.signature = outcomeSignature(result);
       out.detail = result.detail;
@@ -216,6 +284,7 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
     // nothing behind).
     out.txnsSerialized = cov.txnsSerialized();
     out.coverage = cov.coverage();
+    harvestLeaseStats(eng, spec, out);
     out.signature = "invariant";
     out.detail = e.what();
     return out;
@@ -246,14 +315,11 @@ CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
 
   CaseOutcome out;
   try {
-    sim::System& system = acquireSystem(eng, spec.sys);
-    for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
-      system.setProgram(p, spec.programs[p]);
-    }
-    const sim::RunResult result = timedRun(system, maxEvents, out);
+    const RunResult result = executeCase(eng, spec, maxEvents, out);
     out.opsBound = result.opsBound;
     out.txnsSerialized = trace.serializations().size();
     out.coverage.record(trace);
+    harvestLeaseStats(eng, spec, out);
     if (!result.ok()) {
       out.signature = outcomeSignature(result);
       out.detail = result.detail;
@@ -262,13 +328,14 @@ CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
   } catch (const ProtocolError& e) {
     out.txnsSerialized = trace.serializations().size();
     out.coverage.record(trace);
+    harvestLeaseStats(eng, spec, out);
     out.signature = "invariant";
     out.detail = e.what();
     return out;
   }
 
   const verify::CheckReport report =
-      verify::checkAll(trace, verify::VerifyConfig::fromSystem(spec.sys));
+      verify::checkAll(trace, proto::verifyConfigFor(spec.sys));
   out.checkerFirings = report.countsByCheck();
   if (!report.ok()) {
     out.signature = "checker:" + report.primaryCheck();
@@ -320,6 +387,17 @@ std::string archiveTrace(const trace::Trace& trace, const std::string& outDir,
 
 CampaignResult run(const CampaignConfig& cfg) {
   LCDC_EXPECT(cfg.seeds > 0, "campaign needs at least one seed");
+  if (cfg.protocol == ProtocolKind::Bus) {
+    throw SimError(
+        "campaign does not support the bus backend (it has no in-place "
+        "reset; use 'lcdc run --protocol bus' for seeded bus runs)");
+  }
+  if (cfg.protocol == ProtocolKind::Tardis && cfg.mutant != Mutant::None &&
+      cfg.mutant != Mutant::DropLeaseBump) {
+    throw SimError(std::string("mutant '") + toString(cfg.mutant) +
+                   "' targets the directory protocol; the tardis backend "
+                   "only implements 'drop-lease-bump'");
+  }
   const auto t0 = std::chrono::steady_clock::now();
 
   CampaignResult result;
@@ -331,6 +409,7 @@ CampaignResult run(const CampaignConfig& cfg) {
   // wave-deterministic, so the report stays byte-identical across --jobs.
   if (cfg.mcStage) {
     mc::McConfig mcCfg;
+    mcCfg.protocol = cfg.protocol;
     mcCfg.numProcessors = cfg.mcProcs;
     mcCfg.numBlocks = cfg.mcBlocks;
     mcCfg.proto.mutant = cfg.mutant;

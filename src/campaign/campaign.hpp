@@ -41,6 +41,12 @@ class Trace;
 namespace lcdc::campaign {
 
 struct CampaignConfig {
+  /// Which coherence backend every sub-run (and the mc stage) drives.
+  /// Tardis campaigns derive lease lengths per seed, pin storeBufferDepth
+  /// to 0 (unsupported there) and add the lease-churn family to the mixed
+  /// rotation; the directory derivation stream is untouched, so existing
+  /// directory campaign reports stay byte-identical.
+  ProtocolKind protocol = ProtocolKind::Directory;
   std::uint64_t masterSeed = 1;
   /// Number of sub-runs (an upper bound when untilCoverage is set).
   std::uint64_t seeds = 256;

@@ -89,6 +89,8 @@ void Coverage::record(const trace::Trace& trace) {
 
 void Coverage::merge(const Coverage& other) {
   for (std::size_t i = 0; i < kNumPoints; ++i) counts[i] += other.counts[i];
+  leaseRenewals += other.leaseRenewals;
+  leaseExpiries += other.leaseExpiries;
 }
 
 std::size_t Coverage::transactionCasesCovered() const {
@@ -150,6 +152,11 @@ std::string Coverage::report() const {
     if (i == kNumTransactionCases) os << "extension paths:\n";
     os << "  " << (counts[i] > 0 ? "hit " : "MISS") << "  "
        << toString(static_cast<Point>(i)) << "  " << counts[i] << '\n';
+  }
+  if (leaseRenewals != 0 || leaseExpiries != 0) {
+    os << "tardis leases:\n"
+       << "  renewals  " << leaseRenewals << '\n'
+       << "  expiries  " << leaseExpiries << '\n';
   }
   return os.str();
 }

@@ -66,6 +66,11 @@ inline constexpr std::size_t kNumTransactionCases = 15;
 
 struct Coverage {
   std::array<std::uint64_t, kNumPoints> counts{};
+  /// Tardis lease traffic, filled from TardisStats after each sub-run
+  /// (always zero on the directory and bus backends; the report prints
+  /// these lines only when nonzero, so their output is unchanged).
+  std::uint64_t leaseRenewals = 0;
+  std::uint64_t leaseExpiries = 0;
 
   /// Tally every covered path of one recorded execution (complete or
   /// truncated — a deadlocked run's partial trace still counts).

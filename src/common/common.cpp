@@ -93,8 +93,18 @@ const char* toString(Mutant m) {
     case Mutant::ForwardStaleValue: return "forward-stale-value";
     case Mutant::NoBusyNack: return "no-busy-nack";
     case Mutant::NoDeadlockDetection: return "no-deadlock-detection";
+    case Mutant::DropLeaseBump: return "drop-lease-bump";
   }
   return "mutant(?)";
+}
+
+const char* toString(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::Directory: return "dir";
+    case ProtocolKind::Bus: return "bus";
+    case ProtocolKind::Tardis: return "tardis";
+  }
+  return "protocol(?)";
 }
 
 void failExpect(const char* cond, const char* file, int line,

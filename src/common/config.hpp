@@ -36,9 +36,26 @@ enum class Mutant : std::uint8_t {
   /// invalidation acks; with Put-Shared enabled this recreates Figure 2's
   /// deadlock.
   NoDeadlockDetection,
+  /// Tardis backend only: the home hands out an exclusive grant without
+  /// first bumping its entry clock past the block's read lease frontier
+  /// (rts), so a writer's upgrade timestamp can land inside a still-live
+  /// read lease (breaks Claim 3(a)/Lemma 1 — the lease-vs-owner
+  /// disjointness that carries Tardis's single-writer argument).
+  DropLeaseBump,
 };
 
 [[nodiscard]] const char* toString(Mutant m);
+
+/// Which coherence backend a SystemConfig drives.  The backend registry
+/// (proto::backendFor) maps each value to a proto::CoherenceBackend that
+/// builds the system and the matching VerifyConfig.
+enum class ProtocolKind : std::uint8_t {
+  Directory = 0,  ///< the paper's SGI-Origin-style directory protocol
+  Bus,            ///< the snooping-bus companion model (Section 4.1 remark)
+  Tardis,         ///< timestamp-lease coherence (arXiv 1501.04504)
+};
+
+[[nodiscard]] const char* toString(ProtocolKind k);
 
 /// Protocol-level switches.  The same config drives the event simulator and
 /// the model checker, so both always exercise the same protocol variant.
@@ -51,11 +68,22 @@ struct ProtoConfig {
   bool putSharedEnabled = true;
   /// Fault injection (Mutant::None for the faithful protocol).
   Mutant mutant = Mutant::None;
+  /// Tardis backend only: logical lease length L.  A read grant at upgrade
+  /// timestamp u extends the block's read frontier to at least u + L; a
+  /// load whose Lamport time would exceed the frontier must renew first.
+  /// Small values force the renewal/expiry paths; the directory and bus
+  /// backends ignore this field.
+  std::uint32_t leaseLength = 16;
 };
 
 /// Full system configuration (Figure 1 topology plus workload plumbing).
 struct SystemConfig {
   ProtoConfig proto{};
+  /// Which coherence backend this configuration is meant to drive.  The
+  /// system emitting a run stamps this into onRunBegin, and the streaming
+  /// checkers refuse a VerifyConfig built for a different backend (a
+  /// mismatched pair would silently mis-check; see DESIGN.md §12).
+  ProtocolKind protocol = ProtocolKind::Directory;
   /// Number of processing nodes.
   NodeId numProcessors = 4;
   /// Number of directory/home nodes; blocks are interleaved across them
@@ -76,6 +104,10 @@ struct SystemConfig {
   /// Delay before a NACKed request is retried (plus a random jitter of the
   /// same magnitude), in ticks.
   std::uint64_t retryDelay = 8;
+  /// Bus backend only: max random snoop-processing delay per node per bus
+  /// command (the bus has no point-to-point network, so min/maxLatency do
+  /// not apply to it).  Other backends ignore this field.
+  std::uint64_t busSnoopDelayMax = 16;
   /// Master seed; all randomness in a run derives from it.
   std::uint64_t seed = 1;
   /// TSO extension (the paper's Section 5 future work: "consistency models

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/backend.hpp"
 #include "common/expect.hpp"
 #include "trace/codec.hpp"
 #include "verify/checkers.hpp"
@@ -33,7 +34,7 @@ void CertifierEngine::onHello(const HelloFrame& h) {
   }
   config_ = h.config;
   checkers_ = std::make_unique<verify::StreamCheckerSet>(
-      verify::VerifyConfig::fromSystem(config_));
+      proto::verifyConfigFor(config_));
   tee_.clear();
   tee_.attach(*checkers_);
   for (proto::EventSink* s : extras_) tee_.attach(*s);

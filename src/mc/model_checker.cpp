@@ -14,6 +14,7 @@
 #include "common/thread_pool.hpp"
 #include "mc/legacy_key.hpp"
 #include "mc/state_codec.hpp"
+#include "mc/tardis_mc.hpp"
 #include "mc/world.hpp"
 #include "mc/world_codec.hpp"
 #include "proto/cache.hpp"
@@ -849,6 +850,13 @@ std::string toString(const Action& a) {
 McResult explore(const McConfig& cfg) {
   LCDC_EXPECT(cfg.numProcessors >= 1, "need at least one processor");
   LCDC_EXPECT(cfg.numBlocks >= 1, "need at least one block");
+  if (cfg.protocol == ProtocolKind::Bus) {
+    throw SimError(
+        "the bus backend is not model-checkable: its only nondeterminism is "
+        "the snoop-queue order already covered by seeded 'lcdc run "
+        "--protocol bus'");
+  }
+  if (cfg.protocol == ProtocolKind::Tardis) return exploreTardis(cfg);
   ParallelExplorer explorer(cfg);
   return explorer.run();
 }

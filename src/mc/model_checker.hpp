@@ -68,6 +68,12 @@ struct McConfig {
   NodeId numProcessors = 2;
   BlockId numBlocks = 1;
   ProtoConfig proto{};
+  /// Which coherence backend to explore.  `Directory` runs the
+  /// controller-driven engine described above; `Tardis` runs a
+  /// self-contained rank-compressed abstraction (`tardis_mc.cpp`) whose
+  /// state space is finite because timestamps are kept as relative ranks.
+  /// `Bus` is not model-checkable — `explore` throws `SimError`.
+  ProtocolKind protocol = ProtocolKind::Directory;
   /// Allow processors to issue Writebacks / Put-Shareds (more actions =>
   /// bigger space).
   bool allowEvictions = true;

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "common/expect.hpp"
 #include "proto/observer.hpp"
 #include "sim/system.hpp"
@@ -39,7 +40,7 @@ ReplayResult replayCounterexample(const McConfig& cfg,
                                   trace::Trace* traceOut) {
   ReplayResult res;
   const SystemConfig sysCfg = replaySystemConfig(cfg);
-  verify::VerifyConfig vcfg = verify::VerifyConfig::fromSystem(sysCfg);
+  verify::VerifyConfig vcfg = proto::verifyConfigFor(sysCfg);
   // A counterexample is a prefix of an execution: transactions may still
   // be open when the schedule ends.
   vcfg.expectComplete = false;

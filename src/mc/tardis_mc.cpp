@@ -1,0 +1,624 @@
+#include "mc/tardis_mc.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace lcdc::mc {
+
+namespace {
+
+// Timestamps in the abstract model.  Values are rebased against the
+// state's minimum before hashing, so only relative order and gaps up to
+// the lease length survive into the visited set.
+using Ts = std::uint64_t;
+
+enum class HState : std::uint8_t { Idle, Shared, Exclusive, Busy };
+enum class LState : std::uint8_t { I, S, X };
+
+enum class MType : std::uint8_t {
+  GetS,       // proc -> home (also models Renew: identical home transition)
+  GetX,       // proc -> home
+  DataS,      // home -> proc   ts = grantTs, ts2 = leaseEnd
+  DataX,      // home -> proc   ts = grantTs
+  Nack,       // home -> proc
+  FlushReq,   // home -> owner  ts = the owner's grant ts (names the epoch)
+  FlushData,  // owner -> home  ts = flushTs, ts2 = grant ts it closes
+  Wb,         // owner -> home  ts = flushTs, ts2 = grant ts it closes
+  WbAck,      // home -> proc
+};
+
+struct TMsg {
+  MType type{};
+  NodeId node = 0;  ///< the processor end of the hop (requester / owner)
+  BlockId block = 0;
+  Ts ts = 0;
+  Ts ts2 = 0;
+
+  friend bool operator<(const TMsg& a, const TMsg& b) {
+    return std::tie(a.type, a.node, a.block, a.ts, a.ts2) <
+           std::tie(b.type, b.node, b.block, b.ts, b.ts2);
+  }
+};
+
+struct TLine {
+  LState st = LState::I;
+  Ts leaseEnd = 0;  ///< valid when st == S
+  Ts grantTs = 0;   ///< valid when st == X (floor of the flush timestamp)
+  Ts wbTs = 0;      ///< recorded flush timestamp while a Writeback is unacked
+  Ts wbGrantTs = 0;  ///< the evicted epoch's grant ts (names what the Wb closes)
+};
+
+struct TProc {
+  Ts pts = 0;  ///< last global time this processor bound an operation at
+  bool waiting = false;
+  BlockId waitBlock = 0;  ///< valid while waiting
+  /// Nonzero: a FlushReq that overtook its own DataExclusive, parked
+  /// keyed by the grant ts it names (grant timestamps start at 1).
+  Ts deferTs = 0;
+  std::uint32_t wbPending = 0;  ///< per-block Writeback-in-flight bitmask
+  std::vector<TLine> lines;
+};
+
+struct THome {
+  HState st = HState::Idle;
+  NodeId owner = kNoNode;
+  Ts ownerTs = 0;  ///< Exclusive/Busy: the owner's grant timestamp
+  std::uint32_t sharers = 0;  ///< per-processor bitmask
+  Ts rts = 0;                 ///< lease frontier
+  Ts hc = 0;                  ///< entry clock
+  NodeId pendReq = kNoNode;   ///< Busy: the single pending requester
+  bool pendX = false;
+  Ts pendTs = 0;
+};
+
+struct TWorld {
+  std::vector<TProc> procs;
+  std::vector<THome> homes;
+  std::vector<TMsg> flight;
+  std::uint32_t depth = 0;
+};
+
+/// Canonical byte key: every timestamp rebased by the state minimum, the
+/// in-flight multiset sorted.  Two states that differ only by a uniform
+/// shift of logical time behave identically and collapse to one key.
+std::string encode(const TWorld& w) {
+  Ts base = std::numeric_limits<Ts>::max();
+  const auto see = [&base](Ts t) { base = std::min(base, t); };
+  for (const TProc& p : w.procs) {
+    see(p.pts);
+    if (p.deferTs != 0) see(p.deferTs);
+    for (BlockId b = 0; b < p.lines.size(); ++b) {
+      const TLine& l = p.lines[b];
+      if (l.st == LState::S) see(l.leaseEnd);
+      if (l.st == LState::X) see(l.grantTs);
+      if ((p.wbPending >> b) & 1u) see(l.wbGrantTs);
+    }
+  }
+  for (const THome& h : w.homes) {
+    see(h.rts);
+    see(h.hc);
+    if (h.st == HState::Busy) see(h.pendTs);
+    if (h.st == HState::Busy || h.st == HState::Exclusive) see(h.ownerTs);
+  }
+  for (const TMsg& m : w.flight) {
+    see(m.ts);
+    if (m.type == MType::DataS || m.type == MType::FlushData ||
+        m.type == MType::Wb) {
+      see(m.ts2);
+    }
+  }
+  if (base == std::numeric_limits<Ts>::max()) base = 0;
+
+  std::string out;
+  out.reserve(w.procs.size() * (8 + w.homes.size() * 16) +
+              w.homes.size() * 24 + w.flight.size() * 12);
+  const auto put8 = [&out](std::uint8_t v) {
+    out.push_back(static_cast<char>(v));
+  };
+  const auto putTs = [&out](Ts v) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<char>(v & 0xFF));
+      v >>= 8;
+    }
+  };
+  for (const TProc& p : w.procs) {
+    putTs(p.pts - base);
+    put8(p.waiting ? 1 : 0);
+    put8(p.waiting ? static_cast<std::uint8_t>(p.waitBlock) : 0xFF);
+    put8(p.deferTs != 0 ? 1 : 0);
+    putTs(p.deferTs != 0 ? p.deferTs - base : 0);
+    for (BlockId b = 0; b < p.lines.size(); ++b) {
+      const TLine& l = p.lines[b];
+      put8(static_cast<std::uint8_t>(l.st));
+      putTs(l.st == LState::S ? l.leaseEnd - base : 0);
+      putTs(l.st == LState::X ? l.grantTs - base : 0);
+      const bool wb = (p.wbPending >> b) & 1u;
+      put8(wb ? 1 : 0);
+      putTs(wb ? l.wbTs - base : 0);
+      putTs(wb ? l.wbGrantTs - base : 0);
+    }
+  }
+  for (const THome& h : w.homes) {
+    put8(static_cast<std::uint8_t>(h.st));
+    put8(static_cast<std::uint8_t>(h.owner == kNoNode ? 0xFF : h.owner));
+    putTs(h.st == HState::Busy || h.st == HState::Exclusive ? h.ownerTs - base
+                                                            : 0);
+    putTs(h.rts - base);
+    putTs(h.hc - base);
+    for (int i = 0; i < 4; ++i) {
+      put8(static_cast<std::uint8_t>((h.sharers >> (8 * i)) & 0xFF));
+    }
+    if (h.st == HState::Busy) {
+      put8(static_cast<std::uint8_t>(h.pendReq));
+      put8(h.pendX ? 1 : 0);
+      putTs(h.pendTs - base);
+    }
+  }
+  std::vector<TMsg> sorted = w.flight;
+  std::sort(sorted.begin(), sorted.end());
+  for (const TMsg& m : sorted) {
+    put8(static_cast<std::uint8_t>(m.type));
+    put8(static_cast<std::uint8_t>(m.node));
+    put8(static_cast<std::uint8_t>(m.block));
+    putTs(m.ts - base);
+    const bool hasTs2 = m.type == MType::DataS || m.type == MType::FlushData ||
+                        m.type == MType::Wb;
+    putTs((hasTs2 ? m.ts2 : base) - base);
+  }
+  return out;
+}
+
+class TardisExplorer {
+ public:
+  explicit TardisExplorer(const McConfig& cfg) : cfg_(cfg) {
+    LCDC_EXPECT(cfg_.numProcessors >= 1 && cfg_.numProcessors <= 32,
+                "tardis MC supports 1..32 processors");
+    LCDC_EXPECT(cfg_.numBlocks >= 1 && cfg_.numBlocks <= 32,
+                "tardis MC supports 1..32 blocks");
+    if (cfg_.proto.mutant != Mutant::None &&
+        cfg_.proto.mutant != Mutant::DropLeaseBump) {
+      throw SimError(std::string("mutant '") + toString(cfg_.proto.mutant) +
+                     "' targets the directory protocol; the tardis backend "
+                     "only implements 'drop-lease-bump'");
+    }
+    lease_ = cfg_.proto.leaseLength == 0 ? 1 : cfg_.proto.leaseLength;
+  }
+
+  McResult run() {
+    TWorld init;
+    init.procs.resize(cfg_.numProcessors);
+    for (TProc& p : init.procs) p.lines.resize(cfg_.numBlocks);
+    init.homes.resize(cfg_.numBlocks);
+
+    std::deque<TWorld> frontier;
+    visit(init);
+    frontier.push_back(std::move(init));
+    res_.frontierPeak = 1;
+
+    std::uint32_t waveDepth = 0;
+    while (!frontier.empty() && !stop_) {
+      const TWorld w = std::move(frontier.front());
+      frontier.pop_front();
+      if (w.depth > waveDepth) {
+        waveDepth = w.depth;
+        res_.wavesCompleted = waveDepth;
+        if (cfg_.maxDepth != 0 && waveDepth >= cfg_.maxDepth) break;
+      }
+      expand(w, frontier);
+      res_.frontierPeak = std::max<std::uint64_t>(res_.frontierPeak,
+                                                  frontier.size());
+      if (cfg_.memLimitMb != 0 &&
+          visitedBytes_ > cfg_.memLimitMb * 1024ull * 1024ull) {
+        res_.memLimitHit = true;
+        break;
+      }
+    }
+    res_.statesExplored = visited_.size();
+    res_.visitedBytes = visitedBytes_;
+    return res_;
+  }
+
+ private:
+  void visit(const TWorld& w) {
+    const std::string key = encode(w);
+    visitedBytes_ += key.size() + 32;
+    visited_.insert(key);
+  }
+
+  bool seen(const TWorld& w) { return visited_.count(encode(w)) != 0; }
+
+  void violation(const std::string& detail) {
+    if (std::find(res_.violations.begin(), res_.violations.end(), detail) ==
+        res_.violations.end()) {
+      if (res_.violations.size() < cfg_.maxViolations) {
+        res_.violations.push_back(detail);
+      }
+    }
+    if (!res_.counterexample) {
+      Counterexample cx;
+      cx.kind = "violation";
+      cx.detail = detail;  // no schedule: tardis counterexamples are not
+                           // replayable through the directory simulator
+      res_.counterexample = std::move(cx);
+    }
+    stop_ = true;
+  }
+
+  /// Enqueue a successor (unless already visited), after the per-state
+  /// structural checks.
+  void emit(TWorld&& w, std::deque<TWorld>& frontier) {
+    res_.transitions += 1;
+    checkState(w);
+    if (stop_) return;
+    if (seen(w)) return;
+    if (visited_.size() >= cfg_.maxStates) {
+      res_.hitStateLimit = true;
+      stop_ = true;
+      return;
+    }
+    visit(w);
+    frontier.push_back(std::move(w));
+  }
+
+  void checkState(const TWorld& w) {
+    for (BlockId b = 0; b < cfg_.numBlocks; ++b) {
+      NodeId writer = kNoNode;
+      for (NodeId p = 0; p < cfg_.numProcessors; ++p) {
+        const TLine& l = w.procs[p].lines[b];
+        if (l.st == LState::X) {
+          if (writer != kNoNode) {
+            std::ostringstream os;
+            os << "two exclusive owners on block " << b << ": nodes " << writer
+               << " and " << p;
+            violation(os.str());
+            return;
+          }
+          writer = p;
+        }
+        if (l.st == LState::S && l.leaseEnd > w.homes[b].rts) {
+          std::ostringstream os;
+          os << "node " << p << " holds a lease on block " << b
+             << " beyond the home frontier (leaseEnd=" << l.leaseEnd
+             << " rts=" << w.homes[b].rts << ")";
+          violation(os.str());
+          return;
+        }
+      }
+    }
+  }
+
+  void expand(const TWorld& w, std::deque<TWorld>& frontier) {
+    bool any = false;
+
+    // (a) deliver any in-flight message — the unordered network.
+    for (std::size_t i = 0; i < w.flight.size() && !stop_; ++i) {
+      TWorld next = w;
+      next.depth = w.depth + 1;
+      const TMsg m = next.flight[i];
+      next.flight.erase(next.flight.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      deliver(next, m);
+      if (stop_) return;
+      emit(std::move(next), frontier);
+      any = true;
+    }
+
+    // (b) processor-initiated actions.
+    for (NodeId p = 0; p < cfg_.numProcessors && !stop_; ++p) {
+      const TProc& proc = w.procs[p];
+      for (BlockId b = 0; b < cfg_.numBlocks && !stop_; ++b) {
+        const TLine& line = proc.lines[b];
+        const bool wbPending = (proc.wbPending >> b) & 1u;
+        if (!proc.waiting && !wbPending && line.st != LState::X) {
+          // GetS covers Renew: the home transition is identical, and
+          // issuing from S models a lease that expired in logical time.
+          for (const MType t : {MType::GetS, MType::GetX}) {
+            TWorld next = w;
+            next.depth = w.depth + 1;
+            next.procs[p].waiting = true;
+            next.procs[p].waitBlock = b;
+            next.flight.push_back(TMsg{t, p, b, w.procs[p].pts, 0});
+            emit(std::move(next), frontier);
+            any = true;
+            if (stop_) return;
+          }
+        }
+        if (cfg_.allowEvictions && line.st == LState::X) {
+          TWorld next = w;
+          next.depth = w.depth + 1;
+          TLine& l = next.procs[p].lines[b];
+          const Ts flushTs = std::max(l.grantTs, next.procs[p].pts);
+          const Ts grantTs = l.grantTs;
+          l = TLine{};
+          l.wbTs = flushTs;
+          l.wbGrantTs = grantTs;
+          next.procs[p].wbPending |= 1u << b;
+          next.flight.push_back(TMsg{MType::Wb, p, b, flushTs, grantTs});
+          emit(std::move(next), frontier);
+          any = true;
+          if (stop_) return;
+        }
+        if (cfg_.allowEvictions && line.st == LState::S) {
+          TWorld next = w;  // Put-Shared: drop the lease locally, silently
+          next.depth = w.depth + 1;
+          next.procs[p].lines[b] = TLine{};
+          emit(std::move(next), frontier);
+          any = true;
+          if (stop_) return;
+        }
+      }
+    }
+
+    if (!any && w.flight.empty()) {
+      bool obligated = false;
+      for (const TProc& p : w.procs) {
+        if (p.waiting || p.wbPending != 0) obligated = true;
+      }
+      for (const THome& h : w.homes) {
+        if (h.st == HState::Busy) obligated = true;
+      }
+      if (obligated) {
+        res_.deadlockFound = true;
+        if (!res_.counterexample) {
+          Counterexample cx;
+          cx.kind = "deadlock";
+          cx.detail =
+              "no message in flight, yet a request, writeback or busy home "
+              "is outstanding";
+          res_.counterexample = std::move(cx);
+        }
+        stop_ = true;
+      }
+    }
+  }
+
+  // -- transition rules, mirroring tardis::TardisSystem ----------------------
+
+  void deliver(TWorld& w, const TMsg& m) {
+    switch (m.type) {
+      case MType::GetS:
+      case MType::GetX:
+        homeRequest(w, m, m.type == MType::GetX);
+        return;
+      case MType::Wb:
+        homeWriteback(w, m);
+        return;
+      case MType::FlushData:
+        homeFlushData(w, m);
+        return;
+      case MType::DataS: {
+        TProc& p = w.procs[m.node];
+        TLine& l = p.lines[m.block];
+        l = TLine{};
+        l.st = LState::S;
+        l.leaseEnd = m.ts2;
+        p.pts = std::max(p.pts, m.ts);  // the proc binds at the grant time
+        p.waiting = false;
+        p.deferTs = 0;  // a parked FlushReq named an exclusive grant: stale
+        return;
+      }
+      case MType::DataX: {
+        TProc& p = w.procs[m.node];
+        TLine& l = p.lines[m.block];
+        if (p.deferTs != 0 && p.deferTs == m.ts) {
+          // The FlushReq that overtook this very grant: hand the block
+          // straight back (no operation bound, so flushTs = grant ts).
+          p.deferTs = 0;
+          p.waiting = false;
+          l = TLine{};
+          w.flight.push_back(TMsg{MType::FlushData, m.node, m.block, m.ts,
+                                  m.ts});
+          return;
+        }
+        p.deferTs = 0;  // mismatch: stale flush from a previous ownership
+        l = TLine{};
+        l.st = LState::X;
+        l.grantTs = m.ts;
+        p.pts = std::max(p.pts, m.ts);
+        p.waiting = false;
+        return;
+      }
+      case MType::Nack: {
+        TProc& p = w.procs[m.node];
+        p.waiting = false;
+        p.deferTs = 0;  // a parked FlushReq's grant will never arrive: stale
+        return;
+      }
+      case MType::FlushReq: {
+        TProc& p = w.procs[m.node];
+        TLine& l = p.lines[m.block];
+        // The grant-ts match is load-bearing: a stale FlushReq (its Busy
+        // epoch already completed through our Writeback) can arrive after
+        // we re-acquired the block, and answering it would flush the NEW
+        // line while the home still records us as its owner.
+        if (l.st == LState::X && l.grantTs == m.ts) {
+          const Ts flushTs = std::max(l.grantTs, p.pts);
+          const Ts grantTs = l.grantTs;
+          l = TLine{};
+          w.flight.push_back(TMsg{MType::FlushData, m.node, m.block, flushTs,
+                                  grantTs});
+        } else if ((p.wbPending >> m.block) & 1u) {
+          // The eviction raced the flush: re-supply the written-back copy.
+          w.flight.push_back(TMsg{MType::FlushData, m.node, m.block, l.wbTs,
+                                  l.wbGrantTs});
+        } else if (p.waiting && p.waitBlock == m.block) {
+          // The FlushReq raced past its own DataExclusive: park it keyed
+          // by the grant ts it names; the grant's arrival answers it.
+          p.deferTs = m.ts;
+        }
+        // else: the home was already satisfied through our Writeback; drop.
+        return;
+      }
+      case MType::WbAck: {
+        TProc& p = w.procs[m.node];
+        p.wbPending &= ~(1u << m.block);
+        p.lines[m.block].wbTs = 0;
+        p.lines[m.block].wbGrantTs = 0;
+        return;
+      }
+    }
+  }
+
+  void homeRequest(TWorld& w, const TMsg& m, bool isGetX) {
+    THome& h = w.homes[m.block];
+    switch (h.st) {
+      case HState::Busy:
+        w.flight.push_back(TMsg{MType::Nack, m.node, m.block, 0, 0});
+        return;
+      case HState::Exclusive:
+        if (h.owner == m.node) {
+          std::ostringstream os;
+          os << "owner " << m.node << " re-requesting block " << m.block
+             << " while the home still records it exclusive";
+          violation(os.str());
+          return;
+        }
+        h.st = HState::Busy;
+        h.pendReq = m.node;
+        h.pendX = isGetX;
+        h.pendTs = m.ts;
+        w.flight.push_back(TMsg{MType::FlushReq, h.owner, m.block, h.ownerTs,
+                                0});
+        return;
+      case HState::Idle:
+      case HState::Shared:
+        if (isGetX) {
+          grantExclusive(w, h, m.block, m.node, m.ts);
+        } else {
+          grantShared(w, h, m.block, m.node, m.ts);
+        }
+        return;
+    }
+  }
+
+  void grantShared(TWorld& w, THome& h, BlockId b, NodeId r, Ts reqTs) {
+    const Ts u = 1 + std::max(h.hc, reqTs);
+    h.hc = std::max(h.hc, u);  // the stamps at u raise the entry clock
+    extendLease(h, u);
+    h.sharers |= 1u << r;
+    h.st = HState::Shared;
+    w.flight.push_back(TMsg{MType::DataS, r, b, u, h.rts});
+  }
+
+  void grantExclusive(TWorld& w, THome& h, BlockId b, NodeId r, Ts reqTs) {
+    const Ts u = 1 + std::max(h.hc, reqTs);
+    // The invariant the lease bump exists for: the exclusive grant must
+    // land strictly above every lease the home ever handed out, so the
+    // leased readers' implicit S -> I downgrades (stamped at rts + 1) stay
+    // above the writer's upgrade.  Claim 3(a) / Lemma 1 hang off this.
+    if (u <= h.rts) {
+      std::ostringstream os;
+      os << "exclusive grant below the lease frontier on block " << b
+         << ": grant ts " << u << " <= rts " << h.rts << " (requester " << r
+         << ") — outstanding read leases overlap the new writer's epoch";
+      violation(os.str());
+      return;
+    }
+    if ((h.sharers & ~(1u << r)) != 0) h.hc = std::max(h.hc, h.rts + 1);
+    h.hc = std::max(h.hc, u);
+    h.sharers = 0;
+    h.st = HState::Exclusive;
+    h.owner = r;
+    h.ownerTs = u;
+    w.flight.push_back(TMsg{MType::DataX, r, b, u, 0});
+  }
+
+  void homeWriteback(TWorld& w, const TMsg& m) {
+    THome& h = w.homes[m.block];
+    // The epoch match (ts2 == ownerTs) is load-bearing: a stale flush from
+    // an earlier ownership of the SAME node can linger in flight and must
+    // not close an epoch it does not name (completing a later Busy period
+    // early would hand out a second exclusive copy).
+    if (h.st == HState::Exclusive && h.owner == m.node &&
+        m.ts2 == h.ownerTs) {
+      const Ts tsD = 1 + std::max(h.hc, m.ts);
+      h.hc = std::max(h.hc, tsD);
+      h.st = HState::Idle;
+      h.owner = kNoNode;
+      h.ownerTs = 0;
+    } else if (h.st == HState::Busy && h.owner == m.node &&
+               m.ts2 == h.ownerTs) {
+      // The owner's eviction raced our FlushReq; its written-back copy is
+      // the flush data.
+      completeBusy(w, h, m.block, m.ts);
+    }
+    // else: stale (the flush already completed the handoff); just ack.
+    w.flight.push_back(TMsg{MType::WbAck, m.node, m.block, 0, 0});
+  }
+
+  void homeFlushData(TWorld& w, const TMsg& m) {
+    THome& h = w.homes[m.block];
+    if (h.st == HState::Busy && h.owner == m.node && m.ts2 == h.ownerTs) {
+      completeBusy(w, h, m.block, m.ts);
+    }
+    // else: stale — the racing Writeback got there first, or the flush
+    // names an earlier ownership epoch of the same node; drop.
+  }
+
+  void completeBusy(TWorld& w, THome& h, BlockId b, Ts flushTs) {
+    const NodeId r = h.pendReq;
+    const Ts tsD = 1 + std::max(h.hc, flushTs);
+    h.hc = std::max(h.hc, tsD);
+    const Ts u = 1 + std::max(h.hc, h.pendTs);
+    h.pendReq = kNoNode;
+    h.pendTs = 0;
+    if (h.pendX) {
+      if (u <= h.rts) {
+        std::ostringstream os;
+        os << "exclusive grant below the lease frontier on block " << b
+           << ": grant ts " << u << " <= rts " << h.rts << " (requester " << r
+           << ", after owner flush) — outstanding read leases overlap the "
+              "new writer's epoch";
+        violation(os.str());
+        return;
+      }
+      h.hc = std::max(h.hc, u);
+      h.st = HState::Exclusive;
+      h.owner = r;
+      h.ownerTs = u;
+      w.flight.push_back(TMsg{MType::DataX, r, b, u, 0});
+    } else {
+      h.hc = std::max(h.hc, u);
+      extendLease(h, u);
+      h.sharers = 1u << r;
+      h.st = HState::Shared;
+      h.owner = kNoNode;
+      h.ownerTs = 0;
+      w.flight.push_back(TMsg{MType::DataS, r, b, u, h.rts});
+    }
+  }
+
+  void extendLease(THome& h, Ts u) {
+    h.rts = std::max(h.rts, u + lease_);
+    // The bump: the entry clock must clear the frontier so the next
+    // exclusive grant is stamped above every outstanding lease.
+    if (cfg_.proto.mutant != Mutant::DropLeaseBump) {
+      h.hc = std::max(h.hc, h.rts);
+    }
+  }
+
+  McConfig cfg_;
+  Ts lease_ = 1;
+  McResult res_;
+  std::unordered_set<std::string> visited_;
+  std::uint64_t visitedBytes_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+McResult exploreTardis(const McConfig& cfg) {
+  TardisExplorer explorer(cfg);
+  return explorer.run();
+}
+
+}  // namespace lcdc::mc

@@ -1,0 +1,31 @@
+// Explicit-state exploration of the Tardis timestamp protocol (backend
+// `tardis`, DESIGN.md §12).  Unlike the directory engine, which drives the
+// production controllers, this is a self-contained abstract model: data
+// values are projected away and every timestamp is kept only up to a
+// rebasing against the state's minimum, which collapses most of the
+// logical-time orbit.  Closure is still not guaranteed — Tardis timestamps
+// grow without bound and blocks can drift apart — so exploration is
+// bounded-exhaustive: it is exact up to `maxStates` / `maxDepth` and
+// reports `hitStateLimit` when the cap, not the protocol, ended the walk.
+//
+// Safety checks per transition:
+//   * exclusive grants must clear the lease frontier (u > rts) — the
+//     invariant the `extendLease` clock bump maintains and the
+//     `drop-lease-bump` mutant breaks;
+//   * single-writer: at most one Exclusive line per block;
+//   * no lease beyond the home frontier (leaseEnd <= rts);
+//   * home-side ownership sanity (an owner never re-requests).
+//
+// Directory-only knobs (`symmetry`, `por`, `modelData`, `jobs`) are
+// accepted and ignored; the model is small enough that the sequential BFS
+// is never the bottleneck.  Counterexamples carry kind and detail but no
+// replay schedule — `lcdc mc --replay` is a directory-backend feature.
+#pragma once
+
+#include "mc/model_checker.hpp"
+
+namespace lcdc::mc {
+
+[[nodiscard]] McResult exploreTardis(const McConfig& cfg);
+
+}  // namespace lcdc::mc

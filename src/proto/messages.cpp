@@ -21,6 +21,9 @@ std::string toString(MsgType t) {
     case MsgType::InvAck: return "InvAck";
     case MsgType::UpdateS: return "UpdateS";
     case MsgType::UpdateX: return "UpdateX";
+    case MsgType::Renew: return "Renew";
+    case MsgType::FlushReq: return "FlushReq";
+    case MsgType::FlushData: return "FlushData";
   }
   return "MsgType(?)";
 }

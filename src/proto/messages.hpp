@@ -52,11 +52,24 @@ enum class MsgType : std::uint8_t {
   InvAck,      ///< sharer -> requester: invalidation acknowledged
   UpdateS,     ///< owner -> home: downgrade update carrying data (txn 3)
   UpdateX,     ///< owner -> home: ownership-transfer update (txn 7)
+
+  // Tardis backend (timestamp-lease coherence).  Tardis reuses GetS, GetX,
+  // Writeback, DataShared, DataExclusive, Nack and WbAck; only the
+  // lease-renewal and home-centric flush traffic needs its own vocabulary.
+  // New types append here so the per-type histograms of the directory and
+  // bus models keep their historical row indices.
+  Renew,      ///< sharer -> home: extend an expired read lease (may skip
+              ///  the data payload when the version is unchanged)
+  FlushReq,   ///< home -> owner: return the block (a reader or writer is
+              ///  waiting at the home; Tardis has no forwarding)
+  FlushData,  ///< owner -> home: data + final write timestamp answering a
+              ///  FlushReq (the owner's copy of an in-flight Writeback
+              ///  when the eviction raced the request)
 };
 
 /// Number of MsgType enumerators — sizes the per-type traffic histograms.
 inline constexpr std::size_t kNumMsgTypes =
-    static_cast<std::size_t>(MsgType::UpdateX) + 1;
+    static_cast<std::size_t>(MsgType::FlushData) + 1;
 
 [[nodiscard]] std::string toString(MsgType t);
 
@@ -125,6 +138,25 @@ struct Message {
   /// towards the upgrader.  A forwarded request carries the home's stamp;
   /// the owner's reply then carries both the home's and the owner's.
   StampList stamps;
+
+  // -- Tardis timestamp plumbing --------------------------------------------
+  // Unlike the directory protocol's stamps (a pure verification device),
+  // Tardis control decisions READ these timestamps: leases are granted
+  // above them and loads are validated against them.
+
+  /// Requests/Renew: the requester's current Lamport operation time; the
+  /// home grants leases whose frontier clears it so the stalled operation
+  /// is always bindable on arrival.
+  GlobalTime reqTs = 0;
+  /// Replies: the upgrade timestamp of the granted transaction (what the
+  /// requester binds its operations to).
+  GlobalTime grantTs = 0;
+  /// DataShared/Renew replies: the read-lease frontier rts; loads binding
+  /// above it must renew.
+  GlobalTime leaseEnd = 0;
+  /// Writeback/FlushData: the owner's final write frontier (last exclusive
+  /// operation time), which the home's next grant must clear.
+  GlobalTime flushTs = 0;
 };
 
 }  // namespace lcdc::proto

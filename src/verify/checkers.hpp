@@ -88,16 +88,16 @@ struct VerifyConfig {
   /// loads are checked against their own processor's program-order store
   /// stream instead of the Lamport replay.
   bool tso = false;
-
-  /// The one canonical mapping from a simulated system's shape to its
-  /// verification settings: node split from the processor count, memory
-  /// model from the store-buffer depth.
-  [[nodiscard]] static VerifyConfig fromSystem(const SystemConfig& sys) {
-    VerifyConfig cfg;
-    cfg.numProcessors = sys.numProcessors;
-    cfg.tso = sys.storeBufferDepth > 0;
-    return cfg;
-  }
+  /// Which coherence backend's observation stream this config was built
+  /// for.  A streaming checker set cross-checks it against the
+  /// SystemConfig stamped into onRunBegin and throws SimError on a
+  /// mismatch — a config built for one backend silently mis-checks
+  /// another's traffic otherwise (DESIGN.md §12).
+  ///
+  /// The canonical system-shape -> verification-settings mapping
+  /// (formerly VerifyConfig::fromSystem) is backend-provided now:
+  /// proto::verifyConfigFor(sys) in backend/backend.hpp.
+  ProtocolKind protocol = ProtocolKind::Directory;
 };
 
 /// Build the per-node, per-block coherence epochs from the stamp records.

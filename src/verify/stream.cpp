@@ -4,6 +4,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/expect.hpp"
+
 namespace lcdc::verify {
 
 namespace {
@@ -1066,7 +1068,17 @@ std::size_t StreamCheckerSet::memoryFootprint() const {
          valueChain_.memoryFootprint();
 }
 
-void StreamCheckerSet::onRunBegin(const SystemConfig& config) {}
+void StreamCheckerSet::onRunBegin(const SystemConfig& config) {
+  // A VerifyConfig built for one backend silently mis-checks another's
+  // traffic (e.g. Tardis leases validated under directory assumptions), so
+  // a mismatched pair is a programming error, not a verdict.
+  if (config.protocol != cfg_.protocol) {
+    throw SimError(std::string("checker/backend mismatch: checkers built "
+                               "for protocol '") +
+                   lcdc::toString(cfg_.protocol) + "' attached to a '" +
+                   lcdc::toString(config.protocol) + "' run");
+  }
+}
 void StreamCheckerSet::onRunEnd(const RunResult& result) {}
 
 void StreamCheckerSet::onSerialize(const proto::TxnInfo& txn) {

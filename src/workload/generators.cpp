@@ -158,6 +158,55 @@ void readMostlyInto(const WorkloadConfig& cfg, std::vector<Program>& programs) {
   }
 }
 
+void leaseChurnInto(const WorkloadConfig& cfg, std::vector<Program>& programs) {
+  LCDC_EXPECT(cfg.numBlocks >= 1 && cfg.wordsPerBlock >= 1, "empty memory");
+  auto gens = makeGens(cfg);
+  prepare(programs, cfg.numProcessors);
+  const BlockId region = std::min<BlockId>(cfg.numBlocks, 4);
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, cfg.opsPerProcessor / 8);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    // One writer per round, rotating, bursts over the whole shared region:
+    // under Tardis every burst lifts the blocks' timestamps past the read
+    // frontier, so the readers' outstanding leases are logically dead.
+    const NodeId writer = static_cast<NodeId>(r % cfg.numProcessors);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      ProcGen& g = gens[p];
+      if (p == writer) {
+        for (BlockId b = 0; b < region; ++b) {
+          const WordIdx w =
+              static_cast<WordIdx>(g.rng.uniform(0, cfg.wordsPerBlock - 1));
+          programs[p].steps.push_back(
+              store(b, w, makeStoreValue(p, g.storeSeq++)));
+        }
+        if (g.rng.chance(1, 3)) {
+          programs[p].steps.push_back(
+              evict(static_cast<BlockId>(g.rng.uniform(0, region - 1))));
+        }
+      } else {
+        // Readers interleave shared-region loads with stores to a private
+        // block: each private exclusive grant advances the reader's own
+        // Lamport clock, which is what actually walks it past a lease end
+        // (loads bound to one lease never advance global time on their
+        // own).  After ~leaseLength pairs the next load must Renew.
+        const BlockId shared =
+            static_cast<BlockId>(g.rng.uniform(0, region - 1));
+        const BlockId priv =
+            cfg.numBlocks > region
+                ? static_cast<BlockId>(region + (p % (cfg.numBlocks - region)))
+                : shared;
+        for (int i = 0; i < 4; ++i) {
+          const WordIdx w =
+              static_cast<WordIdx>(g.rng.uniform(0, cfg.wordsPerBlock - 1));
+          programs[p].steps.push_back(load(shared, w));
+          programs[p].steps.push_back(
+              store(priv, w, makeStoreValue(p, g.storeSeq++)));
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Program> uniformRandom(const WorkloadConfig& cfg) {
@@ -194,6 +243,12 @@ std::vector<Program> falseSharing(const WorkloadConfig& cfg) {
 std::vector<Program> readMostly(const WorkloadConfig& cfg) {
   std::vector<Program> programs;
   readMostlyInto(cfg, programs);
+  return programs;
+}
+
+std::vector<Program> leaseChurn(const WorkloadConfig& cfg) {
+  std::vector<Program> programs;
+  leaseChurnInto(cfg, programs);
   return programs;
 }
 
@@ -234,6 +289,7 @@ const char* toString(Kind k) {
     case Kind::Migratory: return "migratory";
     case Kind::FalseShare: return "falseshare";
     case Kind::ReadMostly: return "readmostly";
+    case Kind::LeaseChurn: return "leasechurn";
   }
   return "?";
 }
@@ -245,7 +301,7 @@ Kind kindFromName(const std::string& name) {
   }
   throw SimError("unknown workload: " + name +
                  " (try uniform|hot|prodcons|migratory|falseshare|"
-                 "readmostly)");
+                 "readmostly|leasechurn)");
 }
 
 std::vector<Program> make(Kind kind, const WorkloadConfig& cfg) {
@@ -263,6 +319,7 @@ void makeInto(Kind kind, const WorkloadConfig& cfg,
     case Kind::Migratory: return migratoryInto(cfg, out);
     case Kind::FalseShare: return falseSharingInto(cfg, out);
     case Kind::ReadMostly: return readMostlyInto(cfg, out);
+    case Kind::LeaseChurn: return leaseChurnInto(cfg, out);
   }
   throw SimError("unknown workload kind");
 }

@@ -55,6 +55,13 @@ struct WorkloadConfig {
 /// sets, large invalidation fan-outs.
 [[nodiscard]] std::vector<Program> readMostly(const WorkloadConfig& cfg);
 
+/// Tardis lease churn: a rotating writer bursts over a small shared region
+/// while the other processors interleave shared loads with private-block
+/// stores that advance their Lamport clocks — the pattern that expires and
+/// renews read leases.  (Runs fine on the other backends too; it is simply
+/// an adversarial sharing mix there.)
+[[nodiscard]] std::vector<Program> leaseChurn(const WorkloadConfig& cfg);
+
 /// Decorate programs with prefetch hints: for `percent`% of the memory
 /// operations, insert a matching prefetch `lookahead` steps earlier
 /// (Section 2.3's decoupling of coherence requests from processor events).
@@ -79,8 +86,10 @@ enum class Kind : std::uint8_t {
   Migratory,
   FalseShare,
   ReadMostly,
+  LeaseChurn,  ///< Tardis lease expiry/renewal churn (appended last: the
+               ///  seed-equivalence matrix pins the first six families)
 };
-inline constexpr std::uint8_t kNumKinds = 6;
+inline constexpr std::uint8_t kNumKinds = 7;
 
 [[nodiscard]] const char* toString(Kind k);
 

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <string>
 
+#include "backend/backend.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/minimize.hpp"
 #include "common/thread_pool.hpp"
@@ -231,7 +232,7 @@ TEST(Minimizer, MinimizedTraceReVerifiesOfflineWithTheSameChecker) {
   std::remove(path.c_str());
 
   const verify::CheckReport report =
-      verify::checkAll(loaded, verify::VerifyConfig::fromSystem(mr.spec.sys));
+      verify::checkAll(loaded, proto::verifyConfigFor(mr.spec.sys));
   ASSERT_FALSE(report.ok());
   EXPECT_EQ("checker:" + report.primaryCheck(), signature);
 }

@@ -63,7 +63,7 @@ TEST(ServeMem, ThreeNodeLoopbackCertifiesClean) {
 
 TEST(ServeMem, TsoStoreBufferServeCertifiesClean) {
   dsm::ServeConfig cfg = baseConfig(3);
-  cfg.system.storeBufferDepth = 2;  // VerifyConfig::fromSystem flips to TSO
+  cfg.system.storeBufferDepth = 2;  // proto::verifyConfigFor flips to TSO
   const dsm::ServeResult r =
       dsm::serveMem(cfg, baseLoad(6'000, workload::Kind::Uniform));
   EXPECT_TRUE(r.ok()) << r.report.summary();

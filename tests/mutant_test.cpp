@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/expect.hpp"
+#include "tardis/tardis_system.hpp"
 #include "testutil.hpp"
 
 namespace lcdc {
@@ -103,6 +104,64 @@ TEST(Mutant, NoDeadlockDetectionIsCaught) {
   EXPECT_TRUE(d.how.find("deadlock") != std::string::npos ||
               d.how.find("livelock") != std::string::npos)
       << d.how;
+}
+
+/// The Tardis counterpart of `hunt`: same contended shape, Tardis backend.
+/// Tardis has no invalidations to drop, so its seeded mutant attacks the
+/// timestamp discipline itself; the *unchanged* checkers must still object.
+Detection huntTardis(Mutant mutant, std::uint64_t maxSeeds = 40) {
+  for (std::uint64_t seed = 1; seed <= maxSeeds; ++seed) {
+    SystemConfig cfg;
+    cfg.protocol = ProtocolKind::Tardis;
+    cfg.numProcessors = 6;
+    cfg.numDirectories = 2;
+    cfg.numBlocks = 6;
+    cfg.cacheCapacity = 2;
+    cfg.seed = seed;
+    cfg.proto.mutant = mutant;
+    cfg.proto.leaseLength = 8;  // leases must be live when exclusivity hits
+
+    auto w = test::workloadFor(cfg, 600, seed * 31 + 7);
+    w.storePercent = 50;
+    w.evictPercent = 12;
+    const auto programs = workload::hotBlock(w, 85, 3);
+
+    trace::Trace trace;
+    tardis::TardisSystem system(cfg, trace);
+    for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+      system.setProgram(p, programs[p]);
+    }
+    try {
+      const RunResult result = system.run(20'000'000);
+      if (!result.ok()) {
+        return Detection{true, toString(result.outcome), seed};
+      }
+      const auto report =
+          verify::checkAll(trace, proto::verifyConfigFor(cfg));
+      if (!report.ok()) {
+        return Detection{true, "checker:" + report.violations.front().check,
+                         seed};
+      }
+    } catch (const ProtocolError& e) {
+      return Detection{true, std::string("invariant: ") + e.what(), seed};
+    }
+  }
+  return Detection{};
+}
+
+TEST(Mutant, FaithfulTardisIsNeverFlagged) {
+  const Detection d = huntTardis(Mutant::None, 12);
+  EXPECT_FALSE(d.detected) << "false positive at seed " << d.seed << " via "
+                           << d.how;
+}
+
+TEST(Mutant, DropLeaseBumpIsCaught) {
+  // Skipping the hc bump over a handed-out lease frontier lets an
+  // exclusive grant land *inside* outstanding read leases — overlapping
+  // epochs, which Claim 3(a)/Lemma 1 exist to refuse.
+  const Detection d = huntTardis(Mutant::DropLeaseBump);
+  EXPECT_TRUE(d.detected);
+  EXPECT_TRUE(d.how.find("checker:") == 0) << d.how;
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "backend/backend.hpp"
 #include "run_fingerprint.hpp"
 
 namespace lcdc {
@@ -28,7 +29,7 @@ TEST_P(ResetReuseCell, ResetThenRunEqualsConstructThenRun) {
   // campaign reuses a System only across identically-shaped specs too.
   const SystemConfig shape = lcdc::testing::matrixConfig(2);
   trace::Trace trace;
-  verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(shape));
+  verify::StreamCheckerSet checkers(proto::verifyConfigFor(shape));
   proto::TeeSink tee{&trace, &checkers};
   std::optional<sim::System> reused;
 
@@ -48,7 +49,7 @@ TEST_P(ResetReuseCell, ResetThenRunEqualsConstructThenRun) {
       reused->reset(sys.seed);
     }
     trace.clear();
-    checkers.reset(verify::VerifyConfig::fromSystem(sys));
+    checkers.reset(proto::verifyConfigFor(sys));
     for (NodeId p = 0; p < sys.numProcessors; ++p) {
       reused->setProgram(p, progs[p]);
     }
@@ -85,7 +86,7 @@ TEST(ObserverLifecycle, PersistentTeeAcrossShapesAndMutants) {
         lcdc::testing::matrixWorkload(sys, cycle);
     const auto progs = workload::make(
         mutated ? workload::Kind::Hot : workload::Kind::Uniform, w);
-    const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(sys);
+    const verify::VerifyConfig vc = proto::verifyConfigFor(sys);
 
     // Freshly constructed engines.
     trace::Trace freshTrace;

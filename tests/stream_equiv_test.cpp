@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bus/bus_system.hpp"
 #include "common/expect.hpp"
 #include "proto/observer.hpp"
+#include "tardis/tardis_system.hpp"
 #include "testutil.hpp"
 #include "verify/stream.hpp"
 
@@ -43,7 +45,7 @@ bool checkDirectoryEquivalence(const SystemConfig& cfg,
                                const std::vector<workload::Program>& programs,
                                const std::string& what,
                                std::size_t* violating = nullptr) {
-  const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(cfg);
+  const verify::VerifyConfig vc = proto::verifyConfigFor(cfg);
   trace::Trace trace;
   verify::StreamCheckerSet checkers(vc);
   proto::TeeSink tee{&trace, &checkers};
@@ -188,7 +190,7 @@ TEST(StreamEquiv, AdversarialSchedulesStayEquivalent) {
     w.evictPercent = 12;
     const auto programs = workload::hotBlock(w, 85, 3);
 
-    const verify::VerifyConfig vc = verify::VerifyConfig::fromSystem(cfg);
+    const verify::VerifyConfig vc = proto::verifyConfigFor(cfg);
     trace::Trace trace;
     verify::StreamCheckerSet checkers(vc);
     proto::TeeSink tee{&trace, &checkers};
@@ -216,6 +218,57 @@ TEST(StreamEquiv, AdversarialSchedulesStayEquivalent) {
                      "adversary seed " + std::to_string(seed));
     EXPECT_TRUE(checkers.report().ok());
   }
+}
+
+// Per-backend equivalence: the same TeeSink discipline must hold on the
+// Tardis backend — including when the report is non-empty (the seeded
+// drop-lease-bump mutant), so violation ordering and details are pinned
+// across both pipelines on a second protocol.
+TEST(StreamEquiv, TardisRunsStayEquivalentCleanAndMutated) {
+  std::size_t violating = 0;
+  for (const Mutant mutant : {Mutant::None, Mutant::DropLeaseBump}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      SystemConfig cfg;
+      cfg.protocol = ProtocolKind::Tardis;
+      cfg.numProcessors = 6;
+      cfg.numDirectories = 2;
+      cfg.numBlocks = 6;
+      cfg.cacheCapacity = 2;
+      cfg.seed = seed;
+      cfg.proto.mutant = mutant;
+      cfg.proto.leaseLength = 8;
+
+      auto w = test::workloadFor(cfg, 600, seed * 31 + 7);
+      w.storePercent = 50;
+      w.evictPercent = 12;
+      const auto programs = workload::hotBlock(w, 85, 3);
+      const std::string what = std::string("tardis ") + toString(mutant) +
+                               " seed " + std::to_string(seed);
+
+      const verify::VerifyConfig vc = proto::verifyConfigFor(cfg);
+      trace::Trace trace;
+      verify::StreamCheckerSet checkers(vc);
+      proto::TeeSink tee{&trace, &checkers};
+      tardis::TardisSystem sys(cfg, tee);
+      for (NodeId p = 0; p < cfg.numProcessors; ++p) {
+        sys.setProgram(p, programs[p]);
+      }
+      try {
+        if (!sys.run(20'000'000).ok()) continue;
+      } catch (const ProtocolError&) {
+        continue;
+      }
+      checkers.finish();
+      expectSameReport(checkers.report(), verify::checkAll(trace, vc), what);
+      if (mutant == Mutant::None) {
+        EXPECT_TRUE(checkers.report().ok()) << what;
+      } else if (!checkers.report().ok()) {
+        violating += 1;
+      }
+    }
+  }
+  EXPECT_GT(violating, 0u)
+      << "drop-lease-bump never produced a comparable violating report";
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "campaign/coverage.hpp"
 #include "proto/observer.hpp"
 #include "testutil.hpp"
@@ -127,7 +128,7 @@ TEST(Stream, CheckerSetVerifiesOnlineWithBoundedState) {
   std::uint64_t eventsLarge = 0;
   for (const LiveRun* r : {&small, &large}) {
     verify::StreamCheckerSet checkers(
-        verify::VerifyConfig::fromSystem(r->cfg));
+        proto::verifyConfigFor(r->cfg));
     verify::StatsObserver stats(&checkers);
     proto::TeeSink tee{&checkers, &stats};
     ASSERT_TRUE(runThrough(*r, tee).ok());
@@ -151,7 +152,7 @@ TEST(Stream, CheckerSetVerifiesOnlineWithBoundedState) {
 
 TEST(Stream, FinishIsIdempotent) {
   const LiveRun r = contendedRun(2, 200);
-  verify::StreamCheckerSet checkers(verify::VerifyConfig::fromSystem(r.cfg));
+  verify::StreamCheckerSet checkers(proto::verifyConfigFor(r.cfg));
   ASSERT_TRUE(runThrough(r, checkers).ok());
   checkers.finish();
   const std::string once = checkers.report().summary();

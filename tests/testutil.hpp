@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "sim/system.hpp"
 #include "trace/trace.hpp"
 #include "verify/checkers.hpp"
@@ -34,7 +35,7 @@ inline RunOutput runVerified(const SystemConfig& cfg,
   }
   RunOutput out;
   out.result = system.run();
-  out.report = verify::checkAll(trace, verify::VerifyConfig::fromSystem(cfg));
+  out.report = verify::checkAll(trace, proto::verifyConfigFor(cfg));
   out.dirStats = system.aggregateDirStats();
   out.cacheStats = system.aggregateCacheStats();
   return out;

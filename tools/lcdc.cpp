@@ -1,7 +1,8 @@
 // lcdc — command-line driver for the whole reproduction.
 //
-//   lcdc run       simulate a workload on the directory (or bus) protocol,
-//                  verify the Section 3 properties, optionally dump the trace
+//   lcdc run       simulate a workload on a coherence backend (--protocol
+//                  dir|bus|tardis), verify the Section 3 properties,
+//                  optionally dump the trace
 //   lcdc verify    re-verify a previously dumped trace offline
 //   lcdc mc        exhaustively model-check a small configuration
 //   lcdc campaign  fan out thousands of seeded runs across a thread pool,
@@ -41,7 +42,7 @@
 #include <string>
 #include <vector>
 
-#include "bus/bus_system.hpp"
+#include "backend/backend.hpp"
 #include "campaign/campaign.hpp"
 #include "common/expect.hpp"
 #include "dsm/load.hpp"
@@ -50,7 +51,6 @@
 #include "mc/replay.hpp"
 #include "proto/observer.hpp"
 #include "sim/perf.hpp"
-#include "sim/system.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace.hpp"
 #include "verify/checkers.hpp"
@@ -149,6 +149,14 @@ workload::Kind parseWorkload(const std::string& name) {
   }
 }
 
+ProtocolKind parseProtocol(const std::string& name) {
+  try {
+    return proto::protocolFromName(name);
+  } catch (const SimError& e) {
+    throw UsageError(e.what());
+  }
+}
+
 Mutant parseMutant(const std::string& name) {
   const Mutant all[] = {Mutant::None,
                         Mutant::SkipInvAckWait,
@@ -156,7 +164,8 @@ Mutant parseMutant(const std::string& name) {
                         Mutant::IgnoreInvalidation,
                         Mutant::ForwardStaleValue,
                         Mutant::NoBusyNack,
-                        Mutant::NoDeadlockDetection};
+                        Mutant::NoDeadlockDetection,
+                        Mutant::DropLeaseBump};
   for (const Mutant m : all) {
     if (name == toString(m)) return m;
   }
@@ -219,83 +228,75 @@ int cmdRun(const Args& args) {
   if (keepTrace) tee.attach(trace);
   tee.attach(stats);
 
-  verify::VerifyConfig vc{procs};
-  vc.tso = model == "tso";
-  std::uint64_t opsBound = 0;
-  std::string outcome;
-  bool runOk = false;
   // --perf: wall-clock + hot-loop counters, printed after the deterministic
   // output (like `lcdc mc --perf`, nothing here is diffable between runs).
   const bool perf = args.has("perf");
   std::optional<sim::SimPerfCounters> perfCounters;
 
-  const std::string protocol = args.str("protocol", "directory");
-  if (protocol != "directory" && protocol != "bus") {
-    throw UsageError("unknown protocol: " + protocol + " (directory|bus)");
+  // One backend-driven path for every protocol (DESIGN.md §12): the
+  // SystemConfig is built once, the backend decides what it honours and
+  // rejects the rest loudly.
+  const ProtocolKind protocol = parseProtocol(args.str("protocol", "dir"));
+  const proto::CoherenceBackend& backend = proto::backendFor(protocol);
+
+  SystemConfig cfg;
+  cfg.protocol = protocol;
+  cfg.numProcessors = procs;
+  cfg.numDirectories =
+      static_cast<NodeId>(args.num("dirs", std::max<NodeId>(1, procs / 2)));
+  cfg.numBlocks = w.numBlocks;
+  cfg.proto.wordsPerBlock = w.wordsPerBlock;
+  cfg.cacheCapacity = static_cast<std::uint32_t>(args.num("capacity", 0));
+  cfg.minLatency = args.num("min-latency", 1);
+  cfg.maxLatency = args.num("max-latency", 40);
+  cfg.busSnoopDelayMax = args.num("snoop-delay", 16);
+  cfg.seed = w.seed;
+  cfg.proto.putSharedEnabled = !args.has("no-putshared");
+  cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
+  cfg.proto.leaseLength =
+      static_cast<std::uint32_t>(args.num("lease", 16));
+  cfg.storeBufferDepth =
+      static_cast<std::uint32_t>(args.num("store-buffer", 0));
+
+  verify::VerifyConfig vc;
+  std::unique_ptr<proto::BackendSystem> sys;
+  try {
+    vc = backend.verifyConfig(cfg);
+    sys = backend.makeSystem(cfg, tee);
+  } catch (const SimError& e) {
+    // Unsupported combination (e.g. --protocol bus --store-buffer 2): the
+    // invocation, not the input, is at fault.
+    throw UsageError(e.what());
   }
-  if (protocol == "bus") {
-    bus::BusConfig cfg;
-    cfg.numProcessors = procs;
-    cfg.numBlocks = w.numBlocks;
-    cfg.wordsPerBlock = w.wordsPerBlock;
-    cfg.cacheCapacity = static_cast<std::uint32_t>(args.num("capacity", 0));
-    cfg.snoopDelayMax = args.num("snoop-delay", 16);
-    cfg.seed = w.seed;
-    if (streaming) {
-      checkers.emplace(vc);
-      tee.attach(*checkers);
-    }
-    bus::BusSystem sys(cfg, tee);
-    for (NodeId p = 0; p < procs; ++p) sys.setProgram(p, programs[p]);
-    const bus::BusRunResult r = sys.run();
-    outcome = toString(r.outcome);
-    opsBound = r.opsBound;
-    runOk = r.ok();
-  } else {
-    SystemConfig cfg;
-    cfg.numProcessors = procs;
-    cfg.numDirectories = static_cast<NodeId>(
-        args.num("dirs", std::max<NodeId>(1, procs / 2)));
-    cfg.numBlocks = w.numBlocks;
-    cfg.proto.wordsPerBlock = w.wordsPerBlock;
-    cfg.cacheCapacity = static_cast<std::uint32_t>(args.num("capacity", 0));
-    cfg.minLatency = args.num("min-latency", 1);
-    cfg.maxLatency = args.num("max-latency", 40);
-    cfg.seed = w.seed;
-    cfg.proto.putSharedEnabled = !args.has("no-putshared");
-    cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
-    cfg.storeBufferDepth =
-        static_cast<std::uint32_t>(args.num("store-buffer", 0));
-    vc = verify::VerifyConfig::fromSystem(cfg);
-    if (model == "tso") vc.tso = true;
-    if (streaming) {
-      checkers.emplace(vc);
-      tee.attach(*checkers);
-    }
-    sim::System sys(cfg, tee);
-    for (NodeId p = 0; p < procs; ++p) sys.setProgram(p, programs[p]);
-    const auto t0 = std::chrono::steady_clock::now();
-    const sim::RunResult r = sys.run();
-    if (perf) {
-      const auto nanos = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
-      perfCounters.emplace();
-      perfCounters->note(r.eventsProcessed, r.opsBound, nanos,
-                         sys.network().queueStats());
-    }
-    outcome = toString(r.outcome);
-    opsBound = r.opsBound;
-    runOk = r.ok();
+  if (model == "tso") vc.tso = true;
+  if (streaming) {
+    checkers.emplace(vc);
+    tee.attach(*checkers);
   }
+  for (NodeId p = 0; p < procs; ++p) sys->setProgram(p, programs[p]);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = sys->run();
+  if (perf && sys->network() != nullptr) {
+    const auto nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    perfCounters.emplace();
+    perfCounters->note(r.eventsProcessed, r.opsBound, nanos,
+                       sys->network()->queueStats());
+  }
+  const std::string outcome = toString(r.outcome);
+  const std::uint64_t opsBound = r.opsBound;
+  const bool runOk = r.ok();
 
   std::cout << "simulation: " << outcome << " — " << opsBound
             << " operations, " << stats.stats().serializations
             << " transactions\n";
+  sys->printStats(std::cout);
   if (perfCounters) perfCounters->print(std::cout);
   if (perf && !perfCounters) {
-    std::cout << "sim perf: (--perf is directory-protocol only)\n";
+    std::cout << "sim perf: (--perf needs a backend with a point-to-point "
+                 "network; the bus is a centralized medium)\n";
   }
   if (const auto it = args.kv.find("trace"); it != args.kv.end()) {
     if (traceFormat == "binary") {
@@ -361,8 +362,20 @@ void printMcPerf(const mc::McResult& r) {
 
 int cmdMc(const Args& args) {
   mc::McConfig cfg;
+  cfg.protocol = parseProtocol(args.str("protocol", "dir"));
+  if (cfg.protocol == ProtocolKind::Bus) {
+    throw UsageError(
+        "the bus backend is not model-checkable (--protocol dir|tardis)");
+  }
+  if (cfg.protocol == ProtocolKind::Tardis && args.has("replay")) {
+    throw UsageError(
+        "--replay is directory-only: tardis counterexamples carry no "
+        "replayable schedule");
+  }
   cfg.numProcessors = static_cast<NodeId>(args.num("procs", 2));
   cfg.numBlocks = static_cast<BlockId>(args.num("blocks", 1));
+  cfg.proto.leaseLength =
+      static_cast<std::uint32_t>(args.num("lease", 16));
   cfg.maxStates = args.num("max-states", 2'000'000);
   cfg.maxDepth = args.num("max-depth", 0);
   cfg.jobs = static_cast<unsigned>(args.num("jobs", 1));
@@ -413,13 +426,27 @@ int cmdMc(const Args& args) {
   } else if (args.has("replay")) {
     std::cout << "replay: nothing to replay (no counterexample)\n";
   }
-  if (!r.ok() || r.hitStateLimit) return kExitViolations;
+  if (!r.ok()) return kExitViolations;
+  if (r.hitStateLimit) {
+    // For the directory engine the cap is exhaustiveness lost — report it
+    // as an inconclusive (non-zero) verdict.  The Tardis engine is
+    // *documented* as bounded-exhaustive (rank-rebased timestamps keep
+    // minting fresh states), so a clean capped run is its success mode.
+    if (cfg.protocol != ProtocolKind::Tardis) return kExitViolations;
+    std::cout << "bounded-exhaustive: clean within the state cap\n";
+  }
   if (r.memLimitHit) return kExitMemLimit;
   return kExitOk;
 }
 
 int cmdCampaign(const Args& args) {
   campaign::CampaignConfig cfg;
+  cfg.protocol = parseProtocol(args.str("protocol", "dir"));
+  if (cfg.protocol == ProtocolKind::Bus) {
+    throw UsageError(
+        "campaign does not support the bus backend (it has no in-place "
+        "reset; use 'lcdc run --protocol bus' for seeded bus runs)");
+  }
   cfg.masterSeed = args.num("master-seed", 1);
   cfg.seeds = args.num("seeds", 256);
   if (cfg.seeds == 0) throw UsageError("--seeds must be at least 1");
@@ -449,6 +476,10 @@ int cmdCampaign(const Args& args) {
 
   std::cout << "campaign: master-seed=" << cfg.masterSeed
             << " seeds=" << cfg.seeds << " workload=" << workloadName
+            << (cfg.protocol == ProtocolKind::Directory
+                    ? std::string()
+                    : std::string(" protocol=") +
+                          proto::backendFor(cfg.protocol).name())
             << " mutant=" << toString(cfg.mutant)
             << (cfg.untilCoverage ? " until-coverage" : "")
             << (cfg.minimize ? " minimize" : "")
@@ -616,18 +647,18 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
        {{"procs", "dirs", "blocks", "ops", "words", "seed", "workload",
          "protocol", "capacity", "mutant", "store-pct", "evict-pct",
          "prefetch", "store-buffer", "model", "min-latency", "max-latency",
-         "snoop-delay", "trace", "trace-format"},
+         "snoop-delay", "lease", "trace", "trace-format"},
         {"no-putshared", "quiet", "streaming", "no-trace", "perf"}}},
       {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
       {"mc",
-       {{"procs", "blocks", "max-states", "max-depth", "jobs", "mutant",
-         "mem-limit-mb"},
+       {{"procs", "blocks", "protocol", "lease", "max-states", "max-depth",
+         "jobs", "mutant", "mem-limit-mb"},
         {"no-evictions", "no-putshared", "symmetry", "por", "model-data",
          "replay", "perf"}}},
       {"campaign",
-       {{"seeds", "jobs", "master-seed", "workload", "mutant", "out",
-         "max-events", "max-minimized", "minimize-attempts", "mc-procs",
-         "mc-blocks", "mc-max-states"},
+       {{"seeds", "jobs", "master-seed", "workload", "protocol", "mutant",
+         "out", "max-events", "max-minimized", "minimize-attempts",
+         "mc-procs", "mc-blocks", "mc-max-states"},
         {"until-coverage", "minimize", "quiet", "streaming",
          "no-streaming", "mc-stage"}}},
       {"serve",
@@ -647,8 +678,12 @@ void usage(std::ostream& os) {
       "commands:\n"
       "  run       simulate + verify\n"
       "            --procs N --dirs D --blocks B --ops K --seed S\n"
-      "            --workload uniform|hot|prodcons|migratory|falseshare|readmostly\n"
-      "            --protocol directory|bus  --capacity C  --no-putshared\n"
+      "            --workload uniform|hot|prodcons|migratory|falseshare|\n"
+      "                       readmostly|leasechurn\n"
+      "            --protocol dir|bus|tardis ('directory' is a deprecated\n"
+      "                                       alias for dir)\n"
+      "            --lease L (tardis lease length, logical ticks)\n"
+      "            --capacity C  --no-putshared\n"
       "            --mutant NAME  --store-pct P --evict-pct P --prefetch PCT\n"
       "            --store-buffer DEPTH (TSO mode)  --model sc|tso\n"
       "            --min-latency T --max-latency T --trace FILE --quiet\n"
@@ -660,6 +695,8 @@ void usage(std::ostream& os) {
       "            --trace FILE --procs N --model sc|tso [--partial]\n"
       "  mc        exhaustive model checking (small configs!)\n"
       "            --procs N --blocks B --max-states M --max-depth D\n"
+      "            --protocol dir|tardis (tardis: bounded-exhaustive,\n"
+      "                                   rank-rebased timestamps; --lease L)\n"
       "            --jobs J (parallel wave BFS; results independent of J)\n"
       "            --symmetry (processor-id canonicalization)\n"
       "            --por (ample-set partial-order reduction)\n"
@@ -673,7 +710,10 @@ void usage(std::ostream& os) {
       "            --no-evictions --mutant NAME\n"
       "  campaign  parallel seed-fuzzing campaign over the checker suite\n"
       "            --seeds N --jobs J --master-seed S\n"
-      "            --workload mixed|uniform|hot|prodcons|migratory|falseshare|readmostly\n"
+      "            --protocol dir|tardis (tardis: per-case lease lengths,\n"
+      "                                   lease-churn in the workload mix)\n"
+      "            --workload mixed|uniform|hot|prodcons|migratory|falseshare|\n"
+      "                       readmostly|leasechurn\n"
       "            --mutant NAME --until-coverage --minimize\n"
       "            --max-minimized K --minimize-attempts A\n"
       "            --out DIR (archive failing + minimized traces)\n"
