@@ -1,0 +1,160 @@
+// Experiment S16: time-to-detection, coverage-guided fuzzing vs. random
+// campaigning (extends S3/S9 to the fuzz stage).
+//
+// For every seeded mutant of all three backends, this harness measures how
+// many executions each strategy needs before the first failing case:
+//
+//   * fuzz   — campaign::runFuzz with fuzzStopOnFailure (corpus-guided
+//              waves, swarm sampling, Pct/Fifo mode flips);
+//   * random — the classic independent derivation, executed sequentially
+//              until the first failure (the S3 discipline).
+//
+// Each row reports the median over several independent master seeds, so
+// one lucky draw doesn't decide the comparison.  The harness exits 0 iff
+// the fuzzer matches or beats the random baseline's median for every
+// backend — the acceptance bar for the fuzz stage — and additionally
+// replays every corpus entry twice to confirm saved inputs reproduce the
+// same verdict byte-for-byte.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/corpus.hpp"
+#include "common/expect.hpp"
+
+using namespace lcdc;
+
+namespace {
+
+struct Row {
+  ProtocolKind protocol;
+  Mutant mutant;
+};
+
+const Row kRows[] = {
+    {ProtocolKind::Directory, Mutant::SkipInvAckWait},
+    {ProtocolKind::Directory, Mutant::StaleDataFromHome},
+    {ProtocolKind::Directory, Mutant::IgnoreInvalidation},
+    {ProtocolKind::Directory, Mutant::ForwardStaleValue},
+    {ProtocolKind::Directory, Mutant::NoBusyNack},
+    {ProtocolKind::Directory, Mutant::NoDeadlockDetection},
+    {ProtocolKind::Bus, Mutant::IgnoreInvalidation},
+    {ProtocolKind::Tardis, Mutant::DropLeaseBump},
+};
+
+constexpr std::uint64_t kBudget = 512;  ///< executions per trial (miss = 512)
+constexpr std::uint64_t kTrials = 5;    ///< independent master seeds per row
+
+std::uint64_t median(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Executions until the fuzz stage's first failure (kBudget on a miss).
+std::uint64_t fuzzDetect(const Row& row, std::uint64_t masterSeed) {
+  campaign::CampaignConfig cfg;
+  cfg.protocol = row.protocol;
+  cfg.mutant = row.mutant;
+  cfg.fuzz = true;
+  cfg.fuzzStopOnFailure = true;
+  cfg.seeds = kBudget;
+  cfg.masterSeed = masterSeed;
+  cfg.minimize = false;
+  const campaign::CampaignResult r = campaign::run(cfg);
+  return r.fuzz.firstFailureExecution == 0 ? kBudget
+                                           : r.fuzz.firstFailureExecution;
+}
+
+/// Executions until the first failing random derivation (the S3 loop).
+std::uint64_t randomDetect(const Row& row, std::uint64_t masterSeed) {
+  campaign::CampaignConfig cfg;
+  cfg.protocol = row.protocol;
+  cfg.mutant = row.mutant;
+  cfg.masterSeed = masterSeed;
+  for (std::uint64_t i = 0; i < kBudget; ++i) {
+    const campaign::CaseSpec spec = campaign::deriveCase(cfg, i);
+    const campaign::CaseOutcome o = campaign::runCase(spec, 5'000'000);
+    if (!o.clean()) return i + 1;
+  }
+  return kBudget;
+}
+
+/// Grow one pristine-protocol corpus and replay every entry twice:
+/// identical outcomes or the persistence story is broken.
+bool corpusReplayDeterministic() {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "lcdc-s16-corpus").string();
+  fs::remove_all(dir);
+  campaign::CampaignConfig cfg;
+  cfg.fuzz = true;
+  cfg.seeds = 128;
+  cfg.masterSeed = 616;
+  cfg.minimize = false;
+  cfg.corpusDir = dir;
+  (void)campaign::run(cfg);
+  const std::vector<campaign::CaseSpec> corpus = campaign::loadCorpus(dir);
+  bool ok = !corpus.empty();
+  for (const campaign::CaseSpec& spec : corpus) {
+    const campaign::CaseOutcome a = campaign::runCase(spec, 5'000'000);
+    const campaign::CaseOutcome b = campaign::runCase(spec, 5'000'000);
+    ok = ok && a.signature == b.signature && a.opsBound == b.opsBound &&
+         a.txnsSerialized == b.txnsSerialized &&
+         a.coverage.counts == b.coverage.counts;
+  }
+  std::cout << "corpus replay: " << corpus.size() << " entries, "
+            << (ok ? "deterministic" : "DIVERGED") << '\n';
+  fs::remove_all(dir);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "S16: median executions to first detection over " << kTrials
+            << " master seeds, budget " << kBudget << " (miss = " << kBudget
+            << ")\n\n";
+  std::cout << "backend  mutant                 fuzz  random\n";
+
+  // Per-backend totals of row medians; the acceptance bar compares these.
+  std::map<ProtocolKind, std::pair<std::uint64_t, std::uint64_t>> totals;
+  for (const Row& row : kRows) {
+    std::vector<std::uint64_t> fz, rd;
+    for (std::uint64_t t = 0; t < kTrials; ++t) {
+      fz.push_back(fuzzDetect(row, 100 + t));
+      rd.push_back(randomDetect(row, 100 + t));
+    }
+    const std::uint64_t fm = median(fz);
+    const std::uint64_t rm = median(rd);
+    totals[row.protocol].first += fm;
+    totals[row.protocol].second += rm;
+    std::cout << toString(row.protocol);
+    for (std::size_t i = std::string(toString(row.protocol)).size(); i < 9;
+         ++i) {
+      std::cout << ' ';
+    }
+    std::cout << toString(row.mutant);
+    for (std::size_t i = std::string(toString(row.mutant)).size(); i < 23;
+         ++i) {
+      std::cout << ' ';
+    }
+    std::cout << fm << "     " << rm << '\n';
+  }
+
+  bool ok = true;
+  std::cout << '\n';
+  for (const auto& [protocol, t] : totals) {
+    const bool beats = t.first <= t.second;
+    ok = ok && beats;
+    std::cout << toString(protocol) << ": fuzz " << t.first << " vs random "
+              << t.second << " (summed medians) — "
+              << (beats ? "fuzzer matches or beats random" : "FUZZER SLOWER")
+              << '\n';
+  }
+  ok = corpusReplayDeterministic() && ok;
+  return ok ? 0 : 1;
+}

@@ -192,11 +192,25 @@ int runThroughput(const Options& opt) {
   return 0;
 }
 
+const char* hashModeName(net::Network::Mode mode) {
+  switch (mode) {
+    case net::Network::Mode::Fifo: return "fifo";
+    case net::Network::Mode::Pct: return "pct";
+    default: return "random";
+  }
+}
+
 int printHashes(const Options& opt) {
   for (const auto& cell : lcdc::testing::fingerprintMatrix()) {
     std::cout << workload::toString(cell.kind) << ' '
-              << (cell.mode == net::Network::Mode::Fifo ? "fifo" : "random")
-              << " 0x" << std::hex
+              << hashModeName(cell.mode) << " 0x" << std::hex
+              << lcdc::testing::cellFingerprint(cell, opt.hashSeeds)
+              << std::dec << '\n';
+  }
+  // The PCT companion table (pinned separately in tests/pct_test.cpp).
+  for (const auto& cell : lcdc::testing::pctFingerprintMatrix()) {
+    std::cout << workload::toString(cell.kind) << ' '
+              << hashModeName(cell.mode) << " 0x" << std::hex
               << lcdc::testing::cellFingerprint(cell, opt.hashSeeds)
               << std::dec << '\n';
   }

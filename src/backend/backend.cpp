@@ -115,6 +115,7 @@ class BusAdapter final : public BackendSystem {
     cfg.cacheCapacity = sys.cacheCapacity;
     cfg.snoopDelayMax = sys.busSnoopDelayMax;
     cfg.seed = sys.seed;
+    cfg.mutant = sys.proto.mutant;
     return cfg;
   }
 
@@ -154,6 +155,12 @@ class BusBackend final : public CoherenceBackend {
       throw SimError(
           "bus backend does not support the TSO store-buffer extension "
           "(storeBufferDepth must be 0)");
+    }
+    if (sys.proto.mutant != Mutant::None &&
+        sys.proto.mutant != Mutant::IgnoreInvalidation) {
+      throw SimError(std::string("mutant '") + toString(sys.proto.mutant) +
+                     "' is not implemented by the bus backend "
+                     "(only ignore-invalidation)");
     }
     SystemConfig cfg = sys;
     cfg.protocol = ProtocolKind::Bus;

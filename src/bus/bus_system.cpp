@@ -532,6 +532,16 @@ struct BusSystem::Impl {
           sink->onStamp(id, txn.id, txn.serial, txn.block,
                         proto::StampRole::Downgrade, seq, line.astate,
                         AState::I);
+          // MUTANT IgnoreInvalidation: a shared copy "forgets" to act on the
+          // snooped invalidation.  The downgrade is stamped (the abstract
+          // ghost state is correct), but the concrete line stays Shared with
+          // its old data, so later loads bind stale values — caught by the
+          // value/SC checkers, not by an invariant abort.
+          if (cfg.mutant == Mutant::IgnoreInvalidation &&
+              line.astate == AState::S && txn.responder != id) {
+            line.astate = AState::I;
+            break;
+          }
           line.astate = AState::I;
           line.state = MsiState::Invalid;
           line.data.clear();

@@ -73,6 +73,10 @@ struct BusConfig {
   /// Max random snoop-processing delay per node per command.
   Tick snoopDelayMax = 16;
   std::uint64_t seed = 1;
+  /// Seeded protocol bug (campaign / fuzzing target).  The bus implements
+  /// only Mutant::IgnoreInvalidation: a shared copy survives a snooped
+  /// BusRdX/BusUpgr, so later loads keep binding stale values.
+  Mutant mutant = Mutant::None;
 };
 
 struct BusRunResult {

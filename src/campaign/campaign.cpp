@@ -3,13 +3,16 @@
 #include <chrono>
 #include <filesystem>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 
 #include "backend/backend.hpp"
+#include "campaign/fuzz.hpp"
 #include "campaign/minimize.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "mc/model_checker.hpp"
+#include "net/schedule_probe.hpp"
 #include "proto/observer.hpp"
 #include "sim/system.hpp"
 #include "tardis/tardis_system.hpp"
@@ -93,6 +96,13 @@ void deriveCaseInto(const CampaignConfig& cfg, std::uint64_t index,
     sys.storeBufferDepth = 0;
     sys.proto.leaseLength = static_cast<std::uint32_t>(rng.uniform(2, 48));
   }
+  if (cfg.protocol == ProtocolKind::Bus) {
+    sys.protocol = ProtocolKind::Bus;
+    // The bus supports neither TSO nor point-to-point latency; its explored
+    // schedule dimension is the per-node snoop-processing delay instead.
+    sys.storeBufferDepth = 0;
+    sys.busSnoopDelayMax = rng.uniform(4, 24);
+  }
   sys.seed = rng();
 
   workload::WorkloadConfig w;
@@ -131,7 +141,11 @@ void deriveCaseInto(const CampaignConfig& cfg, std::uint64_t index,
   if (sys.protocol == ProtocolKind::Tardis) {
     desc << " lease=" << sys.proto.leaseLength;
   }
+  if (sys.protocol == ProtocolKind::Bus) {
+    desc << " snoop=" << sys.busSnoopDelayMax;
+  }
   out.description = desc.str();
+  out.netMode = net::Network::Mode::RandomLatency;
 }
 
 namespace {
@@ -157,8 +171,17 @@ struct WorkerEngine {
   std::optional<verify::StreamCheckerSet> checkers;
   std::optional<sim::System> system;
   SystemConfig shape;  ///< the configuration `system` was built with
+  net::Network::Mode systemMode = net::Network::Mode::RandomLatency;
   std::optional<tardis::TardisSystem> tardisSystem;
   SystemConfig tardisShape;
+  net::Network::Mode tardisMode = net::Network::Mode::RandomLatency;
+  /// Bus runs construct fresh (no in-place reset on that backend); the slot
+  /// only reuses the allocation across cases.
+  std::unique_ptr<proto::BackendSystem> busSystem;
+  /// Schedule-shape probe, attached to the case's network when the caller
+  /// asked runCase to probe (the fuzzer's novelty features).
+  net::ScheduleProbe probe;
+  bool probeRequested = false;
 };
 
 WorkerEngine& workerEngine() {
@@ -182,15 +205,19 @@ bool resettableTo(const SystemConfig& a, const SystemConfig& b) {
 }
 
 /// Acquire a retained per-worker system (sim::System or
-/// tardis::TardisSystem — both expose the same reset/run surface).
+/// tardis::TardisSystem — both expose the same reset/run surface).  A
+/// network-mode switch forces reconstruction: the mode is baked into the
+/// Network at construction and reset() keeps it.
 template <class Sys>
 Sys& acquireSystem(std::optional<Sys>& slot, SystemConfig& shape,
-                   proto::TeeSink& tee, const SystemConfig& sys) {
-  if (slot && resettableTo(shape, sys)) {
+                   net::Network::Mode& shapeMode, proto::TeeSink& tee,
+                   const SystemConfig& sys, net::Network::Mode mode) {
+  if (slot && shapeMode == mode && resettableTo(shape, sys)) {
     slot->reset(sys.seed);
   } else {
-    slot.emplace(sys, tee);
+    slot.emplace(sys, tee, mode);
     shape = sys;
+    shapeMode = mode;
   }
   return *slot;
 }
@@ -214,20 +241,56 @@ RunResult timedRun(Sys& system, std::uint64_t maxEvents, CaseOutcome& out) {
 /// diverge in anything but how the events are observed.
 RunResult executeCase(WorkerEngine& eng, const CaseSpec& spec,
                       std::uint64_t maxEvents, CaseOutcome& out) {
+  if (spec.sys.protocol == ProtocolKind::Bus) {
+    // No in-place reset on the bus backend: construct fresh per case.  The
+    // adapter rejects unsupported shapes (TSO, foreign mutants) itself.
+    eng.busSystem = proto::backendFor(ProtocolKind::Bus)
+                        .makeSystem(spec.sys, eng.tee);
+    for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
+      eng.busSystem->setProgram(p, spec.programs[p]);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult result = eng.busSystem->run(maxEvents);
+    const auto nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    out.perf.note(result.eventsProcessed, result.opsBound, nanos,
+                  net::CalendarStats{});
+    return result;
+  }
   if (spec.sys.protocol == ProtocolKind::Tardis) {
     tardis::TardisSystem& system =
-        acquireSystem(eng.tardisSystem, eng.tardisShape, eng.tee, spec.sys);
+        acquireSystem(eng.tardisSystem, eng.tardisShape, eng.tardisMode,
+                      eng.tee, spec.sys, spec.netMode);
+    if (eng.probeRequested) {
+      eng.probe.reset();
+      system.network().setProbe(&eng.probe);
+    }
     for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
       system.setProgram(p, spec.programs[p]);
     }
     return timedRun(system, maxEvents, out);
   }
-  sim::System& system =
-      acquireSystem(eng.system, eng.shape, eng.tee, spec.sys);
+  sim::System& system = acquireSystem(eng.system, eng.shape, eng.systemMode,
+                                      eng.tee, spec.sys, spec.netMode);
+  if (eng.probeRequested) {
+    eng.probe.reset();
+    system.network().setProbe(&eng.probe);
+  }
   for (NodeId p = 0; p < spec.sys.numProcessors; ++p) {
     system.setProgram(p, spec.programs[p]);
   }
   return timedRun(system, maxEvents, out);
+}
+
+/// Copy the probe's schedule features into the outcome (zeros when the
+/// probe was not requested or the backend has no network).
+void harvestProbe(WorkerEngine& eng, const CaseSpec& spec, CaseOutcome& out) {
+  if (!eng.probeRequested || spec.sys.protocol == ProtocolKind::Bus) return;
+  out.maxReorderDepth = eng.probe.maxReorderDepth;
+  out.maxBlockContention = eng.probe.maxBlockContention;
+  out.interleaveBits = eng.probe.interleaveBits;
 }
 
 /// Fold the run's lease statistics into the outcome's coverage.  Called
@@ -246,8 +309,9 @@ void harvestLeaseStats(const WorkerEngine& eng, const CaseSpec& spec,
 /// for a trace.  Per-run memory is the checkers' bounded state, not the
 /// event count.
 CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
-                             trace::Trace* traceOut) {
+                             trace::Trace* traceOut, bool probeSchedule) {
   WorkerEngine& eng = workerEngine();
+  eng.probeRequested = probeSchedule;
   CoverageObserver cov;
   const verify::VerifyConfig vc = proto::verifyConfigFor(spec.sys);
   if (eng.checkers) {
@@ -271,6 +335,7 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
     out.txnsSerialized = cov.txnsSerialized();
     out.coverage = cov.coverage();
     harvestLeaseStats(eng, spec, out);
+    harvestProbe(eng, spec, out);
     if (!result.ok()) {
       out.signature = outcomeSignature(result);
       out.detail = result.detail;
@@ -285,6 +350,7 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
     out.txnsSerialized = cov.txnsSerialized();
     out.coverage = cov.coverage();
     harvestLeaseStats(eng, spec, out);
+    harvestProbe(eng, spec, out);
     out.signature = "invariant";
     out.detail = e.what();
     return out;
@@ -305,8 +371,9 @@ CaseOutcome runCaseStreaming(const CaseSpec& spec, std::uint64_t maxEvents,
 /// the batch checkers replay through the same streaming cores, so the two
 /// paths cannot disagree.
 CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
-                            trace::Trace* traceOut) {
+                            trace::Trace* traceOut, bool probeSchedule) {
   WorkerEngine& eng = workerEngine();
+  eng.probeRequested = probeSchedule;
   trace::Trace localTrace;
   trace::Trace& trace = traceOut ? *traceOut : localTrace;
   trace.clear();
@@ -320,6 +387,7 @@ CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
     out.txnsSerialized = trace.serializations().size();
     out.coverage.record(trace);
     harvestLeaseStats(eng, spec, out);
+    harvestProbe(eng, spec, out);
     if (!result.ok()) {
       out.signature = outcomeSignature(result);
       out.detail = result.detail;
@@ -329,6 +397,7 @@ CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
     out.txnsSerialized = trace.serializations().size();
     out.coverage.record(trace);
     harvestLeaseStats(eng, spec, out);
+    harvestProbe(eng, spec, out);
     out.signature = "invariant";
     out.detail = e.what();
     return out;
@@ -347,9 +416,11 @@ CaseOutcome runCaseRecorded(const CaseSpec& spec, std::uint64_t maxEvents,
 }  // namespace
 
 CaseOutcome runCase(const CaseSpec& spec, std::uint64_t maxEvents,
-                    trace::Trace* traceOut, bool streaming) {
-  return streaming ? runCaseStreaming(spec, maxEvents, traceOut)
-                   : runCaseRecorded(spec, maxEvents, traceOut);
+                    trace::Trace* traceOut, bool streaming,
+                    bool probeSchedule) {
+  return streaming
+             ? runCaseStreaming(spec, maxEvents, traceOut, probeSchedule)
+             : runCaseRecorded(spec, maxEvents, traceOut, probeSchedule);
 }
 
 namespace {
@@ -385,22 +456,73 @@ std::string archiveTrace(const trace::Trace& trace, const std::string& outDir,
 
 }  // namespace
 
+namespace detail {
+
+Failure finalizeFailure(const CampaignConfig& cfg, std::uint64_t index,
+                        const CaseSpec& spec, const std::string& signature,
+                        const std::string& detailText, bool shrinkThis,
+                        const std::string& stem) {
+  Failure f;
+  f.index = index;
+  f.signature = signature;
+  f.detail = detailText;
+  f.description = spec.description;
+  f.steps = totalSteps(spec);
+  f.procs = spec.sys.numProcessors;
+
+  if (!cfg.outDir.empty()) {
+    trace::Trace original;
+    (void)runCase(spec, cfg.maxEventsPerRun, &original, cfg.streaming);
+    f.tracePath = archiveTrace(
+        original, cfg.outDir, stem, cfg, index, spec, signature,
+        /*complete=*/signature.rfind("outcome:", 0) != 0 &&
+            signature != "invariant");
+  }
+  if (shrinkThis) {
+    MinimizeOptions mo;
+    mo.maxAttempts = cfg.minimizeAttempts;
+    mo.maxEventsPerRun = cfg.maxEventsPerRun;
+    const MinimizeResult mr = shrink(spec, signature, mo);
+    f.minimized = mr.reduced();
+    f.minSteps = mr.stepsAfter;
+    f.minProcs = mr.procsAfter;
+    f.minMaxLatency = mr.spec.sys.maxLatency;
+    if (!cfg.outDir.empty()) {
+      trace::Trace minTrace;
+      const CaseOutcome minOutcome =
+          runCase(mr.spec, cfg.maxEventsPerRun, &minTrace, cfg.streaming);
+      LCDC_EXPECT(minOutcome.signature == signature,
+                  "minimized case no longer reproduces");
+      f.minimizedPath = archiveTrace(
+          minTrace, cfg.outDir, stem + "-min", cfg, index, mr.spec, signature,
+          /*complete=*/signature.rfind("outcome:", 0) != 0 &&
+              signature != "invariant");
+    }
+  }
+  return f;
+}
+
+}  // namespace detail
+
 CampaignResult run(const CampaignConfig& cfg) {
   LCDC_EXPECT(cfg.seeds > 0, "campaign needs at least one seed");
-  if (cfg.protocol == ProtocolKind::Bus) {
-    throw SimError(
-        "campaign does not support the bus backend (it has no in-place "
-        "reset; use 'lcdc run --protocol bus' for seeded bus runs)");
-  }
   if (cfg.protocol == ProtocolKind::Tardis && cfg.mutant != Mutant::None &&
       cfg.mutant != Mutant::DropLeaseBump) {
     throw SimError(std::string("mutant '") + toString(cfg.mutant) +
                    "' targets the directory protocol; the tardis backend "
                    "only implements 'drop-lease-bump'");
   }
+  if (cfg.protocol == ProtocolKind::Bus && cfg.mutant != Mutant::None &&
+      cfg.mutant != Mutant::IgnoreInvalidation) {
+    throw SimError(std::string("mutant '") + toString(cfg.mutant) +
+                   "' targets the directory protocol; the bus backend "
+                   "only implements 'ignore-invalidation'");
+  }
+  if (cfg.fuzz) return runFuzz(cfg);
   const auto t0 = std::chrono::steady_clock::now();
 
   CampaignResult result;
+  result.protocol = cfg.protocol;
 
   // Optional exhaustive stage on a small configuration of the same
   // protocol variant.  Runs before the fan-out: if the protocol is broken
@@ -474,7 +596,8 @@ CampaignResult run(const CampaignConfig& cfg) {
     }
     result.seedsRun = waveEnd;
     next = waveEnd;
-    if (cfg.untilCoverage && result.coverage.transactionCasesComplete()) {
+    if (cfg.untilCoverage &&
+        result.coverage.transactionCasesComplete(cfg.protocol)) {
       break;
     }
   }
@@ -485,48 +608,11 @@ CampaignResult run(const CampaignConfig& cfg) {
   for (std::uint64_t i = 0; i < result.seedsRun; ++i) {
     const CaseOutcome& o = outcomes[i];
     if (o.clean()) continue;
-    Failure f;
-    f.index = i;
-    f.signature = o.signature;
-    f.detail = o.detail;
-    CaseSpec spec = deriveCase(cfg, i);
-    f.description = spec.description;
-    f.steps = totalSteps(spec);
-    f.procs = spec.sys.numProcessors;
-
+    const CaseSpec spec = deriveCase(cfg, i);
     const bool shrinkThis =
         cfg.minimize && result.failures.size() < cfg.maxMinimized;
-    if (!cfg.outDir.empty()) {
-      trace::Trace original;
-      (void)runCase(spec, cfg.maxEventsPerRun, &original, cfg.streaming);
-      f.tracePath = archiveTrace(
-          original, cfg.outDir, caseFileStem(i), cfg, i, spec, o.signature,
-          /*complete=*/o.signature.rfind("outcome:", 0) != 0 &&
-              o.signature != "invariant");
-    }
-    if (shrinkThis) {
-      MinimizeOptions mo;
-      mo.maxAttempts = cfg.minimizeAttempts;
-      mo.maxEventsPerRun = cfg.maxEventsPerRun;
-      const MinimizeResult mr = shrink(spec, o.signature, mo);
-      f.minimized = mr.reduced();
-      f.minSteps = mr.stepsAfter;
-      f.minProcs = mr.procsAfter;
-      f.minMaxLatency = mr.spec.sys.maxLatency;
-      if (!cfg.outDir.empty()) {
-        trace::Trace minTrace;
-        const CaseOutcome minOutcome =
-            runCase(mr.spec, cfg.maxEventsPerRun, &minTrace, cfg.streaming);
-        LCDC_EXPECT(minOutcome.signature == o.signature,
-                    "minimized case no longer reproduces");
-        f.minimizedPath = archiveTrace(
-            minTrace, cfg.outDir, caseFileStem(i) + "-min", cfg, i, mr.spec,
-            o.signature,
-            /*complete=*/o.signature.rfind("outcome:", 0) != 0 &&
-                o.signature != "invariant");
-      }
-    }
-    result.failures.push_back(std::move(f));
+    result.failures.push_back(detail::finalizeFailure(
+        cfg, i, spec, o.signature, o.detail, shrinkThis, caseFileStem(i)));
   }
 
   result.pool = pool.stats();
@@ -541,7 +627,18 @@ std::string CampaignResult::report() const {
   os << "seeds run: " << seedsRun << '\n'
      << "operations bound: " << opsBound << '\n'
      << "transactions serialized: " << txnsSerialized << '\n';
-  os << coverage.report();
+  os << coverage.report(protocol);
+  if (fuzz.ran) {
+    os << "fuzz stage: executions=" << fuzz.executions
+       << " corpus-loaded=" << fuzz.corpusLoaded
+       << " corpus-added=" << fuzz.corpusAdded
+       << " corpus-size=" << fuzz.corpusSize
+       << " features=" << fuzz.features << '\n';
+    if (fuzz.firstFailureExecution != 0) {
+      os << "first failure at execution " << fuzz.firstFailureExecution
+         << '\n';
+    }
+  }
   os << "checker firings:";
   if (checkerFirings.empty()) {
     os << " none\n";

@@ -22,6 +22,7 @@
 // identical failure set, for ANY --jobs value.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -31,6 +32,7 @@
 #include "campaign/coverage.hpp"
 #include "common/config.hpp"
 #include "common/thread_pool.hpp"
+#include "net/network.hpp"
 #include "sim/perf.hpp"
 #include "workload/generators.hpp"
 
@@ -86,6 +88,18 @@ struct CampaignConfig {
   NodeId mcProcs = 2;
   BlockId mcBlocks = 1;
   std::uint64_t mcMaxStates = 400'000;
+  /// Coverage-guided fuzzing stage (campaign/fuzz.hpp): instead of deriving
+  /// every sub-run independently, mutate corpus entries and keep inputs
+  /// that exercise novel coverage or schedule shapes.  `seeds` becomes the
+  /// execution budget.  Deterministic for any --jobs, like the random path.
+  bool fuzz = false;
+  /// Persistent corpus directory; entries are loaded (and replayed, so the
+  /// novelty map resumes where the last session stopped) on start and novel
+  /// inputs are saved as they are found.  Empty = in-memory corpus only.
+  std::string corpusDir;
+  /// Fuzz only: stop at the first wave containing a failure instead of
+  /// exhausting the budget (the time-to-detection harness uses this).
+  bool fuzzStopOnFailure = false;
 };
 
 /// One fully derived sub-run: everything needed to re-execute it exactly.
@@ -93,6 +107,11 @@ struct CaseSpec {
   SystemConfig sys;
   std::vector<workload::Program> programs;
   std::string description;  ///< e.g. "hot procs=6 dirs=2 blocks=8 cap=2 ..."
+  /// Network schedule family.  Random derivation always uses RandomLatency
+  /// (keeping historical reports byte-identical); the fuzzer also flips
+  /// cases to Pct (randomized priorities) and Fifo.  Ignored by the bus
+  /// backend, which has no point-to-point network.
+  net::Network::Mode netMode = net::Network::Mode::RandomLatency;
 };
 
 /// Derive sub-run `index` of a campaign.  Pure function of (config,
@@ -122,6 +141,12 @@ struct CaseOutcome {
   /// Hot-loop counters for this sub-run (wall-clock + queue ops).  Never
   /// read by the deterministic report; surfaced in the timing block.
   sim::SimPerfCounters perf;
+  /// Schedule-shape features (net::ScheduleProbe), filled only when runCase
+  /// is asked to probe (the fuzzer's novelty signal); zero otherwise and on
+  /// the bus backend (no network).
+  std::uint64_t maxReorderDepth = 0;
+  std::uint64_t maxBlockContention = 0;
+  std::array<std::uint64_t, 4> interleaveBits{};
 
   [[nodiscard]] bool clean() const { return signature.empty(); }
 };
@@ -135,7 +160,8 @@ struct CaseOutcome {
 [[nodiscard]] CaseOutcome runCase(const CaseSpec& spec,
                                   std::uint64_t maxEvents,
                                   trace::Trace* traceOut = nullptr,
-                                  bool streaming = true);
+                                  bool streaming = true,
+                                  bool probeSchedule = false);
 
 /// One failing sub-run, with its minimization result when enabled.
 struct Failure {
@@ -175,8 +201,27 @@ struct McStageResult {
   BlockId blocks = 0;
 };
 
+/// Deterministic statistics of the fuzz stage (campaign/fuzz.hpp); every
+/// field is a pure function of (config, corpus contents), so report() may
+/// print them.
+struct FuzzStats {
+  bool ran = false;
+  std::uint64_t executions = 0;      ///< cases executed (incl. corpus replay)
+  std::uint64_t corpusLoaded = 0;    ///< entries loaded from --corpus
+  std::uint64_t corpusAdded = 0;     ///< novel inputs admitted this session
+  std::uint64_t corpusSize = 0;      ///< final corpus size
+  std::uint64_t features = 0;        ///< distinct novelty keys observed
+  /// 1-based execution index of the first failing case (0 = none) — the
+  /// fuzzer's time-to-detection in executions.
+  std::uint64_t firstFailureExecution = 0;
+};
+
 struct CampaignResult {
+  /// Backend the campaign drove; selects the reachable-case target the
+  /// coverage table is reported against.
+  ProtocolKind protocol = ProtocolKind::Directory;
   Coverage coverage;
+  FuzzStats fuzz;
   McStageResult mcStage;
   std::vector<Failure> failures;  ///< ordered by sub-run index
   std::uint64_t seedsRun = 0;
@@ -202,6 +247,22 @@ struct CampaignResult {
 
 /// Run the campaign.  Seeds execute on `cfg.jobs` pool workers; failures
 /// are minimized and archived sequentially afterwards (deterministic).
+/// With cfg.fuzz, dispatches to the coverage-guided stage (campaign/fuzz.hpp).
 [[nodiscard]] CampaignResult run(const CampaignConfig& cfg);
+
+namespace detail {
+/// Archive and (optionally) delta-debug one failing case — the shared
+/// post-processing of the random fan-out and the fuzz stage, so both
+/// produce identical Failure records and reproducer files for the same
+/// failing input.  `stem` names the archived trace files ("case-000123",
+/// "fuzz-000042"); `shrink` gates the minimizer (the caller enforces
+/// cfg.maxMinimized).
+[[nodiscard]] Failure finalizeFailure(const CampaignConfig& cfg,
+                                      std::uint64_t index,
+                                      const CaseSpec& spec,
+                                      const std::string& signature,
+                                      const std::string& detailText,
+                                      bool shrink, const std::string& stem);
+}  // namespace detail
 
 }  // namespace lcdc::campaign

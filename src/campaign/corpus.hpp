@@ -1,0 +1,51 @@
+// Persistent fuzz corpus: versioned on-disk CaseSpec entries.
+//
+// A corpus entry is one fully derived sub-run — system shape, network
+// schedule family, and every program step — serialized as a line-oriented
+// text file.  Entries are content-addressed (the filename embeds a hash of
+// the serialization), so re-saving an input a later session rediscovers is
+// a no-op and corpora from independent runs can be merged by copying files.
+// Loading is strict: a corrupt file, an unknown format version, or an entry
+// recorded for a different backend raises a clean SimError — never an
+// invariant abort — because corpus directories outlive binaries and must be
+// rejectable, not trusted.
+//
+// Mutants are deliberately NOT part of an entry: the fuzzer saves the
+// *input* (workload + schedule), and whichever campaign replays it applies
+// its own cfg.mutant.  That is what lets the time-to-detection harness
+// grow one corpus on the pristine protocol and measure it against every
+// seeded bug.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace lcdc::campaign {
+
+/// Format version written to (and required in) every entry's header line.
+inline constexpr int kCorpusVersion = 1;
+
+/// Serialize one entry to its canonical text (mutant field omitted).
+[[nodiscard]] std::string serializeEntry(const CaseSpec& spec);
+
+/// Parse an entry; throws SimError on any malformed or version-mismatched
+/// input.  The returned spec has mutant == None; callers apply their own.
+[[nodiscard]] CaseSpec parseEntry(const std::string& text);
+
+/// Content hash of the canonical serialization, as 16 hex digits — the
+/// stable identity of an input across sessions and machines.
+[[nodiscard]] std::string entryId(const CaseSpec& spec);
+
+/// Write `spec` into `dir` as c-<id>.case (creating the directory if
+/// needed).  Idempotent: an existing file with the same id is left alone.
+/// Returns the file path.
+std::string saveEntry(const CaseSpec& spec, const std::string& dir);
+
+/// Load every *.case entry of `dir` in filename order (deterministic on
+/// every filesystem).  Throws SimError naming the offending file on parse
+/// errors; a missing directory yields an empty corpus.
+[[nodiscard]] std::vector<CaseSpec> loadCorpus(const std::string& dir);
+
+}  // namespace lcdc::campaign

@@ -93,10 +93,52 @@ void Coverage::merge(const Coverage& other) {
   leaseExpiries += other.leaseExpiries;
 }
 
+std::uint32_t reachableCaseMask(ProtocolKind k) {
+  constexpr auto bit = [](Point p) {
+    return std::uint32_t{1} << static_cast<std::uint32_t>(p);
+  };
+  switch (k) {
+    case ProtocolKind::Bus:
+      // The arbiter serializes exactly four command kinds (kindOf in
+      // bus_system.cpp); there are no NACKs and no writeback races — a
+      // stale BusWB dies at the arbiter without serializing.
+      return bit(Point::Txn1_GetS_Idle) | bit(Point::Txn5_GetX_Idle) |
+             bit(Point::Txn9_Upg_Shared) | bit(Point::Txn12_Wb_Exclusive);
+    case ProtocolKind::Tardis:
+      // Tardis serializes cases 1-3/5-7/9/12 plus the two Busy NACKs; the
+      // upgrade NACKs (10/11) and writeback races (13/14) cannot occur —
+      // shared copies expire by lease instead of being tracked.
+      return bit(Point::Txn1_GetS_Idle) | bit(Point::Txn2_GetS_Shared) |
+             bit(Point::Txn3_GetS_Exclusive) | bit(Point::Nack4_GetS_Busy) |
+             bit(Point::Txn5_GetX_Idle) | bit(Point::Txn6_GetX_Shared) |
+             bit(Point::Txn7_GetX_Exclusive) | bit(Point::Nack8_GetX_Busy) |
+             bit(Point::Txn9_Upg_Shared) | bit(Point::Txn12_Wb_Exclusive);
+    case ProtocolKind::Directory:
+      break;
+  }
+  return (std::uint32_t{1} << kNumTransactionCases) - 1;
+}
+
+std::size_t reachableCaseCount(ProtocolKind k) {
+  std::uint32_t mask = reachableCaseMask(k);
+  std::size_t n = 0;
+  for (; mask != 0; mask &= mask - 1) ++n;
+  return n;
+}
+
 std::size_t Coverage::transactionCasesCovered() const {
   std::size_t covered = 0;
   for (std::size_t i = 0; i < kNumTransactionCases; ++i) {
     if (counts[i] > 0) ++covered;
+  }
+  return covered;
+}
+
+std::size_t Coverage::transactionCasesCovered(ProtocolKind k) const {
+  const std::uint32_t mask = reachableCaseMask(k);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < kNumTransactionCases; ++i) {
+    if ((mask & (std::uint32_t{1} << i)) != 0 && counts[i] > 0) ++covered;
   }
   return covered;
 }
@@ -144,14 +186,19 @@ void CoverageObserver::onDeadlockResolved(NodeId, BlockId, NodeId) {
   ++cov_.counts[static_cast<std::size_t>(Point::DeadlockResolved)];
 }
 
-std::string Coverage::report() const {
+std::string Coverage::report(ProtocolKind k) const {
+  const std::uint32_t mask = reachableCaseMask(k);
   std::ostringstream os;
-  os << "transaction-case coverage: " << transactionCasesCovered() << "/"
-     << kNumTransactionCases << '\n';
+  os << "transaction-case coverage: " << transactionCasesCovered(k) << "/"
+     << reachableCaseCount(k);
+  if (k != ProtocolKind::Directory) os << " (" << toString(k) << "-reachable)";
+  os << '\n';
   for (std::size_t i = 0; i < kNumPoints; ++i) {
     if (i == kNumTransactionCases) os << "extension paths:\n";
-    os << "  " << (counts[i] > 0 ? "hit " : "MISS") << "  "
-       << toString(static_cast<Point>(i)) << "  " << counts[i] << '\n';
+    const bool reachable =
+        i >= kNumTransactionCases || (mask & (std::uint32_t{1} << i)) != 0;
+    os << "  " << (counts[i] > 0 ? "hit " : (reachable ? "MISS" : "n/a "))
+       << "  " << toString(static_cast<Point>(i)) << "  " << counts[i] << '\n';
   }
   if (leaseRenewals != 0 || leaseExpiries != 0) {
     os << "tardis leases:\n"

@@ -19,6 +19,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/config.hpp"
 #include "common/types.hpp"
 #include "proto/observer.hpp"
 
@@ -64,6 +65,15 @@ inline constexpr std::size_t kNumTransactionCases = 15;
 /// "put-shared", ...) used in the campaign's coverage report.
 [[nodiscard]] const char* toString(Point p);
 
+/// Bitmask (bit i = transaction case i) of the cases protocol `k` can reach
+/// at all.  The directory protocol reaches all 15; the bus serializes only
+/// the four MSI command kinds (1, 5, 9, 12); Tardis has no writeback races
+/// or upgrade NACKs (leases expire instead), leaving 10 reachable cases.
+/// --until-coverage targets the backend's own reachable set, not the
+/// directory's — a bus or Tardis campaign can genuinely complete.
+[[nodiscard]] std::uint32_t reachableCaseMask(ProtocolKind k);
+[[nodiscard]] std::size_t reachableCaseCount(ProtocolKind k);
+
 struct Coverage {
   std::array<std::uint64_t, kNumPoints> counts{};
   /// Tardis lease traffic, filled from TardisStats after each sub-run
@@ -85,9 +95,17 @@ struct Coverage {
   [[nodiscard]] bool transactionCasesComplete() const {
     return transactionCasesCovered() == kNumTransactionCases;
   }
+  /// Backend-aware variants: count/complete over `k`'s reachable case set.
+  [[nodiscard]] std::size_t transactionCasesCovered(ProtocolKind k) const;
+  [[nodiscard]] bool transactionCasesComplete(ProtocolKind k) const {
+    return transactionCasesCovered(k) == reachableCaseCount(k);
+  }
 
-  /// Deterministic multi-line table of all points and counts.
-  [[nodiscard]] std::string report() const;
+  /// Deterministic multi-line table of all points and counts.  Cases the
+  /// backend cannot reach are printed as "n/a" rather than "MISS"; the
+  /// directory report is byte-identical to the historical format.
+  [[nodiscard]] std::string report(
+      ProtocolKind k = ProtocolKind::Directory) const;
 };
 
 /// Online coverage: the same tally Coverage::record() computes from a

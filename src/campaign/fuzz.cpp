@@ -1,0 +1,274 @@
+#include "campaign/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+
+#include "campaign/corpus.hpp"
+#include "campaign/mutate.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace lcdc::campaign {
+
+namespace {
+
+/// Fixed wave width.  Deliberately NOT a function of cfg.jobs: candidates
+/// are bred sequentially before each wave and folded in index order after
+/// it, so a jobs-independent width makes the whole run (corpus growth,
+/// stop decisions, report) byte-identical for any --jobs value.
+constexpr std::uint64_t kWaveSize = 64;
+
+/// Of each wave, roughly this fraction (per 100) is fresh swarm-derived
+/// exploration; the rest mutates corpus parents (exploitation).
+constexpr std::uint64_t kFreshPercent = 15;
+
+/// Bucket a counter by its floor(log2): novelty cares about orders of
+/// magnitude ("this input held 30 messages on one block"), not exact
+/// counts, or every run would be trivially novel.
+std::uint64_t log2Bucket(std::uint64_t v) {
+  std::uint64_t b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::uint64_t fnv1a32(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h & 0xFFFFFFFFULL;
+}
+
+/// Novelty key domains.  A key is domain<<56 | payload; domains keep the
+/// feature spaces disjoint.
+enum : std::uint64_t {
+  kDomCase = 1,        ///< transaction case x log2 count
+  kDomLeaseRenew = 2,  ///< log2 lease renewals
+  kDomLeaseExpire = 3, ///< log2 lease expiries
+  kDomReorder = 4,     ///< log2 max reorder depth
+  kDomContention = 5,  ///< log2 max per-block in-flight
+  kDomInterleave = 6,  ///< interleaving-signature bucket index
+  kDomSignature = 7,   ///< failure signature hash
+};
+
+std::uint64_t noveltyKey(std::uint64_t domain, std::uint64_t payload) {
+  return (domain << 56) | payload;
+}
+
+}  // namespace
+
+std::size_t NoveltyMap::admit(const CaseOutcome& outcome) {
+  std::size_t fresh = 0;
+  const auto add = [&](std::uint64_t k) {
+    if (seen_.insert(k).second) ++fresh;
+  };
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    const std::uint64_t n = outcome.coverage.counts[i];
+    if (n == 0) continue;
+    add(noveltyKey(kDomCase, (static_cast<std::uint64_t>(i) << 8) |
+                                 log2Bucket(n)));
+  }
+  if (outcome.coverage.leaseRenewals != 0) {
+    add(noveltyKey(kDomLeaseRenew,
+                   log2Bucket(outcome.coverage.leaseRenewals)));
+  }
+  if (outcome.coverage.leaseExpiries != 0) {
+    add(noveltyKey(kDomLeaseExpire,
+                   log2Bucket(outcome.coverage.leaseExpiries)));
+  }
+  if (outcome.maxReorderDepth != 0) {
+    add(noveltyKey(kDomReorder, log2Bucket(outcome.maxReorderDepth)));
+  }
+  if (outcome.maxBlockContention != 0) {
+    add(noveltyKey(kDomContention, log2Bucket(outcome.maxBlockContention)));
+  }
+  for (std::size_t w = 0; w < outcome.interleaveBits.size(); ++w) {
+    std::uint64_t bits = outcome.interleaveBits[w];
+    while (bits != 0) {
+      std::uint64_t bit = 0;
+      while (((bits >> bit) & 1ULL) == 0) ++bit;
+      bits &= bits - 1;
+      add(noveltyKey(kDomInterleave, w * 64 + bit));
+    }
+  }
+  if (!outcome.signature.empty()) {
+    add(noveltyKey(kDomSignature, fnv1a32(outcome.signature)));
+  }
+  return fresh;
+}
+
+namespace {
+
+std::string fuzzFileStem(std::uint64_t execution) {
+  std::ostringstream os;
+  os << "fuzz-" << std::setw(6) << std::setfill('0') << execution;
+  return os.str();
+}
+
+/// One failing input, held until the post-run finalize pass (archive +
+/// ddmin are sequential and expensive; the wave loop only records).
+struct PendingFailure {
+  std::uint64_t execution = 0;  ///< 1-based execution index
+  CaseSpec spec;
+  std::string signature;
+  std::string detail;
+};
+
+}  // namespace
+
+CampaignResult runFuzz(const CampaignConfig& cfg) {
+  LCDC_EXPECT(cfg.fuzz, "runFuzz requires cfg.fuzz");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  CampaignResult result;
+  result.protocol = cfg.protocol;
+  result.fuzz.ran = true;
+
+  MutationConfig mcfg;
+  mcfg.protocol = cfg.protocol;
+  mcfg.allowModeFlips = cfg.protocol != ProtocolKind::Bus;
+
+  // Load the persistent corpus.  Entries never carry a mutant (the corpus
+  // stores inputs, not bugs); this campaign's own mutant is applied here.
+  // A corpus recorded for a different backend is a usage error surfaced as
+  // a clean SimError, same as a corrupt entry.
+  std::vector<CaseSpec> corpus = loadCorpus(cfg.corpusDir);
+  for (CaseSpec& spec : corpus) {
+    if (spec.sys.protocol != cfg.protocol) {
+      throw SimError(std::string("corpus entry for backend '") +
+                     toString(spec.sys.protocol) + "' in a '" +
+                     toString(cfg.protocol) + "' campaign: " + cfg.corpusDir);
+    }
+    spec.sys.proto.mutant = cfg.mutant;
+  }
+  result.fuzz.corpusLoaded = corpus.size();
+
+  ThreadPool pool(cfg.jobs);
+  NoveltyMap novelty;
+  // The breeding stream is separate from the per-case seed space: every
+  // candidate's own sys.seed/workload seed still comes from this stream,
+  // but breeding decisions (swarm draws, parent picks, operators) consume
+  // it sequentially, once, before each parallel wave.
+  Rng breed(workload::deriveSeed(cfg.masterSeed, 0x66757A7AULL));  // "fuzz"
+
+  std::vector<CaseSpec> wave;
+  std::vector<CaseOutcome> outcomes;
+  std::vector<PendingFailure> pending;
+  std::uint64_t executions = 0;
+
+  // Execute `wave` in parallel, then fold outcomes in index order.
+  // `admitToCorpus` is false during the replay of loaded entries (they are
+  // already members; replay only rebuilds the novelty map so resumption
+  // accumulates instead of rediscovering).  Returns true when the wave
+  // contained at least one failure.
+  const auto runWave = [&](bool admitToCorpus) {
+    outcomes.assign(wave.size(), CaseOutcome{});
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      pool.submit([&cfg, &wave, &outcomes, i] {
+        outcomes[i] = runCase(wave[i], cfg.maxEventsPerRun,
+                              /*traceOut=*/nullptr, cfg.streaming,
+                              /*probeSchedule=*/true);
+      });
+    }
+    pool.wait();
+    bool sawFailure = false;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const CaseOutcome& o = outcomes[i];
+      ++executions;
+      result.coverage.merge(o.coverage);
+      result.opsBound += o.opsBound;
+      result.txnsSerialized += o.txnsSerialized;
+      result.perf.merge(o.perf);
+      for (const auto& [check, n] : o.checkerFirings) {
+        result.checkerFirings[check] += n;
+      }
+      const std::size_t novel = novelty.admit(o);
+      if (admitToCorpus && novel > 0) {
+        corpus.push_back(wave[i]);
+        ++result.fuzz.corpusAdded;
+        if (!cfg.corpusDir.empty()) saveEntry(wave[i], cfg.corpusDir);
+      }
+      if (!o.clean()) {
+        sawFailure = true;
+        if (result.fuzz.firstFailureExecution == 0) {
+          result.fuzz.firstFailureExecution = executions;
+        }
+        pending.push_back(
+            PendingFailure{executions, wave[i], o.signature, o.detail});
+      }
+    }
+    return sawFailure;
+  };
+
+  // Phase 1: replay the loaded corpus.  Counts against the execution
+  // budget (honest accounting: a resumed session really did run these),
+  // and failures found here are reported like any other — a corpus grown
+  // on the pristine protocol finds a seeded mutant during replay already.
+  for (std::size_t at = 0; at < corpus.size() && executions < cfg.seeds;) {
+    wave.clear();
+    while (at < corpus.size() && wave.size() < kWaveSize &&
+           executions + wave.size() < cfg.seeds) {
+      wave.push_back(corpus[at++]);
+    }
+    if (wave.empty()) break;
+    const bool sawFailure = runWave(/*admitToCorpus=*/false);
+    if (cfg.fuzzStopOnFailure && sawFailure) break;
+  }
+
+  // Phase 2: breed-and-run waves until the budget is exhausted or a stop
+  // condition holds at a wave boundary.
+  bool stop = cfg.fuzzStopOnFailure && result.fuzz.firstFailureExecution != 0;
+  while (!stop && executions < cfg.seeds) {
+    const std::uint64_t remaining = cfg.seeds - executions;
+    const std::uint64_t width = std::min(kWaveSize, remaining);
+    const Swarm swarm = sampleSwarm(mcfg, breed);
+    wave.clear();
+    for (std::uint64_t j = 0; j < width; ++j) {
+      CaseSpec child;
+      if (corpus.empty() || breed.chance(kFreshPercent, 100)) {
+        swarmDeriveInto(mcfg, cfg, swarm, breed, child);
+      } else {
+        const std::size_t parent =
+            static_cast<std::size_t>(breed.uniform(0, corpus.size() - 1));
+        mutateInto(mcfg, corpus[parent], breed, child);
+      }
+      child.sys.proto.mutant = cfg.mutant;
+      wave.push_back(std::move(child));
+    }
+    const bool sawFailure = runWave(/*admitToCorpus=*/true);
+    if (cfg.fuzzStopOnFailure && sawFailure) stop = true;
+    if (cfg.untilCoverage &&
+        result.coverage.transactionCasesComplete(cfg.protocol)) {
+      stop = true;
+    }
+  }
+
+  result.seedsRun = executions;
+  result.fuzz.executions = executions;
+  result.fuzz.corpusSize = corpus.size();
+  result.fuzz.features = novelty.size();
+
+  // Finalize failures sequentially, exactly like the random path: archive,
+  // then ddmin the first cfg.maxMinimized while preserving the signature.
+  for (const PendingFailure& pf : pending) {
+    const bool shrinkThis =
+        cfg.minimize && result.failures.size() < cfg.maxMinimized;
+    result.failures.push_back(detail::finalizeFailure(
+        cfg, pf.execution, pf.spec, pf.signature, pf.detail, shrinkThis,
+        fuzzFileStem(pf.execution)));
+  }
+
+  result.pool = pool.stats();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace lcdc::campaign

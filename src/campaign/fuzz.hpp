@@ -1,0 +1,50 @@
+// The coverage-guided fuzzing stage of the campaign.
+//
+// Where the random campaign derives sub-run i independently from
+// (masterSeed, i), the fuzzer closes the loop the ROADMAP pointed at: the
+// coverage the campaign already collects becomes the feedback signal.  Each
+// wave, candidates are bred — mostly mutations of corpus parents
+// (campaign/mutate.hpp), a tithe of fresh swarm-derived inputs — executed
+// in parallel with a schedule probe attached, and an input earns a corpus
+// slot iff its outcome contributed at least one novelty key the map has
+// never seen:
+//
+//   * transaction-case x log2-count buckets (the 15 paper cases),
+//   * schedule shape: reorder-depth / per-block-contention log2 buckets and
+//     the 256 interleaving-signature buckets (net::ScheduleProbe),
+//   * Tardis lease renew/expire log2 buckets,
+//   * failure signatures (a new named claim/lemma is always novel).
+//
+// Determinism carries over from the random campaign: candidates are bred
+// sequentially from one Rng before each parallel wave, outcomes fold in
+// index order, and stop decisions happen only at wave boundaries — so the
+// report is byte-identical for any --jobs, and a persistent corpus
+// (--corpus) grows identically too.  On start the corpus is replayed to
+// rebuild the novelty map, which is what makes resume *accumulate*: a
+// rediscovered input is no longer novel, so the budget goes to new ground.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "campaign/campaign.hpp"
+
+namespace lcdc::campaign {
+
+/// The fuzzer's seen-feature set.  admit() folds one outcome and returns
+/// how many previously unseen keys it contributed (0 = nothing novel).
+class NoveltyMap {
+ public:
+  std::size_t admit(const CaseOutcome& outcome);
+  [[nodiscard]] std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+/// Run the coverage-guided stage.  cfg.seeds is the execution budget
+/// (corpus replay included); cfg.corpusDir persists novel inputs.  Called
+/// by campaign::run when cfg.fuzz is set.
+[[nodiscard]] CampaignResult runFuzz(const CampaignConfig& cfg);
+
+}  // namespace lcdc::campaign

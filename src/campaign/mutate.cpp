@@ -1,0 +1,285 @@
+#include "campaign/mutate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace lcdc::campaign {
+
+namespace {
+
+/// Renumber every store value in program order.  Structural operators copy,
+/// drop and duplicate steps freely; this pass restores the global-uniqueness
+/// contract (value -> producing store is a bijection) the SC replay needs.
+void renumberStores(std::vector<workload::Program>& programs) {
+  for (NodeId p = 0; p < programs.size(); ++p) {
+    std::uint64_t seq = 0;
+    for (workload::Step& st : programs[p].steps) {
+      if (st.kind == workload::StepKind::Store) {
+        st.storeValue = workload::makeStoreValue(p, seq++);
+      }
+    }
+  }
+}
+
+/// Pick a random nonempty [begin, len) range of `prog`, at most a quarter of
+/// it (rounded up), so one operator nudges rather than rewrites.
+bool pickRange(const workload::Program& prog, Rng& rng, std::size_t& begin,
+               std::size_t& len) {
+  const std::size_t n = prog.steps.size();
+  if (n == 0) return false;
+  const std::size_t maxLen = std::max<std::size_t>(1, n / 4);
+  len = static_cast<std::size_t>(rng.uniform(1, maxLen));
+  begin = static_cast<std::size_t>(rng.uniform(0, n - 1));
+  len = std::min(len, n - begin);
+  return true;
+}
+
+enum class Op : std::uint8_t {
+  Reseed,
+  Latency,
+  ModeFlip,
+  DropRange,
+  DupRange,
+  Splice,
+  Retarget,
+  EvictBurst,
+  ShapeJiggle,
+  Count,
+};
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::Reseed: return "seed";
+    case Op::Latency: return "lat";
+    case Op::ModeFlip: return "mode";
+    case Op::DropRange: return "drop";
+    case Op::DupRange: return "dup";
+    case Op::Splice: return "splice";
+    case Op::Retarget: return "hot";
+    case Op::EvictBurst: return "evict";
+    case Op::ShapeJiggle: return "shape";
+    case Op::Count: break;
+  }
+  return "?";
+}
+
+/// Apply one operator; returns false when it could not apply (empty
+/// program, disallowed flip...) so the caller draws another.
+bool applyOp(const MutationConfig& cfg, Op op, Rng& rng, CaseSpec& spec,
+             bool& structural) {
+  const NodeId procs = spec.sys.numProcessors;
+  switch (op) {
+    case Op::Reseed:
+      spec.sys.seed = rng();
+      return true;
+    case Op::Latency:
+      spec.sys.maxLatency =
+          std::max<std::uint64_t>(spec.sys.minLatency, rng.uniform(2, 64));
+      spec.sys.retryDelay = rng.uniform(2, 16);
+      if (spec.sys.protocol == ProtocolKind::Bus) {
+        spec.sys.busSnoopDelayMax = rng.uniform(2, 32);
+      }
+      return true;
+    case Op::ModeFlip: {
+      if (!cfg.allowModeFlips || spec.sys.protocol == ProtocolKind::Bus) {
+        return false;
+      }
+      const std::uint64_t roll = rng.uniform(0, 9);
+      spec.netMode = roll < 5 ? net::Network::Mode::Pct
+                     : roll < 8 ? net::Network::Mode::RandomLatency
+                                : net::Network::Mode::Fifo;
+      return true;
+    }
+    case Op::DropRange: {
+      workload::Program& prog =
+          spec.programs[rng.uniform(0, procs - 1)];
+      std::size_t begin = 0, len = 0;
+      if (!pickRange(prog, rng, begin, len)) return false;
+      prog.steps.erase(
+          prog.steps.begin() + static_cast<std::ptrdiff_t>(begin),
+          prog.steps.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      structural = true;
+      return true;
+    }
+    case Op::DupRange: {
+      workload::Program& prog =
+          spec.programs[rng.uniform(0, procs - 1)];
+      std::size_t begin = 0, len = 0;
+      if (!pickRange(prog, rng, begin, len)) return false;
+      if (prog.steps.size() + len > cfg.maxStepsPerProgram) return false;
+      std::vector<workload::Step> copy(
+          prog.steps.begin() + static_cast<std::ptrdiff_t>(begin),
+          prog.steps.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      prog.steps.insert(
+          prog.steps.begin() + static_cast<std::ptrdiff_t>(begin + len),
+          copy.begin(), copy.end());
+      structural = true;
+      return true;
+    }
+    case Op::Splice: {
+      if (procs < 2) return false;
+      const NodeId from = static_cast<NodeId>(rng.uniform(0, procs - 1));
+      NodeId to = static_cast<NodeId>(rng.uniform(0, procs - 2));
+      if (to >= from) ++to;
+      std::size_t begin = 0, len = 0;
+      if (!pickRange(spec.programs[from], rng, begin, len)) return false;
+      workload::Program& dst = spec.programs[to];
+      if (dst.steps.size() + len > cfg.maxStepsPerProgram) return false;
+      const std::size_t at = dst.steps.empty()
+                                 ? 0
+                                 : static_cast<std::size_t>(rng.uniform(
+                                       0, dst.steps.size()));
+      const std::vector<workload::Step> copy(
+          spec.programs[from].steps.begin() +
+              static_cast<std::ptrdiff_t>(begin),
+          spec.programs[from].steps.begin() +
+              static_cast<std::ptrdiff_t>(begin + len));
+      dst.steps.insert(dst.steps.begin() + static_cast<std::ptrdiff_t>(at),
+                       copy.begin(), copy.end());
+      structural = true;
+      return true;
+    }
+    case Op::Retarget: {
+      workload::Program& prog =
+          spec.programs[rng.uniform(0, procs - 1)];
+      std::size_t begin = 0, len = 0;
+      if (!pickRange(prog, rng, begin, len)) return false;
+      const BlockId hot =
+          static_cast<BlockId>(rng.uniform(0, spec.sys.numBlocks - 1));
+      for (std::size_t i = begin; i < begin + len; ++i) {
+        prog.steps[i].block = hot;
+        if (spec.sys.proto.wordsPerBlock > 0) {
+          prog.steps[i].word = static_cast<WordIdx>(
+              rng.uniform(0, spec.sys.proto.wordsPerBlock - 1));
+        }
+      }
+      structural = true;  // retargeted stores collide; renumber for safety
+      return true;
+    }
+    case Op::EvictBurst: {
+      workload::Program& prog =
+          spec.programs[rng.uniform(0, procs - 1)];
+      if (prog.steps.size() + 4 > cfg.maxStepsPerProgram) return false;
+      const BlockId b =
+          static_cast<BlockId>(rng.uniform(0, spec.sys.numBlocks - 1));
+      const std::size_t k = static_cast<std::size_t>(rng.uniform(1, 4));
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t at =
+            prog.steps.empty()
+                ? 0
+                : static_cast<std::size_t>(rng.uniform(0, prog.steps.size()));
+        prog.steps.insert(prog.steps.begin() + static_cast<std::ptrdiff_t>(at),
+                          workload::evict(b));
+      }
+      structural = true;
+      return true;
+    }
+    case Op::ShapeJiggle:
+      spec.sys.cacheCapacity =
+          rng.chance(70, 100)
+              ? static_cast<std::uint32_t>(rng.uniform(2, 4))
+              : 0;
+      if (spec.sys.protocol == ProtocolKind::Tardis) {
+        spec.sys.proto.leaseLength =
+            static_cast<std::uint32_t>(rng.uniform(2, 48));
+      }
+      return true;
+    case Op::Count:
+      break;
+  }
+  return false;
+}
+
+}  // namespace
+
+Swarm sampleSwarm(const MutationConfig& cfg, Rng& rng) {
+  Swarm swarm;
+  // Every family relevant to the backend, then keep a random nonempty
+  // subset — the "swarm" restriction.
+  common::SmallVector<workload::Kind, 8> all;
+  all.push_back(workload::Kind::Hot);
+  all.push_back(workload::Kind::Migratory);
+  all.push_back(workload::Kind::Uniform);
+  all.push_back(workload::Kind::FalseShare);
+  all.push_back(workload::Kind::ProdCons);
+  all.push_back(workload::Kind::ReadMostly);
+  if (cfg.protocol == ProtocolKind::Tardis) {
+    all.push_back(workload::Kind::LeaseChurn);
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (rng.chance(40, 100)) swarm.kinds.push_back(all[i]);
+  }
+  if (swarm.kinds.empty()) {
+    swarm.kinds.push_back(all[rng.uniform(0, all.size() - 1)]);
+  }
+  // A narrow latency band per swarm: one wave probes tight races, the next
+  // long overtake windows.
+  swarm.latLo = rng.uniform(2, 24);
+  swarm.latHi = swarm.latLo + rng.uniform(4, 40);
+  if (cfg.allowModeFlips && cfg.protocol != ProtocolKind::Bus) {
+    swarm.pctPermille = static_cast<std::uint32_t>(rng.uniform(100, 700));
+    swarm.fifoPermille = static_cast<std::uint32_t>(rng.uniform(0, 100));
+  } else {
+    swarm.pctPermille = 0;
+    swarm.fifoPermille = 0;
+  }
+  return swarm;
+}
+
+void swarmDeriveInto(const MutationConfig& cfg, const CampaignConfig& campaign,
+                     const Swarm& swarm, Rng& rng, CaseSpec& out) {
+  // Same shape space as deriveCaseInto, but the family, latency band and
+  // network mode come from the swarm's restricted subspace.
+  CampaignConfig derived = campaign;
+  derived.workload =
+      swarm.kinds[rng.uniform(0, swarm.kinds.size() - 1)];
+  derived.masterSeed = rng();
+  deriveCaseInto(derived, 0, out);
+  out.sys.maxLatency = std::max<std::uint64_t>(
+      out.sys.minLatency, rng.uniform(swarm.latLo, swarm.latHi));
+  const std::uint64_t roll = rng.uniform(0, 999);
+  if (roll < swarm.pctPermille) {
+    out.netMode = net::Network::Mode::Pct;
+  } else if (roll < swarm.pctPermille + swarm.fifoPermille) {
+    out.netMode = net::Network::Mode::Fifo;
+  } else {
+    out.netMode = net::Network::Mode::RandomLatency;
+  }
+}
+
+void mutateInto(const MutationConfig& cfg, const CaseSpec& parent, Rng& rng,
+                CaseSpec& out) {
+  out = parent;
+  // Strip any previous operator tag so descriptions don't grow unboundedly
+  // across generations.
+  const auto tag = out.description.find(" ~");
+  if (tag != std::string::npos) out.description.resize(tag);
+
+  const std::uint32_t ops =
+      static_cast<std::uint32_t>(rng.uniform(1, std::max(1u, cfg.maxOps)));
+  bool structural = false;
+  std::ostringstream applied;
+  std::uint32_t done = 0;
+  // A bounded number of draws: operators can decline (empty program, bus
+  // restrictions), so cap attempts rather than loop forever.
+  for (std::uint32_t attempt = 0; attempt < ops * 8 && done < ops;
+       ++attempt) {
+    const Op op = static_cast<Op>(
+        rng.uniform(0, static_cast<std::uint64_t>(Op::Count) - 1));
+    if (applyOp(cfg, op, rng, out, structural)) {
+      applied << (done == 0 ? " ~" : ",") << opName(op);
+      ++done;
+    }
+  }
+  if (done == 0) {
+    // Degenerate parent (e.g. all programs empty): at least reseed.
+    out.sys.seed = rng();
+    applied << " ~seed";
+  }
+  if (structural) renumberStores(out.programs);
+  out.description += applied.str();
+}
+
+}  // namespace lcdc::campaign

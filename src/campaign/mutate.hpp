@@ -1,0 +1,61 @@
+// The fuzzer's mutation engine: derive a child (workload, schedule) input
+// from a corpus parent.
+//
+// An input is a full CaseSpec — programs plus the system shape's schedule
+// dimensions (seed, latency window, retry delay, network mode).  Operators
+// mutate both sides: program surgery (drop/duplicate/splice/retarget step
+// ranges, evict bursts) changes WHAT the processors do, schedule shakes
+// (reseed, latency window, Pct/Fifo mode flips, snoop/lease jiggles) change
+// WHEN the network lets it happen.  Structural program edits renumber every
+// store value afterwards (workload::makeStoreValue in program order), since
+// the SC checker attributes loads by globally unique store values.
+//
+// Swarm sampling complements mutation: each fuzz wave draws a restricted
+// configuration subspace (a subset of workload families, one latency band,
+// mode biases) and fresh inputs are derived inside it.  Restricted sampling
+// reaches feature combinations a uniform mixture statistically never holds
+// long enough to exercise (swarm testing, Groce et al.).
+#pragma once
+
+#include "campaign/campaign.hpp"
+#include "common/rng.hpp"
+#include "common/small_vector.hpp"
+
+namespace lcdc::campaign {
+
+struct MutationConfig {
+  ProtocolKind protocol = ProtocolKind::Directory;
+  /// Bus inputs keep RandomLatency (the backend has no network to schedule).
+  bool allowModeFlips = true;
+  /// 1..maxOps operators are stacked per child.
+  std::uint32_t maxOps = 3;
+  /// Hard cap on mutated program length (duplication/splicing grows steps).
+  std::size_t maxStepsPerProgram = 4096;
+};
+
+/// One wave's restricted configuration subspace.
+struct Swarm {
+  common::SmallVector<workload::Kind, 8> kinds;  ///< allowed families
+  std::uint64_t latLo = 8, latHi = 48;           ///< maxLatency band
+  /// Per-mille chance a fresh input uses the Pct / Fifo schedule (the rest
+  /// stay RandomLatency).
+  std::uint32_t pctPermille = 400;
+  std::uint32_t fifoPermille = 50;
+};
+
+/// Draw a swarm for one wave.  Deterministic in `rng`.
+[[nodiscard]] Swarm sampleSwarm(const MutationConfig& cfg, Rng& rng);
+
+/// Derive a fresh input inside `swarm` (the fuzzer's exploration arm and
+/// its corpus-seeding path).  Deterministic in `rng`.
+void swarmDeriveInto(const MutationConfig& cfg, const CampaignConfig& campaign,
+                     const Swarm& swarm, Rng& rng, CaseSpec& out);
+
+/// Mutate `parent` into `out` with 1..maxOps stacked operators.  The child
+/// is always well-formed: program count matches the processor count, store
+/// values are globally unique, latency bounds stay legal, and the
+/// description carries a "~op,op" suffix naming the applied operators.
+void mutateInto(const MutationConfig& cfg, const CaseSpec& parent, Rng& rng,
+                CaseSpec& out);
+
+}  // namespace lcdc::campaign

@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "common/expect.hpp"
+#include "net/schedule_probe.hpp"
 
 namespace lcdc::net {
+
+namespace {
+// PCT change points fire after a burst of deliveries drawn from this range;
+// reshuffling all pending priorities bounds starvation and moves the
+// preemption points around the schedule, as in the PCT algorithm.
+constexpr std::uint64_t kPctBurstMin = 8;
+constexpr std::uint64_t kPctBurstMax = 64;
+constexpr std::uint64_t kPctPrioSpan = 1u << 20;
+}  // namespace
 
 NetStats::NetStats()
     : sentByType(proto::kNumMsgTypes, 0),
@@ -15,6 +25,9 @@ Network::Network(Mode mode, Rng rng, Tick minLatency, Tick maxLatency)
       maxLatency_(maxLatency), timed_(maxLatency) {
   LCDC_EXPECT(minLatency_ <= maxLatency_, "latency bounds inverted");
   LCDC_EXPECT(minLatency_ >= 1, "zero latency would allow same-tick loops");
+  if (mode_ == Mode::Pct) {
+    pctUntilChangePoint_ = rng_.uniform(kPctBurstMin, kPctBurstMax);
+  }
 }
 
 void Network::reset(Rng rng) {
@@ -23,6 +36,12 @@ void Network::reset(Rng rng) {
   timed_.clear();
   timed_.resetStats();
   manual_.clear();
+  pct_.clear();
+  pctFloor_ = 0;
+  probe_ = nullptr;
+  if (mode_ == Mode::Pct) {
+    pctUntilChangePoint_ = rng_.uniform(kPctBurstMin, kPctBurstMax);
+  }
   stats_.sent = 0;
   stats_.delivered = 0;
   std::fill(stats_.sentByType.begin(), stats_.sentByType.end(), 0);
@@ -39,6 +58,7 @@ MsgSeq Network::send(NodeId src, NodeId dst, Tick now, proto::Message msg) {
   stats_.sent += 1;
   const auto typeIdx = static_cast<std::size_t>(env.msg.type);
   if (typeIdx < stats_.sentByType.size()) stats_.sentByType[typeIdx] += 1;
+  if (probe_ != nullptr) probe_->noteSend(env);
 
   switch (mode_) {
     case Mode::RandomLatency:
@@ -53,16 +73,33 @@ MsgSeq Network::send(NodeId src, NodeId dst, Tick now, proto::Message msg) {
       env.deliverAt = now;
       manual_.push_back(std::move(env));
       break;
+    case Mode::Pct: {
+      env.deliverAt = now + minLatency_;
+      PctEntry e;
+      e.prio = rng_.uniform(0, kPctPrioSpan - 1);
+      e.env = std::move(env);
+      pct_.push_back(std::move(e));
+      std::push_heap(pct_.begin(), pct_.end(), pctLess);
+      break;
+    }
   }
   return nextSeq_ - 1;
 }
 
 std::size_t Network::inFlight() const {
-  return mode_ == Mode::Manual ? manual_.size() : timed_.size();
+  switch (mode_) {
+    case Mode::Manual: return manual_.size();
+    case Mode::Pct: return pct_.size();
+    default: return timed_.size();
+  }
 }
 
 Tick Network::nextDeliveryTime() const {
   LCDC_EXPECT(mode_ != Mode::Manual, "nextDeliveryTime in Manual mode");
+  if (mode_ == Mode::Pct) {
+    if (pct_.empty()) return kNever;
+    return std::max(pct_.front().env.deliverAt, pctFloor_);
+  }
   return timed_.nextDeliveryTime();
 }
 
@@ -72,10 +109,28 @@ void Network::countDelivered(const Envelope& env) {
   if (typeIdx < stats_.deliveredByType.size()) {
     stats_.deliveredByType[typeIdx] += 1;
   }
+  if (probe_ != nullptr) probe_->noteDeliver(env);
 }
 
 Envelope Network::popNext() {
   LCDC_EXPECT(mode_ != Mode::Manual, "popNext in Manual mode");
+  if (mode_ == Mode::Pct) {
+    LCDC_EXPECT(!pct_.empty(), "popNext on empty network");
+    std::pop_heap(pct_.begin(), pct_.end(), pctLess);
+    Envelope env = std::move(pct_.back().env);
+    pct_.pop_back();
+    // Deliveries must be monotone in time even when a starved low-priority
+    // message finally surfaces with a stale deliverAt.
+    env.deliverAt = std::max(env.deliverAt, pctFloor_);
+    pctFloor_ = env.deliverAt;
+    if (!pct_.empty() && --pctUntilChangePoint_ == 0) {
+      for (PctEntry& e : pct_) e.prio = rng_.uniform(0, kPctPrioSpan - 1);
+      std::make_heap(pct_.begin(), pct_.end(), pctLess);
+      pctUntilChangePoint_ = rng_.uniform(kPctBurstMin, kPctBurstMax);
+    }
+    countDelivered(env);
+    return env;
+  }
   LCDC_EXPECT(!timed_.empty(), "popNext on empty network");
   Envelope env = timed_.pop();
   countDelivered(env);

@@ -12,6 +12,14 @@
 //    show the protocol also works when races never fire.
 //  * Manual        — tests and scripted scenarios pick the exact delivery
 //    order, to force a specific race deterministically.
+//  * Pct           — PCT-style randomized priorities: every message draws a
+//    random priority at send time and the highest-priority pending message
+//    is always delivered next, with periodic "change points" that redraw
+//    every pending priority.  Unlike RandomLatency (whose reorder window is
+//    bounded by maxLatency ticks), Pct can hold one message back behind an
+//    unbounded number of later sends, which is exactly the deep-reorder
+//    shape the fuzzer wants.  Delivery times are the send time plus
+//    minLatency, clamped to be monotone across deliveries.
 //
 // Messages are never dropped, duplicated or corrupted.
 #pragma once
@@ -39,9 +47,11 @@ struct NetStats {
   NetStats();
 };
 
+struct ScheduleProbe;
+
 class Network {
  public:
-  enum class Mode { RandomLatency, Fifo, Manual };
+  enum class Mode { RandomLatency, Fifo, Manual, Pct };
 
   Network(Mode mode, Rng rng, Tick minLatency, Tick maxLatency);
 
@@ -86,10 +96,25 @@ class Network {
 
   /// Return to the just-constructed state with a fresh random stream, but
   /// keep the envelope pool's slabs and every container's capacity — the
-  /// campaign resets one Network per worker thousands of times.
+  /// campaign resets one Network per worker thousands of times.  Detaches
+  /// any schedule probe; re-attach after the reset.
   void reset(Rng rng);
 
+  /// Attach (or detach, with nullptr) a schedule-shape probe.  The probe is
+  /// borrowed, not owned; it must outlive the runs it observes.
+  void setProbe(ScheduleProbe* probe) { probe_ = probe; }
+
  private:
+  struct PctEntry {
+    std::uint64_t prio = 0;
+    Envelope env;
+  };
+  // Max-heap order: highest priority first, lowest seq among ties.
+  static bool pctLess(const PctEntry& a, const PctEntry& b) {
+    if (a.prio != b.prio) return a.prio < b.prio;
+    return a.env.seq > b.env.seq;
+  }
+
   void countDelivered(const Envelope& env);
 
   Mode mode_;
@@ -99,6 +124,10 @@ class Network {
   MsgSeq nextSeq_ = 1;
   CalendarQueue timed_;
   std::deque<Envelope> manual_;
+  std::vector<PctEntry> pct_;
+  Tick pctFloor_ = 0;                     ///< monotone delivery-time clamp
+  std::uint64_t pctUntilChangePoint_ = 0; ///< deliveries until a reshuffle
+  ScheduleProbe* probe_ = nullptr;
   NetStats stats_;
 };
 

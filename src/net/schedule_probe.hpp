@@ -1,0 +1,85 @@
+// Opt-in schedule-shape instrumentation for the fuzzer's novelty signal.
+//
+// The campaign's coverage counters only see *what* the protocol did (which
+// transaction cases serialized); the fuzzer also needs to know *how* the
+// network scheduled the run, so that two inputs exercising the same cases
+// under very different delivery orders still count as distinct.  A probe
+// attached to a Network observes every send/delivery and condenses the
+// schedule into three cheap features:
+//
+//  * reorder depth    — how far a delivery overtook earlier sends, measured
+//    as max(maxSeqDelivered - seq) over deliveries that were overtaken;
+//  * interleave bits  — a 256-bucket bitmap of rolling hashes over the last
+//    few (destination, message-type) deliveries: a fingerprint of local
+//    delivery interleavings;
+//  * block contention — the maximum number of messages simultaneously in
+//    flight for any single block.
+//
+// The probe is deliberately not part of NetStats: it costs a little work per
+// message, so the hot path only pays for it when a fuzz stage attaches one
+// (Network::setProbe), and the 240-cell seed-equivalence pins are unaffected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/envelope.hpp"
+
+namespace lcdc::net {
+
+struct ScheduleProbe {
+  static constexpr std::size_t kInterleaveBuckets = 256;
+
+  std::uint64_t maxReorderDepth = 0;
+  std::uint64_t maxBlockContention = 0;
+  std::array<std::uint64_t, kInterleaveBuckets / 64> interleaveBits{};
+
+  void noteSend(const Envelope& env) {
+    const auto block = static_cast<std::size_t>(env.msg.block);
+    if (block >= inFlightPerBlock_.size()) {
+      inFlightPerBlock_.resize(block + 1, 0);
+    }
+    const std::uint64_t n = ++inFlightPerBlock_[block];
+    if (n > maxBlockContention) maxBlockContention = n;
+  }
+
+  void noteDeliver(const Envelope& env) {
+    if (maxSeqDelivered_ > env.seq) {
+      const std::uint64_t depth = maxSeqDelivered_ - env.seq;
+      if (depth > maxReorderDepth) maxReorderDepth = depth;
+    }
+    if (env.seq > maxSeqDelivered_) maxSeqDelivered_ = env.seq;
+
+    // Rolling hash over the last few (dst, type) pairs; the window length is
+    // implicit in the multiplier decay (~8 deliveries influence each hash).
+    rolling_ = rolling_ * 0x100000001b3ULL +
+               (static_cast<std::uint64_t>(env.dst) * 31 +
+                static_cast<std::uint64_t>(env.msg.type));
+    const std::uint64_t mixed = rolling_ ^ (rolling_ >> 29);
+    const std::size_t bucket =
+        static_cast<std::size_t>(mixed) % kInterleaveBuckets;
+    interleaveBits[bucket / 64] |= std::uint64_t{1} << (bucket % 64);
+
+    const auto block = static_cast<std::size_t>(env.msg.block);
+    if (block < inFlightPerBlock_.size() && inFlightPerBlock_[block] > 0) {
+      --inFlightPerBlock_[block];
+    }
+  }
+
+  void reset() {
+    maxReorderDepth = 0;
+    maxBlockContention = 0;
+    interleaveBits.fill(0);
+    maxSeqDelivered_ = 0;
+    rolling_ = 0;
+    inFlightPerBlock_.assign(inFlightPerBlock_.size(), 0);
+  }
+
+ private:
+  MsgSeq maxSeqDelivered_ = 0;
+  std::uint64_t rolling_ = 0;
+  std::vector<std::uint64_t> inFlightPerBlock_;
+};
+
+}  // namespace lcdc::net

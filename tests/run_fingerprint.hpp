@@ -175,4 +175,19 @@ inline std::vector<MatrixCell> fingerprintMatrix() {
   return cells;
 }
 
+/// The PCT companion matrix: the same six families under the
+/// randomized-priority schedule.  A separate table on purpose — kGolden's
+/// pins predate the Pct mode and must not grow; the Pct pins live in
+/// tests/pct_test.cpp and were captured from the mode's first
+/// implementation (`sim_throughput --hashes` prints both tables).
+inline std::vector<MatrixCell> pctFingerprintMatrix() {
+  std::vector<MatrixCell> cells;
+  for (const MatrixCell& cell : fingerprintMatrix()) {
+    if (cell.mode == net::Network::Mode::RandomLatency) {
+      cells.push_back(MatrixCell{cell.kind, net::Network::Mode::Pct});
+    }
+  }
+  return cells;
+}
+
 }  // namespace lcdc::testing

@@ -442,11 +442,6 @@ int cmdMc(const Args& args) {
 int cmdCampaign(const Args& args) {
   campaign::CampaignConfig cfg;
   cfg.protocol = parseProtocol(args.str("protocol", "dir"));
-  if (cfg.protocol == ProtocolKind::Bus) {
-    throw UsageError(
-        "campaign does not support the bus backend (it has no in-place "
-        "reset; use 'lcdc run --protocol bus' for seeded bus runs)");
-  }
   cfg.masterSeed = args.num("master-seed", 1);
   cfg.seeds = args.num("seeds", 256);
   if (cfg.seeds == 0) throw UsageError("--seeds must be at least 1");
@@ -473,6 +468,17 @@ int cmdCampaign(const Args& args) {
   cfg.mcProcs = static_cast<NodeId>(args.num("mc-procs", 2));
   cfg.mcBlocks = static_cast<BlockId>(args.num("mc-blocks", 1));
   cfg.mcMaxStates = args.num("mc-max-states", 400'000);
+  // Coverage-guided fuzzing stage; --corpus persists novel inputs across
+  // sessions and only makes sense under --fuzz.
+  cfg.fuzz = args.has("fuzz");
+  cfg.corpusDir = args.str("corpus", "");
+  cfg.fuzzStopOnFailure = args.has("fuzz-stop");
+  if (!cfg.fuzz && !cfg.corpusDir.empty()) {
+    throw UsageError("--corpus requires --fuzz");
+  }
+  if (!cfg.fuzz && cfg.fuzzStopOnFailure) {
+    throw UsageError("--fuzz-stop requires --fuzz");
+  }
 
   std::cout << "campaign: master-seed=" << cfg.masterSeed
             << " seeds=" << cfg.seeds << " workload=" << workloadName
@@ -484,7 +490,11 @@ int cmdCampaign(const Args& args) {
             << (cfg.untilCoverage ? " until-coverage" : "")
             << (cfg.minimize ? " minimize" : "")
             << (cfg.streaming ? "" : " no-streaming")
-            << (cfg.mcStage ? " mc-stage" : "") << '\n';
+            << (cfg.mcStage ? " mc-stage" : "")
+            << (cfg.fuzz ? " fuzz" : "")
+            << (cfg.corpusDir.empty() ? std::string()
+                                      : " corpus=" + cfg.corpusDir)
+            << '\n';
 
   const campaign::CampaignResult r = campaign::run(cfg);
   std::cout << r.report();
@@ -516,7 +526,8 @@ int cmdCampaign(const Args& args) {
       }
     }
   }
-  if (cfg.untilCoverage && !r.coverage.transactionCasesComplete()) {
+  if (cfg.untilCoverage &&
+      !r.coverage.transactionCasesComplete(cfg.protocol)) {
     std::cout << "coverage target NOT reached after " << r.seedsRun
               << " seeds\n";
   }
@@ -658,9 +669,9 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
       {"campaign",
        {{"seeds", "jobs", "master-seed", "workload", "protocol", "mutant",
          "out", "max-events", "max-minimized", "minimize-attempts",
-         "mc-procs", "mc-blocks", "mc-max-states"},
+         "mc-procs", "mc-blocks", "mc-max-states", "corpus"},
         {"until-coverage", "minimize", "quiet", "streaming",
-         "no-streaming", "mc-stage"}}},
+         "no-streaming", "mc-stage", "fuzz", "fuzz-stop"}}},
       {"serve",
        {{"nodes", "port", "blocks", "words", "seed", "store-buffer",
          "mutant", "heartbeat-pumps", "idle-timeout-ms", "drain-timeout-ms",
@@ -710,8 +721,8 @@ void usage(std::ostream& os) {
       "            --no-evictions --mutant NAME\n"
       "  campaign  parallel seed-fuzzing campaign over the checker suite\n"
       "            --seeds N --jobs J --master-seed S\n"
-      "            --protocol dir|tardis (tardis: per-case lease lengths,\n"
-      "                                   lease-churn in the workload mix)\n"
+      "            --protocol dir|bus|tardis (tardis: per-case lease\n"
+      "                                       lengths, lease-churn mix)\n"
       "            --workload mixed|uniform|hot|prodcons|migratory|falseshare|\n"
       "                       readmostly|leasechurn\n"
       "            --mutant NAME --until-coverage --minimize\n"
@@ -721,6 +732,10 @@ void usage(std::ostream& os) {
       "            --mc-stage (exhaustively model-check a small config of\n"
       "                        the same variant first)\n"
       "            --mc-procs N --mc-blocks B --mc-max-states M\n"
+      "            --fuzz (coverage-guided: mutate corpus inputs, keep the\n"
+      "                    ones with novel coverage; --seeds is the budget)\n"
+      "            --corpus DIR (persistent corpus; resumes + accumulates)\n"
+      "            --fuzz-stop (stop at the first failing wave)\n"
       "  serve     host a message-passing DSM with live online verification\n"
       "            --nodes N --port P (certifier on P, node i on P+1+i)\n"
       "            --once (exit after the first completed load session)\n"
