@@ -540,6 +540,21 @@ CampaignResult run(const CampaignConfig& cfg) {
     mcCfg.symmetry = true;
     mcCfg.por = true;
     mcCfg.modelData = true;
+    if (cfg.mcVisited == "compact") {
+      mcCfg.visited = mc::VisitedMode::Compact;
+    } else if (cfg.mcVisited == "bitstate") {
+      mcCfg.visited = mc::VisitedMode::Bitstate;
+      // Bitstate tracks no discovery ids, which the ample-set proviso
+      // needs; `mc::explore` rejects the combination.
+      mcCfg.por = false;
+    } else if (cfg.mcVisited != "exact") {
+      throw SimError("mc-stage visited mode must be exact|compact|bitstate, "
+                     "got '" + cfg.mcVisited + "'");
+    }
+    mcCfg.memLimitMb = cfg.mcMemLimitMb;
+    mcCfg.spillDir = cfg.mcSpillDir;
+    mcCfg.checkpointDir = cfg.mcCheckpointDir;
+    mcCfg.resumeDir = cfg.mcResumeDir;
     const auto mcT0 = std::chrono::steady_clock::now();
     const mc::McResult mcRes = mc::explore(mcCfg);
     result.mcSeconds =
@@ -549,8 +564,11 @@ CampaignResult run(const CampaignConfig& cfg) {
     result.mcStage.ok = mcRes.ok();
     result.mcStage.deadlock = mcRes.deadlockFound;
     result.mcStage.hitStateLimit = mcRes.hitStateLimit;
+    result.mcStage.memLimitHit = mcRes.memLimitHit;
     result.mcStage.states = mcRes.statesExplored;
     result.mcStage.violations = mcRes.violations.size();
+    result.mcStage.visited = mc::toString(mcCfg.visited);
+    result.mcStage.omissionBound = mcRes.omissionBound;
     result.mcStage.storedEncBytes = mcRes.perf.storedEncodingBytes;
     result.mcStage.procs = cfg.mcProcs;
     result.mcStage.blocks = cfg.mcBlocks;
@@ -660,6 +678,11 @@ std::string CampaignResult::report() const {
     } else if (mcStage.states != 0) {
       os << ", enc-bytes/state="
          << mcStage.storedEncBytes / mcStage.states;
+    }
+    if (mcStage.memLimitHit) os << " (mem limit hit)";
+    if (mcStage.visited != "exact") {
+      os << ", visited=" << mcStage.visited << ", P(omission)<="
+         << mcStage.omissionBound;
     }
     os << '\n';
   }

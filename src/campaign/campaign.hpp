@@ -88,6 +88,16 @@ struct CampaignConfig {
   NodeId mcProcs = 2;
   BlockId mcBlocks = 1;
   std::uint64_t mcMaxStates = 400'000;
+  /// mc-stage out-of-core knobs, forwarded to `mc::explore` (DESIGN.md
+  /// §14): visited-set mode ("exact" | "compact" | "bitstate"), tracked-
+  /// memory limit in MiB (0 = unlimited), and the spill / checkpoint /
+  /// resume directories.  Kept as strings here so campaign.hpp stays
+  /// independent of the mc headers; `run` validates and maps them.
+  std::string mcVisited = "exact";
+  std::uint64_t mcMemLimitMb = 0;
+  std::string mcSpillDir;
+  std::string mcCheckpointDir;
+  std::string mcResumeDir;
   /// Coverage-guided fuzzing stage (campaign/fuzz.hpp): instead of deriving
   /// every sub-run independently, mutate corpus entries and keep inputs
   /// that exercise novel coverage or schedule shapes.  `seeds` becomes the
@@ -190,8 +200,17 @@ struct McStageResult {
   bool ok = true;
   bool deadlock = false;
   bool hitStateLimit = false;
+  /// Stage stopped at the tracked-memory limit (counts up to the stop are
+  /// exact and wave-deterministic, so the report may still print them).
+  bool memLimitHit = false;
   std::uint64_t states = 0;
   std::uint64_t violations = 0;
+  /// Visited-set mode the stage ran under ("exact" unless --mc-visited).
+  std::string visited = "exact";
+  /// Omission-probability bound for lossy visited modes (0 for exact).
+  /// Deterministic for a fixed configuration — the stored-state set and
+  /// Bloom fill are wave-deterministic — so report() may print it.
+  double omissionBound = 0.0;
   /// Canonical-encoding bytes stored for distinct states.  Deterministic
   /// for a given configuration (the state set is), unlike arena or RSS
   /// numbers, so the report may print it; scheduling-dependent throughput

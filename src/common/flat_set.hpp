@@ -1,4 +1,5 @@
-// Open-addressing concurrent visited set for the model checker.
+// Open-addressing concurrent visited set for the model checker, plus the
+// Holzmann-style bitstate filter backing `lcdc mc --visited bitstate`.
 //
 // Stores 64-bit fingerprints plus a 32-bit payload (state id) in two
 // parallel flat slabs with linear probing.  Insertion claims a slot by
@@ -8,12 +9,21 @@
 // fingerprint collision degrades to an extra probe instead of a lost
 // state (full encodings are compared, never trusted to the hash alone).
 //
+// Visited modes (DESIGN.md §14):
+//   * `Mode::Exact` — the behaviour above: fingerprint hit falls back to
+//     a caller byte-equality check, so the set is lossless.
+//   * `Mode::Compact` — hash compaction: a fingerprint hit IS a
+//     duplicate; the equality callback is never invoked and no encoding
+//     needs to be retained.  Two distinct states sharing a 64-bit
+//     fingerprint silently merge — the expected number of such merges is
+//     bounded by n(n-1)/2 / 2^64 and reported as the omission bound.
+//
 // Concurrency contract:
 //   * `insert`/`find` may run from any number of threads concurrently.
-//   * `reserveFor` (growth/rehash) is single-threaded and must be called
-//     only while no insert/find is in flight — the explorer calls it at
-//     wave boundaries, sized by the wave's successor upper bound, so the
-//     table NEVER grows mid-wave.
+//   * `reserveFor` (growth/rehash) and `clear` are single-threaded and
+//     must be called only while no insert/find is in flight — the
+//     explorer calls them at wave boundaries, sized by the wave's
+//     successor upper bound, so the table NEVER grows mid-wave.
 #pragma once
 
 #include <atomic>
@@ -21,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/expect.hpp"
 
@@ -73,6 +84,14 @@ inline std::uint64_t fingerprintHash(const std::byte* data, std::size_t len) {
 class FlatFingerprintSet {
  public:
   static constexpr std::uint32_t kPendingPayload = 0xFFFFFFFFu;
+  /// Largest payload a caller may store.  0xFFFFFFFF is the pending
+  /// sentinel and 0xFFFFFFFE the explorer's "no parent" marker, so the
+  /// usable id space ends here; `insert` throws SimError past it (the
+  /// 2^32-state guard — beyond this the payload slab cannot name states
+  /// and the run must switch to `--visited bitstate`).
+  static constexpr std::uint32_t kMaxPayload = 0xFFFFFFFDu;
+
+  enum class Mode : std::uint8_t { Exact, Compact };
 
   struct InsertResult {
     std::uint32_t payload = 0;
@@ -80,7 +99,9 @@ class FlatFingerprintSet {
     std::uint32_t probes = 0;  ///< extra slots visited past the home slot
   };
 
-  explicit FlatFingerprintSet(std::size_t initialCapacity = 1u << 16) {
+  explicit FlatFingerprintSet(std::size_t initialCapacity = 1u << 16,
+                              Mode mode = Mode::Exact)
+      : mode_(mode) {
     std::size_t cap = 64;
     while (cap < initialCapacity) cap <<= 1;
     rebuild(cap);
@@ -92,9 +113,11 @@ class FlatFingerprintSet {
   /// Insert fingerprint `fp`.  On winning an empty slot, calls
   /// `assign()` exactly once to produce the payload (the caller stores
   /// the full encoding there) and publishes it.  On finding an occupied
-  /// slot with the same fingerprint, waits for that slot's payload and
-  /// calls `equals(payload)`; a `false` answer (true 64-bit collision)
-  /// continues the probe instead of deduplicating.
+  /// slot with the same fingerprint: in Exact mode, waits for that slot's
+  /// payload and calls `equals(payload)` — a `false` answer (true 64-bit
+  /// collision) continues the probe instead of deduplicating; in Compact
+  /// mode the fingerprint match alone deduplicates and `equals` is never
+  /// invoked.
   template <typename EqualsFn, typename AssignFn>
   InsertResult insert(std::uint64_t fp, EqualsFn&& equals, AssignFn&& assign) {
     fp = normalize(fp);
@@ -107,8 +130,14 @@ class FlatFingerprintSet {
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
           const std::uint32_t payload = assign();
-          LCDC_EXPECT(payload != kPendingPayload,
-                      "flat set payload collides with pending sentinel");
+          if (payload > kMaxPayload) {
+            // Publish something valid before throwing so concurrent
+            // probers of this slot never spin forever on the sentinel.
+            payloads_[idx].store(kMaxPayload, std::memory_order_release);
+            throw SimError(
+                "flat set payload exceeds the 32-bit state-id space "
+                "(2^32-2 states); rerun with --visited bitstate");
+          }
           payloads_[idx].store(payload, std::memory_order_release);
           size_.fetch_add(1, std::memory_order_relaxed);
           return {payload, true, probes};
@@ -117,7 +146,9 @@ class FlatFingerprintSet {
       }
       if (cur == fp) {
         const std::uint32_t payload = waitPayload(idx);
-        if (equals(payload)) return {payload, false, probes};
+        if (mode_ == Mode::Compact || equals(payload)) {
+          return {payload, false, probes};
+        }
         // Same fingerprint, different state bytes: keep probing.
       }
       idx = (idx + 1) & mask_;
@@ -127,7 +158,8 @@ class FlatFingerprintSet {
   }
 
   /// Lookup without inserting (used by the POR visited-before-wave
-  /// proviso).  Returns the payload if a byte-equal entry is present.
+  /// proviso).  Returns the payload if a byte-equal entry is present
+  /// (Compact mode: if the fingerprint is present).
   template <typename EqualsFn>
   std::optional<std::uint32_t> find(std::uint64_t fp, EqualsFn&& equals) const {
     fp = normalize(fp);
@@ -138,7 +170,7 @@ class FlatFingerprintSet {
       if (cur == kEmpty) return std::nullopt;
       if (cur == fp) {
         const std::uint32_t payload = waitPayload(idx);
-        if (equals(payload)) return payload;
+        if (mode_ == Mode::Compact || equals(payload)) return payload;
       }
       idx = (idx + 1) & mask_;
       ++probes;
@@ -171,6 +203,28 @@ class FlatFingerprintSet {
     }
   }
 
+  /// Single-threaded: drop every entry but keep the slabs at their
+  /// current capacity.  The out-of-core explorer reuses one set as the
+  /// per-wave bitstate claim table, clearing it at each wave boundary.
+  void clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      fps_[i].store(kEmpty, std::memory_order_relaxed);
+      payloads_[i].store(kPendingPayload, std::memory_order_relaxed);
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Single-threaded iteration over every occupied slot (slab order —
+  /// callers must not depend on it; the bitstate barrier publication
+  /// only ORs bits, which commutes).
+  template <typename Fn>
+  void forEachFingerprint(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      const std::uint64_t fp = fps_[i].load(std::memory_order_relaxed);
+      if (fp != kEmpty) fn(fp);
+    }
+  }
+
   [[nodiscard]] std::size_t size() const {
     return size_.load(std::memory_order_relaxed);
   }
@@ -178,6 +232,19 @@ class FlatFingerprintSet {
   [[nodiscard]] std::size_t bytes() const {
     return capacity_ * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
   }
+  /// Slab bytes after a hypothetical `reserveFor(extra)` — what the
+  /// memory-limit check charges for the coming wave, so the rehash
+  /// transient (old + new slab live at once) never silently overshoots
+  /// `--mem-limit-mb`.
+  [[nodiscard]] std::size_t bytesAfterReserve(std::size_t extra) const {
+    const std::size_t need = size_.load(std::memory_order_relaxed) + extra;
+    if (need * 2 <= capacity_) return bytes();
+    std::size_t cap = capacity_;
+    while (need * 2 > cap) cap <<= 1;
+    // During the rehash both slabs are live: charge the sum.
+    return (cap + capacity_) * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  }
+  [[nodiscard]] Mode mode() const { return mode_; }
 
  private:
   static constexpr std::uint64_t kEmpty = 0;
@@ -213,6 +280,118 @@ class FlatFingerprintSet {
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
   std::atomic<std::size_t> size_{0};
+  Mode mode_ = Mode::Exact;
+};
+
+/// Holzmann-style bitstate (supertrace) filter: a power-of-two Bloom
+/// array with k derived bit positions per fingerprint.  Backing store
+/// for `lcdc mc --visited bitstate`.
+///
+/// Concurrency contract (narrower than FlatFingerprintSet, by design):
+/// `testAll` may run from any number of threads, but `setAll` is
+/// single-threaded and must never overlap a `testAll` — the explorer
+/// queries a frozen wave-start snapshot during expansion and publishes
+/// the wave's new fingerprints at the barrier.  That discipline is what
+/// makes bitstate counts independent of `--jobs`: membership answers
+/// never depend on in-wave thread interleaving.  Words are plain
+/// uint64s (no atomics) for exactly this reason.
+class BitstateFilter {
+ public:
+  static constexpr std::uint32_t kDefaultHashes = 3;
+
+  /// Size the array to `megabytes` MiB rounded down to a power of two of
+  /// bits (at least 2^20 bits = 128 KiB).
+  explicit BitstateFilter(std::size_t megabytes,
+                          std::uint32_t hashes = kDefaultHashes)
+      : hashes_(hashes == 0 ? 1 : hashes) {
+    std::uint64_t bits = 1ULL << 20;
+    const std::uint64_t budget = static_cast<std::uint64_t>(megabytes) << 23;
+    while (bits * 2 <= budget) bits <<= 1;
+    bits_ = bits;
+    words_.assign(static_cast<std::size_t>(bits_ >> 6), 0);
+  }
+
+  BitstateFilter(const BitstateFilter&) = delete;
+  BitstateFilter& operator=(const BitstateFilter&) = delete;
+
+  /// True iff every derived bit is set (i.e. `fp` is *possibly* seen; a
+  /// false answer is definitive).
+  [[nodiscard]] bool testAll(std::uint64_t fp) const {
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    derive(fp, h1, h2);
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) & (bits_ - 1);
+      if ((words_[static_cast<std::size_t>(bit >> 6)] &
+           (1ULL << (bit & 63))) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Set every derived bit (single-threaded: barrier publication only).
+  void setAll(std::uint64_t fp) {
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    derive(fp, h1, h2);
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) & (bits_ - 1);
+      words_[static_cast<std::size_t>(bit >> 6)] |= 1ULL << (bit & 63);
+    }
+  }
+
+  /// Population count over the whole array — the `m_ones/m` fill ratio
+  /// feeding the reported omission bound `insertCalls * (ones/m)^k`.
+  [[nodiscard]] std::uint64_t onesCount() const {
+    std::uint64_t ones = 0;
+    for (const std::uint64_t w : words_) {
+      std::uint64_t v = w;
+      while (v != 0) {
+        v &= v - 1;
+        ++ones;
+      }
+    }
+    return ones;
+  }
+
+  [[nodiscard]] std::uint64_t bitCount() const { return bits_; }
+  [[nodiscard]] std::uint32_t hashCount() const { return hashes_; }
+  [[nodiscard]] std::size_t bytes() const { return words_.size() * 8; }
+
+  /// Raw word access for checkpoint dump/load.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+  void loadWords(std::vector<std::uint64_t> words, std::uint32_t hashes) {
+    if (words.size() != words_.size()) {
+      throw SimError(
+          "bitstate checkpoint size mismatch: dump has " +
+          std::to_string(words.size()) + " words, --bitstate-mb configures " +
+          std::to_string(words_.size()) +
+          " (resume with the original --bitstate-mb)");
+    }
+    words_ = std::move(words);
+    hashes_ = hashes == 0 ? 1 : hashes;
+  }
+
+ private:
+  /// Double hashing: h2 is re-mixed from fp and forced odd so the k
+  /// probe positions stay distinct over the power-of-two bit space.
+  static void derive(std::uint64_t fp, std::uint64_t& h1, std::uint64_t& h2) {
+    h1 = fp;
+    std::uint64_t m = fp;
+    m ^= m >> 33;
+    m *= 0xFF51AFD7ED558CCDULL;
+    m ^= m >> 33;
+    m *= 0xC4CEB9FE1A85EC53ULL;
+    m ^= m >> 33;
+    h2 = m | 1;
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t bits_ = 0;
+  std::uint32_t hashes_ = kDefaultHashes;
 };
 
 }  // namespace lcdc

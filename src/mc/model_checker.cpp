@@ -1,11 +1,18 @@
 #include "mc/model_checker.hpp"
 
+#include <sys/resource.h>
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 
 #include "common/arena.hpp"
@@ -13,6 +20,7 @@
 #include "common/flat_set.hpp"
 #include "common/thread_pool.hpp"
 #include "mc/legacy_key.hpp"
+#include "mc/spill.hpp"
 #include "mc/state_codec.hpp"
 #include "mc/tardis_mc.hpp"
 #include "mc/world.hpp"
@@ -89,7 +97,34 @@ class ScopedNanos {
 
 class ParallelExplorer {
  public:
-  explicit ParallelExplorer(const McConfig& cfg) : cfg_(cfg) {}
+  explicit ParallelExplorer(const McConfig& cfg)
+      : cfg_(cfg),
+        mode_(cfg.visited),
+        digest_(configDigest(cfg)),
+        visited_(1u << 16, cfg.visited == VisitedMode::Compact
+                               ? FlatFingerprintSet::Mode::Compact
+                               : FlatFingerprintSet::Mode::Exact) {
+    // `--checkpoint` (and `--resume`, which keeps checkpointing in
+    // place) implies spilling the frontier into the checkpoint dir so
+    // the manifest's segment list is self-contained.
+    checkpointing_ = !cfg_.checkpointDir.empty() || !cfg_.resumeDir.empty();
+    ckptDir_ =
+        !cfg_.checkpointDir.empty() ? cfg_.checkpointDir : cfg_.resumeDir;
+    spillPath_ = checkpointing_ ? ckptDir_ : cfg_.spillDir;
+    spill_ = !spillPath_.empty();
+    if (spill_) {
+      if (::mkdir(spillPath_.c_str(), 0777) != 0 && errno != EEXIST) {
+        throw SimError("cannot create spill directory '" + spillPath_ +
+                       "': " + std::strerror(errno));
+      }
+    }
+    if (mode_ == VisitedMode::Bitstate) {
+      bloom_ = std::make_unique<BitstateFilter>(
+          std::max<std::uint64_t>(1, cfg_.bitstateMb));
+      waveClaim_ = std::make_unique<FlatFingerprintSet>(
+          1u << 16, FlatFingerprintSet::Mode::Compact);
+    }
+  }
 
   McResult run();
 
@@ -127,14 +162,35 @@ class ParallelExplorer {
 
   /// Chunk-local expansion output; merged at the wave barrier in chunk
   /// order so every result field is independent of worker scheduling.
+  /// With spilling, successor blobs go through `writer` into sealed
+  /// segment files (rolled over at kSegmentRecordCap records) instead of
+  /// `next`; the in-order concatenation of `segs` across chunks is the
+  /// same frontier sequence the arenas would hold, which is why exact
+  /// counts stay byte-identical between the two paths.
   struct ChunkOut {
     std::vector<FrontierRef> next;
+    std::vector<SegmentInfo> segs;
+    std::unique_ptr<SpillSegmentWriter> writer;
+    std::string segBase;
+    std::uint32_t segSeq = 0;
     std::vector<std::string> violations;
     std::uint64_t transitions = 0;
     std::uint64_t ampleStates = 0;
     bool deadlock = false;
     std::optional<CexSeed> cex;
     McPerfCounters perf;
+    /// First exception raised inside the chunk (SimError from a corrupt
+    /// spill file, the 2^32-id guard, ...), rethrown at the barrier so
+    /// failures surface as exceptions instead of terminating a worker.
+    std::exception_ptr error;
+  };
+
+  /// One wave's frontier when spilling: the sealed segments in frontier
+  /// order plus their aggregate counts.
+  struct WaveSegs {
+    std::vector<SegmentInfo> segs;
+    std::uint64_t records = 0;
+    std::uint64_t flightSum = 0;
   };
 
   /// Per-worker state: codecs, bump cursors into the shared arenas, and
@@ -198,16 +254,25 @@ class ParallelExplorer {
 
   /// Grow the per-id arrays (single-threaded, wave boundary only) so
   /// every id this wave can assign has a slot; workers then write their
-  /// freshly claimed slots without further synchronization.
+  /// freshly claimed slots without further synchronization.  Exact mode
+  /// keeps encodings + parent edges; compact mode keeps only the
+  /// per-id fingerprint, and only while checkpointing (the visited log
+  /// needs fingerprints in id order); bitstate keeps nothing per id.
   void growIdArrays(std::size_t needed) {
-    if (needed <= encs_.size()) return;
-    const std::size_t target = std::max(needed, encs_.size() * 2);
-    encs_.reserve(target);
-    parents_.reserve(target);
-    actions_.reserve(target);
-    encs_.resize(needed);
-    parents_.resize(needed);
-    actions_.resize(needed);
+    if (mode_ == VisitedMode::Exact) {
+      if (needed <= encs_.size()) return;
+      const std::size_t target = std::max(needed, encs_.size() * 2);
+      encs_.reserve(target);
+      parents_.reserve(target);
+      actions_.reserve(target);
+      encs_.resize(needed);
+      parents_.resize(needed);
+      actions_.resize(needed);
+    } else if (mode_ == VisitedMode::Compact && checkpointing_) {
+      if (needed <= fpsById_.size()) return;
+      fpsById_.reserve(std::max(needed, fpsById_.size() * 2));
+      fpsById_.resize(needed);
+    }
   }
 
   [[nodiscard]] bool encEquals(std::uint32_t payload,
@@ -217,43 +282,103 @@ class ParallelExplorer {
            std::memcmp(e.ptr, enc.data(), e.len) == 0;
   }
 
+  /// Roll the chunk's open spill segment into its sealed list.
+  static void sealChunk(ChunkOut& out) {
+    if (out.writer) {
+      out.segs.push_back(out.writer->seal());
+      out.writer.reset();
+    }
+  }
+
+  /// Successor records per segment file before rolling over to the next
+  /// one; bounds both segment size and the per-task read granularity of
+  /// the following wave.
+  static constexpr std::uint64_t kSegmentRecordCap = 1u << 16;
+
   /// Insert a state already canonically encoded in `enc`; on winning,
-  /// store the encoding + parent edge and append the world's frontier
-  /// blob to `out.next`.
+  /// remember it according to the visited mode and append the world's
+  /// frontier blob to `out.next` (in RAM) or the chunk's spill segment.
   void recordEncoded(const World& s, std::uint32_t parent, const Action& a,
                      WorkerCtx& ctx, ChunkOut& out) {
     const std::uint64_t fp =
         fingerprintHash(ctx.enc.data(), ctx.enc.size());
     out.perf.insertCalls += 1;
-    FlatFingerprintSet::InsertResult res;
+    bool fresh = false;
+    std::uint32_t id = 0;
     {
       ScopedNanos t(out.perf.insertNanos, ctx.timing);
-      res = visited_.insert(
-          fp, [&](std::uint32_t payload) { return encEquals(payload, ctx.enc); },
-          [&]() {
-            const std::uint32_t id =
-                nextId_.fetch_add(1, std::memory_order_relaxed);
-            std::byte* p = ctx.encRef.alloc(ctx.enc.size());
-            std::memcpy(p, ctx.enc.data(), ctx.enc.size());
-            encs_[id] = EncRef{p, static_cast<std::uint32_t>(ctx.enc.size())};
-            parents_[id] = parent;
-            actions_[id] = packAction(a);
-            return id;
-          });
+      if (mode_ == VisitedMode::Exact) {
+        const FlatFingerprintSet::InsertResult res = visited_.insert(
+            fp,
+            [&](std::uint32_t payload) { return encEquals(payload, ctx.enc); },
+            [&]() {
+              const std::uint32_t nid =
+                  nextId_.fetch_add(1, std::memory_order_relaxed);
+              std::byte* p = ctx.encRef.alloc(ctx.enc.size());
+              std::memcpy(p, ctx.enc.data(), ctx.enc.size());
+              encs_[nid] =
+                  EncRef{p, static_cast<std::uint32_t>(ctx.enc.size())};
+              parents_[nid] = parent;
+              actions_[nid] = packAction(a);
+              return nid;
+            });
+        out.perf.noteProbes(res.probes);
+        fresh = res.inserted;
+        id = res.payload;
+      } else if (mode_ == VisitedMode::Compact) {
+        const FlatFingerprintSet::InsertResult res = visited_.insert(
+            fp, [](std::uint32_t) { return true; },  // never called (Compact)
+            [&]() {
+              const std::uint32_t nid =
+                  nextId_.fetch_add(1, std::memory_order_relaxed);
+              if (checkpointing_) fpsById_[nid] = fp;
+              return nid;
+            });
+        out.perf.noteProbes(res.probes);
+        fresh = res.inserted;
+        id = res.payload;
+      } else {
+        // Bitstate: membership against the wave-start Bloom snapshot
+        // (bits are published only at the barrier, so the answer never
+        // depends on in-wave interleaving); in-wave newness arbitrated
+        // by the per-wave claim table, which is what keeps counts
+        // jobs-independent even for this lossy mode.
+        if (bloom_->testAll(fp)) {
+          out.perf.noteProbes(0);
+        } else {
+          const FlatFingerprintSet::InsertResult res = waveClaim_->insert(
+              fp, [](std::uint32_t) { return true; },
+              [&]() {
+                return claimNext_.fetch_add(1, std::memory_order_relaxed);
+              });
+          out.perf.noteProbes(res.probes);
+          fresh = res.inserted;
+        }
+      }
     }
-    out.perf.noteProbes(res.probes);
-    if (!res.inserted) return;
+    if (!fresh) return;
     out.perf.storedStates += 1;
     out.perf.storedEncodingBytes += ctx.enc.size();
     {
       ScopedNanos t(out.perf.worldSaveNanos, ctx.timing);
       ctx.wcodec.save(s, ctx.blob);
     }
+    if (spill_) {
+      if (!out.writer) {
+        out.writer = std::make_unique<SpillSegmentWriter>(
+            out.segBase + "-" + std::to_string(out.segSeq++) + ".seg",
+            digest_);
+      }
+      out.writer->add(id, static_cast<std::uint32_t>(s.flight.size()),
+                      ctx.blob.data(), ctx.blob.size());
+      if (out.writer->records() >= kSegmentRecordCap) sealChunk(out);
+      return;
+    }
     std::byte* bp = ctx.nextRef.alloc(ctx.blob.size());
     std::memcpy(bp, ctx.blob.data(), ctx.blob.size());
     out.next.push_back(FrontierRef{bp,
                                    static_cast<std::uint32_t>(ctx.blob.size()),
-                                   res.payload,
+                                   id,
                                    static_cast<std::uint32_t>(s.flight.size())});
   }
 
@@ -645,7 +770,7 @@ class ParallelExplorer {
                    ChunkOut& out) {
     std::unique_ptr<WorkerCtx> ctxOwner = acquireCtx(epoch, nextArena);
     WorkerCtx& ctx = *ctxOwner;
-    {
+    try {
       ScopedNanos whole(out.perf.expandNanos, ctx.timing);
       for (std::size_t i = begin; i < end; ++i) {
         const FrontierRef& ref = frontier[i];
@@ -658,6 +783,56 @@ class ParallelExplorer {
         const bool violating = checkState(n, out);
         if (!violating) expandState(n, ctx, out);
       }
+      sealChunk(out);
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+    releaseCtx(std::move(ctxOwner));
+  }
+
+  /// Spill-mode expansion task: drain (a prefix of) one sealed segment.
+  /// `recordBudget` < records() only in the final wave of a state-capped
+  /// run — the cut is at record granularity, matching the in-RAM prefix.
+  void expandSegment(const SegmentInfo& seg, std::uint64_t recordBudget,
+                     std::uint64_t epoch, ChunkOut& out) {
+    std::unique_ptr<WorkerCtx> ctxOwner = acquireCtx(epoch, waveArenas_[0]);
+    WorkerCtx& ctx = *ctxOwner;
+    try {
+      ScopedNanos whole(out.perf.expandNanos, ctx.timing);
+      SpillSegmentReader reader(seg.path, digest_);
+      // A freshly sealed segment always agrees with its catalogue entry;
+      // a mismatch means the file or the checkpoint manifest was altered
+      // after the seal.
+      if (reader.records() != seg.records ||
+          reader.flightSum() != seg.flightSum ||
+          reader.payloadBytes() != seg.payloadBytes) {
+        throw SimError(
+            "spill segment header disagrees with its catalogue entry "
+            "(corrupt segment or manifest): " +
+            seg.path);
+      }
+      SpillSegmentReader::Record r;
+      std::uint64_t done = 0;
+      while (done < recordBudget && reader.next(r)) {
+        Node n;
+        {
+          ScopedNanos t(out.perf.worldLoadNanos, ctx.timing);
+          n.w = ctx.wcodec.load(r.blob, r.len);
+        }
+        n.id = static_cast<std::uint32_t>(r.id);
+        out.perf.spillBytesRead += r.len;
+        const bool violating = checkState(n, out);
+        if (!violating) expandState(n, ctx, out);
+        done += 1;
+      }
+      if (done < recordBudget) {
+        throw SimError("spill segment holds fewer records than its header "
+                       "claims: " +
+                       seg.path);
+      }
+      sealChunk(out);
+    } catch (...) {
+      out.error = std::current_exception();
     }
     releaseCtx(std::move(ctxOwner));
   }
@@ -665,17 +840,285 @@ class ParallelExplorer {
   /// Bytes currently committed to the structures the explorer owns — the
   /// quantity `--mem-limit-mb` bounds.  (Transient per-chunk worlds and
   /// scratch are not tracked; they are small and wave-independent.)
-  [[nodiscard]] std::uint64_t trackedBytes(
-      const std::vector<FrontierRef>& frontier) const {
-    return visited_.bytes() + encArena_.bytesReserved() +
-           waveArenas_[0].bytesReserved() + waveArenas_[1].bytesReserved() +
-           encs_.capacity() * sizeof(EncRef) +
-           parents_.capacity() * sizeof(std::uint32_t) +
-           actions_.capacity() * sizeof(std::uint64_t) +
-           frontier.capacity() * sizeof(FrontierRef);
+  [[nodiscard]] std::uint64_t trackedBytesBase() const {
+    std::uint64_t b = visited_.bytes() + encArena_.bytesReserved() +
+                      waveArenas_[0].bytesReserved() +
+                      waveArenas_[1].bytesReserved() +
+                      encs_.capacity() * sizeof(EncRef) +
+                      parents_.capacity() * sizeof(std::uint32_t) +
+                      actions_.capacity() * sizeof(std::uint64_t) +
+                      fpsById_.capacity() * sizeof(std::uint64_t);
+    if (bloom_) b += bloom_->bytes();
+    if (waveClaim_) b += waveClaim_->bytes();
+    return b;
+  }
+
+  /// Per-worker spill write-buffer allowance charged while a wave runs
+  /// (flush threshold plus one oversized record of slack).
+  static constexpr std::uint64_t kSpillWriterBudget = std::uint64_t{2} << 20;
+
+  /// What the tracked bytes will be AFTER this wave's boundary growth:
+  /// visited-slab rehash (old + new slab live during the copy), bitstate
+  /// claim growth, id-array growth, and the spill write buffers the
+  /// workers are about to fill.  The memory-limit verdict tests this
+  /// projection BEFORE reserving, so the growth transient itself can no
+  /// longer overshoot `--mem-limit-mb` (it used to: only post-growth
+  /// arena bytes were counted).
+  [[nodiscard]] std::uint64_t projectedTrackedBytes(
+      std::size_t frontierCap, std::uint64_t waveBound, unsigned jobs) const {
+    std::uint64_t b = trackedBytesBase();
+    b -= visited_.bytes();
+    b += visited_.bytesAfterReserve(static_cast<std::size_t>(waveBound));
+    if (waveClaim_) {
+      b -= waveClaim_->bytes();
+      b += waveClaim_->bytesAfterReserve(static_cast<std::size_t>(waveBound));
+    }
+    const std::size_t idsNeeded = static_cast<std::size_t>(
+        nextId_.load(std::memory_order_relaxed) + waveBound);
+    if (mode_ == VisitedMode::Exact && idsNeeded > encs_.capacity()) {
+      b += (idsNeeded - encs_.capacity()) *
+           (sizeof(EncRef) + sizeof(std::uint32_t) + sizeof(std::uint64_t));
+    }
+    if (mode_ == VisitedMode::Compact && checkpointing_ &&
+        idsNeeded > fpsById_.capacity()) {
+      b += (idsNeeded - fpsById_.capacity()) * sizeof(std::uint64_t);
+    }
+    b += frontierCap * sizeof(FrontierRef);
+    if (spill_) b += static_cast<std::uint64_t>(jobs) * kSpillWriterBudget;
+    return b;
+  }
+
+  static std::string fileBase(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+
+  [[nodiscard]] std::string segBasePath(std::uint64_t epoch,
+                                        std::size_t chunk) const {
+    return spillPath_ + "/w" + std::to_string(epoch) + "-c" +
+           std::to_string(chunk);
+  }
+
+  /// Bitstate barrier publication: fold the wave's claimed fingerprints
+  /// into the Bloom array (single-threaded; queries resume next wave).
+  void publishClaims() {
+    waveClaim_->forEachFingerprint(
+        [&](std::uint64_t fp) { bloom_->setAll(fp); });
+  }
+
+  void absorbSegs(ChunkOut& o, WaveSegs& next) {
+    for (SegmentInfo& s : o.segs) {
+      next.records += s.records;
+      next.flightSum += s.flightSum;
+      result_.perf.spillSegments += 1;
+      result_.perf.spillBytesWritten += s.payloadBytes;
+      next.segs.push_back(std::move(s));
+    }
+    o.segs.clear();
+  }
+
+  /// Remove a drained wave's segment files, sparing any referenced by
+  /// the latest checkpoint manifest (a resume needs them intact).  Spared
+  /// files are remembered so the next checkpoint, once its manifest no
+  /// longer references them, can reclaim the disk — otherwise every
+  /// checkpointed wave's segments would accumulate for the whole run.
+  void deleteSegs(WaveSegs& w) {
+    for (SegmentInfo& s : w.segs) {
+      if (protected_.count(fileBase(s.path)) == 0) {
+        std::remove(s.path.c_str());
+      } else {
+        retiredSegs_.push_back(std::move(s.path));
+      }
+    }
+    w.segs.clear();
+    w.records = 0;
+    w.flightSum = 0;
+  }
+
+  /// Checkpoint at a wave boundary: append the not-yet-logged visited
+  /// records (id order), rewrite the bitstate dump, then atomically
+  /// publish a manifest pinning the pending wave's segments.  A kill at
+  /// any point leaves either the old manifest (with its files intact —
+  /// deletion spares them) or the new one; the manifest's visited-log
+  /// byte length truncates torn tails on resume.
+  void writeCheckpoint(const WaveSegs& pending) {
+    if (!visitedLog_ && mode_ != VisitedMode::Bitstate) {
+      visitedLog_ = std::make_unique<VisitedLogWriter>(
+          ckptDir_ + "/visited.log", visitedLogBytes_);
+    }
+    const std::uint64_t nid = nextId_.load(std::memory_order_relaxed);
+    if (mode_ == VisitedMode::Exact) {
+      for (std::uint64_t id = loggedRecords_; id < nid; ++id) {
+        visitedLog_->appendExact(encs_[id].ptr, encs_[id].len, parents_[id],
+                                 actions_[id]);
+      }
+    } else if (mode_ == VisitedMode::Compact) {
+      for (std::uint64_t id = loggedRecords_; id < nid; ++id) {
+        visitedLog_->appendFp(fpsById_[id]);
+      }
+    }
+    if (mode_ != VisitedMode::Bitstate) {
+      const std::uint64_t before = visitedLogBytes_;
+      visitedLogBytes_ = visitedLog_->flush();
+      loggedRecords_ = nid;
+      result_.perf.checkpointBytes += visitedLogBytes_ - before;
+    } else {
+      writeBitstateFile(ckptDir_ + "/bitstate.bits", digest_,
+                        bloom_->hashCount(), bloom_->words());
+      result_.perf.checkpointBytes += bloom_->bytes();
+    }
+    CheckpointManifest m;
+    m.configDigest = digest_;
+    m.visitedMode = toString(mode_);
+    m.wavesCompleted = result_.wavesCompleted;
+    m.statesExplored = result_.statesExplored;
+    m.transitions = result_.transitions;
+    m.frontierPeak = result_.frontierPeak;
+    m.ampleStates = result_.ampleStates;
+    m.nextId = nid;
+    m.txnNext = txns_.next.load(std::memory_order_relaxed);
+    m.encodeCalls = result_.perf.encodeCalls;
+    m.insertCalls = result_.perf.insertCalls;
+    m.storedStates = result_.perf.storedStates;
+    m.storedEncodingBytes = result_.perf.storedEncodingBytes;
+    m.probeHist = result_.perf.probeHist;
+    m.visitedLogBytes = visitedLogBytes_;
+    m.visitedLogRecords = loggedRecords_;
+    if (mode_ == VisitedMode::Bitstate) {
+      m.bitstateWords = bloom_->words().size();
+      m.bitstateHashes = bloom_->hashCount();
+    }
+    m.frontier = pending.segs;
+    writeManifest(ckptDir_, m);
+    protected_.clear();
+    for (const SegmentInfo& s : pending.segs) {
+      protected_.insert(fileBase(s.path));
+    }
+    // The new manifest is durably in place; segments only the superseded
+    // manifest referenced are dead weight now.  (A kill before this point
+    // merely leaks files; it never invalidates a checkpoint.)
+    for (const std::string& path : retiredSegs_) {
+      if (protected_.count(fileBase(path)) == 0) std::remove(path.c_str());
+    }
+    retiredSegs_.clear();
+  }
+
+  /// Rebuild the explorer from `--resume DIR`: counters, the transaction
+  /// counter (frontier blobs hold raw txn ids — freshly minted ids must
+  /// stay unique within any world they meet), the visited structures,
+  /// and the pending wave's segment list.
+  void restoreFromCheckpoint(WaveSegs& wave) {
+    const CheckpointManifest m = readManifest(cfg_.resumeDir);
+    if (m.configDigest != digest_) {
+      throw SimError(
+          "checkpoint was written for a different configuration "
+          "(config digest mismatch) — topology, protocol switches, "
+          "reductions, and visited mode must match the checkpointed run");
+    }
+    if (m.visitedMode != toString(mode_)) {
+      throw SimError("checkpoint visited mode is '" + m.visitedMode +
+                     "' but this run asked for '" + toString(mode_) + "'");
+    }
+    result_.resumed = true;
+    result_.statesExplored = m.statesExplored;
+    result_.transitions = m.transitions;
+    result_.frontierPeak = m.frontierPeak;
+    result_.ampleStates = m.ampleStates;
+    result_.wavesCompleted = m.wavesCompleted;
+    result_.perf.encodeCalls = m.encodeCalls;
+    result_.perf.insertCalls = m.insertCalls;
+    result_.perf.storedStates = m.storedStates;
+    result_.perf.storedEncodingBytes = m.storedEncodingBytes;
+    result_.perf.probeHist = m.probeHist;
+    txns_.next.store(m.txnNext, std::memory_order_relaxed);
+    nextId_.store(static_cast<std::uint32_t>(m.nextId),
+                  std::memory_order_relaxed);
+    if (mode_ == VisitedMode::Exact) {
+      if (m.visitedLogRecords != m.nextId) {
+        throw SimError(
+            "checkpoint manifest inconsistent: visited-log record count "
+            "does not match nextId");
+      }
+      visited_.reserveFor(static_cast<std::size_t>(m.visitedLogRecords));
+      growIdArrays(static_cast<std::size_t>(m.nextId));
+      VisitedLogReader rd(cfg_.resumeDir + "/visited.log", m.visitedLogBytes);
+      ArenaRef encRef(encArena_);
+      std::vector<std::byte> buf;
+      std::uint32_t parent = 0;
+      std::uint64_t action = 0;
+      std::uint64_t id = 0;
+      while (rd.nextExact(buf, parent, action)) {
+        if (id >= m.nextId) {
+          throw SimError(
+              "checkpoint visited log holds more records than nextId");
+        }
+        std::byte* p = encRef.alloc(buf.size());
+        std::memcpy(p, buf.data(), buf.size());
+        encs_[id] = EncRef{p, static_cast<std::uint32_t>(buf.size())};
+        parents_[id] = parent;
+        actions_[id] = action;
+        const std::uint64_t fp = fingerprintHash(buf.data(), buf.size());
+        const FlatFingerprintSet::InsertResult res = visited_.insert(
+            fp, [&](std::uint32_t payload) { return encEquals(payload, buf); },
+            [&]() { return static_cast<std::uint32_t>(id); });
+        if (!res.inserted) {
+          throw SimError("checkpoint visited log holds a duplicate state");
+        }
+        id += 1;
+      }
+      if (id != m.nextId) {
+        throw SimError(
+            "checkpoint visited log truncated: fewer records than nextId");
+      }
+    } else if (mode_ == VisitedMode::Compact) {
+      if (m.visitedLogRecords != m.nextId) {
+        throw SimError(
+            "checkpoint manifest inconsistent: visited-log record count "
+            "does not match nextId");
+      }
+      visited_.reserveFor(static_cast<std::size_t>(m.visitedLogRecords));
+      growIdArrays(static_cast<std::size_t>(m.nextId));
+      VisitedLogReader rd(cfg_.resumeDir + "/visited.log", m.visitedLogBytes);
+      std::uint64_t fp = 0;
+      std::uint64_t id = 0;
+      while (rd.nextFp(fp)) {
+        if (id >= m.nextId) {
+          throw SimError(
+              "checkpoint visited log holds more records than nextId");
+        }
+        if (checkpointing_) fpsById_[id] = fp;
+        const FlatFingerprintSet::InsertResult res = visited_.insert(
+            fp, [](std::uint32_t) { return true; },
+            [&]() { return static_cast<std::uint32_t>(id); });
+        if (!res.inserted) {
+          throw SimError(
+              "checkpoint visited log holds a duplicate fingerprint");
+        }
+        id += 1;
+      }
+      if (id != m.nextId) {
+        throw SimError(
+            "checkpoint visited log truncated: fewer records than nextId");
+      }
+    } else {
+      std::uint32_t hashes = 0;
+      std::vector<std::uint64_t> words =
+          readBitstateFile(cfg_.resumeDir + "/bitstate.bits", digest_, hashes);
+      bloom_->loadWords(std::move(words), hashes);
+    }
+    for (const SegmentInfo& s : m.frontier) {
+      wave.records += s.records;
+      wave.flightSum += s.flightSum;
+      protected_.insert(fileBase(s.path));
+    }
+    wave.segs = m.frontier;
+    loggedRecords_ = m.visitedLogRecords;
+    visitedLogBytes_ = m.visitedLogBytes;
   }
 
   McConfig cfg_;
+  VisitedMode mode_ = VisitedMode::Exact;
+  std::uint64_t digest_ = 0;
   proto::TxnCounter txns_;
   std::mutex ctxMu_;
   std::vector<std::unique_ptr<WorkerCtx>> ctxPool_;
@@ -688,6 +1131,27 @@ class ParallelExplorer {
   std::vector<std::uint32_t> parents_;
   std::vector<std::uint64_t> actions_;
   McResult result_;
+
+  // -- out-of-core state -------------------------------------------------
+  bool spill_ = false;
+  bool checkpointing_ = false;
+  std::string spillPath_;
+  std::string ckptDir_;
+  std::unique_ptr<BitstateFilter> bloom_;        ///< bitstate mode
+  std::unique_ptr<FlatFingerprintSet> waveClaim_;  ///< bitstate, per wave
+  std::atomic<std::uint32_t> claimNext_{0};
+  /// Compact + checkpointing: fingerprint per id, feeding the visited
+  /// log in id order.
+  std::vector<std::uint64_t> fpsById_;
+  std::unique_ptr<VisitedLogWriter> visitedLog_;
+  std::uint64_t loggedRecords_ = 0;
+  std::uint64_t visitedLogBytes_ = 0;
+  /// Basenames of segment files referenced by the latest manifest —
+  /// deletion must spare them for resume.
+  std::set<std::string> protected_;
+  /// Drained-but-spared segment files from superseded checkpoints,
+  /// reclaimed once a newer manifest stops referencing them.
+  std::vector<std::string> retiredSegs_;
 };
 
 McResult ParallelExplorer::run() {
@@ -702,48 +1166,90 @@ McResult ParallelExplorer::run() {
       static_cast<std::uint64_t>(cfg_.numProcessors) * cfg_.numBlocks *
       (2 + (cfg_.modelData ? 1 : 0));
 
-  // Seed the root (wave arena 0 holds the first frontier's blobs).
   std::size_t cur = 0;
-  std::vector<FrontierRef> frontier;
-  {
+  std::vector<FrontierRef> frontier;  // in-RAM frontier
+  WaveSegs wave;                      // spilled frontier
+
+  if (!cfg_.resumeDir.empty()) {
+    restoreFromCheckpoint(wave);
+  } else {
+    // Seed the root (wave arena 0 / segment w0-c0 holds the first
+    // frontier's blobs).
     growIdArrays(16);
     ChunkOut rootOut;
+    if (spill_) rootOut.segBase = segBasePath(0, 0);
     std::unique_ptr<WorkerCtx> ctx = acquireCtx(0, waveArenas_[0]);
     const World init = makeInitialWorld(cfg_, txns_);
-    record(init, kNoParent, Action{}, *ctx, rootOut);
+    try {
+      record(init, kNoParent, Action{}, *ctx, rootOut);
+      sealChunk(rootOut);
+    } catch (...) {
+      rootOut.error = std::current_exception();
+    }
     releaseCtx(std::move(ctx));
+    if (rootOut.error) std::rethrow_exception(rootOut.error);
     result_.perf.merge(rootOut.perf);
-    frontier = std::move(rootOut.next);
+    if (mode_ == VisitedMode::Bitstate) {
+      publishClaims();
+      waveClaim_->clear();
+    }
+    if (spill_) {
+      absorbSegs(rootOut, wave);
+    } else {
+      frontier = std::move(rootOut.next);
+    }
   }
 
-  while (!frontier.empty()) {
-    result_.frontierPeak =
-        std::max<std::uint64_t>(result_.frontierPeak, frontier.size());
-    const std::uint64_t remaining = cfg_.maxStates - result_.statesExplored;
-    std::size_t expandCount = frontier.size();
-    if (remaining < frontier.size()) {
-      expandCount = static_cast<std::size_t>(remaining);
+  while (spill_ ? wave.records != 0 : !frontier.empty()) {
+    const std::uint64_t frontSize = spill_ ? wave.records : frontier.size();
+    result_.frontierPeak = std::max(result_.frontierPeak, frontSize);
+    const std::uint64_t remaining =
+        cfg_.maxStates > result_.statesExplored
+            ? cfg_.maxStates - result_.statesExplored
+            : 0;
+    std::uint64_t expandCount = frontSize;
+    if (remaining < frontSize) {
+      expandCount = remaining;
       result_.hitStateLimit = true;
     }
-    if (expandCount == 0) break;
-
-    // Memory-limit verdict — decided only at wave boundaries, so counts
-    // stay exact and jobs-independent for every completed wave.
-    if (cfg_.memLimitMb != 0 &&
-        trackedBytes(frontier) > cfg_.memLimitMb * 1024 * 1024) {
-      result_.memLimitHit = true;
+    if (expandCount == 0) {
+      if (spill_) deleteSegs(wave);
       break;
     }
 
-    // Pre-size the visited table and the id arrays for this wave's
-    // successor upper bound: neither may grow mid-wave (the flat set must
-    // not rehash under concurrent inserts; workers index the id arrays
-    // without locks).
-    std::uint64_t waveBound = 0;
-    for (std::size_t i = 0; i < expandCount; ++i) {
-      waveBound += frontier[i].flightCount + issueBound;
+    // This wave's successor upper bound: the visited table and the id
+    // arrays may not grow mid-wave (the flat set must not rehash under
+    // concurrent inserts; workers index the id arrays without locks).
+    // The spilled path charges the whole wave's flight sum — an upper
+    // bound either way, and capacity never affects counts.
+    std::uint64_t waveBound = expandCount * issueBound;
+    if (spill_) {
+      waveBound += wave.flightSum;
+    } else {
+      for (std::uint64_t i = 0; i < expandCount; ++i) {
+        waveBound += frontier[static_cast<std::size_t>(i)].flightCount;
+      }
     }
+
+    // Memory-limit verdict — decided only at wave boundaries (counts
+    // stay exact and jobs-independent for every completed wave), and
+    // tested against the PROJECTED post-growth footprint, so the
+    // boundary growth itself can't overshoot the limit.  With
+    // checkpointing the stop is resumable: the pending wave was either
+    // just checkpointed or is checkpointed right here.
+    if (cfg_.memLimitMb != 0 &&
+        projectedTrackedBytes(frontier.capacity(), waveBound, jobs) >
+            cfg_.memLimitMb * 1024 * 1024) {
+      result_.memLimitHit = true;
+      if (checkpointing_) writeCheckpoint(wave);
+      break;
+    }
+
     visited_.reserveFor(static_cast<std::size_t>(waveBound));
+    if (mode_ == VisitedMode::Bitstate) {
+      waveClaim_->reserveFor(static_cast<std::size_t>(waveBound));
+      claimNext_.store(0, std::memory_order_relaxed);
+    }
     const std::uint32_t baseId = nextId_.load(std::memory_order_relaxed);
     growIdArrays(static_cast<std::size_t>(baseId) +
                  static_cast<std::size_t>(waveBound));
@@ -751,25 +1257,63 @@ McResult ParallelExplorer::run() {
     // Freeze the POR proviso horizon at the wave boundary.
     idWatermark_ = baseId;
 
-    // Adaptive chunking: large chunks on small frontiers so oversubscribed
-    // hosts don't pay merge cost for nothing, bounded below at 64 states.
-    const std::size_t chunkSize = std::max<std::size_t>(
-        expandCount / (std::size_t{8} * jobs), std::size_t{64});
-    const std::size_t nChunks = (expandCount + chunkSize - 1) / chunkSize;
     Arena& nextArena = waveArenas_[1 - cur];
     const std::uint64_t epoch = result_.wavesCompleted + 1;
-    std::vector<ChunkOut> outs(nChunks);
-    for (std::size_t c = 0; c < nChunks; ++c) {
-      const std::size_t begin = c * chunkSize;
-      const std::size_t end = std::min(expandCount, begin + chunkSize);
-      pool.submit([this, &frontier, &outs, &nextArena, epoch, c, begin, end] {
-        expandRange(frontier, begin, end, epoch, nextArena, outs[c]);
-      });
+    std::vector<ChunkOut> outs;
+    if (spill_) {
+      // One task per source segment, with a record budget cutting the
+      // final partial segment of a state-capped run.  Segment order is
+      // frontier order, so in-order merge keeps the global sequence
+      // identical to the in-RAM path.
+      std::vector<std::pair<const SegmentInfo*, std::uint64_t>> specs;
+      std::uint64_t left = expandCount;
+      for (const SegmentInfo& s : wave.segs) {
+        if (left == 0) break;
+        const std::uint64_t budget = std::min(s.records, left);
+        left -= budget;
+        specs.emplace_back(&s, budget);
+      }
+      outs.resize(specs.size());
+      for (std::size_t c = 0; c < specs.size(); ++c) {
+        outs[c].segBase = segBasePath(epoch, c);
+        const SegmentInfo* seg = specs[c].first;
+        const std::uint64_t budget = specs[c].second;
+        pool.submit([this, seg, budget, epoch, &outs, c] {
+          expandSegment(*seg, budget, epoch, outs[c]);
+        });
+      }
+    } else {
+      // Adaptive chunking: large chunks on small frontiers so
+      // oversubscribed hosts don't pay merge cost for nothing, bounded
+      // below at 64 states.
+      const std::size_t chunkSize = std::max<std::size_t>(
+          static_cast<std::size_t>(expandCount) / (std::size_t{8} * jobs),
+          std::size_t{64});
+      const std::size_t nChunks =
+          (static_cast<std::size_t>(expandCount) + chunkSize - 1) / chunkSize;
+      outs.resize(nChunks);
+      for (std::size_t c = 0; c < nChunks; ++c) {
+        const std::size_t begin = c * chunkSize;
+        const std::size_t end = std::min(static_cast<std::size_t>(expandCount),
+                                         begin + chunkSize);
+        pool.submit([this, &frontier, &outs, &nextArena, epoch, c, begin,
+                     end] {
+          expandRange(frontier, begin, end, epoch, nextArena, outs[c]);
+        });
+      }
     }
     pool.wait();
+    for (ChunkOut& o : outs) {
+      if (o.error) std::rethrow_exception(o.error);
+    }
+    if (mode_ == VisitedMode::Bitstate) {
+      publishClaims();
+      waveClaim_->clear();
+    }
 
     result_.statesExplored += expandCount;
     std::vector<FrontierRef> next;
+    WaveSegs nextWave;
     std::vector<std::string> waveViolations;
     for (ChunkOut& o : outs) {
       result_.transitions += o.transitions;
@@ -780,11 +1324,19 @@ McResult ParallelExplorer::run() {
         waveViolations.push_back(std::move(v));
       }
       if (!cexSeed && o.cex) cexSeed = std::move(o.cex);
-      for (const FrontierRef& ref : o.next) next.push_back(ref);
+      if (spill_) {
+        absorbSegs(o, nextWave);
+      } else {
+        for (const FrontierRef& ref : o.next) next.push_back(ref);
+      }
     }
     result_.frontierBytesPeak = std::max<std::uint64_t>(
         result_.frontierBytesPeak,
         waveArenas_[0].bytesReserved() + waveArenas_[1].bytesReserved());
+    result_.trackedBytesPeak = std::max<std::uint64_t>(
+        result_.trackedBytesPeak,
+        trackedBytesBase() +
+            (frontier.capacity() + next.capacity()) * sizeof(FrontierRef));
     std::sort(waveViolations.begin(), waveViolations.end());
     waveViolations.erase(
         std::unique(waveViolations.begin(), waveViolations.end()),
@@ -799,32 +1351,89 @@ McResult ParallelExplorer::run() {
     // are identical for any jobs value.
     if (!result_.violations.empty() || result_.deadlockFound ||
         result_.hitStateLimit) {
+      // Terminal verdict: nothing to resume; drop unprotected segments.
+      if (spill_) {
+        deleteSegs(wave);
+        deleteSegs(nextWave);
+      }
       break;
     }
-    if (cfg_.maxDepth != 0 && result_.wavesCompleted >= cfg_.maxDepth) break;
-    frontier = std::move(next);
-    // The expanded wave's blobs are dead; recycle its arena for the wave
-    // after next.
-    waveArenas_[cur].reset();
-    cur = 1 - cur;
+    if (cfg_.maxDepth != 0 && result_.wavesCompleted >= cfg_.maxDepth) {
+      // Depth-capped stop is resumable (rerun with a larger --max-depth).
+      if (checkpointing_) writeCheckpoint(nextWave);
+      if (spill_) {
+        deleteSegs(wave);
+        if (!checkpointing_) deleteSegs(nextWave);
+      }
+      break;
+    }
+    if (checkpointing_ &&
+        result_.wavesCompleted %
+                std::max<std::uint64_t>(1, cfg_.checkpointEvery) ==
+            0) {
+      writeCheckpoint(nextWave);
+    }
+    if (spill_) {
+      deleteSegs(wave);
+      wave = std::move(nextWave);
+    } else {
+      frontier = std::move(next);
+      // The expanded wave's blobs are dead; recycle its arena for the
+      // wave after next.
+      waveArenas_[cur].reset();
+      cur = 1 - cur;
+    }
   }
 
   if (cexSeed) {
     Counterexample cex;
     cex.kind = cexSeed->kind;
     cex.detail = cexSeed->detail;
-    cex.schedule = reconstructSchedule(*cexSeed);
+    // Only exact mode keeps parent edges; lossy modes report the failing
+    // state without a schedule (DESIGN.md §14).
+    if (mode_ == VisitedMode::Exact) {
+      cex.schedule = reconstructSchedule(*cexSeed);
+    }
     result_.counterexample = std::move(cex);
   }
   result_.visitedBytes =
       visited_.bytes() + encArena_.bytesReserved() +
       encs_.capacity() * sizeof(EncRef) +
       parents_.capacity() * sizeof(std::uint32_t) +
-      actions_.capacity() * sizeof(std::uint64_t);
+      actions_.capacity() * sizeof(std::uint64_t) +
+      fpsById_.capacity() * sizeof(std::uint64_t) +
+      (bloom_ ? bloom_->bytes() : 0);
+  if (mode_ == VisitedMode::Compact) {
+    const double n = static_cast<double>(result_.perf.storedStates);
+    result_.omissionBound =
+        std::min(1.0, n * (n - 1.0) / 2.0 / std::pow(2.0, 64));
+  } else if (mode_ == VisitedMode::Bitstate) {
+    const double fill = static_cast<double>(bloom_->onesCount()) /
+                        static_cast<double>(bloom_->bitCount());
+    result_.omissionBound =
+        std::min(1.0, static_cast<double>(result_.perf.insertCalls) *
+                          std::pow(fill, static_cast<double>(
+                                             bloom_->hashCount())));
+  }
+  result_.perf.omissionBound = result_.omissionBound;
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // Linux reports ru_maxrss in KiB.
+    result_.peakRssBytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+  }
   return result_;
 }
 
 }  // namespace
+
+const char* toString(VisitedMode m) {
+  switch (m) {
+    case VisitedMode::Exact: return "exact";
+    case VisitedMode::Compact: return "compact";
+    case VisitedMode::Bitstate: return "bitstate";
+  }
+  return "?";
+}
 
 std::string toString(const Action& a) {
   std::ostringstream os;
@@ -856,7 +1465,40 @@ McResult explore(const McConfig& cfg) {
         "the snoop-queue order already covered by seeded 'lcdc run "
         "--protocol bus'");
   }
-  if (cfg.protocol == ProtocolKind::Tardis) return exploreTardis(cfg);
+  if (cfg.visited == VisitedMode::Bitstate && cfg.por) {
+    throw SimError(
+        "--visited bitstate cannot combine with --por: the ample-set "
+        "proviso compares state discovery ids, which bitstate mode does "
+        "not assign");
+  }
+  if (!cfg.resumeDir.empty() && !cfg.checkpointDir.empty() &&
+      cfg.resumeDir != cfg.checkpointDir) {
+    throw SimError(
+        "--resume and --checkpoint name different directories; a resumed "
+        "run continues checkpointing into the resume directory, so drop "
+        "--checkpoint or point both at the same place");
+  }
+  const bool outOfCore = !cfg.spillDir.empty() || !cfg.checkpointDir.empty() ||
+                         !cfg.resumeDir.empty();
+  if (outOfCore) {
+    const std::string ckpt =
+        cfg.checkpointDir.empty() ? cfg.resumeDir : cfg.checkpointDir;
+    if (!cfg.spillDir.empty() && !ckpt.empty() && cfg.spillDir != ckpt) {
+      throw SimError(
+          "--spill and --checkpoint/--resume name different directories; "
+          "checkpoints reference the spill segments by basename, so they "
+          "must live in one directory");
+    }
+  }
+  if (cfg.protocol == ProtocolKind::Tardis) {
+    if (outOfCore || cfg.visited != VisitedMode::Exact) {
+      throw SimError(
+          "the tardis backend keeps its own in-RAM exploration state: "
+          "--visited/--spill/--checkpoint/--resume apply to the directory "
+          "protocol only");
+    }
+    return exploreTardis(cfg);
+  }
   ParallelExplorer explorer(cfg);
   return explorer.run();
 }

@@ -64,6 +64,25 @@
 
 namespace lcdc::mc {
 
+/// How visited states are remembered (DESIGN.md §14).
+enum class VisitedMode : std::uint8_t {
+  /// Lossless: 64-bit fingerprint plus the full canonical encoding; a
+  /// fingerprint hit falls back to byte equality.  The only mode whose
+  /// counts are exhaustive; omission bound 0.
+  Exact = 0,
+  /// Hash compaction: only the 64-bit fingerprint is kept, a hit is
+  /// trusted.  ~12 B/state; expected omissions n(n-1)/2 / 2^64.
+  Compact,
+  /// Holzmann bitstate (supertrace): k bits per state in a Bloom array
+  /// sized by `bitstateMb`.  O(1) bits/state; omission bound
+  /// insertCalls * (ones/m)^k at the end-of-run fill ratio.  Tracks no
+  /// state ids, so counterexamples carry no schedule and POR (whose
+  /// proviso needs discovery ids) is rejected.
+  Bitstate,
+};
+
+[[nodiscard]] const char* toString(VisitedMode m);
+
 struct McConfig {
   NodeId numProcessors = 2;
   BlockId numBlocks = 1;
@@ -116,6 +135,28 @@ struct McConfig {
   /// Collect nanosecond-level timing in `McResult::perf` (byte counters
   /// and the probe histogram are always collected).
   bool perf = false;
+  /// Visited-set representation (see VisitedMode).
+  VisitedMode visited = VisitedMode::Exact;
+  /// Bitstate mode only: Bloom array budget in MiB (rounded down to a
+  /// power of two of bits).
+  std::uint64_t bitstateMb = 64;
+  /// Non-empty: spill each wave's frontier blobs to sealed segment files
+  /// under this directory instead of holding them in the ping-pong
+  /// arenas, bounding frontier RSS by the spill write buffers.  Counts
+  /// and verdicts are byte-identical to the in-RAM engine for any
+  /// `jobs` (the segment concatenation preserves frontier order).
+  std::string spillDir;
+  /// Non-empty: checkpoint the visited structures + the pending wave's
+  /// spill segments at wave boundaries into this directory (implies
+  /// spilling there unless `spillDir` names somewhere else), making the
+  /// memory-limit stop resumable.
+  std::string checkpointDir;
+  /// Checkpoint every N wave boundaries (also on a memory-limit or
+  /// max-depth stop regardless of cadence).
+  std::uint64_t checkpointEvery = 1;
+  /// Non-empty: restore visited set, counters, and pending frontier from
+  /// this checkpoint directory and continue exploring.
+  std::string resumeDir;
 };
 
 /// One scheduled step of an exploration path.  `Deliver` indexes into the
@@ -169,6 +210,18 @@ struct McResult {
   std::uint64_t visitedBytes = 0;
   /// Peak bytes reserved by the two ping-pong frontier-blob arenas.
   std::uint64_t frontierBytesPeak = 0;
+  /// Peak of the tracked-bytes sum `--mem-limit-mb` bounds (visited
+  /// slabs, arenas, id arrays, spill buffers, bitstate array).
+  std::uint64_t trackedBytesPeak = 0;
+  /// Process peak RSS (getrusage ru_maxrss) at the end of the run — the
+  /// ground truth the tracked-bytes accounting approximates.
+  std::uint64_t peakRssBytes = 0;
+  /// Probability bound on missed states for the lossy visited modes
+  /// (0 for exact; see VisitedMode for the formulas).
+  double omissionBound = 0.0;
+  /// True when this result continues a `--resume` checkpoint (counts
+  /// then cover the combined run).
+  bool resumed = false;
 
   [[nodiscard]] bool ok() const {
     return violations.empty() && !deadlockFound;

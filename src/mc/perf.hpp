@@ -27,6 +27,16 @@ struct McPerfCounters {
   /// Linear-probe length histogram for visited-set inserts:
   /// 0, 1, 2, 3-4, 5-8, >8 extra slots past the home slot.
   std::array<std::uint64_t, 6> probeHist{};
+  /// Out-of-core traffic (zero for pure in-RAM runs): bytes written to /
+  /// read back from frontier spill segments, sealed segment count, and
+  /// bytes written into checkpoints (visited log + bitstate dumps).
+  std::uint64_t spillBytesWritten = 0;
+  std::uint64_t spillBytesRead = 0;
+  std::uint64_t spillSegments = 0;
+  std::uint64_t checkpointBytes = 0;
+  /// Omission-probability bound for the lossy visited modes (0 for
+  /// exact); set once at the end of a run, mirrored in McResult.
+  double omissionBound = 0.0;
 
   // -- timing (zero unless McConfig::perf) -----------------------------------
   std::uint64_t encodeNanos = 0;     ///< canonical encode + min-over-perms
@@ -43,6 +53,11 @@ struct McPerfCounters {
     for (std::size_t i = 0; i < probeHist.size(); ++i) {
       probeHist[i] += o.probeHist[i];
     }
+    spillBytesWritten += o.spillBytesWritten;
+    spillBytesRead += o.spillBytesRead;
+    spillSegments += o.spillSegments;
+    checkpointBytes += o.checkpointBytes;
+    if (o.omissionBound > omissionBound) omissionBound = o.omissionBound;
     encodeNanos += o.encodeNanos;
     insertNanos += o.insertNanos;
     worldSaveNanos += o.worldSaveNanos;

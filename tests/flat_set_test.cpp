@@ -182,5 +182,149 @@ TEST(FlatFingerprintSet, BytesAccountsForSlabs) {
   EXPECT_EQ(set.bytes(), set.capacity() * 12u);
 }
 
+TEST(FlatFingerprintSet, BytesAfterReserveChargesTheRehashTransient) {
+  FlatFingerprintSet set(64);
+  // Within the current capacity: no growth, no transient.
+  EXPECT_EQ(set.bytesAfterReserve(16), set.bytes());
+  // Past 50% load the table doubles; during the rehash both the old and
+  // the new slab are live, so the projection must exceed even the final
+  // footprint.
+  const std::size_t projected = set.bytesAfterReserve(1000);
+  EXPECT_GT(projected, set.bytes());
+  const std::size_t before = set.bytes();
+  set.reserveFor(1000);
+  EXPECT_EQ(projected, set.bytes() + before);
+}
+
+TEST(FlatFingerprintSet, GrowthBoundaryKeepsPayloadsExact) {
+  // Walk insert counts across the 50%-load growth boundary of the initial
+  // 64-slot table and verify membership + payload stability through every
+  // reserveFor that actually rehashes.
+  FlatFingerprintSet set(64);
+  std::vector<std::string> store;
+  for (int i = 0; i < 200; ++i) {
+    set.reserveFor(1);
+    const std::string s = "key-" + std::to_string(i);
+    insertStr(set,
+              fingerprintHash(reinterpret_cast<const std::byte*>(s.data()),
+                              s.size()),
+              s, store, nullptr);
+    ASSERT_EQ(set.size(), static_cast<std::size_t>(i + 1));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::string s = "key-" + std::to_string(i);
+    const auto hit = set.find(
+        fingerprintHash(reinterpret_cast<const std::byte*>(s.data()),
+                        s.size()),
+        [&](std::uint32_t payload) { return store[payload] == s; });
+    ASSERT_TRUE(hit.has_value()) << s;
+    EXPECT_EQ(store[*hit], s);
+  }
+}
+
+TEST(FlatFingerprintSet, PayloadPastIdSpaceThrowsSimError) {
+  // The 2^32-state guard: a payload beyond kMaxPayload (the explorer's
+  // state-id space) must raise SimError instead of silently truncating
+  // or colliding with the sentinels.
+  FlatFingerprintSet set(64);
+  const auto never = [](std::uint32_t) { return true; };
+  const auto r = set.insert(1, never, [] {
+    return FlatFingerprintSet::kMaxPayload;
+  });
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(r.payload, FlatFingerprintSet::kMaxPayload);
+  EXPECT_THROW(set.insert(2, never,
+                          [] { return FlatFingerprintSet::kMaxPayload + 1; }),
+               SimError);
+  EXPECT_THROW(set.insert(3, never,
+                          [] { return FlatFingerprintSet::kPendingPayload; }),
+               SimError);
+}
+
+TEST(FlatFingerprintSet, CompactModeTrustsTheFingerprint) {
+  // Hash compaction: same fingerprint, different bytes => deduplicated
+  // anyway, and the equality callback must never run.
+  FlatFingerprintSet set(64, FlatFingerprintSet::Mode::Compact);
+  EXPECT_EQ(set.mode(), FlatFingerprintSet::Mode::Compact);
+  bool equalsCalled = false;
+  const auto equals = [&](std::uint32_t) {
+    equalsCalled = true;
+    return false;
+  };
+  const auto a = set.insert(42, equals, [] { return 7u; });
+  EXPECT_TRUE(a.inserted);
+  const auto b = set.insert(42, equals, [] { return 8u; });
+  EXPECT_FALSE(b.inserted);
+  EXPECT_EQ(b.payload, 7u);
+  EXPECT_FALSE(equalsCalled);
+  EXPECT_EQ(set.size(), 1u);
+  const auto hit = set.find(42, equals);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 7u);
+  EXPECT_FALSE(equalsCalled);
+}
+
+TEST(FlatFingerprintSet, ClearKeepsSlabsAndForEachEnumerates) {
+  FlatFingerprintSet set(64, FlatFingerprintSet::Mode::Compact);
+  const auto never = [](std::uint32_t) { return true; };
+  for (std::uint64_t fp = 1; fp <= 10; ++fp) {
+    std::uint32_t id = static_cast<std::uint32_t>(fp);
+    (void)set.insert(fp * 0x9E3779B97F4A7C15ULL, never, [id] { return id; });
+  }
+  std::vector<std::uint64_t> seen;
+  set.forEachFingerprint([&](std::uint64_t fp) { seen.push_back(fp); });
+  EXPECT_EQ(seen.size(), 10u);
+  const std::size_t cap = set.capacity();
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.capacity(), cap);
+  seen.clear();
+  set.forEachFingerprint([&](std::uint64_t fp) { seen.push_back(fp); });
+  EXPECT_TRUE(seen.empty());
+  // The cleared table is immediately reusable (the per-wave claim-table
+  // pattern).
+  const auto r = set.insert(99, never, [] { return 1u; });
+  EXPECT_TRUE(r.inserted);
+}
+
+// -- bitstate filter ----------------------------------------------------------
+
+TEST(BitstateFilter, TestSetRoundTrip) {
+  BitstateFilter bloom(1);
+  EXPECT_EQ(bloom.bitCount(), 1ULL << 23) << "1 MiB = 2^23 bits";
+  EXPECT_EQ(bloom.hashCount(), BitstateFilter::kDefaultHashes);
+  EXPECT_EQ(bloom.onesCount(), 0u);
+  for (std::uint64_t fp = 1; fp <= 1000; ++fp) {
+    EXPECT_FALSE(bloom.testAll(fp * 0x9E3779B97F4A7C15ULL));
+  }
+  for (std::uint64_t fp = 1; fp <= 1000; ++fp) {
+    bloom.setAll(fp * 0x9E3779B97F4A7C15ULL);
+  }
+  for (std::uint64_t fp = 1; fp <= 1000; ++fp) {
+    EXPECT_TRUE(bloom.testAll(fp * 0x9E3779B97F4A7C15ULL));
+  }
+  EXPECT_GT(bloom.onesCount(), 0u);
+  EXPECT_LE(bloom.onesCount(), 3000u);
+}
+
+TEST(BitstateFilter, MinimumSizeIsEnforced) {
+  BitstateFilter bloom(0);
+  EXPECT_EQ(bloom.bitCount(), 1ULL << 20);
+  EXPECT_EQ(bloom.bytes(), (1ULL << 20) / 8);
+}
+
+TEST(BitstateFilter, LoadWordsRejectsSizeMismatch) {
+  BitstateFilter bloom(1);
+  EXPECT_THROW(bloom.loadWords(std::vector<std::uint64_t>(16), 3), SimError);
+  // Matching size round-trips membership and the stored hash count.
+  BitstateFilter other(1);
+  other.setAll(12345);
+  BitstateFilter copy(1);
+  copy.loadWords(other.words(), other.hashCount());
+  EXPECT_TRUE(copy.testAll(12345));
+  EXPECT_FALSE(copy.testAll(54321));
+  EXPECT_EQ(copy.hashCount(), other.hashCount());
+}
+
 }  // namespace
 }  // namespace lcdc

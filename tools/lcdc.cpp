@@ -31,6 +31,7 @@
 //   3  campaign detected failures
 //   4  simulation did not reach quiescence / protocol invariant fired
 //   5  I/O or trace-format error
+//   6  mc stopped at --mem-limit-mb (resumable when --checkpoint was given)
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -170,6 +171,14 @@ Mutant parseMutant(const std::string& name) {
     if (name == toString(m)) return m;
   }
   throw UsageError("unknown mutant: " + name);
+}
+
+mc::VisitedMode parseVisitedMode(const std::string& name) {
+  if (name == "exact") return mc::VisitedMode::Exact;
+  if (name == "compact") return mc::VisitedMode::Compact;
+  if (name == "bitstate") return mc::VisitedMode::Bitstate;
+  throw UsageError("--visited expects exact|compact|bitstate, got '" + name +
+                   "'");
 }
 
 int reportAndExit(const verify::CheckReport& report, bool quiet) {
@@ -346,9 +355,20 @@ void printMcPerf(const mc::McResult& r) {
             << per(r.visitedBytes, p.storedStates)
             << " B/state), frontier-arena peak " << r.frontierBytesPeak
             << " B\n"
+            << "perf: tracked peak " << r.trackedBytesPeak
+            << " B, process peak RSS " << r.peakRssBytes << " B\n"
             << "perf: probe histogram [0,1,2,3-4,5-8,>8]:";
   for (const std::uint64_t b : p.probeHist) std::cout << ' ' << b;
   std::cout << '\n';
+  if (p.spillSegments != 0 || p.checkpointBytes != 0) {
+    std::cout << "perf: spill " << p.spillSegments << " segments, "
+              << p.spillBytesWritten << " B written, " << p.spillBytesRead
+              << " B read, checkpoint " << p.checkpointBytes
+              << " B written\n";
+  }
+  if (r.omissionBound > 0) {
+    std::cout << "perf: P(omission) <= " << r.omissionBound << '\n';
+  }
   if (p.expandNanos != 0) {
     std::cout << "perf: encode " << per(p.encodeNanos, p.encodeCalls)
               << " ns/call, insert " << per(p.insertNanos, p.insertCalls)
@@ -388,14 +408,49 @@ int cmdMc(const Args& args) {
   cfg.proto.mutant = parseMutant(args.str("mutant", "none"));
   cfg.memLimitMb = args.num("mem-limit-mb", 0);
   cfg.perf = args.has("perf");
+  cfg.visited = parseVisitedMode(args.str("visited", "exact"));
+  cfg.bitstateMb = args.num("bitstate-mb", 64);
+  if (cfg.bitstateMb == 0) throw UsageError("--bitstate-mb must be >= 1");
+  cfg.spillDir = args.str("spill", "");
+  cfg.checkpointDir = args.str("checkpoint", "");
+  cfg.checkpointEvery = args.num("checkpoint-every", 1);
+  cfg.resumeDir = args.str("resume", "");
+  // Flag-conflict diagnosis belongs to the usage layer (exit 2);
+  // mc::explore re-validates for API callers (SimError, exit 5).
+  if (cfg.visited == mc::VisitedMode::Bitstate && cfg.por) {
+    throw UsageError("--visited bitstate cannot combine with --por "
+                     "(bitstate assigns no discovery ids)");
+  }
+  if (!cfg.resumeDir.empty() && !cfg.checkpointDir.empty() &&
+      cfg.resumeDir != cfg.checkpointDir) {
+    throw UsageError("--resume already continues checkpointing into its "
+                     "directory; drop --checkpoint or make them equal");
+  }
+  {
+    const std::string ckpt =
+        cfg.checkpointDir.empty() ? cfg.resumeDir : cfg.checkpointDir;
+    if (!cfg.spillDir.empty() && !ckpt.empty() && cfg.spillDir != ckpt) {
+      throw UsageError("--spill must match --checkpoint/--resume "
+                       "(checkpoints reference segments by basename)");
+    }
+  }
   const mc::McResult r = mc::explore(cfg);
   std::cout << "states: " << r.statesExplored
             << (r.hitStateLimit ? " (limit hit)" : "")
-            << (r.memLimitHit ? " (mem limit hit)" : "")
+            << (r.memLimitHit
+                    ? (r.perf.checkpointBytes != 0 || r.resumed
+                           ? " (mem limit hit, checkpointed)"
+                           : " (mem limit hit)")
+                    : "")
+            << (r.resumed ? " (resumed)" : "")
             << ", transitions: " << r.transitions
             << ", peak frontier: " << r.frontierPeak
             << ", waves: " << r.wavesCompleted;
   if (cfg.por) std::cout << ", ample states: " << r.ampleStates;
+  if (cfg.visited != mc::VisitedMode::Exact) {
+    std::cout << ", visited: " << mc::toString(cfg.visited)
+              << ", P(omission) <= " << r.omissionBound;
+  }
   std::cout << '\n';
   if (cfg.perf) printMcPerf(r);
   if (r.deadlockFound) std::cout << "DEADLOCK state reachable\n";
@@ -408,7 +463,13 @@ int cmdMc(const Args& args) {
     for (const mc::Action& a : cex.schedule) {
       std::cout << "  " << step++ << ": " << mc::toString(a) << '\n';
     }
-    if (args.has("replay")) {
+    if (cex.schedule.empty() && cfg.visited != mc::VisitedMode::Exact) {
+      std::cout << "  (no schedule: --visited " << mc::toString(cfg.visited)
+                << " keeps no parent edges; rerun with --visited exact)\n";
+    }
+    if (args.has("replay") && cex.schedule.empty()) {
+      std::cout << "replay: nothing to replay (no schedule)\n";
+    } else if (args.has("replay")) {
       const mc::ReplayResult rep = mc::replayCounterexample(cfg, cex.schedule);
       std::cout << "replay: "
                 << (rep.divergence.empty() ? "schedule applied"
@@ -468,6 +529,21 @@ int cmdCampaign(const Args& args) {
   cfg.mcProcs = static_cast<NodeId>(args.num("mc-procs", 2));
   cfg.mcBlocks = static_cast<BlockId>(args.num("mc-blocks", 1));
   cfg.mcMaxStates = args.num("mc-max-states", 400'000);
+  // Validate here (UsageError, exit 2) so a typo'd mode never reaches the
+  // stage as a SimError (exit 5); the string is forwarded as-is.
+  cfg.mcVisited = mc::toString(parseVisitedMode(args.str("mc-visited",
+                                                         "exact")));
+  cfg.mcMemLimitMb = args.num("mc-mem-limit-mb", 0);
+  cfg.mcSpillDir = args.str("mc-spill", "");
+  cfg.mcCheckpointDir = args.str("mc-checkpoint", "");
+  cfg.mcResumeDir = args.str("mc-resume", "");
+  if (!cfg.mcStage &&
+      (cfg.mcVisited != "exact" || cfg.mcMemLimitMb != 0 ||
+       !cfg.mcSpillDir.empty() || !cfg.mcCheckpointDir.empty() ||
+       !cfg.mcResumeDir.empty())) {
+    throw UsageError("--mc-visited/--mc-mem-limit-mb/--mc-spill/"
+                     "--mc-checkpoint/--mc-resume require --mc-stage");
+  }
   // Coverage-guided fuzzing stage; --corpus persists novel inputs across
   // sessions and only makes sense under --fuzz.
   cfg.fuzz = args.has("fuzz");
@@ -663,13 +739,15 @@ const std::map<std::string, OptionSpec>& optionSpecs() {
       {"verify", {{"trace", "procs", "model"}, {"partial", "quiet"}}},
       {"mc",
        {{"procs", "blocks", "protocol", "lease", "max-states", "max-depth",
-         "jobs", "mutant", "mem-limit-mb"},
+         "jobs", "mutant", "mem-limit-mb", "visited", "bitstate-mb", "spill",
+         "checkpoint", "checkpoint-every", "resume"},
         {"no-evictions", "no-putshared", "symmetry", "por", "model-data",
          "replay", "perf"}}},
       {"campaign",
        {{"seeds", "jobs", "master-seed", "workload", "protocol", "mutant",
          "out", "max-events", "max-minimized", "minimize-attempts",
-         "mc-procs", "mc-blocks", "mc-max-states", "corpus"},
+         "mc-procs", "mc-blocks", "mc-max-states", "corpus", "mc-visited",
+         "mc-mem-limit-mb", "mc-spill", "mc-checkpoint", "mc-resume"},
         {"until-coverage", "minimize", "quiet", "streaming",
          "no-streaming", "mc-stage", "fuzz", "fuzz-stop"}}},
       {"serve",
@@ -715,9 +793,21 @@ void usage(std::ostream& os) {
       "            --replay (re-execute counterexample in the simulator\n"
       "                      through the streaming Lamport checkers)\n"
       "            --mem-limit-mb M (stop gracefully at a wave boundary\n"
-      "                              once tracked memory exceeds M MiB)\n"
+      "                              once tracked memory exceeds M MiB;\n"
+      "                              resumable when checkpointing)\n"
+      "            --visited exact|compact|bitstate (lossy modes trade a\n"
+      "                      reported P(omission) bound for ~12 B/state or\n"
+      "                      O(1) bits/state; --bitstate-mb M sizes the\n"
+      "                      Bloom array)\n"
+      "            --spill DIR (spill frontier waves to segment files;\n"
+      "                         exact counts identical to in-RAM engine)\n"
+      "            --checkpoint DIR (checkpoint visited + pending wave at\n"
+      "                              wave boundaries; implies spilling\n"
+      "                              there) --checkpoint-every N\n"
+      "            --resume DIR (continue a checkpointed run)\n"
       "            --perf (encode/insert counters, probe histogram,\n"
-      "                    bytes/state; timings are wall-clock)\n"
+      "                    bytes/state, spill/checkpoint traffic, peak RSS;\n"
+      "                    timings are wall-clock)\n"
       "            --no-evictions --mutant NAME\n"
       "  campaign  parallel seed-fuzzing campaign over the checker suite\n"
       "            --seeds N --jobs J --master-seed S\n"
@@ -732,6 +822,8 @@ void usage(std::ostream& os) {
       "            --mc-stage (exhaustively model-check a small config of\n"
       "                        the same variant first)\n"
       "            --mc-procs N --mc-blocks B --mc-max-states M\n"
+      "            --mc-visited exact|compact|bitstate --mc-mem-limit-mb M\n"
+      "            --mc-spill DIR --mc-checkpoint DIR --mc-resume DIR\n"
       "            --fuzz (coverage-guided: mutate corpus inputs, keep the\n"
       "                    ones with novel coverage; --seeds is the budget)\n"
       "            --corpus DIR (persistent corpus; resumes + accumulates)\n"
@@ -753,7 +845,8 @@ void usage(std::ostream& os) {
       "global: --version prints the tool and wire-format versions\n\n"
       "exit codes: 0 ok, 1 verification violations, 2 usage error,\n"
       "            3 campaign failures, 4 simulation failed, 5 I/O error,\n"
-      "            6 mc stopped at --mem-limit-mb\n";
+      "            6 mc stopped at --mem-limit-mb (resumable when\n"
+      "              --checkpoint was given)\n";
 }
 
 }  // namespace
